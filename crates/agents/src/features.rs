@@ -1,0 +1,370 @@
+//! State and action featurization shared by the neural policies.
+//!
+//! The paper's state is `[local view, global view]`: the taxi's (time slot,
+//! location) plus the per-region vacant counts, per-station free points, and
+//! predicted demand (Section III-C). We encode the taxi-relevant slice of
+//! that into a fixed-width vector, and each admissible action into an
+//! action-feature vector, so one shared network can score a *variable*
+//! action space — the property CMA2C needs ("iterates its policy to adapt
+//! to the dynamically evolving action space").
+//!
+//! All features are scaled to roughly `[−1, 1]` so the small MLPs train
+//! without per-feature normalization layers.
+
+use fairmove_city::{City, RegionId, StationId};
+use fairmove_sim::{Action, DecisionContext, SlotObservation};
+
+/// Width of the state-feature vector.
+pub const STATE_DIM: usize = 14;
+/// Width of the action-feature vector.
+pub const ACTION_DIM: usize = 10;
+/// Width of a concatenated state–action vector.
+pub const SA_DIM: usize = STATE_DIM + ACTION_DIM;
+/// Width of the *local-only* state vector (TBA's competitive agents see no
+/// global view).
+pub const LOCAL_STATE_DIM: usize = 6;
+/// Width of TBA's restricted action vector.
+pub const LOCAL_ACTION_DIM: usize = 4;
+/// Width of TBA's concatenated local state–action vector.
+pub const LOCAL_SA_DIM: usize = LOCAL_STATE_DIM + LOCAL_ACTION_DIM;
+
+/// Builds feature vectors against a fixed city.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    city: City,
+}
+
+impl FeatureExtractor {
+    /// A feature extractor over `city` (cheap clone of the substrate).
+    pub fn new(city: &City) -> Self {
+        FeatureExtractor { city: city.clone() }
+    }
+
+    /// The full state vector for one deciding taxi (paper: local + global
+    /// view).
+    pub fn state(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Vec<f64> {
+        let day_frac = obs.now.day_fraction();
+        let angle = std::f64::consts::TAU * day_frac;
+        let r = ctx.region.index();
+        let total_waiting: u32 = obs.waiting_per_region.iter().sum();
+        let total_vacant: u32 = obs.vacant_per_region.iter().sum();
+        vec![
+            angle.sin(),
+            angle.cos(),
+            ctx.soc,
+            if ctx.must_charge { 1.0 } else { 0.0 },
+            obs.predicted_demand[r] / 10.0,
+            f64::from(obs.vacant_per_region[r]) / 10.0,
+            f64::from(obs.waiting_per_region[r]) / 10.0,
+            obs.supply_gap(ctx.region) / 10.0,
+            obs.price_now / 1.6,
+            obs.price_next_hour / 1.6,
+            (f64::from(total_waiting) / f64::from(total_vacant.max(1))).min(3.0),
+            // Fairness standing: how far this taxi's earnings run above or
+            // below the fleet mean — the input a shared policy needs to act
+            // fairness-aware (push under-earners toward profit, let
+            // over-earners yield).
+            ((ctx.pe_standing - obs.mean_pe) / 10.0).clamp(-2.0, 2.0),
+            (obs.pf / 50.0).min(2.0),
+            1.0,
+        ]
+    }
+
+    /// Action features for one admissible action of `ctx`.
+    pub fn action(
+        &self,
+        obs: &SlotObservation,
+        ctx: &DecisionContext,
+        action: Action,
+    ) -> Vec<f64> {
+        match action {
+            Action::Stay => {
+                let mut f = self.region_target_features(obs, ctx.region, 0.0);
+                f[0] = 1.0;
+                f
+            }
+            Action::MoveTo(dest) => {
+                let km = self.city.region_driving_distance(ctx.region, dest);
+                let mut f = self.region_target_features(obs, dest, km);
+                f[1] = 1.0;
+                f
+            }
+            Action::Charge(station) => self.station_target_features(obs, ctx.region, station),
+        }
+    }
+
+    fn region_target_features(
+        &self,
+        obs: &SlotObservation,
+        dest: RegionId,
+        km: f64,
+    ) -> Vec<f64> {
+        let d = dest.index();
+        vec![
+            0.0, // is_stay (caller sets)
+            0.0, // is_move (caller sets)
+            0.0, // is_charge
+            obs.predicted_demand[d] / 10.0,
+            f64::from(obs.vacant_per_region[d]) / 10.0,
+            f64::from(obs.waiting_per_region[d]) / 10.0,
+            obs.supply_gap(dest) / 10.0,
+            km / 10.0,
+            0.0, // free points
+            0.0, // station load
+        ]
+    }
+
+    fn station_target_features(
+        &self,
+        obs: &SlotObservation,
+        from: RegionId,
+        station: StationId,
+    ) -> Vec<f64> {
+        let s = station.index();
+        let km = self.city.region_to_station_distance(from, station);
+        let points = f64::from(self.city.station(station).charging_points).max(1.0);
+        let occupied = self
+            .city
+            .station(station)
+            .charging_points
+            .saturating_sub(obs.free_points_per_station[s]);
+        let load = (f64::from(obs.queue_per_station[s] + obs.inbound_per_station[s] + occupied)
+            / points)
+            .min(3.0);
+        vec![
+            0.0,
+            0.0,
+            1.0, // is_charge
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            km / 10.0,
+            f64::from(obs.free_points_per_station[s]) / 10.0,
+            load / 3.0,
+        ]
+    }
+
+    /// Concatenated state ⊕ action vector.
+    pub fn state_action(
+        &self,
+        obs: &SlotObservation,
+        ctx: &DecisionContext,
+        action: Action,
+    ) -> Vec<f64> {
+        let mut f = self.state(obs, ctx);
+        f.extend(self.action(obs, ctx, action));
+        f
+    }
+
+    /// State–action vectors for every admissible action, canonical order.
+    pub fn all_state_actions(
+        &self,
+        obs: &SlotObservation,
+        ctx: &DecisionContext,
+    ) -> Vec<Vec<f64>> {
+        let state = self.state(obs, ctx);
+        ctx.actions
+            .actions()
+            .iter()
+            .map(|&a| {
+                let mut f = state.clone();
+                f.extend(self.action(obs, ctx, a));
+                f
+            })
+            .collect()
+    }
+
+    /// TBA's local-only state: the competitive agents see their own (time,
+    /// location, battery) but no fleet-wide supply/demand.
+    pub fn local_state(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Vec<f64> {
+        let angle = std::f64::consts::TAU * obs.now.day_fraction();
+        vec![
+            angle.sin(),
+            angle.cos(),
+            ctx.soc,
+            if ctx.must_charge { 1.0 } else { 0.0 },
+            f64::from(obs.waiting_per_region[ctx.region.index()]) / 10.0,
+            1.0,
+        ]
+    }
+
+    /// TBA's restricted action features: type and distance only.
+    pub fn local_action(&self, ctx: &DecisionContext, action: Action) -> Vec<f64> {
+        match action {
+            Action::Stay => vec![1.0, 0.0, 0.0, 0.0],
+            Action::MoveTo(dest) => {
+                let km = self.city.region_driving_distance(ctx.region, dest);
+                vec![0.0, 1.0, 0.0, km / 10.0]
+            }
+            Action::Charge(station) => {
+                let km = self.city.region_to_station_distance(ctx.region, station);
+                vec![0.0, 0.0, 1.0, km / 10.0]
+            }
+        }
+    }
+
+    /// TBA's local state–action vectors for every admissible action.
+    pub fn all_local_state_actions(
+        &self,
+        obs: &SlotObservation,
+        ctx: &DecisionContext,
+    ) -> Vec<Vec<f64>> {
+        let state = self.local_state(obs, ctx);
+        ctx.actions
+            .actions()
+            .iter()
+            .map(|&a| {
+                let mut f = state.clone();
+                f.extend(self.local_action(ctx, a));
+                f
+            })
+            .collect()
+    }
+
+    /// The city the extractor was built over.
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{CityConfig, SimTime, TimeSlot};
+    use fairmove_sim::{ActionSet, TaxiId};
+
+    fn setup() -> (City, SlotObservation, DecisionContext, FeatureExtractor) {
+        let city = City::generate(CityConfig {
+            n_regions: 30,
+            n_stations: 6,
+            total_charging_points: 60,
+            ..CityConfig::default()
+        });
+        let n = city.n_regions();
+        let m = city.n_stations();
+        let obs = SlotObservation {
+            now: SimTime::from_dhm(0, 8, 0),
+            slot: TimeSlot(48),
+            vacant_per_region: vec![2; n],
+            free_points_per_station: city
+                .stations()
+                .iter()
+                .map(|s| s.charging_points)
+                .collect(),
+            queue_per_station: vec![0; m],
+            inbound_per_station: vec![0; m],
+            predicted_demand: vec![1.5; n],
+            waiting_per_region: vec![1; n],
+            price_now: 1.6,
+            price_next_hour: 1.6,
+            mean_pe: 40.0,
+            pf: 0.0,
+        };
+        let region = RegionId(0);
+        let ctx = DecisionContext {
+            taxi: TaxiId(0),
+            region,
+            soc: 0.7,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(
+                &city.region(region).neighbors,
+                city.nearest_stations().nearest(region),
+            ),
+        };
+        let fx = FeatureExtractor::new(&city);
+        (city, obs, ctx, fx)
+    }
+
+    #[test]
+    fn dimensions_are_constant() {
+        let (_, obs, ctx, fx) = setup();
+        assert_eq!(fx.state(&obs, &ctx).len(), STATE_DIM);
+        for &a in ctx.actions.actions() {
+            assert_eq!(fx.action(&obs, &ctx, a).len(), ACTION_DIM);
+            assert_eq!(fx.state_action(&obs, &ctx, a).len(), SA_DIM);
+        }
+        assert_eq!(fx.local_state(&obs, &ctx).len(), LOCAL_STATE_DIM);
+        for &a in ctx.actions.actions() {
+            assert_eq!(fx.local_action(&ctx, a).len(), LOCAL_ACTION_DIM);
+        }
+    }
+
+    #[test]
+    fn all_state_actions_matches_action_count() {
+        let (_, obs, ctx, fx) = setup();
+        let sas = fx.all_state_actions(&obs, &ctx);
+        assert_eq!(sas.len(), ctx.actions.len());
+        assert!(sas.iter().all(|f| f.len() == SA_DIM));
+        let local = fx.all_local_state_actions(&obs, &ctx);
+        assert_eq!(local.len(), ctx.actions.len());
+        assert!(local.iter().all(|f| f.len() == LOCAL_SA_DIM));
+    }
+
+    #[test]
+    fn action_type_onehots_are_exclusive() {
+        let (_, obs, ctx, fx) = setup();
+        for &a in ctx.actions.actions() {
+            let f = fx.action(&obs, &ctx, a);
+            let onehot: f64 = f[0] + f[1] + f[2];
+            assert!((onehot - 1.0).abs() < 1e-12, "action {a:?} onehot {onehot}");
+            match a {
+                Action::Stay => assert_eq!(f[0], 1.0),
+                Action::MoveTo(_) => assert_eq!(f[1], 1.0),
+                Action::Charge(_) => assert_eq!(f[2], 1.0),
+            }
+        }
+    }
+
+    #[test]
+    fn stay_has_zero_distance_moves_do_not() {
+        let (_, obs, ctx, fx) = setup();
+        let stay = fx.action(&obs, &ctx, Action::Stay);
+        assert_eq!(stay[7], 0.0);
+        for &a in ctx.actions.actions() {
+            if matches!(a, Action::MoveTo(_) | Action::Charge(_)) {
+                let f = fx.action(&obs, &ctx, a);
+                assert!(f[7] > 0.0, "{a:?} distance feature is zero");
+            }
+        }
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let (_, obs, ctx, fx) = setup();
+        for f in fx.all_state_actions(&obs, &ctx) {
+            for (i, v) in f.iter().enumerate() {
+                assert!(v.is_finite());
+                assert!(v.abs() <= 10.0, "feature {i} = {v} out of scale");
+            }
+        }
+    }
+
+    #[test]
+    fn time_encoding_is_periodic() {
+        let (_, mut obs, ctx, fx) = setup();
+        obs.now = SimTime::from_dhm(0, 6, 0);
+        let a = fx.state(&obs, &ctx);
+        obs.now = SimTime::from_dhm(5, 6, 0);
+        let b = fx.state(&obs, &ctx);
+        assert!((a[0] - b[0]).abs() < 1e-9);
+        assert!((a[1] - b[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_state_excludes_global_aggregates() {
+        // Changing far-away regions' supply must not change TBA's view.
+        let (_, mut obs, ctx, fx) = setup();
+        let before = fx.local_state(&obs, &ctx);
+        obs.vacant_per_region[20] = 99;
+        obs.predicted_demand[25] = 99.0;
+        let after = fx.local_state(&obs, &ctx);
+        assert_eq!(before, after);
+        // But the full state does change (global pressure feature).
+        let full_before = fx.state(&obs, &ctx);
+        obs.waiting_per_region[20] = 99;
+        let full_after = fx.state(&obs, &ctx);
+        assert_ne!(full_before, full_after);
+    }
+}

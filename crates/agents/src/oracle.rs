@@ -1,0 +1,207 @@
+//! Oracle heuristic: a planning upper-bound reference.
+//!
+//! Not one of the paper's six methods — this is a *model-based* centralized
+//! heuristic with full knowledge of the demand model and live station
+//! state, used to measure how much headroom the learned methods leave on
+//! the table (DESIGN.md ablations). It does, greedily and with within-slot
+//! bookkeeping:
+//!
+//! * **supply balancing**: each vacant taxi moves toward the
+//!   highest-per-taxi-demand region among stay + neighbours, accounting for
+//!   the supply it has already committed this slot;
+//! * **congestion-aware charging**: charge at the station minimizing
+//!   (travel time + expected wait), preferring cheap-tariff windows;
+//! * **price-aware timing**: voluntarily charges only in off-peak windows
+//!   unless forced.
+
+use crate::cma2c::apply_assignment;
+use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotObservation};
+
+/// The model-based oracle heuristic.
+#[derive(Debug, Clone, Default)]
+pub struct OraclePolicy {
+    /// Speed assumption for converting km to minutes in station scoring.
+    speed_kmh: f64,
+}
+
+impl OraclePolicy {
+    /// A fresh oracle.
+    pub fn new() -> Self {
+        OraclePolicy { speed_kmh: 30.0 }
+    }
+
+    fn station_score(&self, obs: &SlotObservation, station: usize, km: f64) -> f64 {
+        let free = f64::from(obs.free_points_per_station[station]);
+        let backlog =
+            f64::from(obs.queue_per_station[station] + obs.inbound_per_station[station]);
+        // Expected wait: each backlogged taxi ahead of us ties up a point
+        // for ~80 minutes spread over the station's points.
+        let capacity = (free + backlog).max(1.0);
+        let expected_wait = (backlog - free).max(0.0) * 80.0 / capacity;
+        km / self.speed_kmh * 60.0 + expected_wait
+    }
+
+    fn best_station(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Option<Action> {
+        ctx.actions
+            .charge_actions()
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let score = |act: Action| match act {
+                    Action::Charge(s) => {
+                        // Distance proxy: we don't carry the city here, so
+                        // rank by congestion only, nearest-first order as
+                        // the tiebreaker (charge_actions is nearest-first).
+                        self.station_score(obs, s.index(), 0.0)
+                    }
+                    _ => f64::INFINITY,
+                };
+                score(a).total_cmp(&score(b))
+            })
+    }
+
+    fn decide_one(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Action {
+        if ctx.must_charge {
+            return self
+                .best_station(obs, ctx)
+                .expect("forced charge has stations");
+        }
+        // Voluntary charging only when cheap and a station has headroom.
+        if obs.price_now <= 0.95 && ctx.soc < 0.45 {
+            if let Some(Action::Charge(s)) = self.best_station(obs, ctx) {
+                let free = obs.free_points_per_station[s.index()];
+                let backlog = obs.queue_per_station[s.index()] + obs.inbound_per_station[s.index()];
+                if backlog < free {
+                    return Action::Charge(s);
+                }
+            }
+        }
+        // Supply balancing: maximize demand-per-taxi at the destination.
+        let mut best = Action::Stay;
+        let mut best_score = f64::NEG_INFINITY;
+        for &a in ctx.actions.actions() {
+            let (region, penalty) = match a {
+                Action::Stay => (ctx.region, 0.0),
+                Action::MoveTo(r) => (r, 0.5), // travel friction
+                Action::Charge(_) => continue,
+            };
+            let i = region.index();
+            let demand = obs.predicted_demand[i] + f64::from(obs.waiting_per_region[i]);
+            let supply = f64::from(obs.vacant_per_region[i]) + 1.0;
+            let score = demand / supply - penalty;
+            if score > best_score {
+                best_score = score;
+                best = a;
+            }
+        }
+        best
+    }
+}
+
+impl DisplacementPolicy for OraclePolicy {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        // Centralized: fold committed assignments into the working view.
+        let mut obs = obs.clone();
+        let mut out = Vec::with_capacity(decisions.len());
+        for ctx in decisions {
+            let action = self.decide_one(&obs, ctx);
+            apply_assignment(&mut obs, ctx, action);
+            out.push(action);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{RegionId, SimTime, StationId, TimeSlot};
+    use fairmove_sim::{ActionSet, TaxiId};
+
+    fn obs() -> SlotObservation {
+        SlotObservation {
+            now: SimTime::from_dhm(0, 3, 0),
+            slot: TimeSlot(18),
+            vacant_per_region: vec![5, 0, 0],
+            free_points_per_station: vec![0, 4],
+            queue_per_station: vec![6, 0],
+            inbound_per_station: vec![2, 0],
+            predicted_demand: vec![1.0, 6.0, 0.5],
+            waiting_per_region: vec![0, 2, 0],
+            price_now: 0.9,
+            price_next_hour: 0.9,
+            mean_pe: 40.0,
+            pf: 0.0,
+        }
+    }
+
+    fn ctx(soc: f64, must_charge: bool) -> DecisionContext {
+        let actions = if must_charge {
+            ActionSet::charge_only(&[StationId(0), StationId(1)])
+        } else if soc < 0.45 {
+            ActionSet::full(&[RegionId(1), RegionId(2)], &[StationId(0), StationId(1)])
+        } else {
+            ActionSet::full(&[RegionId(1), RegionId(2)], &[])
+        };
+        DecisionContext {
+            taxi: TaxiId(0),
+            region: RegionId(0),
+            soc,
+            must_charge,
+            pe_standing: 40.0,
+            actions,
+        }
+    }
+
+    #[test]
+    fn forced_charge_avoids_the_jammed_station() {
+        let mut p = OraclePolicy::new();
+        // Station 0: 0 free, queue 6, inbound 2. Station 1: 4 free, empty.
+        let a = p.decide(&obs(), &[ctx(0.1, true)]);
+        assert_eq!(a, vec![Action::Charge(StationId(1))]);
+    }
+
+    #[test]
+    fn voluntary_charge_only_with_headroom() {
+        let mut p = OraclePolicy::new();
+        let a = p.decide(&obs(), &[ctx(0.4, false)]);
+        assert_eq!(a, vec![Action::Charge(StationId(1))]);
+        // At peak price the oracle keeps working instead.
+        let mut peak = obs();
+        peak.price_now = 1.6;
+        let a = p.decide(&peak, &[ctx(0.4, false)]);
+        assert!(matches!(a[0], Action::Stay | Action::MoveTo(_)));
+    }
+
+    #[test]
+    fn moves_toward_demand_per_taxi() {
+        let mut p = OraclePolicy::new();
+        // Region 1: demand 8/(0+1) = 8 − 0.5; region 0: 1/6 ≈ 0.17.
+        let a = p.decide(&obs(), &[ctx(0.9, false)]);
+        assert_eq!(a, vec![Action::MoveTo(RegionId(1))]);
+    }
+
+    #[test]
+    fn within_slot_tracking_spreads_the_fleet() {
+        let mut p = OraclePolicy::new();
+        let ctxs: Vec<DecisionContext> = (0..10)
+            .map(|i| DecisionContext {
+                taxi: TaxiId(i),
+                ..ctx(0.9, false)
+            })
+            .collect();
+        let actions = p.decide(&obs(), &ctxs);
+        // Not everyone piles into region 1: as its committed supply grows,
+        // its demand-per-taxi drops below staying put.
+        let to_r1 = actions
+            .iter()
+            .filter(|a| **a == Action::MoveTo(RegionId(1)))
+            .count();
+        assert!(to_r1 >= 2, "oracle ignored the hot region: {to_r1}");
+        assert!(to_r1 < 10, "oracle herded everyone: {to_r1}");
+    }
+}

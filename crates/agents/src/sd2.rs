@@ -1,0 +1,151 @@
+//! SD2: Shortest-Distance-based Displacement (the paper's naive baseline).
+//!
+//! "E-taxis are always displaced to serve their nearest passengers or charge
+//! in the nearest charging stations … it does not have a learning process."
+//! The passenger side is myopically greedy — go wherever waiting passengers
+//! are right now — and the charging side always picks the nearest station,
+//! which herds nearby taxis into the same stations and produces the paper's
+//! *negative* PRIT (Table III) and the PE drop of Fig. 15.
+
+use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotObservation};
+
+/// The shortest-distance baseline. Stateless; no learning.
+#[derive(Debug, Default, Clone)]
+pub struct Sd2Policy;
+
+impl Sd2Policy {
+    /// A fresh SD2 policy.
+    pub fn new() -> Self {
+        Sd2Policy
+    }
+
+    fn decide_one(obs: &SlotObservation, ctx: &DecisionContext) -> Action {
+        // Charging: whenever the battery is low enough that a charge action
+        // exists, head to the nearest station immediately — no price
+        // awareness, no congestion awareness (the herding flaw that gives
+        // SD2 its negative PRIT and PE drop in the paper).
+        if !ctx.actions.charge_actions().is_empty() {
+            return ctx.actions.charge_actions()[0];
+        }
+        // Passengers waiting here: serve them.
+        if obs.waiting_per_region[ctx.region.index()] > 0 {
+            return Action::Stay;
+        }
+        // Otherwise chase the adjacent region with the most waiting
+        // passengers right now (nearest-passenger approximation at region
+        // granularity); if nowhere has one, stay.
+        let mut best = Action::Stay;
+        let mut best_waiting = 0u32;
+        for &a in ctx.actions.actions() {
+            if let Action::MoveTo(dest) = a {
+                let w = obs.waiting_per_region[dest.index()];
+                if w > best_waiting {
+                    best_waiting = w;
+                    best = a;
+                }
+            }
+        }
+        best
+    }
+}
+
+impl DisplacementPolicy for Sd2Policy {
+    fn name(&self) -> &str {
+        "SD2"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        decisions
+            .iter()
+            .map(|d| Self::decide_one(obs, d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{RegionId, SimTime, StationId, TimeSlot};
+    use fairmove_sim::{ActionSet, TaxiId};
+
+    fn obs(waiting: Vec<u32>) -> SlotObservation {
+        let n = waiting.len();
+        SlotObservation {
+            now: SimTime::ZERO,
+            slot: TimeSlot(0),
+            vacant_per_region: vec![0; n],
+            free_points_per_station: vec![1; 2],
+            queue_per_station: vec![9; 2],
+            inbound_per_station: vec![9; 2],
+            predicted_demand: vec![0.0; n],
+            waiting_per_region: waiting,
+            price_now: 0.9,
+            price_next_hour: 0.9,
+            mean_pe: 40.0,
+            pf: 0.0,
+        }
+    }
+
+    fn ctx(must_charge: bool) -> DecisionContext {
+        let actions = if must_charge {
+            ActionSet::charge_only(&[StationId(1), StationId(0)])
+        } else {
+            // Healthy battery: no charge actions exist.
+            ActionSet::full(&[RegionId(1), RegionId(2)], &[])
+        };
+        DecisionContext {
+            taxi: TaxiId(0),
+            region: RegionId(0),
+            soc: if must_charge { 0.1 } else { 0.8 },
+            must_charge,
+            pe_standing: 40.0,
+            actions,
+        }
+    }
+
+    #[test]
+    fn charges_nearest_even_when_congested() {
+        let mut p = Sd2Policy::new();
+        // Queues are long everywhere (obs), SD2 does not care.
+        let a = p.decide(&obs(vec![0, 0, 0]), &[ctx(true)]);
+        assert_eq!(a, vec![Action::Charge(StationId(1))]);
+    }
+
+    #[test]
+    fn charges_eagerly_when_action_is_available() {
+        // Battery below the opportunistic threshold: charge actions exist
+        // and SD2 takes the nearest immediately, price and queues be damned.
+        let mut p = Sd2Policy::new();
+        let c = DecisionContext {
+            taxi: TaxiId(0),
+            region: RegionId(0),
+            soc: 0.4,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(&[RegionId(1)], &[StationId(1), StationId(0)]),
+        };
+        let a = p.decide(&obs(vec![5, 5, 5]), &[c]);
+        assert_eq!(a, vec![Action::Charge(StationId(1))]);
+    }
+
+    #[test]
+    fn stays_when_passengers_are_here() {
+        let mut p = Sd2Policy::new();
+        let a = p.decide(&obs(vec![2, 5, 0]), &[ctx(false)]);
+        assert_eq!(a, vec![Action::Stay]);
+    }
+
+    #[test]
+    fn chases_the_busiest_neighbor() {
+        let mut p = Sd2Policy::new();
+        let a = p.decide(&obs(vec![0, 1, 4]), &[ctx(false)]);
+        assert_eq!(a, vec![Action::MoveTo(RegionId(2))]);
+    }
+
+    #[test]
+    fn stays_when_nothing_is_waiting_anywhere() {
+        let mut p = Sd2Policy::new();
+        let a = p.decide(&obs(vec![0, 0, 0]), &[ctx(false)]);
+        assert_eq!(a, vec![Action::Stay]);
+    }
+}

@@ -1,0 +1,341 @@
+//! TBA: the Trip Bandit Approach (SIGSPATIAL Cup 2019 baseline).
+//!
+//! Per the paper: "It adopts the REINFORCE rule to update the policy. In
+//! this setting, e-taxis only know their own states and cannot communicate
+//! with each other, so they are purely competitive." Accordingly:
+//!
+//! * the policy network sees only **local** features (time, own battery,
+//!   passengers in the current region, action type + distance) — no global
+//!   supply/demand view;
+//! * the reward is the taxi's **own profit** (α = 1; no fairness term);
+//! * updates are plain REINFORCE with a running-mean baseline, no critic,
+//!   no replay.
+
+use crate::features::{FeatureExtractor, LOCAL_SA_DIM};
+use crate::transition::TransitionTracker;
+use fairmove_rl::loss::{policy_gradient_logits, softmax};
+use fairmove_rl::{Activation, Adam, Matrix, Mlp, Optimizer};
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// TBA hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TbaConfig {
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Hidden widths of the (small) policy network.
+    pub hidden: Vec<usize>,
+    /// Decay of the running-mean reward baseline.
+    pub baseline_decay: f64,
+    /// Fixed prior subtracted from charge-action logits (see
+    /// [`crate::cma2c::Cma2cConfig::charge_logit_prior`]).
+    pub charge_logit_prior: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TbaConfig {
+    fn default() -> Self {
+        TbaConfig {
+            learning_rate: 1e-3,
+            hidden: vec![32],
+            baseline_decay: 0.995,
+            charge_logit_prior: 2.5,
+            seed: 41,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Payload {
+    candidates: Vec<Vec<f64>>,
+    action: usize,
+}
+
+/// The competitive REINFORCE policy.
+pub struct TbaPolicy {
+    config: TbaConfig,
+    fx: FeatureExtractor,
+    policy: Mlp,
+    opt: Adam,
+    tracker: TransitionTracker<Payload>,
+    rng: StdRng,
+    baseline: f64,
+    updates: u64,
+    /// Whether learning (and stochastic exploration) is active.
+    pub learning: bool,
+}
+
+fn stack(rows: &[Vec<f64>]) -> Matrix {
+    let cols = rows.first().map(Vec::len).unwrap_or(0);
+    let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+    Matrix::from_vec(rows.len(), cols, data)
+}
+
+impl TbaPolicy {
+    /// A fresh TBA policy over `city`.
+    pub fn new(city: &fairmove_city::City, config: TbaConfig) -> Self {
+        let mut sizes = vec![LOCAL_SA_DIM];
+        sizes.extend(&config.hidden);
+        sizes.push(1);
+        let policy = Mlp::new(&sizes, Activation::Tanh, Activation::Linear, config.seed);
+        let opt = Adam::new(config.learning_rate);
+        TbaPolicy {
+            fx: FeatureExtractor::new(city),
+            policy,
+            opt,
+            tracker: TransitionTracker::new(),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x544241), // "TBA"
+            baseline: 0.0,
+            updates: 0,
+            learning: true,
+            config,
+        }
+    }
+
+    /// Freezes exploration and learning for evaluation runs.
+    pub fn freeze(&mut self) {
+        self.learning = false;
+    }
+
+    /// REINFORCE updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn sample(&mut self, logits: &[f64]) -> usize {
+        let probs = softmax(logits);
+        let x: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if x < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// One combined REINFORCE step over all transitions completed this slot.
+    fn reinforce(&mut self, completed: Vec<(Payload, f64)>) {
+        if completed.is_empty() {
+            return;
+        }
+        let n = completed.len();
+        let mut flat: Vec<Vec<f64>> = Vec::new();
+        let mut segments = Vec::with_capacity(n);
+        for (p, _) in &completed {
+            segments.push((flat.len(), p.candidates.len()));
+            flat.extend(p.candidates.iter().cloned());
+        }
+        let logits = self.policy.forward_train(&stack(&flat));
+        let mut d = Matrix::zeros(flat.len(), 1);
+        for (i, (p, reward)) in completed.iter().enumerate() {
+            let advantage = reward - self.baseline;
+            self.baseline = self.config.baseline_decay * self.baseline
+                + (1.0 - self.config.baseline_decay) * reward;
+            let (start, len) = segments[i];
+            let seg: Vec<f64> = (start..start + len).map(|j| logits.get(j, 0)).collect();
+            let pg = policy_gradient_logits(&seg, len, p.action, advantage);
+            for (j, &g) in pg.iter().enumerate() {
+                d.set(start + j, 0, g / n as f64);
+            }
+        }
+        let mut grads = self.policy.backward(&d);
+        grads.clip_global_norm(5.0);
+        self.opt.step(&mut self.policy, &grads);
+        self.updates += 1;
+    }
+}
+
+impl DisplacementPolicy for TbaPolicy {
+    fn name(&self) -> &str {
+        "TBA"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        let mut out = Vec::with_capacity(decisions.len());
+        let mut completed = Vec::new();
+        for ctx in decisions {
+            let candidates = self.fx.all_local_state_actions(obs, ctx);
+            let logits_m = self.policy.forward(&stack(&candidates));
+            let n_movement = ctx.actions.len() - ctx.actions.charge_actions().len();
+            let logits: Vec<f64> = (0..candidates.len())
+                .map(|i| {
+                    let prior = if i >= n_movement && !ctx.actions.charge_forced() {
+                        self.config.charge_logit_prior
+                    } else {
+                        0.0
+                    };
+                    logits_m.get(i, 0) - prior
+                })
+                .collect();
+            // REINFORCE policies stay stochastic at execution (sampling is
+            // also what keeps competitive agents from all converging on the
+            // same cell).
+            let idx = self.sample(&logits);
+            if let Some(done) = self.tracker.begin(
+                ctx.taxi,
+                Payload {
+                    candidates: candidates.clone(),
+                    action: idx,
+                },
+            ) {
+                if self.learning {
+                    completed.push((done.payload, done.reward));
+                }
+            }
+            out.push(ctx.actions.action(idx));
+        }
+        if self.learning {
+            self.reinforce(completed);
+        }
+        out
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback) {
+        // Purely competitive: each agent optimizes its own profit (α = 1),
+        // discounted per slot so delayed payoffs are worth less.
+        self.tracker
+            .accrue_all_discounted(0.9, |id| feedback.reward(1.0, id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{City, CityConfig, RegionId, SimTime, TimeSlot};
+    use fairmove_sim::{ActionSet, TaxiId};
+
+    fn small_city() -> City {
+        City::generate(CityConfig {
+            n_regions: 20,
+            n_stations: 4,
+            total_charging_points: 40,
+            ..CityConfig::default()
+        })
+    }
+
+    fn obs(city: &City) -> SlotObservation {
+        SlotObservation {
+            now: SimTime::from_dhm(0, 9, 0),
+            slot: TimeSlot(54),
+            vacant_per_region: vec![1; city.n_regions()],
+            free_points_per_station: vec![5; city.n_stations()],
+            queue_per_station: vec![0; city.n_stations()],
+            inbound_per_station: vec![0; city.n_stations()],
+            predicted_demand: vec![1.0; city.n_regions()],
+            waiting_per_region: vec![0; city.n_regions()],
+            price_now: 1.2,
+            price_next_hour: 1.2,
+            mean_pe: 40.0,
+            pf: 0.0,
+        }
+    }
+
+    fn ctx(city: &City, taxi: u32) -> DecisionContext {
+        let region = RegionId(0);
+        DecisionContext {
+            taxi: TaxiId(taxi),
+            region,
+            soc: 0.7,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(
+                &city.region(region).neighbors,
+                city.nearest_stations().nearest(region),
+            ),
+        }
+    }
+
+    fn feedback(n: usize, profit: f64) -> SlotFeedback {
+        SlotFeedback {
+            slot_start: SimTime::ZERO,
+            slot_profit: vec![profit; n],
+            cumulative_pe: vec![40.0; n],
+            mean_pe: 40.0,
+            pf: 100.0,
+        }
+    }
+
+    #[test]
+    fn decisions_are_admissible() {
+        let city = small_city();
+        let mut p = TbaPolicy::new(&city, TbaConfig::default());
+        let o = obs(&city);
+        let cs: Vec<DecisionContext> = (0..4).map(|i| ctx(&city, i)).collect();
+        for _ in 0..5 {
+            for (a, c) in p.decide(&o, &cs).iter().zip(&cs) {
+                assert!(c.actions.contains(*a));
+            }
+            p.observe(&feedback(4, 1.0));
+        }
+    }
+
+    #[test]
+    fn updates_happen_once_transitions_complete() {
+        let city = small_city();
+        let mut p = TbaPolicy::new(&city, TbaConfig::default());
+        let o = obs(&city);
+        let cs: Vec<DecisionContext> = (0..3).map(|i| ctx(&city, i)).collect();
+        let _ = p.decide(&o, &cs);
+        assert_eq!(p.updates(), 0);
+        p.observe(&feedback(3, 1.0));
+        let _ = p.decide(&o, &cs);
+        assert_eq!(p.updates(), 1);
+    }
+
+    #[test]
+    fn fairness_term_is_ignored() {
+        // TBA's reward must not depend on the fleet PF.
+        let city = small_city();
+        let mut p = TbaPolicy::new(&city, TbaConfig::default());
+        let o = obs(&city);
+        let c = ctx(&city, 0);
+        let _ = p.decide(&o, std::slice::from_ref(&c));
+        let mut unfair = feedback(1, 5.0);
+        unfair.pf = 1e6;
+        p.observe(&unfair);
+        // α = 1 reward: slot_profit × 6 / PE_SCALE(6) = 5.0 regardless of PF.
+        let done = p.tracker.begin(TaxiId(0), Payload { candidates: vec![], action: 0 }).unwrap();
+        assert!((done.reward - 5.0).abs() < 1e-9, "reward {}", done.reward);
+    }
+
+    #[test]
+    fn reinforce_learns_the_bandit_optimum() {
+        let city = small_city();
+        let config = TbaConfig {
+            learning_rate: 5e-3,
+            ..TbaConfig::default()
+        };
+        let mut p = TbaPolicy::new(&city, config);
+        let o = obs(&city);
+        let c = ctx(&city, 0);
+        for _ in 0..600 {
+            let a = p.decide(&o, std::slice::from_ref(&c))[0];
+            let profit = if a == Action::Stay { 10.0 } else { -5.0 };
+            p.observe(&feedback(1, profit));
+        }
+        p.freeze();
+        let a = p.decide(&o, std::slice::from_ref(&c))[0];
+        assert_eq!(a, Action::Stay, "REINFORCE failed the bandit");
+    }
+
+    #[test]
+    fn frozen_policy_does_not_update_but_stays_stochastic() {
+        let city = small_city();
+        let mut p = TbaPolicy::new(&city, TbaConfig::default());
+        p.freeze();
+        let o = obs(&city);
+        let cs = vec![ctx(&city, 0)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(p.decide(&o, &cs)[0]);
+        }
+        assert_eq!(p.updates(), 0);
+        assert!(seen.len() > 1, "frozen policy collapsed to one action");
+    }
+}

@@ -1,0 +1,280 @@
+//! TQL: tabular Q-learning baseline (the paper's Section IV-A).
+//!
+//! Classic single-agent Q-learning applied per taxi with a *shared* table —
+//! states are discretized to (hour of day, location, battery bucket,
+//! must-charge flag), actions use the canonical [`fairmove_sim::ActionSet`]
+//! ordering. Exploration is ε-greedy with linear decay. Decisions are
+//! semi-Markov (a taxi decides again only when next vacant); the accumulated
+//! α-weighted reward between decisions is the update reward.
+
+use crate::transition::TransitionTracker;
+use fairmove_rl::{EpsilonSchedule, QTable};
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// TQL hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TqlConfig {
+    /// Reward mixing weight α (paper default 0.6).
+    pub alpha_mix: f64,
+    /// Q-learning step size.
+    pub learning_rate: f64,
+    /// Discount factor (paper: β = 0.9).
+    pub gamma: f64,
+    /// Initial exploration rate.
+    pub epsilon_start: f64,
+    /// Final exploration rate.
+    pub epsilon_end: f64,
+    /// Decisions over which ε decays.
+    pub epsilon_decay_steps: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of battery buckets in the state discretization.
+    pub soc_buckets: u32,
+}
+
+impl Default for TqlConfig {
+    fn default() -> Self {
+        TqlConfig {
+            alpha_mix: 0.6,
+            learning_rate: 0.2,
+            gamma: 0.9,
+            epsilon_start: 0.5,
+            epsilon_end: 0.05,
+            epsilon_decay_steps: 60_000,
+            seed: 17,
+            soc_buckets: 4,
+        }
+    }
+}
+
+/// Pending-decision payload: what the Q-update needs.
+#[derive(Debug, Clone)]
+struct Payload {
+    state: u64,
+    action: usize,
+}
+
+/// The tabular Q-learning policy.
+pub struct TqlPolicy {
+    config: TqlConfig,
+    q: QTable,
+    epsilon: EpsilonSchedule,
+    tracker: TransitionTracker<Payload>,
+    rng: StdRng,
+    /// Whether learning updates are applied (frozen for evaluation).
+    pub learning: bool,
+}
+
+impl TqlPolicy {
+    /// A fresh TQL policy.
+    pub fn new(config: TqlConfig) -> Self {
+        let q = QTable::new(config.learning_rate, config.gamma, 0.0);
+        let epsilon = EpsilonSchedule::new(
+            config.epsilon_start,
+            config.epsilon_end,
+            config.epsilon_decay_steps,
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        TqlPolicy {
+            config,
+            q,
+            epsilon,
+            tracker: TransitionTracker::new(),
+            rng,
+            learning: true,
+        }
+    }
+
+    /// Number of distinct states visited so far.
+    pub fn n_states(&self) -> usize {
+        self.q.n_states()
+    }
+
+    /// Freezes exploration and updates for evaluation runs.
+    pub fn freeze(&mut self) {
+        self.learning = false;
+    }
+
+    /// Discretized state key. Time is bucketed into 3-hour periods — fine
+    /// enough to separate rush hours from the night trough, coarse enough
+    /// that the table converges within the training budget.
+    fn state_key(&self, obs: &SlotObservation, ctx: &DecisionContext) -> u64 {
+        let hour = u64::from(obs.now.hour_of_day().0) / 3;
+        let region = ctx.region.index() as u64;
+        let bucket = ((ctx.soc * f64::from(self.config.soc_buckets)) as u64)
+            .min(u64::from(self.config.soc_buckets) - 1);
+        let forced = u64::from(ctx.must_charge);
+        // Pack fields into disjoint ranges.
+        (((hour * 10_000 + region) * 10 + bucket) << 1) | forced
+    }
+}
+
+impl DisplacementPolicy for TqlPolicy {
+    fn name(&self) -> &str {
+        "TQL"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        let mut out = Vec::with_capacity(decisions.len());
+        for ctx in decisions {
+            let state = self.state_key(obs, ctx);
+            let n = ctx.actions.len();
+            // Frozen evaluation keeps a small ε to break greedy herding of
+            // co-located taxis.
+            let eps = if self.learning {
+                self.epsilon.next_epsilon()
+            } else {
+                0.05
+            };
+            let action_idx = self.q.epsilon_greedy(state, n, eps, &mut self.rng);
+
+            // Complete the previous decision of this taxi, if any.
+            if let Some(done) = self.tracker.begin(
+                ctx.taxi,
+                Payload {
+                    state,
+                    action: action_idx,
+                },
+            ) {
+                if self.learning {
+                    let discount = self.config.gamma.powi(done.slots as i32);
+                    self.q.update_with_discount(
+                        done.payload.state,
+                        done.payload.action,
+                        done.reward,
+                        state,
+                        n,
+                        discount,
+                    );
+                }
+            }
+            out.push(ctx.actions.action(action_idx));
+        }
+        out
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback) {
+        let alpha = self.config.alpha_mix;
+        let gamma = self.config.gamma;
+        self.tracker
+            .accrue_all_discounted(gamma, |id| feedback.reward(alpha, id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{RegionId, SimTime, StationId, TimeSlot};
+    use fairmove_sim::{ActionSet, TaxiId};
+
+    fn obs(hour: u32) -> SlotObservation {
+        SlotObservation {
+            now: SimTime::from_dhm(0, hour, 0),
+            slot: TimeSlot((hour * 6) as u16),
+            vacant_per_region: vec![1; 4],
+            free_points_per_station: vec![3; 2],
+            queue_per_station: vec![0; 2],
+            inbound_per_station: vec![0; 2],
+            predicted_demand: vec![1.0; 4],
+            waiting_per_region: vec![0; 4],
+            price_now: 1.2,
+            price_next_hour: 1.2,
+            mean_pe: 40.0,
+            pf: 0.0,
+        }
+    }
+
+    fn ctx(taxi: u32, region: u16, soc: f64) -> DecisionContext {
+        DecisionContext {
+            taxi: TaxiId(taxi),
+            region: RegionId(region),
+            soc,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(&[RegionId(1)], &[StationId(0)]),
+        }
+    }
+
+    #[test]
+    fn distinct_contexts_get_distinct_states() {
+        let p = TqlPolicy::new(TqlConfig::default());
+        let a = p.state_key(&obs(8), &ctx(0, 0, 0.9));
+        let b = p.state_key(&obs(12), &ctx(0, 0, 0.9)); // different period
+        let c = p.state_key(&obs(8), &ctx(0, 1, 0.9)); // different region
+        let d = p.state_key(&obs(8), &ctx(0, 0, 0.3)); // different soc bucket
+        let mut keys = vec![a, b, c, d];
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn must_charge_flag_separates_states() {
+        let p = TqlPolicy::new(TqlConfig::default());
+        let free = p.state_key(&obs(8), &ctx(0, 0, 0.9));
+        let mut forced_ctx = ctx(0, 0, 0.15);
+        forced_ctx.must_charge = true;
+        forced_ctx.actions = ActionSet::charge_only(&[StationId(0)]);
+        let forced = p.state_key(&obs(8), &forced_ctx);
+        assert_ne!(free & 1, forced & 1);
+    }
+
+    #[test]
+    fn decisions_are_admissible() {
+        let mut p = TqlPolicy::new(TqlConfig::default());
+        let o = obs(10);
+        let cs = vec![ctx(0, 0, 0.8), ctx(1, 1, 0.5)];
+        for _ in 0..20 {
+            let actions = p.decide(&o, &cs);
+            for (a, c) in actions.iter().zip(&cs) {
+                assert!(c.actions.contains(*a));
+            }
+        }
+    }
+
+    #[test]
+    fn learning_updates_table_after_second_decision() {
+        let mut p = TqlPolicy::new(TqlConfig::default());
+        let o = obs(10);
+        let c = ctx(0, 0, 0.8);
+        let _ = p.decide(&o, std::slice::from_ref(&c));
+        assert_eq!(p.n_states(), 1);
+        // Accrue a big positive reward, then decide again.
+        p.observe(&SlotFeedback {
+            slot_start: SimTime::ZERO,
+            slot_profit: vec![100.0],
+            cumulative_pe: vec![0.0],
+            mean_pe: 0.0,
+            pf: 0.0,
+        });
+        let _ = p.decide(&o, std::slice::from_ref(&c));
+        // Some Q-value in the visited state must now be positive.
+        let key = p.state_key(&o, &c);
+        assert!(p.q.values(key).iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn frozen_policy_is_mostly_greedy_and_never_updates() {
+        let mut p = TqlPolicy::new(TqlConfig::default());
+        p.freeze();
+        let o = obs(10);
+        let c = ctx(0, 0, 0.8);
+        // Seed a clear greedy preference, then check the frozen policy
+        // follows it in the vast majority of decisions (ε = 0.05 residual).
+        let key = p.state_key(&o, &c);
+        p.q.values_mut(key, c.actions.len())[1] = 10.0;
+        let mut hits = 0;
+        for _ in 0..100 {
+            if p.decide(&o, std::slice::from_ref(&c))[0] == c.actions.action(1) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 80, "greedy action taken only {hits}/100 times");
+        // Q-values unchanged: no updates while frozen.
+        assert_eq!(p.q.values(key)[1], 10.0);
+    }
+}

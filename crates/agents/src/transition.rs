@@ -1,0 +1,193 @@
+//! Decision-to-decision transition assembly.
+//!
+//! A taxi only makes decisions when it is vacant at a slot boundary; between
+//! two decisions it may serve several trips or sit on a charger for an hour.
+//! The learning policies therefore treat the process as a semi-MDP: the
+//! reward of a decision is the (α-weighted) profit accrued over *all* slots
+//! until the taxi's next decision. [`TransitionTracker`] holds each taxi's
+//! pending decision payload and accumulates per-slot rewards; when the taxi
+//! decides again the completed transition pops out.
+
+use fairmove_sim::TaxiId;
+use std::collections::HashMap;
+
+/// A decision awaiting its outcome.
+#[derive(Debug, Clone)]
+struct Pending<P> {
+    payload: P,
+    reward: f64,
+    slots: u32,
+}
+
+/// Per-taxi pending-decision store.
+#[derive(Debug, Clone)]
+pub struct TransitionTracker<P> {
+    pending: HashMap<u32, Pending<P>>,
+}
+
+/// A completed decision: its payload, the reward accumulated until the next
+/// decision, and how many slots elapsed.
+#[derive(Debug, Clone)]
+pub struct Completed<P> {
+    /// Whatever the policy stored at decision time (features, action index…).
+    pub payload: P,
+    /// Total reward accrued between the two decisions.
+    pub reward: f64,
+    /// Number of slots between the two decisions (≥ 1).
+    pub slots: u32,
+}
+
+impl<P> Default for TransitionTracker<P> {
+    fn default() -> Self {
+        TransitionTracker {
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl<P> TransitionTracker<P> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of decisions currently awaiting completion.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records a new decision for `taxi`, returning the *previous* pending
+    /// decision (now completed) if one existed.
+    pub fn begin(&mut self, taxi: TaxiId, payload: P) -> Option<Completed<P>> {
+        let prev = self.pending.insert(
+            taxi.0,
+            Pending {
+                payload,
+                reward: 0.0,
+                slots: 0,
+            },
+        );
+        prev.map(|p| Completed {
+            payload: p.payload,
+            reward: p.reward,
+            slots: p.slots.max(1),
+        })
+    }
+
+    /// Accrues one slot of reward to `taxi`'s pending decision (no-op if the
+    /// taxi has no pending decision yet).
+    pub fn accrue(&mut self, taxi: TaxiId, reward: f64) {
+        if let Some(p) = self.pending.get_mut(&taxi.0) {
+            p.reward += reward;
+            p.slots += 1;
+        }
+    }
+
+    /// Accrues one slot of reward to *every* pending decision via `reward`.
+    pub fn accrue_all(&mut self, mut reward: impl FnMut(TaxiId) -> f64) {
+        for (&id, p) in self.pending.iter_mut() {
+            p.reward += reward(TaxiId(id));
+            p.slots += 1;
+        }
+    }
+
+    /// Accrues one slot of reward to every pending decision, discounted by
+    /// `gamma` per slot already elapsed since the decision:
+    /// `R += γ^elapsed · r`. This is the semi-MDP return — a decision whose
+    /// payoff arrives six slots later is worth `γ⁶` of an immediate one, so
+    /// agents learn that wasted time costs money.
+    pub fn accrue_all_discounted(&mut self, gamma: f64, mut reward: impl FnMut(TaxiId) -> f64) {
+        for (&id, p) in self.pending.iter_mut() {
+            p.reward += gamma.powi(p.slots as i32) * reward(TaxiId(id));
+            p.slots += 1;
+        }
+    }
+
+    /// Drains all pending decisions as completed transitions (end of an
+    /// episode).
+    pub fn drain(&mut self) -> Vec<(TaxiId, Completed<P>)> {
+        self.pending
+            .drain()
+            .map(|(id, p)| {
+                (
+                    TaxiId(id),
+                    Completed {
+                        payload: p.payload,
+                        reward: p.reward,
+                        slots: p.slots.max(1),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_returns_previous_with_accrued_reward() {
+        let mut t = TransitionTracker::new();
+        assert!(t.begin(TaxiId(1), "first").is_none());
+        t.accrue(TaxiId(1), 2.0);
+        t.accrue(TaxiId(1), 3.0);
+        let done = t.begin(TaxiId(1), "second").unwrap();
+        assert_eq!(done.payload, "first");
+        assert!((done.reward - 5.0).abs() < 1e-12);
+        assert_eq!(done.slots, 2);
+    }
+
+    #[test]
+    fn accrue_without_pending_is_noop() {
+        let mut t: TransitionTracker<&str> = TransitionTracker::new();
+        t.accrue(TaxiId(9), 100.0);
+        assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn accrue_all_touches_every_pending() {
+        let mut t = TransitionTracker::new();
+        t.begin(TaxiId(0), 0);
+        t.begin(TaxiId(1), 1);
+        t.accrue_all(|id| f64::from(id.0) + 1.0);
+        let d0 = t.begin(TaxiId(0), 10).unwrap();
+        let d1 = t.begin(TaxiId(1), 11).unwrap();
+        assert_eq!(d0.reward, 1.0);
+        assert_eq!(d1.reward, 2.0);
+    }
+
+    #[test]
+    fn slots_floor_at_one() {
+        let mut t = TransitionTracker::new();
+        t.begin(TaxiId(0), ());
+        // Immediate re-decision with no accrual still counts one slot.
+        let done = t.begin(TaxiId(0), ()).unwrap();
+        assert_eq!(done.slots, 1);
+    }
+
+    #[test]
+    fn drain_empties_and_returns_all() {
+        let mut t = TransitionTracker::new();
+        t.begin(TaxiId(0), 'a');
+        t.begin(TaxiId(1), 'b');
+        t.accrue_all(|_| 1.0);
+        let mut drained = t.drain();
+        drained.sort_by_key(|(id, _)| id.0);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].1.payload, 'a');
+        assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn taxis_are_independent() {
+        let mut t = TransitionTracker::new();
+        t.begin(TaxiId(0), 0);
+        t.accrue(TaxiId(0), 7.0);
+        t.begin(TaxiId(1), 1);
+        let done = t.begin(TaxiId(0), 2).unwrap();
+        assert_eq!(done.reward, 7.0);
+        // Taxi 1 is still pending with zero reward.
+        assert_eq!(t.pending_count(), 2);
+    }
+}

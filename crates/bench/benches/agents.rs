@@ -1,0 +1,34 @@
+//! Policy-latency microbenchmarks: per-slot decide() cost of each method on
+//! a realistic observation — the quantity that bounds how large a fleet one
+//! decision server can displace in real time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use fairmove_core::method::{Method, MethodKind};
+use fairmove_sim::{Environment, SimConfig};
+
+fn bench_agents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agents_decide");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let sim = SimConfig::default();
+    let env = Environment::new(sim.clone());
+    let city = env.city().clone();
+    let obs = env.observation();
+    let ctxs = env.decision_contexts();
+
+    for kind in MethodKind::all() {
+        let mut method = Method::build(kind, &city, &sim, 0.6);
+        method.freeze();
+        group.bench_function(format!("{}_600_taxis", kind.name()), |b| {
+            b.iter(|| method.as_policy().decide(&obs, &ctxs));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_agents);
+criterion_main!(benches);

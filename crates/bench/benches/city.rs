@@ -1,0 +1,47 @@
+//! City/data-substrate microbenchmarks: partition generation, station
+//! indexing, and demand/trip generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use fairmove_city::{City, CityConfig, NearestStations, Rect, SimTime, TravelModel, UrbanPartition};
+use fairmove_city::station::place_stations;
+use fairmove_data::{DemandModel, FareModel, TripGenerator};
+
+fn bench_city(c: &mut Criterion) {
+    let mut group = c.benchmark_group("city");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    group.bench_function("voronoi_partition_491_regions", |b| {
+        b.iter(|| UrbanPartition::generate(Rect::with_size(50.0, 25.0), 491, 42));
+    });
+
+    group.bench_function("city_generate_default", |b| {
+        b.iter(|| City::generate(CityConfig::default()));
+    });
+
+    group.bench_function("nearest_station_index_491x123", |b| {
+        let p = UrbanPartition::generate(Rect::with_size(50.0, 25.0), 491, 42);
+        let s = place_stations(&p, 123, 5000, 42);
+        let travel = TravelModel::default();
+        b.iter(|| NearestStations::build(&p, &s, &travel, 5));
+    });
+
+    group.bench_function("trip_generation_one_slot_shenzhen_demand", |b| {
+        let city = City::generate(CityConfig::shenzhen_scale());
+        let demand = DemandModel::new(&city, 750_000.0, 1);
+        let mut gen = TripGenerator::new(&city, demand, FareModel::default(), 2);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            let trips = gen.generate_slot(t);
+            t += 10;
+            trips
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_city);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! RL-substrate microbenchmarks: MLP forward/backward and Adam steps at the
+//! shapes the agents actually use (22-wide state–action input, 64×64
+//! hidden).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use fairmove_rl::{Activation, Adam, Matrix, Mlp, Optimizer};
+
+fn net() -> Mlp {
+    Mlp::new(&[22, 64, 64, 1], Activation::Relu, Activation::Linear, 7)
+}
+
+fn batch(n: usize) -> Matrix {
+    Matrix::from_vec(n, 22, (0..n * 22).map(|i| (i % 13) as f64 / 13.0).collect())
+}
+
+fn bench_rl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rl");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    group.bench_function("forward_batch_128", |b| {
+        let net = net();
+        let x = batch(128);
+        b.iter(|| net.forward(&x));
+    });
+
+    group.bench_function("forward_single", |b| {
+        let net = net();
+        let x: Vec<f64> = (0..22).map(|i| i as f64 / 22.0).collect();
+        b.iter(|| net.forward_one(&x));
+    });
+
+    group.bench_function("forward_backward_batch_128", |b| {
+        let mut net = net();
+        let x = batch(128);
+        b.iter(|| {
+            let y = net.forward_train(&x);
+            net.backward(&y)
+        });
+    });
+
+    group.bench_function("adam_step_batch_128", |b| {
+        let mut net = net();
+        let mut adam = Adam::new(1e-3);
+        let x = batch(128);
+        b.iter(|| {
+            let y = net.forward_train(&x);
+            let grads = net.backward(&y);
+            adam.step(&mut net, &grads);
+        });
+    });
+
+    group.bench_function("matmul_128x64_64x64", |b| {
+        let a = Matrix::from_vec(128, 64, (0..128 * 64).map(|i| i as f64).collect());
+        let w = Matrix::from_vec(64, 64, (0..64 * 64).map(|i| i as f64).collect());
+        b.iter(|| a.matmul_transpose_b(&w));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rl);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Simulator microbenchmarks: slot stepping, full-day throughput,
+//! observation construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use fairmove_sim::policy::StayPolicy;
+use fairmove_sim::{Environment, SimConfig};
+
+fn bench_step_slot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    group.bench_function("step_slot_600_taxis", |b| {
+        b.iter_batched(
+            || Environment::new(SimConfig::default()),
+            |mut env| {
+                let mut policy = StayPolicy;
+                for _ in 0..6 {
+                    let _ = env.step_slot(&mut policy);
+                }
+                env
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("full_day_60_taxis", |b| {
+        b.iter_batched(
+            || Environment::new(SimConfig::test_scale()),
+            |mut env| {
+                let mut policy = StayPolicy;
+                env.run(&mut policy);
+                env
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("observation_600_taxis", |b| {
+        let env = Environment::new(SimConfig::default());
+        b.iter(|| env.observation());
+    });
+
+    group.bench_function("decision_contexts_600_taxis", |b| {
+        let env = Environment::new(SimConfig::default());
+        b.iter(|| env.decision_contexts());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_slot);
+criterion_main!(benches);

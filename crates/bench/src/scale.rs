@@ -1,0 +1,121 @@
+//! Experiment scale presets.
+//!
+//! The paper's evaluation uses 20,130 taxis over one month; that is a
+//! `--scale full` run here (hours of CPU). The presets keep the per-taxi
+//! demand ratio constant so the *shape* of every result is preserved.
+
+use fairmove_sim::SimConfig;
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke test: 60 taxis, 1 day, 1 training episode.
+    Test,
+    /// Quick results: 300 taxis, 1 day, 2 training episodes (default).
+    Small,
+    /// The DESIGN.md evaluation scale: 600 taxis, 3 days, 4 episodes.
+    Default,
+    /// Paper scale: 20,130 taxis, 491 regions, 123 stations, 31 days.
+    Full,
+}
+
+impl Scale {
+    /// The simulation config for this scale.
+    pub fn sim(self) -> SimConfig {
+        match self {
+            Scale::Test => SimConfig::test_scale(),
+            Scale::Small => {
+                let mut sim = SimConfig {
+                    fleet_size: 300,
+                    days: 2,
+                    ..SimConfig::default()
+                };
+                // Keep Shenzhen's ~4:1 fleet-to-charging-point ratio.
+                sim.city.total_charging_points = 75;
+                sim
+            }
+            Scale::Default => SimConfig::default(),
+            Scale::Full => SimConfig::shenzhen_scale(),
+        }
+    }
+
+    /// Training episodes for learning methods at this scale.
+    pub fn train_episodes(self) -> u32 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 10,
+            Scale::Default => 10,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Independent evaluation seeds to average over.
+    pub fn eval_seeds(self) -> u32 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 3,
+            Scale::Default => 3,
+            Scale::Full => 1,
+        }
+    }
+
+    /// Name for report headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Parses `--scale <name>` from CLI args; defaults to [`Scale::Small`].
+pub fn parse_scale(args: &[String]) -> Scale {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--scale" {
+            return match iter.next().map(String::as_str) {
+                Some("test") => Scale::Test,
+                Some("small") => Scale::Small,
+                Some("default") => Scale::Default,
+                Some("full") => Scale::Full,
+                other => {
+                    eprintln!("unknown scale {other:?}; using small");
+                    Scale::Small
+                }
+            };
+        }
+    }
+    Scale::Small
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_each_scale() {
+        assert_eq!(parse_scale(&args(&["--scale", "test"])), Scale::Test);
+        assert_eq!(parse_scale(&args(&["--scale", "default"])), Scale::Default);
+        assert_eq!(parse_scale(&args(&["--scale", "full"])), Scale::Full);
+    }
+
+    #[test]
+    fn defaults_to_small() {
+        assert_eq!(parse_scale(&args(&[])), Scale::Small);
+        assert_eq!(parse_scale(&args(&["fig3"])), Scale::Small);
+        assert_eq!(parse_scale(&args(&["--scale", "bogus"])), Scale::Small);
+    }
+
+    #[test]
+    fn scales_map_to_configs() {
+        assert_eq!(Scale::Test.sim().fleet_size, 60);
+        assert_eq!(Scale::Full.sim().fleet_size, 20_130);
+        assert!(Scale::Full.train_episodes() > Scale::Test.train_episodes());
+    }
+}

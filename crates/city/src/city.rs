@@ -1,0 +1,224 @@
+//! The assembled city: partition + stations + travel model + indices.
+
+use crate::geometry::Rect;
+use crate::ids::{RegionId, StationId};
+use crate::index::NearestStations;
+use crate::partition::{Region, UrbanPartition};
+use crate::station::{place_stations, ChargingStation};
+use crate::travel::TravelModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for synthesizing a city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// City extent in km (Shenzhen is roughly 50 × 25 km).
+    pub width_km: f64,
+    /// City extent in km.
+    pub height_km: f64,
+    /// Number of partition regions (paper: 491).
+    pub n_regions: usize,
+    /// Number of charging stations (paper: 123).
+    pub n_stations: usize,
+    /// Total fast charging points across all stations (paper: >5,000).
+    pub total_charging_points: u32,
+    /// How many nearest stations each region's charge action may target
+    /// (paper: 5).
+    pub nearest_stations_k: usize,
+    /// RNG seed for partition + station placement.
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    /// CI-friendly scaled-down default (see DESIGN.md "Simulation scale").
+    fn default() -> Self {
+        CityConfig {
+            width_km: 50.0,
+            height_km: 25.0,
+            n_regions: 120,
+            n_stations: 30,
+            total_charging_points: 150,
+            nearest_stations_k: 5,
+            seed: 20130,
+        }
+    }
+}
+
+impl CityConfig {
+    /// Full Shenzhen-scale parameters from the paper.
+    pub fn shenzhen_scale() -> Self {
+        CityConfig {
+            width_km: 50.0,
+            height_km: 25.0,
+            n_regions: 491,
+            n_stations: 123,
+            total_charging_points: 5000,
+            nearest_stations_k: 5,
+            seed: 20130,
+        }
+    }
+}
+
+/// The full synthetic city substrate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    config: CityConfig,
+    partition: UrbanPartition,
+    stations: Vec<ChargingStation>,
+    travel: TravelModel,
+    nearest: NearestStations,
+}
+
+impl City {
+    /// Builds a city from `config`. Deterministic in `config.seed`.
+    pub fn generate(config: CityConfig) -> Self {
+        let bounds = Rect::with_size(config.width_km, config.height_km);
+        let partition = UrbanPartition::generate(bounds, config.n_regions, config.seed);
+        let stations = place_stations(
+            &partition,
+            config.n_stations,
+            config.total_charging_points,
+            config.seed,
+        );
+        let travel = TravelModel::default();
+        let nearest = NearestStations::build(
+            &partition,
+            &stations,
+            &travel,
+            config.nearest_stations_k,
+        );
+        City {
+            config,
+            partition,
+            stations,
+            travel,
+            nearest,
+        }
+    }
+
+    /// The configuration this city was generated from.
+    #[inline]
+    pub fn config(&self) -> &CityConfig {
+        &self.config
+    }
+
+    /// The urban partition.
+    #[inline]
+    pub fn partition(&self) -> &UrbanPartition {
+        &self.partition
+    }
+
+    /// All charging stations in id order.
+    #[inline]
+    pub fn stations(&self) -> &[ChargingStation] {
+        &self.stations
+    }
+
+    /// One charging station.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn station(&self, id: StationId) -> &ChargingStation {
+        &self.stations[id.index()]
+    }
+
+    /// One region.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn region(&self, id: RegionId) -> &Region {
+        self.partition.region(id)
+    }
+
+    /// Number of regions.
+    #[inline]
+    pub fn n_regions(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Number of stations.
+    #[inline]
+    pub fn n_stations(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// The travel-time model.
+    #[inline]
+    pub fn travel(&self) -> &TravelModel {
+        &self.travel
+    }
+
+    /// The nearest-stations index.
+    #[inline]
+    pub fn nearest_stations(&self) -> &NearestStations {
+        &self.nearest
+    }
+
+    /// Driving distance between two region centroids, km.
+    pub fn region_driving_distance(&self, a: RegionId, b: RegionId) -> f64 {
+        self.travel
+            .driving_distance(self.region(a).centroid, self.region(b).centroid)
+    }
+
+    /// Driving distance from a region centroid to a station, km.
+    pub fn region_to_station_distance(&self, r: RegionId, s: StationId) -> f64 {
+        self.travel
+            .driving_distance(self.region(r).centroid, self.station(s).position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates() {
+        let city = City::generate(CityConfig::default());
+        assert_eq!(city.n_regions(), 120);
+        assert_eq!(city.n_stations(), 30);
+        assert_eq!(city.nearest_stations().k(), 5);
+    }
+
+    #[test]
+    fn shenzhen_scale_generates() {
+        let city = City::generate(CityConfig::shenzhen_scale());
+        assert_eq!(city.n_regions(), 491);
+        assert_eq!(city.n_stations(), 123);
+        let points: u32 = city.stations().iter().map(|s| s.charging_points).sum();
+        assert_eq!(points, 5000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = City::generate(CityConfig::default());
+        let b = City::generate(CityConfig::default());
+        for (x, y) in a.stations().iter().zip(b.stations()) {
+            assert_eq!(x.position, y.position);
+        }
+        for (x, y) in a.partition().regions().iter().zip(b.partition().regions()) {
+            assert_eq!(x.centroid, y.centroid);
+        }
+    }
+
+    #[test]
+    fn distances_are_consistent_with_travel_model() {
+        let city = City::generate(CityConfig::default());
+        let r = RegionId(0);
+        let s = city.nearest_stations().nearest_one(r);
+        let d = city.region_to_station_distance(r, s);
+        assert!((d - city.nearest_stations().distances(r)[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_distance_zero_to_self() {
+        let city = City::generate(CityConfig::default());
+        assert_eq!(city.region_driving_distance(RegionId(3), RegionId(3)), 0.0);
+    }
+
+    #[test]
+    fn partition_is_connected() {
+        let city = City::generate(CityConfig::default());
+        assert!(city.partition().is_connected());
+    }
+}

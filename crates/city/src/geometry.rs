@@ -1,0 +1,224 @@
+//! Planar geometry primitives.
+//!
+//! The real system works in WGS-84 longitude/latitude; at city scale the
+//! metric is effectively a plane, so we model the city as a rectangle in
+//! kilometre coordinates. All the FairMove algorithms consume only distances
+//! and region memberships, which this preserves exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in city coordinates, in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate, km.
+    pub x: f64,
+    /// North-south coordinate, km.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` km.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, km.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance, for nearest-neighbour comparisons that
+    /// don't need the square root.
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance, km. Street networks make realized driving
+    /// distance closer to L1 than L2; the travel model uses this.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+/// An axis-aligned rectangle: the city's bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (south-west).
+    pub min: Point,
+    /// Maximum corner (north-east).
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners.
+    ///
+    /// # Panics
+    /// Panics if `min` is not component-wise ≤ `max`.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "Rect min must be <= max: {min:?} vs {max:?}"
+        );
+        Rect { min, max }
+    }
+
+    /// A rectangle anchored at the origin with the given extent in km.
+    pub fn with_size(width: f64, height: f64) -> Self {
+        Rect::new(Point::new(0.0, 0.0), Point::new(width, height))
+    }
+
+    /// Width in km.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in km.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in km².
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Whether `p` lies inside (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` into the rectangle.
+    #[inline]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_distance_sums_axes() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, -2.0);
+        assert!((a.manhattan_distance(b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.x - 5.0).abs() < 1e-12 && (mid.y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_dimensions() {
+        let r = Rect::with_size(50.0, 25.0);
+        assert_eq!(r.width(), 50.0);
+        assert_eq!(r.height(), 25.0);
+        assert_eq!(r.area(), 1250.0);
+        assert_eq!(r.center(), Point::new(25.0, 12.5));
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::with_size(10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(!r.contains(Point::new(-0.1, 5.0)));
+        assert!(!r.contains(Point::new(5.0, 10.1)));
+    }
+
+    #[test]
+    fn rect_clamp_pulls_outside_points_to_boundary() {
+        let r = Rect::with_size(10.0, 10.0);
+        assert_eq!(r.clamp(Point::new(-5.0, 5.0)), Point::new(0.0, 5.0));
+        assert_eq!(r.clamp(Point::new(20.0, 30.0)), Point::new(10.0, 10.0));
+        assert_eq!(r.clamp(Point::new(3.0, 4.0)), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "Rect min must be <= max")]
+    fn rect_rejects_inverted_corners() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                 bx in -100.0..100.0f64, by in -100.0..100.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                               bx in -100.0..100.0f64, by in -100.0..100.0f64,
+                               cx in -100.0..100.0f64, cy in -100.0..100.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn euclidean_bounded_by_manhattan(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                          bx in -100.0..100.0f64, by in -100.0..100.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!(a.distance(b) <= a.manhattan_distance(b) + 1e-9);
+        }
+
+        #[test]
+        fn clamped_point_is_contained(px in -500.0..500.0f64, py in -500.0..500.0f64) {
+            let r = Rect::with_size(50.0, 25.0);
+            prop_assert!(r.contains(r.clamp(Point::new(px, py))));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Strongly-typed identifiers for city entities.
+//!
+//! Regions and charging stations are both "locations" in the FairMove MDP
+//! (the paper's location index `l ∈ R ∪ C`), but confusing one for the other
+//! is a real bug class, so each gets its own newtype. Both are small integers
+//! so they double as dense array indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an urban-partition region (the paper's `r ∈ R`).
+///
+/// Region ids are dense: a city with `n` regions uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u16);
+
+/// Identifier of a charging station (the paper's `c ∈ C`).
+///
+/// Station ids are dense: a city with `m` stations uses ids `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StationId(pub u16);
+
+impl RegionId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StationId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for StationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A location in the MDP state: either a region or a charging station.
+///
+/// This is the paper's location index `l ∈ R ∪ C` (Section III-C, the
+/// local-view state `s_lo = [t, l]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// The taxi is cruising/serving inside a region.
+    Region(RegionId),
+    /// The taxi is queued or charging at a station.
+    Station(StationId),
+}
+
+impl Location {
+    /// Dense index into the combined location space `R ∪ C`.
+    ///
+    /// Regions occupy `0..n_regions`, stations occupy
+    /// `n_regions..n_regions + n_stations`.
+    #[inline]
+    pub fn dense_index(self, n_regions: usize) -> usize {
+        match self {
+            Location::Region(r) => r.index(),
+            Location::Station(s) => n_regions + s.index(),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Region(r) => write!(f, "{r}"),
+            Location::Station(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<RegionId> for Location {
+    fn from(r: RegionId) -> Self {
+        Location::Region(r)
+    }
+}
+
+impl From<StationId> for Location {
+    fn from(s: StationId) -> Self {
+        Location::Station(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_id_round_trips_as_index() {
+        let r = RegionId(42);
+        assert_eq!(r.index(), 42);
+        assert_eq!(r.to_string(), "R42");
+    }
+
+    #[test]
+    fn station_id_round_trips_as_index() {
+        let s = StationId(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(s.to_string(), "S7");
+    }
+
+    #[test]
+    fn dense_index_separates_regions_and_stations() {
+        let n_regions = 100;
+        assert_eq!(Location::Region(RegionId(3)).dense_index(n_regions), 3);
+        assert_eq!(Location::Station(StationId(3)).dense_index(n_regions), 103);
+    }
+
+    #[test]
+    fn dense_indices_are_unique_across_space() {
+        let n_regions = 10;
+        let n_stations = 5;
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..n_regions {
+            assert!(seen.insert(Location::Region(RegionId(r as u16)).dense_index(n_regions)));
+        }
+        for s in 0..n_stations {
+            assert!(seen.insert(Location::Station(StationId(s as u16)).dense_index(n_regions)));
+        }
+        assert_eq!(seen.len(), n_regions + n_stations);
+    }
+
+    #[test]
+    fn location_from_ids() {
+        assert_eq!(Location::from(RegionId(1)), Location::Region(RegionId(1)));
+        assert_eq!(Location::from(StationId(2)), Location::Station(StationId(2)));
+    }
+
+    #[test]
+    fn location_display() {
+        assert_eq!(Location::Region(RegionId(5)).to_string(), "R5");
+        assert_eq!(Location::Station(StationId(9)).to_string(), "S9");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(RegionId(1) < RegionId(2));
+        assert!(StationId(0) < StationId(10));
+    }
+}

@@ -1,0 +1,149 @@
+//! Nearest-charging-station index.
+//!
+//! The paper prunes each taxi's charging actions to its **five nearest
+//! charging stations** (Section III-C, Action space): "we consider the
+//! nearest five charging stations for each e-taxi to reduce the action
+//! space". Since charging decisions are made at region granularity, we
+//! precompute, for every region, the `k` nearest stations by driving distance
+//! from the region centroid.
+
+use crate::ids::{RegionId, StationId};
+use crate::partition::UrbanPartition;
+use crate::station::ChargingStation;
+use crate::travel::TravelModel;
+use serde::{Deserialize, Serialize};
+
+/// Per-region list of the `k` nearest charging stations, nearest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NearestStations {
+    k: usize,
+    /// `per_region[r]` = station ids sorted by driving distance ascending.
+    per_region: Vec<Vec<StationId>>,
+    /// `distance_km[r]` = driving distances matching `per_region[r]`.
+    distance_km: Vec<Vec<f64>>,
+}
+
+impl NearestStations {
+    /// Builds the index for all regions of `partition` over `stations`.
+    ///
+    /// `k` is clamped to the number of stations.
+    pub fn build(
+        partition: &UrbanPartition,
+        stations: &[ChargingStation],
+        travel: &TravelModel,
+        k: usize,
+    ) -> Self {
+        let k = k.min(stations.len());
+        let mut per_region = Vec::with_capacity(partition.len());
+        let mut distance_km = Vec::with_capacity(partition.len());
+        for region in partition.regions() {
+            let mut dists: Vec<(f64, StationId)> = stations
+                .iter()
+                .map(|s| (travel.driving_distance(region.centroid, s.position), s.id))
+                .collect();
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            dists.truncate(k);
+            per_region.push(dists.iter().map(|&(_, id)| id).collect());
+            distance_km.push(dists.iter().map(|&(d, _)| d).collect());
+        }
+        NearestStations {
+            k,
+            per_region,
+            distance_km,
+        }
+    }
+
+    /// Number of stations stored per region.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `k` nearest stations to `region`, nearest first.
+    #[inline]
+    pub fn nearest(&self, region: RegionId) -> &[StationId] {
+        &self.per_region[region.index()]
+    }
+
+    /// Driving distances (km) matching [`Self::nearest`].
+    #[inline]
+    pub fn distances(&self, region: RegionId) -> &[f64] {
+        &self.distance_km[region.index()]
+    }
+
+    /// The single nearest station to `region`.
+    #[inline]
+    pub fn nearest_one(&self, region: RegionId) -> StationId {
+        self.per_region[region.index()][0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::station::place_stations;
+
+    fn setup(k: usize) -> (UrbanPartition, Vec<ChargingStation>, NearestStations) {
+        let p = UrbanPartition::generate(Rect::with_size(50.0, 25.0), 60, 3);
+        let s = place_stations(&p, 15, 300, 5);
+        let idx = NearestStations::build(&p, &s, &TravelModel::default(), k);
+        (p, s, idx)
+    }
+
+    #[test]
+    fn stores_k_per_region() {
+        let (p, _, idx) = setup(5);
+        assert_eq!(idx.k(), 5);
+        for r in p.regions() {
+            assert_eq!(idx.nearest(r.id).len(), 5);
+            assert_eq!(idx.distances(r.id).len(), 5);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_station_count() {
+        let (_, s, idx) = setup(50);
+        assert_eq!(idx.k(), s.len());
+    }
+
+    #[test]
+    fn distances_are_sorted_ascending() {
+        let (p, _, idx) = setup(5);
+        for r in p.regions() {
+            let d = idx.distances(r.id);
+            assert!(d.windows(2).all(|w| w[0] <= w[1]), "unsorted at {}", r.id);
+        }
+    }
+
+    #[test]
+    fn nearest_is_truly_nearest() {
+        let (p, s, idx) = setup(5);
+        let travel = TravelModel::default();
+        for r in p.regions() {
+            let best = idx.nearest_one(r.id);
+            let best_d = travel.driving_distance(r.centroid, s[best.index()].position);
+            for st in &s {
+                let d = travel.driving_distance(r.centroid, st.position);
+                assert!(
+                    best_d <= d + 1e-9,
+                    "{}: {} at {best_d} beaten by {} at {d}",
+                    r.id,
+                    best,
+                    st.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_lists_have_unique_stations() {
+        let (p, _, idx) = setup(5);
+        for r in p.regions() {
+            let mut ids: Vec<_> = idx.nearest(r.id).to_vec();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), idx.k());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic urban substrate for the FairMove reproduction.
+//!
+//! The FairMove paper (ICDE 2021) operates on the Shenzhen urban partition
+//! (491 census regions) plus 123 e-taxi charging stations. That partition and
+//! the station metadata are proprietary, so this crate builds the closest
+//! synthetic equivalent:
+//!
+//! * a seeded Voronoi [`partition::UrbanPartition`] of a rectangular city into
+//!   irregular, connected regions with an adjacency graph (the paper's
+//!   partition is likewise irregular — census blocks, not a square grid);
+//! * [`station::ChargingStation`]s placed inside regions with a skewed
+//!   distribution of fast-charging point counts;
+//! * a [`travel::TravelModel`] that converts plane distance into travel time
+//!   with an hour-of-day congestion profile;
+//! * a [`index::NearestStations`] index used for the paper's
+//!   "five nearest charging stations" action pruning.
+//!
+//! Everything is deterministic given a seed so experiments are repeatable.
+
+pub mod city;
+pub mod geometry;
+pub mod ids;
+pub mod index;
+pub mod partition;
+pub mod routing;
+pub mod station;
+pub mod time;
+pub mod travel;
+
+pub use city::{City, CityConfig};
+pub use geometry::{Point, Rect};
+pub use ids::{RegionId, StationId};
+pub use index::NearestStations;
+pub use partition::{Region, UrbanPartition};
+pub use routing::RegionRouter;
+pub use station::ChargingStation;
+pub use time::{HourOfDay, SimTime, TimeSlot, MINUTES_PER_DAY, SLOTS_PER_DAY, SLOT_MINUTES};
+pub use travel::TravelModel;

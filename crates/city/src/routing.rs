@@ -1,0 +1,255 @@
+//! Shortest paths over the region adjacency graph.
+//!
+//! The displacement action space is "move to an *adjacent* region", so a
+//! taxi repositioning across the city chains several decisions. Planning
+//! policies (and the oracle baseline) need to know, from any region, which
+//! adjacent region lies on the shortest path toward a target — this module
+//! precomputes that with Dijkstra over centroid distances.
+
+use crate::ids::RegionId;
+use crate::partition::UrbanPartition;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// All-pairs shortest-path structure over the region graph.
+///
+/// ```
+/// use fairmove_city::{Rect, RegionRouter, UrbanPartition};
+/// let partition = UrbanPartition::generate(Rect::with_size(20.0, 10.0), 12, 1);
+/// let router = RegionRouter::build(&partition);
+/// let a = partition.regions()[0].id;
+/// let b = partition.regions()[11].id;
+/// let path = router.path(a, b).unwrap();
+/// assert_eq!(path[0], a);
+/// assert_eq!(*path.last().unwrap(), b);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionRouter {
+    n: usize,
+    /// `dist[s * n + t]` = shortest on-graph distance s → t, km.
+    dist: Vec<f64>,
+    /// `next[s * n + t]` = first hop on the shortest path s → t
+    /// (`s` itself when `s == t`).
+    next: Vec<u16>,
+}
+
+#[derive(PartialEq)]
+struct QueueEntry(f64, usize);
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other.0.total_cmp(&self.0)
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl RegionRouter {
+    /// Builds the router with one Dijkstra per source region
+    /// (`O(R·(E log R))`; ~10 ms for the 491-region city).
+    pub fn build(partition: &UrbanPartition) -> Self {
+        let n = partition.len();
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut next = vec![0u16; n * n];
+
+        for source in 0..n {
+            let row = &mut dist[source * n..(source + 1) * n];
+            let next_row = &mut next[source * n..(source + 1) * n];
+            let mut first_hop: Vec<u16> = vec![u16::MAX; n];
+            let mut heap = BinaryHeap::new();
+            row[source] = 0.0;
+            first_hop[source] = source as u16;
+            heap.push(QueueEntry(0.0, source));
+
+            while let Some(QueueEntry(d, u)) = heap.pop() {
+                if d > row[u] {
+                    continue;
+                }
+                for &v in &partition.regions()[u].neighbors {
+                    let vi = v.index();
+                    let w = partition.centroid_distance(RegionId(u as u16), v);
+                    let nd = d + w;
+                    if nd < row[vi] {
+                        row[vi] = nd;
+                        first_hop[vi] = if u == source {
+                            v.0
+                        } else {
+                            first_hop[u]
+                        };
+                        heap.push(QueueEntry(nd, vi));
+                    }
+                }
+            }
+            next_row.copy_from_slice(&first_hop);
+        }
+
+        RegionRouter { n, dist, next }
+    }
+
+    /// Shortest on-graph distance from `s` to `t`, km. Infinite if
+    /// unreachable (never happens for generated partitions, which are
+    /// connected).
+    #[inline]
+    pub fn distance(&self, s: RegionId, t: RegionId) -> f64 {
+        self.dist[s.index() * self.n + t.index()]
+    }
+
+    /// The adjacent region to move to from `s` on the shortest path to `t`.
+    /// Returns `s` when already there; `None` if unreachable.
+    pub fn next_hop(&self, s: RegionId, t: RegionId) -> Option<RegionId> {
+        let hop = self.next[s.index() * self.n + t.index()];
+        if hop == u16::MAX {
+            None
+        } else {
+            Some(RegionId(hop))
+        }
+    }
+
+    /// The full hop sequence from `s` to `t`, inclusive of both endpoints.
+    pub fn path(&self, s: RegionId, t: RegionId) -> Option<Vec<RegionId>> {
+        if self.distance(s, t).is_infinite() {
+            return None;
+        }
+        let mut path = vec![s];
+        let mut cur = s;
+        // Bounded by n hops; a longer walk means a routing-table bug.
+        for _ in 0..self.n {
+            if cur == t {
+                return Some(path);
+            }
+            cur = self.next_hop(cur, t)?;
+            path.push(cur);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    fn setup() -> (UrbanPartition, RegionRouter) {
+        let p = UrbanPartition::generate(Rect::with_size(50.0, 25.0), 60, 7);
+        let r = RegionRouter::build(&p);
+        (p, r)
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let (p, r) = setup();
+        for region in p.regions() {
+            assert_eq!(r.distance(region.id, region.id), 0.0);
+            assert_eq!(r.next_hop(region.id, region.id), Some(region.id));
+        }
+    }
+
+    #[test]
+    fn all_pairs_reachable_in_connected_partition() {
+        let (p, r) = setup();
+        for a in p.regions() {
+            for b in p.regions() {
+                assert!(
+                    r.distance(a.id, b.id).is_finite(),
+                    "{} -> {} unreachable",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        // Undirected graph with symmetric weights.
+        let (p, r) = setup();
+        for a in p.regions().iter().take(10) {
+            for b in p.regions().iter().take(10) {
+                assert!(
+                    (r.distance(a.id, b.id) - r.distance(b.id, a.id)).abs() < 1e-9,
+                    "{} vs {}",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_distance_at_least_euclidean() {
+        let (p, r) = setup();
+        for a in p.regions().iter().take(15) {
+            for b in p.regions().iter().take(15) {
+                let euclid = p.centroid_distance(a.id, b.id);
+                assert!(
+                    r.distance(a.id, b.id) >= euclid - 1e-9,
+                    "{} -> {}: graph {} < euclid {}",
+                    a.id,
+                    b.id,
+                    r.distance(a.id, b.id),
+                    euclid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_is_adjacent_and_decreases_distance() {
+        let (p, r) = setup();
+        for a in p.regions().iter().take(20) {
+            for b in p.regions().iter().take(20) {
+                if a.id == b.id {
+                    continue;
+                }
+                let hop = r.next_hop(a.id, b.id).expect("reachable");
+                assert!(p.are_adjacent(a.id, hop), "{} hop {} not adjacent", a.id, hop);
+                assert!(
+                    r.distance(hop, b.id) < r.distance(a.id, b.id),
+                    "no progress {} -> {} via {}",
+                    a.id,
+                    b.id,
+                    hop
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_connects_endpoints_via_edges() {
+        let (p, r) = setup();
+        let a = p.regions()[0].id;
+        let b = p.regions()[40].id;
+        let path = r.path(a, b).expect("reachable");
+        assert_eq!(*path.first().unwrap(), a);
+        assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            assert!(p.are_adjacent(w[0], w[1]));
+        }
+        // Path length telescopes to the routed distance.
+        let total: f64 = path.windows(2).map(|w| p.centroid_distance(w[0], w[1])).sum();
+        assert!((total - r.distance(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let (p, r) = setup();
+        let ids: Vec<RegionId> = p.regions().iter().map(|x| x.id).take(12).collect();
+        for &a in &ids {
+            for &b in &ids {
+                for &c in &ids {
+                    assert!(
+                        r.distance(a, c) <= r.distance(a, b) + r.distance(b, c) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Charging-station substrate.
+//!
+//! Shenzhen deployed 123 e-taxi-only charging stations with >5,000 fast
+//! charging points (Section II-A/IV-A of the paper). Charger counts per
+//! station are heavily skewed in real deployments (a few mega-stations, many
+//! small ones), which matters for the paper's congestion findings (Fig. 4,
+//! Fig. 12): herding into small stations is what produces SD2's negative
+//! PRIT. We reproduce that skew with a geometric-ish distribution.
+
+use crate::geometry::Point;
+use crate::ids::{RegionId, StationId};
+use crate::partition::UrbanPartition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fast-charging station.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChargingStation {
+    /// Dense station id.
+    pub id: StationId,
+    /// Location in city coordinates.
+    pub position: Point,
+    /// Region the station sits in.
+    pub region: RegionId,
+    /// Number of fast charging points (simultaneous charging slots).
+    pub charging_points: u32,
+}
+
+/// Places `n_stations` stations in distinct regions of `partition`.
+///
+/// Station positions are jittered off the host region's centroid; charging
+/// point counts follow a skewed distribution normalized so that the fleet-to-
+/// charger ratio roughly matches Shenzhen's (20,130 taxis : ~5,000 points ≈ 4:1,
+/// controlled by `total_points`).
+///
+/// # Panics
+/// Panics if `n_stations` is zero or exceeds the number of regions.
+pub fn place_stations(
+    partition: &UrbanPartition,
+    n_stations: usize,
+    total_points: u32,
+    seed: u64,
+) -> Vec<ChargingStation> {
+    assert!(n_stations > 0, "need at least one station");
+    assert!(
+        n_stations <= partition.len(),
+        "more stations ({n_stations}) than regions ({})",
+        partition.len()
+    );
+    assert!(
+        total_points as usize >= n_stations,
+        "need at least one charging point per station"
+    );
+    // Salted so station placement doesn't correlate with partition generation.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5741_5449_4f4e);
+
+    // Choose distinct host regions.
+    let mut region_ids: Vec<usize> = (0..partition.len()).collect();
+    region_ids.shuffle(&mut rng);
+    region_ids.truncate(n_stations);
+
+    // Skewed raw sizes: x ~ exp(1) + floor, producing a few large stations.
+    let raw: Vec<f64> = (0..n_stations)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-6..1.0f64);
+            0.3 - u.ln() // exponential with a floor
+        })
+        .collect();
+    let raw_sum: f64 = raw.iter().sum();
+
+    let mut stations: Vec<ChargingStation> = region_ids
+        .iter()
+        .zip(&raw)
+        .enumerate()
+        .map(|(i, (&region_idx, &w))| {
+            let region = &partition.regions()[region_idx];
+            let jitter = Point::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5));
+            let position = partition.bounds().clamp(Point::new(
+                region.centroid.x + jitter.x,
+                region.centroid.y + jitter.y,
+            ));
+            let points = ((w / raw_sum) * f64::from(total_points)).round().max(1.0) as u32;
+            ChargingStation {
+                id: StationId(i as u16),
+                position,
+                region: region.id,
+                charging_points: points,
+            }
+        })
+        .collect();
+
+    // Rounding can drift the total; nudge the largest station to compensate
+    // so configured capacity is exact.
+    let current: u32 = stations.iter().map(|s| s.charging_points).sum();
+    if current != total_points {
+        let largest = stations
+            .iter_mut()
+            .max_by_key(|s| s.charging_points)
+            .expect("n_stations > 0");
+        let adjusted = i64::from(largest.charging_points) + i64::from(total_points) - i64::from(current);
+        largest.charging_points = adjusted.max(1) as u32;
+    }
+
+    stations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    fn setup() -> (UrbanPartition, Vec<ChargingStation>) {
+        let p = UrbanPartition::generate(Rect::with_size(50.0, 25.0), 80, 3);
+        let s = place_stations(&p, 20, 400, 9);
+        (p, s)
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let (p, a) = setup();
+        let b = place_stations(&p, 20, 400, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.charging_points, y.charging_points);
+        }
+    }
+
+    #[test]
+    fn station_count_and_ids_are_dense() {
+        let (_, s) = setup();
+        assert_eq!(s.len(), 20);
+        for (i, st) in s.iter().enumerate() {
+            assert_eq!(st.id, StationId(i as u16));
+        }
+    }
+
+    #[test]
+    fn total_charging_points_match_config() {
+        let (_, s) = setup();
+        let total: u32 = s.iter().map(|st| st.charging_points).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn every_station_has_at_least_one_point() {
+        let (_, s) = setup();
+        assert!(s.iter().all(|st| st.charging_points >= 1));
+    }
+
+    #[test]
+    fn stations_occupy_distinct_regions() {
+        let (_, s) = setup();
+        let mut regions: Vec<_> = s.iter().map(|st| st.region).collect();
+        regions.sort();
+        regions.dedup();
+        assert_eq!(regions.len(), s.len());
+    }
+
+    #[test]
+    fn station_positions_are_in_bounds() {
+        let (p, s) = setup();
+        for st in &s {
+            assert!(p.bounds().contains(st.position));
+        }
+    }
+
+    #[test]
+    fn charger_counts_are_skewed() {
+        let p = UrbanPartition::generate(Rect::with_size(60.0, 30.0), 200, 5);
+        let s = place_stations(&p, 123, 5000, 5);
+        let max = s.iter().map(|st| st.charging_points).max().unwrap();
+        let min = s.iter().map(|st| st.charging_points).min().unwrap();
+        assert!(max >= 3 * min.max(1), "expected skewed sizes, got {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more stations")]
+    fn too_many_stations_rejected() {
+        let p = UrbanPartition::generate(Rect::with_size(10.0, 10.0), 5, 1);
+        let _ = place_stations(&p, 6, 100, 1);
+    }
+
+    #[test]
+    fn shenzhen_scale_placement_works() {
+        let p = UrbanPartition::generate(Rect::with_size(60.0, 30.0), 491, 42);
+        let s = place_stations(&p, 123, 5000, 42);
+        assert_eq!(s.len(), 123);
+        let total: u32 = s.iter().map(|st| st.charging_points).sum();
+        assert_eq!(total, 5000);
+    }
+}

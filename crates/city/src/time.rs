@@ -1,0 +1,291 @@
+//! Simulation time: minutes since simulation start, 10-minute decision slots.
+//!
+//! The paper discretizes a day into `T = 144` slots of 10 minutes each
+//! (Section IV-A, "we set 10 minutes as a time slot ... one day is divided
+//! into T = 144 time slots"). Displacement decisions are made once per slot;
+//! everything else (trips, queue waits, charging) is tracked in integer
+//! minutes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Minutes in one decision slot.
+pub const SLOT_MINUTES: u32 = 10;
+/// Decision slots per day (the paper's `T = 144`).
+pub const SLOTS_PER_DAY: u32 = 144;
+/// Minutes per day.
+pub const MINUTES_PER_DAY: u32 = SLOT_MINUTES * SLOTS_PER_DAY;
+
+/// An absolute simulation time, in whole minutes since simulation start.
+///
+/// Simulation always starts at midnight of day 0, so hour-of-day and
+/// slot-of-day derive directly from the minute count.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u32);
+
+impl SimTime {
+    /// Midnight of day 0.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Time from a (day, hour, minute) triple.
+    pub fn from_dhm(day: u32, hour: u32, minute: u32) -> Self {
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(minute < 60, "minute out of range: {minute}");
+        SimTime(day * MINUTES_PER_DAY + hour * 60 + minute)
+    }
+
+    /// Total minutes since start.
+    #[inline]
+    pub fn minutes(self) -> u32 {
+        self.0
+    }
+
+    /// Day index (0-based).
+    #[inline]
+    pub fn day(self) -> u32 {
+        self.0 / MINUTES_PER_DAY
+    }
+
+    /// Minute within the current day, `0..1440`.
+    #[inline]
+    pub fn minute_of_day(self) -> u32 {
+        self.0 % MINUTES_PER_DAY
+    }
+
+    /// Hour of day, `0..24`.
+    #[inline]
+    pub fn hour_of_day(self) -> HourOfDay {
+        HourOfDay((self.minute_of_day() / 60) as u8)
+    }
+
+    /// Decision slot within the current day, `0..144`.
+    #[inline]
+    pub fn slot_of_day(self) -> TimeSlot {
+        TimeSlot((self.minute_of_day() / SLOT_MINUTES) as u16)
+    }
+
+    /// Absolute slot index since simulation start.
+    #[inline]
+    pub fn absolute_slot(self) -> u32 {
+        self.0 / SLOT_MINUTES
+    }
+
+    /// Fraction of the day elapsed, `[0, 1)`.
+    #[inline]
+    pub fn day_fraction(self) -> f64 {
+        f64::from(self.minute_of_day()) / f64::from(MINUTES_PER_DAY)
+    }
+}
+
+impl Add<u32> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, minutes: u32) -> SimTime {
+        SimTime(self.0 + minutes)
+    }
+}
+
+impl AddAssign<u32> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, minutes: u32) {
+        self.0 += minutes;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u32;
+    /// Minutes elapsed from `rhs` to `self`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs > self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u32 {
+        debug_assert!(rhs.0 <= self.0, "negative duration: {rhs:?} > {self:?}");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.minute_of_day();
+        write!(f, "d{} {:02}:{:02}", self.day(), m / 60, m % 60)
+    }
+}
+
+/// An hour of day, `0..24`. Used for pricing bands and hourly metrics.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HourOfDay(pub u8);
+
+impl HourOfDay {
+    /// All 24 hours in order.
+    pub fn all() -> impl Iterator<Item = HourOfDay> {
+        (0..24).map(HourOfDay)
+    }
+
+    /// The hour as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether `self` lies in the half-open hour range `[start, end)`,
+    /// wrapping past midnight when `start > end` (e.g. 23–6).
+    pub fn in_range(self, start: u8, end: u8) -> bool {
+        if start <= end {
+            self.0 >= start && self.0 < end
+        } else {
+            self.0 >= start || self.0 < end
+        }
+    }
+}
+
+impl fmt::Display for HourOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:00", self.0)
+    }
+}
+
+/// A decision slot within a day, `0..144`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TimeSlot(pub u16);
+
+impl TimeSlot {
+    /// The slot as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The first minute of this slot within the day.
+    #[inline]
+    pub fn start_minute(self) -> u32 {
+        u32::from(self.0) * SLOT_MINUTES
+    }
+
+    /// The hour of day this slot falls in.
+    #[inline]
+    pub fn hour(self) -> HourOfDay {
+        HourOfDay((self.start_minute() / 60) as u8)
+    }
+
+    /// All slots of a day in order.
+    pub fn all() -> impl Iterator<Item = TimeSlot> {
+        (0..SLOTS_PER_DAY as u16).map(TimeSlot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MINUTES_PER_DAY, 1440);
+        assert_eq!(SLOTS_PER_DAY, 144);
+    }
+
+    #[test]
+    fn from_dhm_round_trips() {
+        let t = SimTime::from_dhm(2, 13, 25);
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.hour_of_day(), HourOfDay(13));
+        assert_eq!(t.minute_of_day(), 13 * 60 + 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn from_dhm_rejects_bad_hour() {
+        let _ = SimTime::from_dhm(0, 24, 0);
+    }
+
+    #[test]
+    fn slot_of_day_boundaries() {
+        assert_eq!(SimTime::from_dhm(0, 0, 0).slot_of_day(), TimeSlot(0));
+        assert_eq!(SimTime::from_dhm(0, 0, 9).slot_of_day(), TimeSlot(0));
+        assert_eq!(SimTime::from_dhm(0, 0, 10).slot_of_day(), TimeSlot(1));
+        assert_eq!(SimTime::from_dhm(0, 23, 50).slot_of_day(), TimeSlot(143));
+    }
+
+    #[test]
+    fn absolute_slot_crosses_days() {
+        assert_eq!(SimTime::from_dhm(1, 0, 0).absolute_slot(), 144);
+        assert_eq!(SimTime::from_dhm(1, 0, 5).absolute_slot(), 144);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_dhm(0, 10, 0);
+        let u = t + 75;
+        assert_eq!(u.hour_of_day(), HourOfDay(11));
+        assert_eq!(u - t, 75);
+        let mut v = t;
+        v += 30;
+        assert_eq!(v.minute_of_day(), 10 * 60 + 30);
+    }
+
+    #[test]
+    fn hour_in_range_plain_and_wrapping() {
+        assert!(HourOfDay(3).in_range(2, 6));
+        assert!(!HourOfDay(6).in_range(2, 6));
+        // wrapping range 23:00-06:00
+        assert!(HourOfDay(23).in_range(23, 6));
+        assert!(HourOfDay(2).in_range(23, 6));
+        assert!(!HourOfDay(12).in_range(23, 6));
+    }
+
+    #[test]
+    fn slot_hour_mapping() {
+        assert_eq!(TimeSlot(0).hour(), HourOfDay(0));
+        assert_eq!(TimeSlot(5).hour(), HourOfDay(0));
+        assert_eq!(TimeSlot(6).hour(), HourOfDay(1));
+        assert_eq!(TimeSlot(143).hour(), HourOfDay(23));
+    }
+
+    #[test]
+    fn all_slots_count() {
+        assert_eq!(TimeSlot::all().count(), 144);
+        assert_eq!(HourOfDay::all().count(), 24);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_dhm(1, 9, 5).to_string(), "d1 09:05");
+        assert_eq!(HourOfDay(7).to_string(), "07:00");
+    }
+
+    #[test]
+    fn day_fraction_bounds() {
+        assert_eq!(SimTime::ZERO.day_fraction(), 0.0);
+        let almost_midnight = SimTime::from_dhm(0, 23, 59);
+        assert!(almost_midnight.day_fraction() < 1.0);
+        assert!(almost_midnight.day_fraction() > 0.99);
+    }
+
+    proptest! {
+        #[test]
+        fn slot_and_hour_agree(minutes in 0u32..(30 * MINUTES_PER_DAY)) {
+            let t = SimTime(minutes);
+            prop_assert_eq!(t.slot_of_day().hour(), t.hour_of_day());
+        }
+
+        #[test]
+        fn addition_preserves_duration(minutes in 0u32..1_000_000, d in 0u32..100_000) {
+            let t = SimTime(minutes);
+            prop_assert_eq!((t + d) - t, d);
+        }
+
+        #[test]
+        fn absolute_slot_monotone(a in 0u32..1_000_000, b in 0u32..1_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(SimTime(lo).absolute_slot() <= SimTime(hi).absolute_slot());
+        }
+    }
+}

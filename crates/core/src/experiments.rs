@@ -1,0 +1,248 @@
+//! The full six-method comparison (everything Section IV needs).
+//!
+//! [`ComparisonResults::run`] trains every learning method, freezes all of
+//! them, evaluates each on the identical demand realization, and packages
+//! the ground-truth ledger plus per-method ledgers and [`MethodReport`]s.
+//! The bench binaries slice this one structure into each of the paper's
+//! tables and figures.
+
+use crate::method::{Method, MethodKind};
+use crate::runner::{RunOutcome, Runner};
+use fairmove_city::City;
+use fairmove_metrics::MethodReport;
+use fairmove_sim::{FleetLedger, SimConfig};
+
+/// Configuration for the full comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonConfig {
+    /// Simulation configuration (seed = first evaluation seed).
+    pub sim: SimConfig,
+    /// Training episodes per learning method.
+    pub train_episodes: u32,
+    /// Reward weight α (paper default 0.6).
+    pub alpha: f64,
+    /// Which methods to run besides GT.
+    pub methods: Vec<MethodKind>,
+    /// Independent evaluation seeds to average reports over (the paper
+    /// repeats experiments 10×). Each seed evaluates GT and every frozen
+    /// method on the *same* demand realization.
+    pub eval_seeds: u32,
+}
+
+impl Default for ComparisonConfig {
+    fn default() -> Self {
+        ComparisonConfig {
+            sim: SimConfig::default(),
+            train_episodes: 4,
+            alpha: 0.6,
+            methods: MethodKind::baselines_and_fairmove().to_vec(),
+            eval_seeds: 1,
+        }
+    }
+}
+
+/// Seed stride between evaluation repetitions.
+const EVAL_SEED_STRIDE: u64 = 7_777_777;
+
+/// One evaluated method with its report.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Which method this is.
+    pub kind: MethodKind,
+    /// Per-episode average training reward (empty for static methods).
+    pub training_curve: Vec<f64>,
+    /// The frozen evaluation outcome.
+    pub outcome: RunOutcome,
+    /// Eq. 12–15 report vs. ground truth.
+    pub report: MethodReport,
+}
+
+/// Everything the evaluation section needs.
+#[derive(Debug, Clone)]
+pub struct ComparisonResults {
+    /// The ground-truth (no-displacement) evaluation run.
+    pub gt: RunOutcome,
+    /// Each method's results, in the order requested.
+    pub methods: Vec<MethodResult>,
+}
+
+impl ComparisonResults {
+    /// Runs the whole comparison. This is the expensive entry point — at
+    /// the default scale expect minutes, at paper scale hours.
+    ///
+    /// With `eval_seeds > 1` each frozen method (and GT) is evaluated on
+    /// several independent demand realizations; the reported metrics are
+    /// the per-seed averages, while the stored ledgers/outcomes are those
+    /// of the first seed (for distribution plots).
+    pub fn run(config: &ComparisonConfig) -> ComparisonResults {
+        let runner = Runner::new(config.sim.clone(), config.train_episodes, config.alpha);
+        let city = City::generate(config.sim.city.clone());
+        let reps = config.eval_seeds.max(1);
+        let eval_seed = |rep: u32| config.sim.seed + u64::from(rep) * EVAL_SEED_STRIDE;
+
+        // GT per evaluation seed.
+        let mut gt_method = Method::build(MethodKind::Gt, &city, &config.sim, config.alpha);
+        let gt_runs: Vec<_> = (0..reps)
+            .map(|rep| runner.run_once(gt_method.as_policy(), eval_seed(rep)))
+            .collect();
+        let gt = gt_runs[0].clone();
+
+        let methods = config
+            .methods
+            .iter()
+            .map(|&kind| {
+                let mut method = Method::build(kind, &city, &config.sim, config.alpha);
+                let training_curve = runner.train(&mut method);
+                method.freeze();
+                let runs: Vec<_> = (0..reps)
+                    .map(|rep| runner.run_once(method.as_policy(), eval_seed(rep)))
+                    .collect();
+                // Average the paired per-seed reports.
+                let per_seed: Vec<MethodReport> = runs
+                    .iter()
+                    .zip(&gt_runs)
+                    .map(|(run, gt_run)| {
+                        MethodReport::compute(kind.name(), &gt_run.ledger, &run.ledger)
+                    })
+                    .collect();
+                let n = per_seed.len() as f64;
+                let mean = |f: fn(&MethodReport) -> f64| {
+                    per_seed.iter().map(f).sum::<f64>() / n
+                };
+                let report = MethodReport {
+                    name: kind.name().to_string(),
+                    prct: mean(|r| r.prct),
+                    prit: mean(|r| r.prit),
+                    pipe: mean(|r| r.pipe),
+                    pipf: mean(|r| r.pipf),
+                    median_cruise_minutes: mean(|r| r.median_cruise_minutes),
+                    median_pe: mean(|r| r.median_pe),
+                };
+                let outcome = runs.into_iter().next().expect("reps >= 1");
+                MethodResult {
+                    kind,
+                    training_curve,
+                    outcome,
+                    report,
+                }
+            })
+            .collect();
+
+        ComparisonResults { gt, methods }
+    }
+
+    /// The result for one method, if it was run.
+    pub fn method(&self, kind: MethodKind) -> Option<&MethodResult> {
+        self.methods.iter().find(|m| m.kind == kind)
+    }
+
+    /// The ground-truth ledger.
+    pub fn gt_ledger(&self) -> &FleetLedger {
+        &self.gt.ledger
+    }
+}
+
+/// Runs the Table IV α sweep: trains one CMA2C per α value, then evaluates
+/// each frozen policy's average reward under the *operating* weighting
+/// `eval_alpha` (the paper's deployed α = 0.6).
+///
+/// Measuring every policy under one fixed objective is what makes the
+/// sweep comparable: under its own α the reward is monotone in α by
+/// construction (the fairness term only subtracts), whereas under the
+/// balanced objective both extremes — pure fairness (never earns) and pure
+/// efficiency (competitive, unfair) — lose to mid-range training, which is
+/// the paper's Table IV finding.
+pub fn alpha_sweep(
+    sim: &SimConfig,
+    train_episodes: u32,
+    alphas: &[f64],
+) -> Vec<(f64, f64)> {
+    alpha_sweep_at(sim, train_episodes, alphas, 0.6)
+}
+
+/// [`alpha_sweep`] with an explicit operating α.
+pub fn alpha_sweep_at(
+    sim: &SimConfig,
+    train_episodes: u32,
+    alphas: &[f64],
+    eval_alpha: f64,
+) -> Vec<(f64, f64)> {
+    let city = City::generate(sim.city.clone());
+    alphas
+        .iter()
+        .map(|&alpha| {
+            // The runner's α only sets the *measurement* weighting; the
+            // policy trains on its own configured α.
+            let runner = Runner::new(sim.clone(), train_episodes, eval_alpha);
+            let mut method = Method::build(MethodKind::FairMove, &city, sim, alpha);
+            let (_, outcome) = runner.train_and_evaluate(&mut method);
+            (alpha, outcome.average_reward)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ComparisonConfig {
+        ComparisonConfig {
+            sim: SimConfig::test_scale(),
+            train_episodes: 1,
+            alpha: 0.6,
+            methods: vec![MethodKind::Sd2, MethodKind::FairMove],
+            eval_seeds: 2,
+        }
+    }
+
+    #[test]
+    fn comparison_produces_reports_for_all_requested_methods() {
+        let results = ComparisonResults::run(&tiny_config());
+        assert_eq!(results.methods.len(), 2);
+        assert!(results.method(MethodKind::Sd2).is_some());
+        assert!(results.method(MethodKind::FairMove).is_some());
+        assert!(results.method(MethodKind::Dqn).is_none());
+        for m in &results.methods {
+            assert_eq!(m.report.name, m.kind.name());
+            assert!(m.report.prct.is_finite());
+            assert!(m.report.pipf.is_finite());
+        }
+    }
+
+    #[test]
+    fn gt_run_has_activity() {
+        let results = ComparisonResults::run(&tiny_config());
+        assert!(!results.gt_ledger().trips().is_empty());
+        assert!(!results.gt_ledger().charges().is_empty());
+    }
+
+    #[test]
+    fn learning_methods_have_training_curves() {
+        let results = ComparisonResults::run(&tiny_config());
+        assert!(results
+            .method(MethodKind::Sd2)
+            .unwrap()
+            .training_curve
+            .is_empty());
+        assert_eq!(
+            results
+                .method(MethodKind::FairMove)
+                .unwrap()
+                .training_curve
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn alpha_sweep_covers_requested_points() {
+        let sim = SimConfig::test_scale();
+        let sweep = alpha_sweep(&sim, 1, &[0.0, 0.6, 1.0]);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0].0, 0.0);
+        assert_eq!(sweep[2].0, 1.0);
+        for (_, r) in &sweep {
+            assert!(r.is_finite());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # FairMove
+//!
+//! A full reproduction of *"Data-Driven Fairness-Aware Vehicle Displacement
+//! for Large-Scale Electric Taxi Fleets"* (ICDE 2021): a centralized
+//! displacement system that tells each vacant electric taxi, once per
+//! 10-minute slot, whether to stay, cruise to an adjacent region, or charge
+//! at one of its five nearest stations — jointly optimizing fleet **profit
+//! efficiency** and **profit fairness** with a Centralized Multi-Agent
+//! Actor-Critic (CMA2C).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fairmove_core::{FairMove, FairMoveConfig};
+//!
+//! // A deliberately tiny configuration so the doctest runs in seconds.
+//! let mut config = FairMoveConfig::test_scale();
+//! config.train_episodes = 1;
+//! let mut system = FairMove::new(config);
+//! let stats = system.train();
+//! assert!(stats.episodes == 1);
+//! let eval = system.evaluate();
+//! assert!(!eval.ledger.trips().is_empty());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`fairmove_city`] | Urban partition, stations, travel model |
+//! | [`fairmove_data`] | Tariff, demand model, trip generation, schemas |
+//! | [`fairmove_sim`] | Slot-stepped fleet simulator |
+//! | [`fairmove_rl`] | From-scratch NN / RL substrate |
+//! | [`fairmove_agents`] | CMA2C + the five baselines |
+//! | [`fairmove_metrics`] | PE/PF, PRCT/PRIT/PIPE/PIPF, CDFs |
+//! | `fairmove_core` (this crate) | Public API + experiment runner |
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper lives in `crates/bench` (binaries `figures` and `evaluation`).
+
+pub mod experiments;
+pub mod method;
+pub mod runner;
+pub mod system;
+
+pub use experiments::{ComparisonConfig, ComparisonResults};
+pub use method::{Method, MethodKind};
+pub use runner::{RunOutcome, Runner};
+pub use system::{EvaluationResult, FairMove, FairMoveConfig, TrainingStats};
+
+// Re-export the layer crates so downstream users need a single dependency.
+pub use fairmove_agents as agents;
+pub use fairmove_city as city;
+pub use fairmove_data as data;
+pub use fairmove_metrics as metrics;
+pub use fairmove_rl as rl;
+pub use fairmove_sim as sim;

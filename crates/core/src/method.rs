@@ -1,0 +1,217 @@
+//! The method registry: the paper's six displacement strategies behind one
+//! enum, with uniform construction, freezing, and naming.
+
+use fairmove_agents::{
+    Cma2cConfig, Cma2cPolicy, DqnConfig, DqnPolicy, GroundTruthPolicy, Sd2Policy, TbaConfig,
+    TbaPolicy, TqlConfig, TqlPolicy,
+};
+use fairmove_city::City;
+use fairmove_sim::{DisplacementPolicy, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which displacement strategy to run (the paper's Section IV-A lineup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Ground truth: no displacement system, heuristic drivers.
+    Gt,
+    /// Shortest-distance displacement.
+    Sd2,
+    /// Tabular Q-learning.
+    Tql,
+    /// Deep Q-network.
+    Dqn,
+    /// Trip Bandit Approach (competitive REINFORCE).
+    Tba,
+    /// FairMove's CMA2C.
+    FairMove,
+}
+
+impl MethodKind {
+    /// All six methods in the paper's presentation order.
+    pub fn all() -> [MethodKind; 6] {
+        [
+            MethodKind::Gt,
+            MethodKind::Sd2,
+            MethodKind::Tql,
+            MethodKind::Dqn,
+            MethodKind::Tba,
+            MethodKind::FairMove,
+        ]
+    }
+
+    /// The baselines compared against GT (everything but GT itself).
+    pub fn baselines_and_fairmove() -> [MethodKind; 5] {
+        [
+            MethodKind::Sd2,
+            MethodKind::Tql,
+            MethodKind::Dqn,
+            MethodKind::Tba,
+            MethodKind::FairMove,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::Gt => "GT",
+            MethodKind::Sd2 => "SD2",
+            MethodKind::Tql => "TQL",
+            MethodKind::Dqn => "DQN",
+            MethodKind::Tba => "TBA",
+            MethodKind::FairMove => "FairMove",
+        }
+    }
+
+    /// Whether this method learns (needs training episodes before a frozen
+    /// evaluation).
+    pub fn is_learning(self) -> bool {
+        matches!(
+            self,
+            MethodKind::Tql | MethodKind::Dqn | MethodKind::Tba | MethodKind::FairMove
+        )
+    }
+}
+
+/// A constructed method instance.
+pub enum Method {
+    /// Ground-truth driver behaviour.
+    Gt(GroundTruthPolicy),
+    /// Shortest-distance baseline.
+    Sd2(Sd2Policy),
+    /// Tabular Q-learning baseline.
+    Tql(TqlPolicy),
+    /// DQN baseline.
+    Dqn(DqnPolicy),
+    /// Trip-bandit baseline.
+    Tba(TbaPolicy),
+    /// The paper's CMA2C.
+    FairMove(Cma2cPolicy),
+}
+
+impl Method {
+    /// Builds a method with defaults derived from the sim config. `alpha`
+    /// is the efficiency/fairness weight used by the learning methods'
+    /// reward (the paper's α, default 0.6).
+    pub fn build(kind: MethodKind, city: &City, sim: &SimConfig, alpha: f64) -> Method {
+        let seed = sim.seed;
+        match kind {
+            MethodKind::Gt => {
+                Method::Gt(GroundTruthPolicy::for_city(city, sim.fleet_size, seed))
+            }
+            MethodKind::Sd2 => Method::Sd2(Sd2Policy::new()),
+            MethodKind::Tql => Method::Tql(TqlPolicy::new(TqlConfig {
+                alpha_mix: alpha,
+                seed,
+                ..TqlConfig::default()
+            })),
+            MethodKind::Dqn => Method::Dqn(DqnPolicy::new(
+                city,
+                DqnConfig {
+                    alpha_mix: alpha,
+                    seed,
+                    ..DqnConfig::default()
+                },
+            )),
+            MethodKind::Tba => Method::Tba(TbaPolicy::new(
+                city,
+                TbaConfig {
+                    seed,
+                    ..TbaConfig::default()
+                },
+            )),
+            MethodKind::FairMove => Method::FairMove(Cma2cPolicy::new(
+                city,
+                Cma2cConfig {
+                    alpha,
+                    seed,
+                    ..Cma2cConfig::default()
+                },
+            )),
+        }
+    }
+
+    /// Builds FairMove with a custom CMA2C configuration (for the α sweep
+    /// and ablations).
+    pub fn fairmove_with(city: &City, config: Cma2cConfig) -> Method {
+        Method::FairMove(Cma2cPolicy::new(city, config))
+    }
+
+    /// The method's kind.
+    pub fn kind(&self) -> MethodKind {
+        match self {
+            Method::Gt(_) => MethodKind::Gt,
+            Method::Sd2(_) => MethodKind::Sd2,
+            Method::Tql(_) => MethodKind::Tql,
+            Method::Dqn(_) => MethodKind::Dqn,
+            Method::Tba(_) => MethodKind::Tba,
+            Method::FairMove(_) => MethodKind::FairMove,
+        }
+    }
+
+    /// The method as a displacement policy.
+    pub fn as_policy(&mut self) -> &mut dyn DisplacementPolicy {
+        match self {
+            Method::Gt(p) => p,
+            Method::Sd2(p) => p,
+            Method::Tql(p) => p,
+            Method::Dqn(p) => p,
+            Method::Tba(p) => p,
+            Method::FairMove(p) => p,
+        }
+    }
+
+    /// Freezes learning and exploration (no-op for non-learning methods).
+    pub fn freeze(&mut self) {
+        match self {
+            Method::Tql(p) => p.freeze(),
+            Method::Dqn(p) => p.freeze(),
+            Method::Tba(p) => p.freeze(),
+            Method::FairMove(p) => p.freeze(),
+            Method::Gt(_) | Method::Sd2(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::CityConfig;
+
+    #[test]
+    fn all_methods_construct() {
+        let sim = SimConfig::test_scale();
+        let city = City::generate(sim.city.clone());
+        for kind in MethodKind::all() {
+            let mut m = Method::build(kind, &city, &sim, 0.6);
+            assert_eq!(m.kind(), kind);
+            assert_eq!(m.as_policy().name(), kind.name());
+        }
+        let _ = CityConfig::default();
+    }
+
+    #[test]
+    fn learning_flags_match_paper() {
+        assert!(!MethodKind::Gt.is_learning());
+        assert!(!MethodKind::Sd2.is_learning());
+        assert!(MethodKind::Tql.is_learning());
+        assert!(MethodKind::Dqn.is_learning());
+        assert!(MethodKind::Tba.is_learning());
+        assert!(MethodKind::FairMove.is_learning());
+    }
+
+    #[test]
+    fn freeze_is_safe_on_all() {
+        let sim = SimConfig::test_scale();
+        let city = City::generate(sim.city.clone());
+        for kind in MethodKind::all() {
+            let mut m = Method::build(kind, &city, &sim, 0.6);
+            m.freeze();
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper_tables() {
+        let names: Vec<&str> = MethodKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["GT", "SD2", "TQL", "DQN", "TBA", "FairMove"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! The high-level FairMove API: configure → train → evaluate → recommend.
+//!
+//! This is the interface a fleet operator would integrate: build the system
+//! over a city, train the CMA2C displacement policy on historical demand,
+//! then either evaluate it offline or query per-slot recommendations online.
+
+use crate::method::{Method, MethodKind};
+use crate::runner::{RunOutcome, Runner};
+use fairmove_agents::Cma2cConfig;
+use fairmove_city::City;
+use fairmove_metrics::MethodReport;
+use fairmove_sim::{Action, DecisionContext, SimConfig, SlotObservation};
+
+/// Top-level configuration.
+#[derive(Debug, Clone)]
+pub struct FairMoveConfig {
+    /// World + fleet configuration.
+    pub sim: SimConfig,
+    /// CMA2C hyper-parameters (α lives here).
+    pub cma2c: Cma2cConfig,
+    /// Training episodes (each = one simulated horizon of `sim.days`).
+    pub train_episodes: u32,
+}
+
+impl Default for FairMoveConfig {
+    fn default() -> Self {
+        FairMoveConfig {
+            sim: SimConfig::default(),
+            cma2c: Cma2cConfig::default(),
+            train_episodes: 4,
+        }
+    }
+}
+
+impl FairMoveConfig {
+    /// Tiny configuration for tests and doctests.
+    pub fn test_scale() -> Self {
+        FairMoveConfig {
+            sim: SimConfig::test_scale(),
+            cma2c: Cma2cConfig {
+                min_buffer: 64,
+                batch_size: 32,
+                ..Cma2cConfig::default()
+            },
+            train_episodes: 1,
+        }
+    }
+}
+
+/// Training summary.
+#[derive(Debug, Clone)]
+pub struct TrainingStats {
+    /// Episodes completed.
+    pub episodes: u32,
+    /// Average α-weighted reward per episode (the learning curve).
+    pub reward_curve: Vec<f64>,
+    /// CMA2C gradient steps taken.
+    pub train_steps: u64,
+}
+
+/// Frozen-evaluation summary.
+#[derive(Debug, Clone)]
+pub struct EvaluationResult {
+    /// The evaluation run's ledger.
+    pub ledger: fairmove_sim::FleetLedger,
+    /// Fleet mean profit efficiency, CNY/h.
+    pub mean_pe: f64,
+    /// Profit fairness (PE variance).
+    pub pf: f64,
+    /// Average α-weighted reward per taxi-slot.
+    pub average_reward: f64,
+    /// Comparison against a ground-truth run on the same demand.
+    pub vs_ground_truth: MethodReport,
+}
+
+/// The FairMove displacement system.
+pub struct FairMove {
+    config: FairMoveConfig,
+    city: City,
+    policy: Method,
+    trained_episodes: u32,
+}
+
+impl FairMove {
+    /// Builds the system: generates the city substrate and initializes the
+    /// CMA2C networks.
+    pub fn new(config: FairMoveConfig) -> Self {
+        let city = City::generate(config.sim.city.clone());
+        let policy = Method::fairmove_with(
+            &city,
+            Cma2cConfig {
+                seed: config.sim.seed,
+                ..config.cma2c.clone()
+            },
+        );
+        FairMove {
+            city,
+            policy,
+            trained_episodes: 0,
+            config,
+        }
+    }
+
+    /// The city substrate the system operates over.
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FairMoveConfig {
+        &self.config
+    }
+
+    /// Trains the CMA2C policy for the configured number of episodes.
+    pub fn train(&mut self) -> TrainingStats {
+        let runner = Runner::new(
+            self.config.sim.clone(),
+            self.config.train_episodes,
+            self.config.cma2c.alpha,
+        );
+        let reward_curve = runner.train(&mut self.policy);
+        self.trained_episodes += self.config.train_episodes;
+        let train_steps = match &self.policy {
+            Method::FairMove(p) => p.train_steps(),
+            _ => 0,
+        };
+        TrainingStats {
+            episodes: self.trained_episodes,
+            reward_curve,
+            train_steps,
+        }
+    }
+
+    /// Evaluates the (frozen) policy against a ground-truth run on the same
+    /// demand realization.
+    pub fn evaluate(&mut self) -> EvaluationResult {
+        let runner = Runner::new(self.config.sim.clone(), 0, self.config.cma2c.alpha);
+        let mut gt = Method::build(
+            MethodKind::Gt,
+            &self.city,
+            &self.config.sim,
+            self.config.cma2c.alpha,
+        );
+        let gt_out = runner.run_once(gt.as_policy(), self.config.sim.seed);
+
+        self.policy.freeze();
+        let out: RunOutcome = runner.run_once(self.policy.as_policy(), self.config.sim.seed);
+        let report = MethodReport::compute("FairMove", &gt_out.ledger, &out.ledger);
+        EvaluationResult {
+            ledger: out.ledger,
+            mean_pe: out.mean_pe,
+            pf: out.pf,
+            average_reward: out.average_reward,
+            vs_ground_truth: report,
+        }
+    }
+
+    /// Online inference: per-slot displacement recommendations for a set of
+    /// vacant taxis. This is the decentralized-execution entry point — it
+    /// needs only the broadcast observation and each taxi's own context.
+    pub fn recommend(
+        &mut self,
+        obs: &SlotObservation,
+        decisions: &[DecisionContext],
+    ) -> Vec<Action> {
+        self.policy.as_policy().decide(obs, decisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_then_evaluate_round_trip() {
+        let mut system = FairMove::new(FairMoveConfig::test_scale());
+        let stats = system.train();
+        assert_eq!(stats.episodes, 1);
+        assert_eq!(stats.reward_curve.len(), 1);
+        assert!(stats.train_steps > 0, "no gradient steps during training");
+        let eval = system.evaluate();
+        assert!(!eval.ledger.trips().is_empty());
+        assert!(eval.mean_pe.is_finite());
+        assert!(eval.vs_ground_truth.prct.is_finite());
+    }
+
+    #[test]
+    fn repeated_training_accumulates_episodes() {
+        let mut system = FairMove::new(FairMoveConfig::test_scale());
+        system.train();
+        let stats = system.train();
+        assert_eq!(stats.episodes, 2);
+    }
+
+    #[test]
+    fn recommend_returns_admissible_actions() {
+        let mut system = FairMove::new(FairMoveConfig::test_scale());
+        // Build a realistic observation/context via a scratch environment.
+        let env = fairmove_sim::Environment::new(system.config().sim.clone());
+        let obs = env.observation();
+        let ctxs = env.decision_contexts();
+        let actions = system.recommend(&obs, &ctxs);
+        assert_eq!(actions.len(), ctxs.len());
+        for (a, c) in actions.iter().zip(&ctxs) {
+            assert!(c.actions.contains(*a));
+        }
+    }
+}

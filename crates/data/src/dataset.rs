@@ -1,0 +1,252 @@
+//! Whole-dataset assembly and (de)serialization.
+//!
+//! The paper's pipeline starts from raw feeds — GPS pings and transaction
+//! records — and *infers* higher-level events from them. This module closes
+//! the loop for the synthetic world: it can synthesize a GPS ping stream
+//! from a transaction log (linear interpolation along each trip, idle pings
+//! between trips), and write/read the whole Table I dataset as CSV
+//! sections, so tooling written against the real feeds runs unchanged.
+
+use crate::schema::{GpsRecord, ParseError, PartitionRecord, StationRecord, TransactionRecord};
+use std::io::{self, BufRead, Write};
+
+/// A complete synthetic dataset in the paper's Table I shape.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// GPS pings, time-ordered per vehicle.
+    pub gps: Vec<GpsRecord>,
+    /// Completed trips.
+    pub transactions: Vec<TransactionRecord>,
+    /// Charging-station metadata.
+    pub stations: Vec<StationRecord>,
+    /// Urban-partition metadata.
+    pub partition: Vec<PartitionRecord>,
+}
+
+/// Synthesizes a GPS ping stream from a transaction log: one ping every
+/// `interval_minutes` along each trip (positions linearly interpolated
+/// pickup → drop-off, `occupied = true`), plus one vacant ping at each
+/// drop-off.
+pub fn gps_from_transactions(
+    transactions: &[TransactionRecord],
+    interval_minutes: u32,
+) -> Vec<GpsRecord> {
+    assert!(interval_minutes > 0, "zero ping interval");
+    let mut out = Vec::new();
+    for t in transactions {
+        let duration = t.duration_minutes().max(1);
+        let speed = t.operating_km / (f64::from(duration) / 60.0);
+        let mut m = 0;
+        while m <= duration {
+            let frac = f64::from(m) / f64::from(duration);
+            let pos = t.pickup_pos.lerp(t.dropoff_pos, frac);
+            let dx = t.dropoff_pos.x - t.pickup_pos.x;
+            let dy = t.dropoff_pos.y - t.pickup_pos.y;
+            let direction = dy.atan2(dx).to_degrees().rem_euclid(360.0);
+            out.push(GpsRecord {
+                vehicle_id: t.vehicle_id,
+                position: pos,
+                timestamp: t.pickup_time + m,
+                direction_deg: direction,
+                speed_kmh: speed,
+                occupied: true,
+            });
+            m += interval_minutes;
+        }
+        out.push(GpsRecord {
+            vehicle_id: t.vehicle_id,
+            position: t.dropoff_pos,
+            timestamp: t.dropoff_time,
+            direction_deg: 0.0,
+            speed_kmh: 0.0,
+            occupied: false,
+        });
+    }
+    out
+}
+
+/// Section markers in the serialized dataset.
+const SECTIONS: [&str; 4] = ["#GPS", "#TRANSACTIONS", "#STATIONS", "#PARTITION"];
+
+impl Dataset {
+    /// Writes the dataset as four CSV sections with `#SECTION` headers.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "{}", SECTIONS[0])?;
+        for r in &self.gps {
+            writeln!(w, "{}", r.to_csv())?;
+        }
+        writeln!(w, "{}", SECTIONS[1])?;
+        for r in &self.transactions {
+            writeln!(w, "{}", r.to_csv())?;
+        }
+        writeln!(w, "{}", SECTIONS[2])?;
+        for r in &self.stations {
+            writeln!(w, "{}", r.to_csv())?;
+        }
+        writeln!(w, "{}", SECTIONS[3])?;
+        for r in &self.partition {
+            writeln!(w, "{}", r.to_csv())?;
+        }
+        Ok(())
+    }
+
+    /// Parses a dataset previously produced by [`Self::write_to`].
+    pub fn read_from(r: &mut impl BufRead) -> Result<Dataset, ParseError> {
+        let mut out = Dataset::default();
+        let mut section: Option<usize> = None;
+        for line in r.lines() {
+            let line = line.map_err(|e| ParseError {
+                message: format!("io error: {e}"),
+            })?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(idx) = SECTIONS.iter().position(|&s| s == line) {
+                section = Some(idx);
+                continue;
+            }
+            match section {
+                Some(0) => out.gps.push(GpsRecord::from_csv(line)?),
+                Some(1) => out.transactions.push(TransactionRecord::from_csv(line)?),
+                Some(2) => out.stations.push(StationRecord::from_csv(line)?),
+                Some(3) => out.partition.push(PartitionRecord::from_csv(line)?),
+                _ => {
+                    return Err(ParseError {
+                        message: format!("data before any section header: {line:?}"),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total record count across all sections.
+    pub fn len(&self) -> usize {
+        self.gps.len() + self.transactions.len() + self.stations.len() + self.partition.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Basic integrity checks on a dataset: trips end after they start, GPS
+/// timestamps are plausible, ids are consistent. Returns the list of
+/// human-readable violations (empty = clean).
+pub fn validate(dataset: &Dataset) -> Vec<String> {
+    let mut issues = Vec::new();
+    for (i, t) in dataset.transactions.iter().enumerate() {
+        if t.dropoff_time < t.pickup_time {
+            issues.push(format!("transaction {i}: drop-off before pickup"));
+        }
+        if t.operating_km < 0.0 || t.fare_cny < 0.0 {
+            issues.push(format!("transaction {i}: negative distance or fare"));
+        }
+    }
+    for (i, g) in dataset.gps.iter().enumerate() {
+        if !g.position.x.is_finite() || !g.position.y.is_finite() {
+            issues.push(format!("gps {i}: non-finite position"));
+        }
+        if g.speed_kmh < 0.0 || g.speed_kmh > 150.0 {
+            issues.push(format!("gps {i}: implausible speed {}", g.speed_kmh));
+        }
+    }
+    for (i, s) in dataset.stations.iter().enumerate() {
+        if s.fast_points == 0 {
+            issues.push(format!("station {i}: zero charging points"));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{Point, RegionId, SimTime, StationId};
+
+    fn sample() -> Dataset {
+        let transactions = vec![TransactionRecord {
+            vehicle_id: 7,
+            pickup_time: SimTime(100),
+            dropoff_time: SimTime(120),
+            pickup_pos: Point::new(0.0, 0.0),
+            dropoff_pos: Point::new(4.0, 3.0),
+            operating_km: 6.0,
+            cruising_km: 1.0,
+            fare_cny: 21.4,
+        }];
+        let gps = gps_from_transactions(&transactions, 5);
+        Dataset {
+            gps,
+            transactions,
+            stations: vec![StationRecord {
+                station_id: StationId(0),
+                name: "S0".into(),
+                position: Point::new(1.0, 1.0),
+                fast_points: 10,
+            }],
+            partition: vec![PartitionRecord {
+                region_id: RegionId(0),
+                centroid: Point::new(0.5, 0.5),
+                area_km2: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn gps_interpolates_along_the_trip() {
+        let d = sample();
+        // 20-minute trip, ping every 5 → pings at 0,5,10,15,20 + vacant.
+        assert_eq!(d.gps.len(), 6);
+        let mid = &d.gps[2];
+        assert_eq!(mid.timestamp, SimTime(110));
+        assert!((mid.position.x - 2.0).abs() < 1e-9);
+        assert!((mid.position.y - 1.5).abs() < 1e-9);
+        assert!(mid.occupied);
+        assert!(!d.gps.last().unwrap().occupied);
+    }
+
+    #[test]
+    fn gps_speed_is_trip_average() {
+        let d = sample();
+        // 6 km over 20 min = 18 km/h.
+        assert!((d.gps[0].speed_kmh - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trips_through_csv_sections() {
+        let d = sample();
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let parsed = Dataset::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(parsed.gps.len(), d.gps.len());
+        assert_eq!(parsed.transactions.len(), 1);
+        assert_eq!(parsed.stations.len(), 1);
+        assert_eq!(parsed.partition.len(), 1);
+        assert_eq!(parsed.transactions[0].vehicle_id, 7);
+        assert_eq!(parsed.len(), d.len());
+    }
+
+    #[test]
+    fn read_rejects_headerless_data() {
+        let junk = b"1,2,3\n".to_vec();
+        let err = Dataset::read_from(&mut junk.as_slice()).unwrap_err();
+        assert!(err.message.contains("before any section"));
+    }
+
+    #[test]
+    fn validate_flags_broken_records() {
+        let mut d = sample();
+        d.transactions[0].dropoff_time = SimTime(50); // before pickup
+        d.stations[0].fast_points = 0;
+        let issues = validate(&d);
+        assert_eq!(issues.len(), 2, "{issues:?}");
+    }
+
+    #[test]
+    fn validate_accepts_clean_dataset() {
+        assert!(validate(&sample()).is_empty());
+    }
+}

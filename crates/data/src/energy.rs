@@ -1,0 +1,169 @@
+//! The e-taxi energy model.
+//!
+//! All Shenzhen e-taxis are the same model, the BYD e6: 80 kWh battery,
+//! 400 km range (Section II-A), giving a flat 0.2 kWh/km consumption. The
+//! paper's action model sends a taxi to charge when its state of charge drops
+//! below a threshold `η` (20 % in the paper, Section III-C Reward).
+
+use serde::{Deserialize, Serialize};
+
+/// Battery and consumption constants for a fleet vehicle model.
+///
+/// ```
+/// use fairmove_data::EnergyModel;
+/// let byd_e6 = EnergyModel::default();
+/// assert_eq!(byd_e6.range_km(1.0), 400.0);   // paper: 400 km on 80 kWh
+/// assert!(byd_e6.must_charge(0.19));         // below the 20% threshold
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Usable battery capacity, kWh (BYD e6: 80).
+    pub battery_kwh: f64,
+    /// Energy drawn per driven km, kWh/km (BYD e6: 80 kWh / 400 km = 0.2).
+    pub consumption_kwh_per_km: f64,
+    /// Fast-charging power, kW. ~40 kW reproduces the paper's Fig. 3
+    /// charge-time distribution (73.5 % of events between 45 and 120 min).
+    pub charge_power_kw: f64,
+    /// State-of-charge fraction below which the taxi must go charge
+    /// (the paper's `η` = 0.2).
+    pub charge_threshold: f64,
+    /// State-of-charge fraction at which drivers unplug. Real drivers stop
+    /// near 95 % because the final constant-voltage phase is slow.
+    pub charge_target: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            battery_kwh: 80.0,
+            consumption_kwh_per_km: 0.2,
+            charge_power_kw: 40.0,
+            charge_threshold: 0.2,
+            charge_target: 0.95,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy consumed by driving `km`, kWh.
+    #[inline]
+    pub fn consumption(&self, km: f64) -> f64 {
+        km * self.consumption_kwh_per_km
+    }
+
+    /// Driving range available from `soc` (fraction), km.
+    #[inline]
+    pub fn range_km(&self, soc: f64) -> f64 {
+        soc * self.battery_kwh / self.consumption_kwh_per_km
+    }
+
+    /// State-of-charge drop caused by driving `km`.
+    #[inline]
+    pub fn soc_drop(&self, km: f64) -> f64 {
+        self.consumption(km) / self.battery_kwh
+    }
+
+    /// Minutes needed to charge from `from_soc` to `to_soc` at full power.
+    ///
+    /// Returns 0 when `from_soc >= to_soc`.
+    pub fn charge_minutes(&self, from_soc: f64, to_soc: f64) -> u32 {
+        if from_soc >= to_soc {
+            return 0;
+        }
+        let kwh = (to_soc - from_soc) * self.battery_kwh;
+        let minutes = kwh / self.charge_power_kw * 60.0;
+        (minutes.ceil() as u32).max(1)
+    }
+
+    /// Energy delivered by charging for `minutes` at full power, kWh,
+    /// capped so SoC does not exceed 1.0 starting from `from_soc`.
+    pub fn energy_for_minutes(&self, from_soc: f64, minutes: u32) -> f64 {
+        let uncapped = self.charge_power_kw * f64::from(minutes) / 60.0;
+        let headroom = ((1.0 - from_soc) * self.battery_kwh).max(0.0);
+        uncapped.min(headroom)
+    }
+
+    /// Whether a taxi at `soc` must go charge (`soc < η`).
+    #[inline]
+    pub fn must_charge(&self, soc: f64) -> bool {
+        soc < self.charge_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn byd_e6_constants() {
+        let m = EnergyModel::default();
+        assert_eq!(m.battery_kwh, 80.0);
+        assert!((m.range_km(1.0) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consumption_scales_linearly() {
+        let m = EnergyModel::default();
+        assert!((m.consumption(100.0) - 20.0).abs() < 1e-9);
+        assert!((m.soc_drop(100.0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_charge_event_duration_matches_fig3() {
+        // Charging from the 20 % threshold to the 95 % target must land in
+        // the paper's dominant 45–120 minute window.
+        let m = EnergyModel::default();
+        let minutes = m.charge_minutes(0.2, 0.95);
+        assert!((45..=120).contains(&minutes), "got {minutes} min");
+    }
+
+    #[test]
+    fn charge_minutes_zero_when_already_full() {
+        let m = EnergyModel::default();
+        assert_eq!(m.charge_minutes(0.95, 0.95), 0);
+        assert_eq!(m.charge_minutes(0.99, 0.95), 0);
+    }
+
+    #[test]
+    fn energy_for_minutes_caps_at_full() {
+        let m = EnergyModel::default();
+        // From 90 % there is only 8 kWh of headroom.
+        let e = m.energy_for_minutes(0.9, 600);
+        assert!((e - 8.0).abs() < 1e-9);
+        // Short charge is power-limited.
+        let e2 = m.energy_for_minutes(0.2, 30);
+        assert!((e2 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn must_charge_threshold() {
+        let m = EnergyModel::default();
+        assert!(m.must_charge(0.19));
+        assert!(!m.must_charge(0.2));
+        assert!(!m.must_charge(0.8));
+    }
+
+    proptest! {
+        #[test]
+        fn charge_minutes_monotone_in_target(from in 0.0..0.5f64, a in 0.5..0.9f64, extra in 0.01..0.1f64) {
+            let m = EnergyModel::default();
+            prop_assert!(m.charge_minutes(from, a + extra) >= m.charge_minutes(from, a));
+        }
+
+        #[test]
+        fn energy_never_exceeds_headroom(soc in 0.0..1.0f64, minutes in 0u32..1000) {
+            let m = EnergyModel::default();
+            let e = m.energy_for_minutes(soc, minutes);
+            prop_assert!(e >= 0.0);
+            prop_assert!(soc + e / m.battery_kwh <= 1.0 + 1e-9);
+        }
+
+        #[test]
+        fn range_and_soc_drop_are_inverse(km in 0.0..400.0f64) {
+            let m = EnergyModel::default();
+            let drop = m.soc_drop(km);
+            prop_assert!((m.range_km(drop) - km).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Time-of-use charging tariff (the paper's Fig. 2 and the `λ` vector of Eq. 2).
+//!
+//! Shenzhen bills e-taxi charging in three bands: off-peak 0.9, flat (semi-
+//! peak) 1.2, and peak 1.6 CNY/kWh. The exact band boundaries are chosen so
+//! that the cheap windows fall at 0:00–7:00, 12:00–14:00, and 17:00–18:00 —
+//! the windows in which the paper observes intensive charging peaks (Fig. 4:
+//! 2:00–6:00, 12:00–14:00, 17:00–18:00), because price-chasing drivers herd
+//! into them.
+
+use fairmove_city::{HourOfDay, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One tariff band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriceBand {
+    /// Lowest rate (night / midday valley).
+    OffPeak,
+    /// Medium ("semi-peak"/"flat") rate.
+    Flat,
+    /// Highest rate.
+    Peak,
+}
+
+impl PriceBand {
+    /// Index into per-band arrays: `[Peak, Flat, OffPeak]`, matching the
+    /// paper's `λ = [λ_p, λ_f, λ_o]` ordering.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PriceBand::Peak => 0,
+            PriceBand::Flat => 1,
+            PriceBand::OffPeak => 2,
+        }
+    }
+}
+
+/// The time-of-use tariff: a band per hour of day and a rate per band.
+///
+/// ```
+/// use fairmove_data::ChargingPricing;
+/// use fairmove_city::SimTime;
+/// let tariff = ChargingPricing::default();
+/// // One off-peak hour at 40 kW costs 40 kWh x 0.9 CNY.
+/// let cost = tariff.charging_cost(
+///     SimTime::from_dhm(0, 2, 0),
+///     SimTime::from_dhm(0, 3, 0),
+///     40.0,
+/// );
+/// assert!((cost - 36.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChargingPricing {
+    /// Rate per band, CNY/kWh, ordered `[peak, flat, off]` like the paper's λ.
+    pub rates: [f64; 3],
+    /// Band assignment per hour of day.
+    pub band_by_hour: [PriceBand; 24],
+}
+
+impl Default for ChargingPricing {
+    fn default() -> Self {
+        use PriceBand::*;
+        let mut band = [Flat; 24];
+        for (h, b) in band.iter_mut().enumerate() {
+            *b = match h {
+                0..=6 => OffPeak,  // night valley
+                7 => Flat,         // morning shoulder
+                8..=11 => Peak,    // morning consumption peak
+                12..=13 => OffPeak, // midday valley
+                14..=16 => Flat,
+                17 => OffPeak,     // pre-evening dip
+                18..=22 => Peak,   // evening consumption peak
+                _ => OffPeak,      // 23:00
+            };
+        }
+        ChargingPricing {
+            rates: [1.6, 1.2, 0.9],
+            band_by_hour: band,
+        }
+    }
+}
+
+impl ChargingPricing {
+    /// The band in effect at `hour`.
+    #[inline]
+    pub fn band_at(&self, hour: HourOfDay) -> PriceBand {
+        self.band_by_hour[hour.index()]
+    }
+
+    /// The rate in CNY/kWh at `hour`.
+    #[inline]
+    pub fn rate_at(&self, hour: HourOfDay) -> f64 {
+        self.rates[self.band_at(hour).index()]
+    }
+
+    /// The rate in effect at an absolute sim time.
+    #[inline]
+    pub fn rate_at_time(&self, t: SimTime) -> f64 {
+        self.rate_at(t.hour_of_day())
+    }
+
+    /// Splits a charging interval `[start, end)` into per-band minutes:
+    /// the paper's `T_charge = [T_p, T_f, T_o]` vector (Eq. 2), in minutes.
+    pub fn band_minutes(&self, start: SimTime, end: SimTime) -> [u32; 3] {
+        let mut out = [0u32; 3];
+        let mut t = start;
+        while t < end {
+            // Advance to the next hour boundary or the interval end.
+            let minute = t.minutes();
+            let next_hour_boundary = (minute / 60 + 1) * 60;
+            let step_end = next_hour_boundary.min(end.minutes());
+            let band = self.band_at(t.hour_of_day());
+            out[band.index()] += step_end - minute;
+            t = SimTime(step_end);
+        }
+        out
+    }
+
+    /// Cost of charging at constant `power_kw` over `[start, end)`:
+    /// `λ · T_charge` with T in hours (Eq. 2), in CNY.
+    pub fn charging_cost(&self, start: SimTime, end: SimTime, power_kw: f64) -> f64 {
+        let mins = self.band_minutes(start, end);
+        let mut cost = 0.0;
+        for (i, &m) in mins.iter().enumerate() {
+            cost += self.rates[i] * (f64::from(m) / 60.0) * power_kw;
+        }
+        cost
+    }
+
+    /// Cheapest rate across the day, CNY/kWh.
+    pub fn min_rate(&self) -> f64 {
+        self.rates.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Hours (0..24) whose band is `band`.
+    pub fn hours_in_band(&self, band: PriceBand) -> Vec<HourOfDay> {
+        HourOfDay::all().filter(|h| self.band_at(*h) == band).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_rates_match_paper() {
+        let p = ChargingPricing::default();
+        assert_eq!(p.rates, [1.6, 1.2, 0.9]);
+        assert_eq!(p.min_rate(), 0.9);
+    }
+
+    #[test]
+    fn cheap_windows_match_fig4_peaks() {
+        // The paper's observed charging peaks (2–6, 12–14, 17–18) must be
+        // off-peak hours in our tariff for price-chasing to reproduce them.
+        let p = ChargingPricing::default();
+        for h in [2u8, 3, 4, 5, 12, 13, 17] {
+            assert_eq!(p.band_at(HourOfDay(h)), PriceBand::OffPeak, "hour {h}");
+        }
+        // Rush-adjacent hours are expensive.
+        for h in [9u8, 10, 19, 20] {
+            assert_eq!(p.band_at(HourOfDay(h)), PriceBand::Peak, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn band_minutes_single_band() {
+        let p = ChargingPricing::default();
+        // 02:00-03:30 is entirely off-peak.
+        let mins = p.band_minutes(SimTime::from_dhm(0, 2, 0), SimTime::from_dhm(0, 3, 30));
+        assert_eq!(mins, [0, 0, 90]);
+    }
+
+    #[test]
+    fn band_minutes_spanning_bands() {
+        let p = ChargingPricing::default();
+        // 06:30-08:30: 30 min off (6:30-7), 60 min flat (7-8), 30 min peak (8-8:30).
+        let mins = p.band_minutes(SimTime::from_dhm(0, 6, 30), SimTime::from_dhm(0, 8, 30));
+        assert_eq!(mins, [30, 60, 30]);
+    }
+
+    #[test]
+    fn band_minutes_empty_interval() {
+        let p = ChargingPricing::default();
+        let t = SimTime::from_dhm(0, 5, 0);
+        assert_eq!(p.band_minutes(t, t), [0, 0, 0]);
+    }
+
+    #[test]
+    fn band_minutes_crossing_midnight() {
+        let p = ChargingPricing::default();
+        // 23:30 day 0 -> 00:30 day 1: all off-peak (23:00 and 0:00-7:00).
+        let mins = p.band_minutes(SimTime::from_dhm(0, 23, 30), SimTime::from_dhm(1, 0, 30));
+        assert_eq!(mins, [0, 0, 60]);
+    }
+
+    #[test]
+    fn charging_cost_off_peak_hour() {
+        let p = ChargingPricing::default();
+        // 1 hour at 40 kW off-peak = 40 kWh * 0.9 = 36 CNY.
+        let cost = p.charging_cost(SimTime::from_dhm(0, 2, 0), SimTime::from_dhm(0, 3, 0), 40.0);
+        assert!((cost - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charging_cost_peak_costs_more() {
+        let p = ChargingPricing::default();
+        let off = p.charging_cost(SimTime::from_dhm(0, 2, 0), SimTime::from_dhm(0, 3, 0), 40.0);
+        let peak = p.charging_cost(SimTime::from_dhm(0, 9, 0), SimTime::from_dhm(0, 10, 0), 40.0);
+        assert!((peak / off - 1.6 / 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hours_partition_into_bands() {
+        let p = ChargingPricing::default();
+        let total = p.hours_in_band(PriceBand::Peak).len()
+            + p.hours_in_band(PriceBand::Flat).len()
+            + p.hours_in_band(PriceBand::OffPeak).len();
+        assert_eq!(total, 24);
+    }
+
+    proptest! {
+        #[test]
+        fn band_minutes_sum_to_duration(start in 0u32..2880, len in 0u32..1440) {
+            let p = ChargingPricing::default();
+            let s = SimTime(start);
+            let e = SimTime(start + len);
+            let mins = p.band_minutes(s, e);
+            prop_assert_eq!(mins.iter().sum::<u32>(), len);
+        }
+
+        #[test]
+        fn cost_is_monotone_in_duration(start in 0u32..1440, len in 1u32..600) {
+            let p = ChargingPricing::default();
+            let s = SimTime(start);
+            let shorter = p.charging_cost(s, SimTime(start + len), 40.0);
+            let longer = p.charging_cost(s, SimTime(start + len + 30), 40.0);
+            prop_assert!(longer > shorter);
+        }
+
+        #[test]
+        fn cost_bounded_by_band_extremes(start in 0u32..1440, len in 1u32..600) {
+            let p = ChargingPricing::default();
+            let s = SimTime(start);
+            let e = SimTime(start + len);
+            let cost = p.charging_cost(s, e, 40.0);
+            let hours = f64::from(len) / 60.0;
+            prop_assert!(cost >= 0.9 * hours * 40.0 - 1e-9);
+            prop_assert!(cost <= 1.6 * hours * 40.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Small distribution toolbox.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of distributions the generators need are implemented here:
+//! Poisson (arrival counts), exponential (inter-event gaps / skew),
+//! log-normal (trip lengths), and a standard normal via Box–Muller.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, sd²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples a Poisson random variate with rate `lambda`.
+///
+/// Uses Knuth's product method for small rates and a normal approximation
+/// (with continuity correction) above 30, which is ample for per-slot
+/// arrival counts.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    assert!(lambda >= 0.0, "negative Poisson rate {lambda}");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: the loop terminates with probability 1, but a bound
+        // keeps a pathological RNG from spinning.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Samples an exponential with the given `mean`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "non-positive exponential mean {mean}");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Samples a log-normal such that the *underlying normal* has parameters
+/// `mu` and `sigma` (i.e. `exp(N(mu, sigma²))`).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal parameterized by its own mean and coefficient of variation,
+/// which is how the trip-length model is calibrated.
+pub fn log_normal_mean_cv<R: Rng + ?Sized>(rng: &mut R, mean: f64, cv: f64) -> f64 {
+    assert!(mean > 0.0 && cv > 0.0);
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    log_normal(rng, mu, sigma2.sqrt())
+}
+
+/// Samples an index `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+/// Panics if `weights` is empty or all weights are non-positive.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "empty weight vector");
+    let total: f64 = weights.iter().filter(|w| w.is_sign_positive()).sum();
+    assert!(total > 0.0, "all weights non-positive");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    // Floating-point remainder: return the last positive-weight index.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_rate_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| u64::from(poisson(&mut r, 3.5))).sum();
+        let mean = sum as f64 / f64::from(n);
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_rate_mean_and_var() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| f64::from(poisson(&mut r, 100.0))).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!((var - 100.0).abs() < 10.0, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 7.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 7.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(exponential(&mut r, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_mean_cv_calibration() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| log_normal_mean_cv(&mut r, 8.0, 0.8)).sum::<f64>() / f64::from(n);
+        assert!((mean - 8.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = f64::from(counts[2]) / f64::from(counts[0]);
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight vector")]
+    fn weighted_index_rejects_empty() {
+        let mut r = rng();
+        let _ = weighted_index(&mut r, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights non-positive")]
+    fn weighted_index_rejects_zero_total() {
+        let mut r = rng();
+        let _ = weighted_index(&mut r, &[0.0, 0.0]);
+    }
+}

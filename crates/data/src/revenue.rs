@@ -1,0 +1,117 @@
+//! Metered fare model.
+//!
+//! Shenzhen taxi fares are distance-metered: a flagfall covering the first
+//! couple of kilometres, a per-km rate after that, and a late-night
+//! surcharge. Combined with the gravity destination model this reproduces
+//! the paper's Fig. 7: per-trip revenue ranges from a few CNY (short suburb
+//! hops) to over 100 CNY (airport runs), higher at night per kilometre.
+
+use fairmove_city::HourOfDay;
+use serde::{Deserialize, Serialize};
+
+/// Distance-metered taxi fare schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FareModel {
+    /// Base fare, CNY (covers `flagfall_km`).
+    pub flagfall_cny: f64,
+    /// Distance included in the flagfall, km.
+    pub flagfall_km: f64,
+    /// Rate beyond the flagfall distance, CNY/km.
+    pub per_km_cny: f64,
+    /// Multiplier applied during the night window.
+    pub night_multiplier: f64,
+    /// Night window start hour (inclusive, wraps midnight).
+    pub night_start: u8,
+    /// Night window end hour (exclusive).
+    pub night_end: u8,
+}
+
+impl Default for FareModel {
+    fn default() -> Self {
+        // Shenzhen's published taxi tariff (2019-era): 11 CNY first 2 km,
+        // 2.6 CNY/km after, +20% 23:00-06:00.
+        FareModel {
+            flagfall_cny: 11.0,
+            flagfall_km: 2.0,
+            per_km_cny: 2.6,
+            night_multiplier: 1.2,
+            night_start: 23,
+            night_end: 6,
+        }
+    }
+}
+
+impl FareModel {
+    /// Fare for a trip of `distance_km` picked up at `hour`, CNY.
+    pub fn fare(&self, distance_km: f64, hour: HourOfDay) -> f64 {
+        let base = if distance_km <= self.flagfall_km {
+            self.flagfall_cny
+        } else {
+            self.flagfall_cny + (distance_km - self.flagfall_km) * self.per_km_cny
+        };
+        if hour.in_range(self.night_start, self.night_end) {
+            base * self.night_multiplier
+        } else {
+            base
+        }
+    }
+
+    /// Whether `hour` falls in the surcharged night window.
+    #[inline]
+    pub fn is_night(&self, hour: HourOfDay) -> bool {
+        hour.in_range(self.night_start, self.night_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn short_trip_pays_flagfall() {
+        let f = FareModel::default();
+        assert_eq!(f.fare(0.5, HourOfDay(12)), 11.0);
+        assert_eq!(f.fare(2.0, HourOfDay(12)), 11.0);
+    }
+
+    #[test]
+    fn metered_distance_beyond_flagfall() {
+        let f = FareModel::default();
+        // 10 km day trip: 11 + 8*2.6 = 31.8.
+        assert!((f.fare(10.0, HourOfDay(12)) - 31.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn airport_run_exceeds_100_cny() {
+        // Fig. 7: airport region per-trip revenue can exceed 100 CNY.
+        let f = FareModel::default();
+        assert!(f.fare(40.0, HourOfDay(10)) > 100.0);
+    }
+
+    #[test]
+    fn night_surcharge_window() {
+        let f = FareModel::default();
+        assert!(f.is_night(HourOfDay(23)));
+        assert!(f.is_night(HourOfDay(2)));
+        assert!(!f.is_night(HourOfDay(6)));
+        assert!(!f.is_night(HourOfDay(12)));
+        let day = f.fare(10.0, HourOfDay(12));
+        let night = f.fare(10.0, HourOfDay(2));
+        assert!((night / day - 1.2).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn fare_is_monotone_in_distance(d in 0.0..60.0f64, extra in 0.0..20.0f64, h in 0u8..24) {
+            let f = FareModel::default();
+            prop_assert!(f.fare(d + extra, HourOfDay(h)) >= f.fare(d, HourOfDay(h)) - 1e-12);
+        }
+
+        #[test]
+        fn fare_at_least_flagfall(d in 0.0..60.0f64, h in 0u8..24) {
+            let f = FareModel::default();
+            prop_assert!(f.fare(d, HourOfDay(h)) >= f.flagfall_cny - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Record schemas of the paper's Table I, with CSV round-tripping.
+//!
+//! The five datasets of Section II-A: GPS records, transaction (fare)
+//! records, charging-station metadata, urban-partition metadata, and the
+//! charging tariff (the tariff lives in [`crate::pricing`]). The synthetic
+//! pipeline emits the same shapes so downstream tooling written against the
+//! real feeds would work unchanged.
+
+use fairmove_city::{Point, RegionId, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error parsing a CSV line into a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "record parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+    }
+}
+
+fn parse_field<T: FromStr>(s: &str, name: &str) -> Result<T, ParseError> {
+    s.trim()
+        .parse()
+        .map_err(|_| err(format!("bad {name}: {s:?}")))
+}
+
+/// One GPS ping (Table I row 1): where a vehicle is and whether it carries a
+/// passenger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpsRecord {
+    /// Fleet-unique vehicle id.
+    pub vehicle_id: u32,
+    /// Position in city coordinates (km; stands in for lon/lat).
+    pub position: Point,
+    /// Time of the ping.
+    pub timestamp: SimTime,
+    /// Heading in degrees, `[0, 360)`.
+    pub direction_deg: f64,
+    /// Instantaneous speed, km/h.
+    pub speed_kmh: f64,
+    /// Whether a passenger is on board.
+    pub occupied: bool,
+}
+
+impl GpsRecord {
+    /// Serializes to a CSV line (no trailing newline).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{:.5},{:.5},{},{:.1},{:.1},{}",
+            self.vehicle_id,
+            self.position.x,
+            self.position.y,
+            self.timestamp.minutes(),
+            self.direction_deg,
+            self.speed_kmh,
+            u8::from(self.occupied),
+        )
+    }
+
+    /// Parses a line produced by [`Self::to_csv`].
+    pub fn from_csv(line: &str) -> Result<Self, ParseError> {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 7 {
+            return Err(err(format!("expected 7 GPS fields, got {}", f.len())));
+        }
+        Ok(GpsRecord {
+            vehicle_id: parse_field(f[0], "vehicle_id")?,
+            position: Point::new(parse_field(f[1], "x")?, parse_field(f[2], "y")?),
+            timestamp: SimTime(parse_field(f[3], "timestamp")?),
+            direction_deg: parse_field(f[4], "direction")?,
+            speed_kmh: parse_field(f[5], "speed")?,
+            occupied: parse_field::<u8>(f[6], "occupied")? != 0,
+        })
+    }
+}
+
+/// One completed trip (Table I row 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransactionRecord {
+    /// Fleet-unique vehicle id.
+    pub vehicle_id: u32,
+    /// Pickup time.
+    pub pickup_time: SimTime,
+    /// Drop-off time.
+    pub dropoff_time: SimTime,
+    /// Pickup position.
+    pub pickup_pos: Point,
+    /// Drop-off position.
+    pub dropoff_pos: Point,
+    /// Distance driven with the passenger aboard, km.
+    pub operating_km: f64,
+    /// Distance cruised searching for this passenger, km.
+    pub cruising_km: f64,
+    /// Metered fare, CNY.
+    pub fare_cny: f64,
+}
+
+impl TransactionRecord {
+    /// Serializes to a CSV line (no trailing newline).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{:.5},{:.5},{:.5},{:.5},{:.3},{:.3},{:.2}",
+            self.vehicle_id,
+            self.pickup_time.minutes(),
+            self.dropoff_time.minutes(),
+            self.pickup_pos.x,
+            self.pickup_pos.y,
+            self.dropoff_pos.x,
+            self.dropoff_pos.y,
+            self.operating_km,
+            self.cruising_km,
+            self.fare_cny,
+        )
+    }
+
+    /// Parses a line produced by [`Self::to_csv`].
+    pub fn from_csv(line: &str) -> Result<Self, ParseError> {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 10 {
+            return Err(err(format!(
+                "expected 10 transaction fields, got {}",
+                f.len()
+            )));
+        }
+        Ok(TransactionRecord {
+            vehicle_id: parse_field(f[0], "vehicle_id")?,
+            pickup_time: SimTime(parse_field(f[1], "pickup_time")?),
+            dropoff_time: SimTime(parse_field(f[2], "dropoff_time")?),
+            pickup_pos: Point::new(parse_field(f[3], "px")?, parse_field(f[4], "py")?),
+            dropoff_pos: Point::new(parse_field(f[5], "dx")?, parse_field(f[6], "dy")?),
+            operating_km: parse_field(f[7], "operating_km")?,
+            cruising_km: parse_field(f[8], "cruising_km")?,
+            fare_cny: parse_field(f[9], "fare")?,
+        })
+    }
+
+    /// Trip duration in minutes.
+    #[inline]
+    pub fn duration_minutes(&self) -> u32 {
+        self.dropoff_time - self.pickup_time
+    }
+}
+
+/// Charging-station metadata (Table I row 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationRecord {
+    /// Station id.
+    pub station_id: StationId,
+    /// Station name.
+    pub name: String,
+    /// Position.
+    pub position: Point,
+    /// Number of fast charging points.
+    pub fast_points: u32,
+}
+
+impl StationRecord {
+    /// Serializes to a CSV line. Names containing commas are rejected by
+    /// `from_csv`; the synthetic generator never emits them.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{:.5},{:.5},{}",
+            self.station_id.0, self.name, self.position.x, self.position.y, self.fast_points
+        )
+    }
+
+    /// Parses a line produced by [`Self::to_csv`].
+    pub fn from_csv(line: &str) -> Result<Self, ParseError> {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 5 {
+            return Err(err(format!("expected 5 station fields, got {}", f.len())));
+        }
+        Ok(StationRecord {
+            station_id: StationId(parse_field(f[0], "station_id")?),
+            name: f[1].to_string(),
+            position: Point::new(parse_field(f[2], "x")?, parse_field(f[3], "y")?),
+            fast_points: parse_field(f[4], "fast_points")?,
+        })
+    }
+}
+
+/// Urban-partition metadata (Table I row 4): a region id plus its centroid
+/// (boundary polygons are reduced to the representative point the algorithms
+/// use).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionRecord {
+    /// Region id.
+    pub region_id: RegionId,
+    /// Representative point of the region.
+    pub centroid: Point,
+    /// Region area, km².
+    pub area_km2: f64,
+}
+
+impl PartitionRecord {
+    /// Serializes to a CSV line (no trailing newline).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{:.5},{:.5},{:.4}",
+            self.region_id.0, self.centroid.x, self.centroid.y, self.area_km2
+        )
+    }
+
+    /// Parses a line produced by [`Self::to_csv`].
+    pub fn from_csv(line: &str) -> Result<Self, ParseError> {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 4 {
+            return Err(err(format!("expected 4 partition fields, got {}", f.len())));
+        }
+        Ok(PartitionRecord {
+            region_id: RegionId(parse_field(f[0], "region_id")?),
+            centroid: Point::new(parse_field(f[1], "x")?, parse_field(f[2], "y")?),
+            area_km2: parse_field(f[3], "area")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gps_round_trip() {
+        let r = GpsRecord {
+            vehicle_id: 12345,
+            position: Point::new(12.34567, 8.9),
+            timestamp: SimTime(98765),
+            direction_deg: 271.5,
+            speed_kmh: 43.2,
+            occupied: true,
+        };
+        let parsed = GpsRecord::from_csv(&r.to_csv()).unwrap();
+        assert_eq!(parsed.vehicle_id, r.vehicle_id);
+        assert_eq!(parsed.timestamp, r.timestamp);
+        assert!(parsed.occupied);
+        assert!((parsed.position.x - r.position.x).abs() < 1e-4);
+    }
+
+    #[test]
+    fn transaction_round_trip() {
+        let r = TransactionRecord {
+            vehicle_id: 7,
+            pickup_time: SimTime(100),
+            dropoff_time: SimTime(125),
+            pickup_pos: Point::new(1.0, 2.0),
+            dropoff_pos: Point::new(3.0, 4.0),
+            operating_km: 7.125,
+            cruising_km: 1.5,
+            fare_cny: 24.30,
+        };
+        let parsed = TransactionRecord::from_csv(&r.to_csv()).unwrap();
+        assert_eq!(parsed.duration_minutes(), 25);
+        assert!((parsed.fare_cny - 24.30).abs() < 1e-9);
+        assert!((parsed.operating_km - 7.125).abs() < 1e-3);
+    }
+
+    #[test]
+    fn station_round_trip() {
+        let r = StationRecord {
+            station_id: StationId(9),
+            name: "Futian Hub".to_string(),
+            position: Point::new(25.0, 12.0),
+            fast_points: 120,
+        };
+        let parsed = StationRecord::from_csv(&r.to_csv()).unwrap();
+        assert_eq!(parsed, StationRecord {
+            position: Point::new(25.0, 12.0),
+            ..parsed.clone()
+        });
+        assert_eq!(parsed.name, "Futian Hub");
+        assert_eq!(parsed.fast_points, 120);
+    }
+
+    #[test]
+    fn partition_round_trip() {
+        let r = PartitionRecord {
+            region_id: RegionId(44),
+            centroid: Point::new(10.5, 20.25),
+            area_km2: 3.7,
+        };
+        let parsed = PartitionRecord::from_csv(&r.to_csv()).unwrap();
+        assert_eq!(parsed.region_id, RegionId(44));
+        assert!((parsed.area_km2 - 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_field_count_is_rejected() {
+        assert!(GpsRecord::from_csv("1,2,3").is_err());
+        assert!(TransactionRecord::from_csv("1,2,3,4").is_err());
+        assert!(StationRecord::from_csv("").is_err());
+        assert!(PartitionRecord::from_csv("a,b").is_err());
+    }
+
+    #[test]
+    fn garbage_fields_are_rejected() {
+        assert!(GpsRecord::from_csv("x,1,2,3,4,5,1").is_err());
+        let e = GpsRecord::from_csv("x,1,2,3,4,5,1").unwrap_err();
+        assert!(e.to_string().contains("vehicle_id"));
+    }
+
+    #[test]
+    fn occupied_flag_zero_parses_false() {
+        let line = "1,0.00000,0.00000,0,0.0,0.0,0";
+        assert!(!GpsRecord::from_csv(line).unwrap().occupied);
+    }
+}

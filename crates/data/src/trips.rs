@@ -1,0 +1,332 @@
+//! Passenger-request generation.
+//!
+//! Requests arrive as an inhomogeneous Poisson process over (region, slot)
+//! cells with rates from [`DemandModel`]; each request draws a destination
+//! from a gravity model (mass = destination archetype weight, decay =
+//! exponential in driving distance) and a metered fare from [`FareModel`].
+//! Passengers have finite patience — unserved requests expire, as in the
+//! paper's TBA baseline description ("before orders expire").
+
+use crate::demand::DemandModel;
+use crate::random;
+use crate::revenue::FareModel;
+use fairmove_city::{City, RegionId, SimTime, TimeSlot, SLOT_MINUTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distance-decay length scale of the gravity destination model, km.
+const GRAVITY_SCALE_KM: f64 = 7.0;
+
+/// Decay scale for airport-origin trips, km. Air travelers head to wherever
+/// in the city they live or work, so distance decay is far weaker — this is
+/// what makes airport per-trip revenue "always high" (Fig. 7).
+const AIRPORT_GRAVITY_SCALE_KM: f64 = 40.0;
+
+/// One passenger request (trip demand).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PassengerRequest {
+    /// Unique, monotonically increasing request id.
+    pub id: u64,
+    /// Pickup region.
+    pub origin: RegionId,
+    /// Drop-off region.
+    pub destination: RegionId,
+    /// Realized driving distance of the trip, km.
+    pub distance_km: f64,
+    /// Metered fare, CNY.
+    pub fare_cny: f64,
+    /// Time the request appeared.
+    pub requested_at: SimTime,
+    /// Minutes after which an unserved request expires.
+    pub max_wait_minutes: u32,
+}
+
+/// Generates passenger requests slot by slot.
+///
+/// Deterministic in its seed: two generators with identical inputs emit the
+/// same request stream, which is what lets all displacement policies be
+/// evaluated against the *same* demand realization.
+#[derive(Debug, Clone)]
+pub struct TripGenerator {
+    demand: DemandModel,
+    fare: FareModel,
+    rng: StdRng,
+    next_id: u64,
+    /// Per-origin cumulative gravity weights over destinations (prefix sums).
+    cum_weights: Vec<Vec<f64>>,
+    /// Driving distances between region centroids, km.
+    distances: Vec<Vec<f64>>,
+    /// Typical intra-region trip distance per region, km.
+    intra_km: Vec<f64>,
+}
+
+impl TripGenerator {
+    /// Builds a generator for `city`.
+    pub fn new(city: &City, demand: DemandModel, fare: FareModel, seed: u64) -> Self {
+        let n = city.n_regions();
+        let mut distances = vec![vec![0.0f64; n]; n];
+        for o in 0..n {
+            for d in 0..n {
+                distances[o][d] =
+                    city.region_driving_distance(RegionId(o as u16), RegionId(d as u16));
+            }
+        }
+        let intra_km: Vec<f64> = city
+            .partition()
+            .regions()
+            .iter()
+            .map(|r| (r.area_km2.sqrt() * 0.7).max(0.5))
+            .collect();
+
+        let mut cum_weights = Vec::with_capacity(n);
+        for o in 0..n {
+            let scale = match demand.archetype(RegionId(o as u16)) {
+                crate::demand::RegionArchetype::Airport => AIRPORT_GRAVITY_SCALE_KM,
+                _ => GRAVITY_SCALE_KM,
+            };
+            let mut acc = 0.0;
+            let row: Vec<f64> = (0..n)
+                .map(|d| {
+                    let mass = demand.destination_weight(RegionId(d as u16));
+                    let dist = if o == d { intra_km[o] } else { distances[o][d] };
+                    acc += mass * (-dist / scale).exp();
+                    acc
+                })
+                .collect();
+            cum_weights.push(row);
+        }
+
+        TripGenerator {
+            demand,
+            fare,
+            rng: StdRng::seed_from_u64(seed ^ 0x5452_4950_53), // "TRIPS" salt
+            next_id: 0,
+            cum_weights,
+            distances,
+            intra_km,
+        }
+    }
+
+    /// The demand model in use.
+    #[inline]
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// The fare model in use.
+    #[inline]
+    pub fn fare_model(&self) -> &FareModel {
+        &self.fare
+    }
+
+    /// Generates all requests arriving during the slot that starts at
+    /// `slot_start` (an absolute time aligned or unaligned to slot
+    /// boundaries; arrival minutes are uniform in
+    /// `[slot_start, slot_start + SLOT_MINUTES)`).
+    pub fn generate_slot(&mut self, slot_start: SimTime) -> Vec<PassengerRequest> {
+        let slot: TimeSlot = slot_start.slot_of_day();
+        let n = self.cum_weights.len();
+        // Expected count is small per region; reserve for the common case.
+        let mut out = Vec::with_capacity(16);
+        for o in 0..n {
+            let origin = RegionId(o as u16);
+            let lambda = self.demand.intensity(origin, slot);
+            let count = random::poisson(&mut self.rng, lambda);
+            for _ in 0..count {
+                out.push(self.make_request(origin, slot_start));
+            }
+        }
+        out
+    }
+
+    fn make_request(&mut self, origin: RegionId, slot_start: SimTime) -> PassengerRequest {
+        let o = origin.index();
+        let destination = self.sample_destination(o);
+        let d = destination.index();
+        let base_dist = if o == d {
+            self.intra_km[o]
+        } else {
+            self.distances[o][d]
+        };
+        // Door-to-door jitter: trips don't start/end exactly at centroids.
+        let jitter = random::log_normal_mean_cv(&mut self.rng, 1.0, 0.35);
+        let distance_km = (base_dist * jitter).max(0.3);
+        let requested_at = slot_start + self.rng.gen_range(0..SLOT_MINUTES);
+        let fare_cny = self.fare.fare(distance_km, requested_at.hour_of_day());
+        let max_wait_minutes =
+            (8.0 + random::exponential(&mut self.rng, 7.0)).min(30.0) as u32;
+        let id = self.next_id;
+        self.next_id += 1;
+        PassengerRequest {
+            id,
+            origin,
+            destination,
+            distance_km,
+            fare_cny,
+            requested_at,
+            max_wait_minutes,
+        }
+    }
+
+    fn sample_destination(&mut self, origin_idx: usize) -> RegionId {
+        let row = &self.cum_weights[origin_idx];
+        let total = *row.last().expect("non-empty city");
+        let x = self.rng.gen_range(0.0..total);
+        let idx = match row.binary_search_by(|w| w.total_cmp(&x)) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        RegionId(idx.min(row.len() - 1) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{CityConfig, MINUTES_PER_DAY};
+
+    fn generator(daily_trips: f64) -> (City, TripGenerator) {
+        let city = City::generate(CityConfig::default());
+        let demand = DemandModel::new(&city, daily_trips, 2);
+        let gen = TripGenerator::new(&city, demand, FareModel::default(), 3);
+        (city, gen)
+    }
+
+    fn one_day(gen: &mut TripGenerator) -> Vec<PassengerRequest> {
+        let mut all = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t.minutes() < MINUTES_PER_DAY {
+            all.extend(gen.generate_slot(t));
+            t += SLOT_MINUTES;
+        }
+        all
+    }
+
+    #[test]
+    fn daily_volume_matches_model() {
+        let (_, mut gen) = generator(10_000.0);
+        let n = one_day(&mut gen).len() as f64;
+        assert!(
+            (n - 10_000.0).abs() < 500.0,
+            "expected ~10000 trips, got {n}"
+        );
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_monotone() {
+        let (_, mut gen) = generator(5_000.0);
+        let all = one_day(&mut gen);
+        for w in all.windows(2) {
+            assert!(w[0].id < w[1].id || w[0].requested_at > w[1].requested_at);
+        }
+        let mut ids: Vec<u64> = all.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn arrival_times_fall_in_slot() {
+        let (_, mut gen) = generator(5_000.0);
+        let start = SimTime::from_dhm(0, 9, 0);
+        for r in gen.generate_slot(start) {
+            assert!(r.requested_at >= start);
+            assert!(r.requested_at < start + SLOT_MINUTES);
+        }
+    }
+
+    #[test]
+    fn fares_match_fare_model() {
+        let (_, mut gen) = generator(5_000.0);
+        let reqs = gen.generate_slot(SimTime::from_dhm(0, 10, 0));
+        let fare = FareModel::default();
+        for r in &reqs {
+            let expected = fare.fare(r.distance_km, r.requested_at.hour_of_day());
+            assert!((r.fare_cny - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, mut a) = generator(5_000.0);
+        let (_, mut b) = generator(5_000.0);
+        let ra = a.generate_slot(SimTime::from_dhm(0, 8, 0));
+        let rb = b.generate_slot(SimTime::from_dhm(0, 8, 0));
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.origin, y.origin);
+            assert_eq!(x.destination, y.destination);
+            assert_eq!(x.fare_cny, y.fare_cny);
+        }
+    }
+
+    #[test]
+    fn destinations_favor_nearby_regions() {
+        let (city, mut gen) = generator(40_000.0);
+        let all = one_day(&mut gen);
+        // Mean trip distance should be well below the city diameter: the
+        // gravity decay keeps most trips local.
+        let mean_dist: f64 =
+            all.iter().map(|r| r.distance_km).sum::<f64>() / all.len() as f64;
+        let diameter = city.partition().bounds().width() + city.partition().bounds().height();
+        assert!(mean_dist < diameter / 3.0, "mean {mean_dist} km");
+        assert!(mean_dist > 1.0, "mean {mean_dist} km suspiciously short");
+    }
+
+    #[test]
+    fn airport_trips_are_longer_and_pricier() {
+        let (_, mut gen) = generator(40_000.0);
+        let airport = gen.demand().airport().unwrap();
+        let all: Vec<PassengerRequest> = (0..3)
+            .flat_map(|_| one_day(&mut gen))
+            .collect();
+        let (mut a_rev, mut a_n, mut rest_rev, mut rest_n) = (0.0, 0u32, 0.0, 0u32);
+        for r in &all {
+            if r.origin == airport {
+                a_rev += r.fare_cny;
+                a_n += 1;
+            } else {
+                rest_rev += r.fare_cny;
+                rest_n += 1;
+            }
+        }
+        assert!(a_n > 10, "airport too quiet: {a_n} trips");
+        let a_mean = a_rev / f64::from(a_n);
+        let rest_mean = rest_rev / f64::from(rest_n);
+        assert!(
+            a_mean > 1.5 * rest_mean,
+            "airport {a_mean:.1} CNY vs rest {rest_mean:.1} CNY"
+        );
+    }
+
+    #[test]
+    fn rush_hour_generates_more_than_trough() {
+        let (_, mut gen) = generator(20_000.0);
+        let mut rush = 0usize;
+        let mut trough = 0usize;
+        for day in 0..3 {
+            for s in 0..6 {
+                rush += gen
+                    .generate_slot(SimTime::from_dhm(day, 18, 0) + s * SLOT_MINUTES)
+                    .len();
+                trough += gen
+                    .generate_slot(SimTime::from_dhm(day, 3, 0) + s * SLOT_MINUTES)
+                    .len();
+            }
+        }
+        assert!(
+            rush > 3 * trough.max(1),
+            "rush {rush} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn patience_is_bounded() {
+        let (_, mut gen) = generator(20_000.0);
+        for r in gen.generate_slot(SimTime::from_dhm(0, 18, 0)) {
+            assert!(r.max_wait_minutes >= 8);
+            assert!(r.max_wait_minutes <= 30);
+        }
+    }
+}

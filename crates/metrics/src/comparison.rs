@@ -1,0 +1,300 @@
+//! The paper's four headline comparison metrics (Eq. 12–15).
+//!
+//! Every metric compares a displacement strategy `D` against the ground
+//! truth `G` (the no-displacement replay):
+//!
+//! * **PRCT** — percentage reduction of per-trip cruise time (Eq. 12);
+//! * **PRIT** — percentage reduction of per-charge idle time (Eq. 13);
+//! * **PIPE** — percentage increase of total profit efficiency (Eq. 14);
+//! * **PIPF** — percentage increase of profit fairness, i.e. reduction of
+//!   the PE variance (Eq. 15).
+//!
+//! All are returned as fractions (0.252 = +25.2 %); negative values mean
+//! the strategy made things worse (the paper's SD2 has negative PRIT).
+
+use crate::fairness::profit_fairness;
+use crate::stats;
+use fairmove_sim::FleetLedger;
+use serde::{Deserialize, Serialize};
+
+/// Total trip-attributed cruise minutes in a ledger (Σᵢ T⁽ⁱ⁾_cruise).
+fn total_cruise_minutes(ledger: &FleetLedger) -> f64 {
+    ledger
+        .trips()
+        .iter()
+        .map(|t| f64::from(t.cruise_minutes))
+        .sum()
+}
+
+/// Total per-charge idle minutes in a ledger (Σⱼ T⁽ʲ⁾_idle).
+fn total_idle_minutes(ledger: &FleetLedger) -> f64 {
+    ledger
+        .charges()
+        .iter()
+        .map(|c| f64::from(c.idle_minutes()))
+        .sum()
+}
+
+/// PRCT (Eq. 12): fractional reduction in total per-trip cruise time.
+///
+/// Cruise time is normalized *per trip* before comparing — a policy that
+/// serves more trips shouldn't be penalized for accumulating more total
+/// cruise minutes.
+pub fn prct(gt: &FleetLedger, d: &FleetLedger) -> f64 {
+    let g_trips = gt.trips().len().max(1) as f64;
+    let d_trips = d.trips().len().max(1) as f64;
+    let g = total_cruise_minutes(gt) / g_trips;
+    let dd = total_cruise_minutes(d) / d_trips;
+    if g <= 0.0 {
+        return 0.0;
+    }
+    (g - dd) / g
+}
+
+/// PRIT (Eq. 13): fractional reduction in per-charge idle time.
+pub fn prit(gt: &FleetLedger, d: &FleetLedger) -> f64 {
+    let g_charges = gt.charges().len().max(1) as f64;
+    let d_charges = d.charges().len().max(1) as f64;
+    let g = total_idle_minutes(gt) / g_charges;
+    let dd = total_idle_minutes(d) / d_charges;
+    if g <= 0.0 {
+        return 0.0;
+    }
+    (g - dd) / g
+}
+
+/// PIPE (Eq. 14): fractional increase in summed per-taxi profit efficiency.
+pub fn pipe(gt: &FleetLedger, d: &FleetLedger) -> f64 {
+    let g: f64 = gt.profit_efficiencies().iter().sum();
+    let dd: f64 = d.profit_efficiencies().iter().sum();
+    if g <= 0.0 {
+        return 0.0;
+    }
+    (dd - g) / g
+}
+
+/// PIPF (Eq. 15): fractional increase in profit fairness
+/// (`(PF(G) − PF(D)) / PF(G)`; positive means the PE variance shrank).
+pub fn pipf(gt: &FleetLedger, d: &FleetLedger) -> f64 {
+    let g = profit_fairness(&gt.profit_efficiencies());
+    let dd = profit_fairness(&d.profit_efficiencies());
+    if g <= 0.0 {
+        return 0.0;
+    }
+    (g - dd) / g
+}
+
+/// Per-hour PRCT (Fig. 11): cruise-time reduction for trips picked up in
+/// each hour of day. Hours where either ledger has no trips yield `None`.
+pub fn hourly_prct(gt: &FleetLedger, d: &FleetLedger) -> [Option<f64>; 24] {
+    let g = stats::hourly_means(
+        gt.trips()
+            .iter()
+            .map(|t| (t.pickup_at.hour_of_day().0, f64::from(t.cruise_minutes))),
+    );
+    let dd = stats::hourly_means(
+        d.trips()
+            .iter()
+            .map(|t| (t.pickup_at.hour_of_day().0, f64::from(t.cruise_minutes))),
+    );
+    let mut out = [None; 24];
+    for h in 0..24 {
+        if let (Some(gv), Some(dv)) = (g[h], dd[h]) {
+            if gv > 0.0 {
+                out[h] = Some((gv - dv) / gv);
+            }
+        }
+    }
+    out
+}
+
+/// Per-hour PRIT (Fig. 13): idle-time reduction for charge excursions
+/// *started* (decided) in each hour of day.
+pub fn hourly_prit(gt: &FleetLedger, d: &FleetLedger) -> [Option<f64>; 24] {
+    let g = stats::hourly_means(
+        gt.charges()
+            .iter()
+            .map(|c| (c.decided_at.hour_of_day().0, f64::from(c.idle_minutes()))),
+    );
+    let dd = stats::hourly_means(
+        d.charges()
+            .iter()
+            .map(|c| (c.decided_at.hour_of_day().0, f64::from(c.idle_minutes()))),
+    );
+    let mut out = [None; 24];
+    for h in 0..24 {
+        if let (Some(gv), Some(dv)) = (g[h], dd[h]) {
+            if gv > 0.0 {
+                out[h] = Some((gv - dv) / gv);
+            }
+        }
+    }
+    out
+}
+
+/// All four headline metrics for one method vs. ground truth, as the paper's
+/// Tables II/III and Figs. 15/16 report them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// Method name (SD2, TQL, DQN, TBA, FairMove).
+    pub name: String,
+    /// Eq. 12, fraction.
+    pub prct: f64,
+    /// Eq. 13, fraction.
+    pub prit: f64,
+    /// Eq. 14, fraction.
+    pub pipe: f64,
+    /// Eq. 15, fraction.
+    pub pipf: f64,
+    /// Median per-trip cruise minutes under this method (Fig. 10).
+    pub median_cruise_minutes: f64,
+    /// Median per-taxi hourly PE under this method (Fig. 14).
+    pub median_pe: f64,
+}
+
+impl MethodReport {
+    /// Computes the full report for strategy ledger `d` against `gt`.
+    pub fn compute(name: impl Into<String>, gt: &FleetLedger, d: &FleetLedger) -> Self {
+        let cruise = crate::stats::Cdf::new(
+            d.trips().iter().map(|t| f64::from(t.cruise_minutes)),
+        );
+        let pe = crate::stats::Cdf::new(d.profit_efficiencies().iter().copied());
+        MethodReport {
+            name: name.into(),
+            prct: prct(gt, d),
+            prit: prit(gt, d),
+            pipe: pipe(gt, d),
+            pipf: pipf(gt, d),
+            median_cruise_minutes: cruise.median(),
+            median_pe: pe.median(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{RegionId, SimTime, StationId};
+    use fairmove_sim::{ChargeEvent, TaxiId, TripEvent};
+
+    fn ledger_with(
+        cruises: &[(u32, u32)],          // (pickup hour, cruise minutes)
+        idles: &[(u32, u32)],            // (decided hour, idle minutes)
+        pe_minutes_revenue: &[(u64, f64)], // (serve minutes, revenue) per taxi
+    ) -> FleetLedger {
+        let mut l = FleetLedger::new(pe_minutes_revenue.len().max(1));
+        for (i, &(hour, cruise)) in cruises.iter().enumerate() {
+            let pickup = SimTime::from_dhm(0, hour, 0);
+            l.record_trip(TripEvent {
+                taxi: TaxiId(0),
+                pickup_at: pickup,
+                dropoff_at: pickup + 10,
+                origin: RegionId(0),
+                destination: RegionId(0),
+                distance_km: 3.0,
+                fare_cny: 0.0,
+                cruise_minutes: cruise,
+                first_after_charge: None,
+            });
+            let _ = i;
+        }
+        for &(hour, idle) in idles {
+            let decided = SimTime::from_dhm(0, hour, 0);
+            l.record_charge(ChargeEvent {
+                taxi: TaxiId(0),
+                station: StationId(0),
+                decided_at: decided,
+                plugged_at: decided + idle,
+                finished_at: decided + idle + 60,
+                energy_kwh: 40.0,
+                cost_cny: 0.0,
+            });
+        }
+        for (i, &(minutes, revenue)) in pe_minutes_revenue.iter().enumerate() {
+            let t = l.taxi_mut(TaxiId(i as u32));
+            t.revenue_cny += revenue;
+            t.add_time(fairmove_sim::ledger::TimeBucket::Serve, minutes as u32);
+        }
+        l
+    }
+
+    #[test]
+    fn prct_measures_cruise_reduction() {
+        let gt = ledger_with(&[(9, 10), (9, 10)], &[], &[(60, 1.0)]);
+        let d = ledger_with(&[(9, 6), (9, 6)], &[], &[(60, 1.0)]);
+        assert!((prct(&gt, &d) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prct_normalizes_per_trip() {
+        // Method serves twice the trips at the same per-trip cruise: PRCT 0.
+        let gt = ledger_with(&[(9, 10)], &[], &[(60, 1.0)]);
+        let d = ledger_with(&[(9, 10), (9, 10)], &[], &[(60, 1.0)]);
+        assert!(prct(&gt, &d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prit_can_be_negative() {
+        let gt = ledger_with(&[], &[(4, 10)], &[(60, 1.0)]);
+        let d = ledger_with(&[], &[(4, 15)], &[(60, 1.0)]);
+        assert!((prit(&gt, &d) + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipe_measures_pe_increase() {
+        // GT: 60 CNY/h; D: 75 CNY/h → +25%.
+        let gt = ledger_with(&[], &[], &[(60, 60.0)]);
+        let d = ledger_with(&[], &[], &[(60, 75.0)]);
+        assert!((pipe(&gt, &d) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipf_measures_variance_reduction() {
+        // GT PEs: 30 and 60 (var 225). D PEs: 40 and 50 (var 25) → +88.9%.
+        let gt = ledger_with(&[], &[], &[(60, 30.0), (60, 60.0)]);
+        let d = ledger_with(&[], &[], &[(60, 40.0), (60, 50.0)]);
+        assert!((pipf(&gt, &d) - (225.0 - 25.0) / 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hourly_prct_only_fills_shared_hours() {
+        let gt = ledger_with(&[(9, 10), (15, 20)], &[], &[(60, 1.0)]);
+        let d = ledger_with(&[(9, 5)], &[], &[(60, 1.0)]);
+        let h = hourly_prct(&gt, &d);
+        assert!((h[9].unwrap() - 0.5).abs() < 1e-9);
+        assert!(h[15].is_none());
+        assert!(h[0].is_none());
+    }
+
+    #[test]
+    fn hourly_prit_by_decision_hour() {
+        let gt = ledger_with(&[], &[(4, 20), (17, 30)], &[(60, 1.0)]);
+        let d = ledger_with(&[], &[(4, 10), (17, 30)], &[(60, 1.0)]);
+        let h = hourly_prit(&gt, &d);
+        assert!((h[4].unwrap() - 0.5).abs() < 1e-9);
+        assert!(h[17].unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_ledgers_are_all_zero() {
+        let gt = ledger_with(&[(9, 10)], &[(4, 10)], &[(60, 30.0), (60, 50.0)]);
+        let d = ledger_with(&[(9, 10)], &[(4, 10)], &[(60, 30.0), (60, 50.0)]);
+        assert!(prct(&gt, &d).abs() < 1e-9);
+        assert!(prit(&gt, &d).abs() < 1e-9);
+        assert!(pipe(&gt, &d).abs() < 1e-9);
+        assert!(pipf(&gt, &d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn method_report_bundles_everything() {
+        let gt = ledger_with(&[(9, 10)], &[(4, 10)], &[(60, 30.0), (60, 60.0)]);
+        let d = ledger_with(&[(9, 5)], &[(4, 5)], &[(60, 40.0), (60, 55.0)]);
+        let r = MethodReport::compute("Test", &gt, &d);
+        assert_eq!(r.name, "Test");
+        assert!(r.prct > 0.0);
+        assert!(r.prit > 0.0);
+        assert!(r.pipe > 0.0);
+        assert!(r.pipf > 0.0);
+        assert!((r.median_cruise_minutes - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! Extractors for the paper's Section II data-driven findings.
+//!
+//! Each function turns a simulated [`FleetLedger`] (or trip log) into the
+//! statistic behind one of the motivation figures:
+//!
+//! * Fig. 3 — distribution of per-event charge durations;
+//! * Fig. 4 — number of charging events per hour of day;
+//! * Fig. 5 — CDF of the first cruise time after charging;
+//! * Fig. 6 — first cruise time broken out by charging station;
+//! * Fig. 7 — average per-trip revenue by region in a time window;
+//! * Fig. 8 — distribution of per-taxi hourly profit efficiency.
+
+use crate::stats::Cdf;
+use fairmove_city::{HourOfDay, StationId};
+use fairmove_sim::FleetLedger;
+use std::collections::HashMap;
+
+/// Fig. 3: per-event charge durations, minutes.
+pub fn charge_durations(ledger: &FleetLedger) -> Cdf {
+    Cdf::new(
+        ledger
+            .charges()
+            .iter()
+            .map(|c| f64::from(c.charge_minutes())),
+    )
+}
+
+/// Fig. 4: charging events started (plugged in) per hour of day.
+pub fn charge_events_by_hour(ledger: &FleetLedger) -> [u32; 24] {
+    let mut out = [0u32; 24];
+    for c in ledger.charges() {
+        out[c.plugged_at.hour_of_day().index()] += 1;
+    }
+    out
+}
+
+/// Fig. 5: first cruise time after charging (minutes), across all stations.
+pub fn first_cruise_after_charge(ledger: &FleetLedger) -> Cdf {
+    Cdf::new(ledger.trips().iter().filter_map(|t| {
+        t.first_after_charge
+            .map(|_| f64::from(t.cruise_minutes))
+    }))
+}
+
+/// Fig. 6: first cruise time after charging, grouped by station.
+pub fn first_cruise_by_station(ledger: &FleetLedger) -> HashMap<StationId, Vec<f64>> {
+    let mut out: HashMap<StationId, Vec<f64>> = HashMap::new();
+    for t in ledger.trips() {
+        if let Some(station) = t.first_after_charge {
+            out.entry(station)
+                .or_default()
+                .push(f64::from(t.cruise_minutes));
+        }
+    }
+    out
+}
+
+/// Fig. 7: average per-trip revenue by origin region for trips picked up in
+/// the hour window `[start, end)` (wrapping). Regions with no trips yield
+/// `None`. `n_regions` sizes the output.
+pub fn per_region_trip_revenue(
+    ledger: &FleetLedger,
+    n_regions: usize,
+    start_hour: u8,
+    end_hour: u8,
+) -> Vec<Option<f64>> {
+    let mut sums = vec![0.0f64; n_regions];
+    let mut counts = vec![0u32; n_regions];
+    for t in ledger.trips() {
+        let h: HourOfDay = t.pickup_at.hour_of_day();
+        if h.in_range(start_hour, end_hour) {
+            sums[t.origin.index()] += t.fare_cny;
+            counts[t.origin.index()] += 1;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c > 0 { Some(s / f64::from(c)) } else { None })
+        .collect()
+}
+
+/// Fig. 8 / Fig. 14: distribution of per-taxi profit efficiency (CNY/hour).
+pub fn profit_efficiency_distribution(ledger: &FleetLedger) -> Cdf {
+    Cdf::new(ledger.profit_efficiencies().iter().copied())
+}
+
+/// Fig. 10: distribution of per-trip cruise time (minutes).
+pub fn cruise_time_distribution(ledger: &FleetLedger) -> Cdf {
+    Cdf::new(ledger.trips().iter().map(|t| f64::from(t.cruise_minutes)))
+}
+
+/// Fig. 12: distribution of per-charge idle time (minutes).
+pub fn idle_time_distribution(ledger: &FleetLedger) -> Cdf {
+    Cdf::new(ledger.charges().iter().map(|c| f64::from(c.idle_minutes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::{RegionId, SimTime};
+    use fairmove_sim::{ChargeEvent, TaxiId, TripEvent};
+
+    fn sample_ledger() -> FleetLedger {
+        let mut l = FleetLedger::new(2);
+        // Two charges at 03:00 and 13:00.
+        for (hour, idle, dur) in [(3u32, 10u32, 80u32), (13, 25, 60)] {
+            let decided = SimTime::from_dhm(0, hour, 0);
+            l.record_charge(ChargeEvent {
+                taxi: TaxiId(0),
+                station: StationId(hour as u16 % 2),
+                decided_at: decided,
+                plugged_at: decided + idle,
+                finished_at: decided + idle + dur,
+                energy_kwh: 40.0,
+                cost_cny: 40.0,
+            });
+        }
+        // Three trips, one tagged first-after-charge.
+        for (hour, region, fare, cruise, station) in [
+            (4u32, 0u16, 20.0, 12u32, Some(StationId(1))),
+            (9, 1, 35.0, 5, None),
+            (9, 1, 45.0, 7, None),
+        ] {
+            let pickup = SimTime::from_dhm(0, hour, 0);
+            l.record_trip(TripEvent {
+                taxi: TaxiId(0),
+                pickup_at: pickup,
+                dropoff_at: pickup + 15,
+                origin: RegionId(region),
+                destination: RegionId(0),
+                distance_km: 5.0,
+                fare_cny: fare,
+                cruise_minutes: cruise,
+                first_after_charge: station,
+            });
+        }
+        l
+    }
+
+    #[test]
+    fn charge_durations_extracted() {
+        let cdf = charge_durations(&sample_ledger());
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.quantile(0.0), 60.0);
+        assert_eq!(cdf.quantile(1.0), 80.0);
+    }
+
+    #[test]
+    fn charge_events_bucketed_by_plug_hour() {
+        let hist = charge_events_by_hour(&sample_ledger());
+        // 03:00 + 10 idle → plugged 03:10; 13:00 + 25 → 13:25.
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist[13], 1);
+        assert_eq!(hist.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn first_cruise_only_counts_tagged_trips() {
+        let cdf = first_cruise_after_charge(&sample_ledger());
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.quantile(0.5), 12.0);
+    }
+
+    #[test]
+    fn first_cruise_grouped_by_station() {
+        let by_station = first_cruise_by_station(&sample_ledger());
+        assert_eq!(by_station.len(), 1);
+        assert_eq!(by_station[&StationId(1)], vec![12.0]);
+    }
+
+    #[test]
+    fn per_region_revenue_windows() {
+        let l = sample_ledger();
+        let morning = per_region_trip_revenue(&l, 2, 8, 10);
+        assert_eq!(morning[0], None);
+        assert!((morning[1].unwrap() - 40.0).abs() < 1e-9);
+        let night = per_region_trip_revenue(&l, 2, 3, 5);
+        assert!((night[0].unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distributions_have_expected_sizes() {
+        let l = sample_ledger();
+        assert_eq!(cruise_time_distribution(&l).len(), 3);
+        assert_eq!(idle_time_distribution(&l).len(), 2);
+        assert_eq!(profit_efficiency_distribution(&l).len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Distribution statistics: moments, quantiles, empirical CDFs.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// ```
+/// use fairmove_metrics::Cdf;
+/// let cdf = Cdf::new([4.0, 1.0, 3.0, 2.0, 5.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.4);
+/// assert_eq!(cdf.median(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF of `samples`. Non-finite values are dropped.
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), by nearest-rank on the sorted
+    /// sample. Returns `NaN` for an empty sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((q * (self.sorted.len() - 1) as f64).round() as usize)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// The median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// `n` evenly spaced `(value, cumulative_probability)` points for
+    /// plotting the CDF curve.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples inside `[lo, hi]`.
+    pub fn fraction_in(&self, lo: f64, hi: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below_lo = self.sorted.partition_point(|&v| v < lo);
+        let at_or_below_hi = self.sorted.partition_point(|&v| v <= hi);
+        (at_or_below_hi - below_lo) as f64 / self.sorted.len() as f64
+    }
+
+    /// Mean of the sample.
+    pub fn mean(&self) -> f64 {
+        mean(&self.sorted)
+    }
+}
+
+/// Buckets `(hour, value)` pairs into 24 per-hour means; hours with no
+/// samples yield `None`.
+pub fn hourly_means(samples: impl IntoIterator<Item = (u8, f64)>) -> [Option<f64>; 24] {
+    let mut sums = [0.0f64; 24];
+    let mut counts = [0u32; 24];
+    for (h, v) in samples {
+        let h = h as usize % 24;
+        sums[h] += v;
+        counts[h] += 1;
+    }
+    let mut out = [None; 24];
+    for h in 0..24 {
+        if counts[h] > 0 {
+            out[h] = Some(sums[h] / f64::from(counts[h]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let cdf = Cdf::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.fraction_in(2.0, 3.0), 0.5);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let cdf = Cdf::new((1..=100).map(f64::from));
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        assert!((cdf.median() - 50.0).abs() <= 1.0);
+        assert!((cdf.quantile(0.25) - 25.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn cdf_drops_non_finite() {
+        let cdf = Cdf::new([1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let cdf = Cdf::new([5.0, 1.0, 3.0, 2.0, 4.0]);
+        let pts = cdf.points(10);
+        assert_eq!(pts.len(), 10);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::new(std::iter::empty());
+        assert!(cdf.is_empty());
+        assert!(cdf.quantile(0.5).is_nan());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.points(5).is_empty());
+    }
+
+    #[test]
+    fn hourly_means_buckets() {
+        let out = hourly_means([(0, 1.0), (0, 3.0), (5, 10.0)]);
+        assert_eq!(out[0], Some(2.0));
+        assert_eq!(out[5], Some(10.0));
+        assert_eq!(out[1], None);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone(mut xs in proptest::collection::vec(-100.0..100.0f64, 2..50),
+                                a in 0.0..1.0f64, b in 0.0..1.0f64) {
+            let cdf = Cdf::new(xs.drain(..));
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        }
+
+        #[test]
+        fn fraction_at_or_below_is_monotone(xs in proptest::collection::vec(-100.0..100.0f64, 1..50),
+                                            a in -100.0..100.0f64, d in 0.0..50.0f64) {
+            let cdf = Cdf::new(xs.into_iter());
+            prop_assert!(cdf.fraction_at_or_below(a) <= cdf.fraction_at_or_below(a + d));
+        }
+
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e3..1e3f64, 0..50)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-slot fleet KPI time series.
+//!
+//! The evaluation figures aggregate over whole runs; operations teams watch
+//! the same quantities *over time*. [`KpiSeries`] collects one sample per
+//! slot from the simulator feedback and exposes per-hour aggregation and
+//! simple smoothing, which the examples use for textual dashboards.
+
+use serde::{Deserialize, Serialize};
+
+/// One per-slot sample of fleet KPIs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KpiSample {
+    /// Minute the slot started.
+    pub minute: u32,
+    /// Fleet mean cumulative PE, CNY/h.
+    pub mean_pe: f64,
+    /// Fleet PE variance (PF).
+    pub pf: f64,
+    /// Total profit realized during the slot, CNY.
+    pub slot_profit: f64,
+}
+
+/// A growing series of per-slot samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KpiSeries {
+    samples: Vec<KpiSample>,
+}
+
+impl KpiSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample. Minutes must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if `sample.minute` precedes the last sample's minute.
+    pub fn push(&mut self, sample: KpiSample) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                sample.minute >= last.minute,
+                "out-of-order sample: {} after {}",
+                sample.minute,
+                last.minute
+            );
+        }
+        self.samples.push(sample);
+    }
+
+    /// Records a sample from simulator feedback.
+    pub fn record(&mut self, feedback: &fairmove_sim::SlotFeedback) {
+        self.push(KpiSample {
+            minute: feedback.slot_start.minutes(),
+            mean_pe: feedback.mean_pe,
+            pf: feedback.pf,
+            slot_profit: feedback.slot_profit.iter().sum(),
+        });
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[KpiSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean slot profit per hour of day, `[Option<f64>; 24]`.
+    pub fn hourly_profit(&self) -> [Option<f64>; 24] {
+        crate::stats::hourly_means(
+            self.samples
+                .iter()
+                .map(|s| (((s.minute / 60) % 24) as u8, s.slot_profit)),
+        )
+    }
+
+    /// Trailing moving average of the PF series with the given window
+    /// (in samples). Window is clamped to at least 1.
+    pub fn pf_moving_average(&self, window: usize) -> Vec<f64> {
+        let w = window.max(1);
+        let mut out = Vec::with_capacity(self.samples.len());
+        let mut acc = 0.0;
+        for (i, s) in self.samples.iter().enumerate() {
+            acc += s.pf;
+            if i >= w {
+                acc -= self.samples[i - w].pf;
+            }
+            out.push(acc / (i.min(w - 1) + 1) as f64);
+        }
+        out
+    }
+
+    /// The final sample, if any.
+    pub fn last(&self) -> Option<&KpiSample> {
+        self.samples.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(minute: u32, pf: f64, profit: f64) -> KpiSample {
+        KpiSample {
+            minute,
+            mean_pe: 30.0,
+            pf,
+            slot_profit: profit,
+        }
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = KpiSeries::new();
+        s.push(sample(0, 10.0, 100.0));
+        s.push(sample(10, 12.0, 90.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last().unwrap().minute, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rejects_time_travel() {
+        let mut s = KpiSeries::new();
+        s.push(sample(100, 1.0, 1.0));
+        s.push(sample(50, 1.0, 1.0));
+    }
+
+    #[test]
+    fn hourly_profit_buckets_by_hour_of_day() {
+        let mut s = KpiSeries::new();
+        // Two samples in hour 0, one in hour 5 of day 2.
+        s.push(sample(0, 1.0, 100.0));
+        s.push(sample(30, 1.0, 200.0));
+        s.push(sample(2 * 1440 + 5 * 60, 1.0, 50.0));
+        let h = s.hourly_profit();
+        assert_eq!(h[0], Some(150.0));
+        assert_eq!(h[5], Some(50.0));
+        assert_eq!(h[1], None);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut s = KpiSeries::new();
+        for (i, pf) in [10.0, 20.0, 30.0, 40.0].iter().enumerate() {
+            s.push(sample(i as u32 * 10, *pf, 0.0));
+        }
+        let ma = s.pf_moving_average(2);
+        assert_eq!(ma.len(), 4);
+        assert!((ma[0] - 10.0).abs() < 1e-12);
+        assert!((ma[1] - 15.0).abs() < 1e-12);
+        assert!((ma[2] - 25.0).abs() < 1e-12);
+        assert!((ma[3] - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let mut s = KpiSeries::new();
+        for (i, pf) in [3.0, 1.0, 4.0].iter().enumerate() {
+            s.push(sample(i as u32, *pf, 0.0));
+        }
+        assert_eq!(s.pf_moving_average(1), vec![3.0, 1.0, 4.0]);
+        // Zero window clamps to 1 instead of dividing by zero.
+        assert_eq!(s.pf_moving_average(0), vec![3.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn records_from_feedback() {
+        use fairmove_city::SimTime;
+        let fb = fairmove_sim::SlotFeedback {
+            slot_start: SimTime(120),
+            slot_profit: vec![5.0, 7.0],
+            cumulative_pe: vec![30.0, 40.0],
+            mean_pe: 35.0,
+            pf: 25.0,
+        };
+        let mut s = KpiSeries::new();
+        s.record(&fb);
+        let k = s.last().unwrap();
+        assert_eq!(k.minute, 120);
+        assert!((k.slot_profit - 12.0).abs() < 1e-12);
+        assert!((k.pf - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Loss functions and their output-side gradients.
+//!
+//! Critics train on MSE against TD targets (the paper's Eq. 6); actors train
+//! on the policy gradient with the TD error as advantage (Eq. 8 + 11). For a
+//! softmax policy over logits, ∂(−log π(a) · A)/∂logits has the closed form
+//! `(softmax − onehot(a)) · A`, implemented in [`policy_gradient_logits`].
+
+/// Numerically-stable softmax over `logits`.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Numerically-stable log-softmax over `logits`.
+pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
+    assert!(!logits.is_empty(), "log_softmax of empty slice");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let log_sum: f64 = logits
+        .iter()
+        .map(|&l| (l - max).exp())
+        .sum::<f64>()
+        .ln()
+        + max;
+    logits.iter().map(|&l| l - log_sum).collect()
+}
+
+/// Mean squared error `mean((pred − target)²)` and its gradient
+/// `2(pred − target)/n` per element.
+pub fn mse_loss(pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), target.len(), "MSE length mismatch");
+    assert!(!pred.is_empty(), "MSE of empty slices");
+    let n = pred.len() as f64;
+    let mut loss = 0.0;
+    let grad = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (loss / n, grad)
+}
+
+/// Gradient of the policy-gradient loss `−log π(action) · advantage` with
+/// respect to the *logits* of a softmax policy:
+/// `(softmax(logits) − onehot(action)) · advantage`.
+///
+/// Only the first `n_valid` logits are treated as admissible actions; the
+/// rest (action-space padding) receive zero gradient and are assumed to have
+/// been masked to `−∞`-like values before the softmax by the caller.
+pub fn policy_gradient_logits(
+    logits: &[f64],
+    n_valid: usize,
+    action: usize,
+    advantage: f64,
+) -> Vec<f64> {
+    assert!(n_valid >= 1 && n_valid <= logits.len(), "bad n_valid");
+    assert!(action < n_valid, "action {action} out of {n_valid}");
+    let probs = softmax(&logits[..n_valid]);
+    let mut grad = vec![0.0; logits.len()];
+    for (i, &p) in probs.iter().enumerate() {
+        let indicator = if i == action { 1.0 } else { 0.0 };
+        grad[i] = (p - indicator) * advantage;
+    }
+    grad
+}
+
+/// Huber (smooth-L1) loss `mean(h(pred − target))` and its gradient, with
+/// `h(d) = d²/2` for `|d| ≤ δ` and `δ(|d| − δ/2)` beyond. The standard
+/// robust critic loss for TD targets with outliers (DQN uses it here).
+pub fn huber_loss(pred: &[f64], target: &[f64], delta: f64) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), target.len(), "Huber length mismatch");
+    assert!(!pred.is_empty(), "Huber of empty slices");
+    assert!(delta > 0.0, "non-positive delta");
+    let n = pred.len() as f64;
+    let mut loss = 0.0;
+    let grad = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| {
+            let d = p - t;
+            if d.abs() <= delta {
+                loss += 0.5 * d * d;
+                d / n
+            } else {
+                loss += delta * (d.abs() - 0.5 * delta);
+                delta * d.signum() / n
+            }
+        })
+        .collect();
+    (loss / n, grad)
+}
+
+/// Entropy of a probability distribution (for entropy-bonus regularization).
+pub fn entropy(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_preserves_order() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[-1e6, 0.0, 1e6]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let logits = [0.5, -1.2, 2.0, 0.0];
+        let ls = log_softmax(&logits);
+        let p = softmax(&logits);
+        for (l, q) in ls.iter().zip(&p) {
+            assert!((l - q.ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let (loss, grad) = mse_loss(&[1.0, 2.0], &[0.0, 4.0]);
+        // ((1)² + (−2)²)/2 = 2.5
+        assert!((loss - 2.5).abs() < 1e-12);
+        assert_eq!(grad, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn huber_matches_mse_inside_delta() {
+        let (hl, hg) = huber_loss(&[1.0, 2.0], &[0.5, 2.2], 10.0);
+        let (ml, mg) = mse_loss(&[1.0, 2.0], &[0.5, 2.2]);
+        assert!((hl - ml / 2.0).abs() < 1e-12, "{hl} vs {ml}");
+        for (h, m) in hg.iter().zip(&mg) {
+            assert!((h - m / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn huber_clips_outlier_gradients() {
+        let (_, g) = huber_loss(&[100.0], &[0.0], 1.0);
+        assert!((g[0] - 1.0).abs() < 1e-12, "gradient should clip at delta");
+        let (_, g) = huber_loss(&[-100.0], &[0.0], 1.0);
+        assert!((g[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_is_continuous_at_delta() {
+        let delta = 1.0;
+        let below = huber_loss(&[delta - 1e-9], &[0.0], delta).0;
+        let above = huber_loss(&[delta + 1e-9], &[0.0], delta).0;
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (loss, grad) = mse_loss(&[3.0, -1.0], &[3.0, -1.0]);
+        assert_eq!(loss, 0.0);
+        assert!(grad.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn policy_gradient_points_away_from_chosen_on_positive_advantage() {
+        // Positive advantage → gradient of the *loss* is negative on the
+        // chosen action (descent increases its probability).
+        let g = policy_gradient_logits(&[0.0, 0.0, 0.0], 3, 1, 2.0);
+        assert!(g[1] < 0.0);
+        assert!(g[0] > 0.0 && g[2] > 0.0);
+        // Gradient sums to zero over valid actions (softmax structure).
+        assert!((g.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_gradient_flips_with_negative_advantage() {
+        let pos = policy_gradient_logits(&[0.1, 0.2], 2, 0, 1.0);
+        let neg = policy_gradient_logits(&[0.1, 0.2], 2, 0, -1.0);
+        for (p, n) in pos.iter().zip(&neg) {
+            assert!((p + n).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn policy_gradient_pads_invalid_actions_with_zero() {
+        let g = policy_gradient_logits(&[0.0, 0.0, 9.9, 9.9], 2, 0, 1.0);
+        assert_eq!(g[2], 0.0);
+        assert_eq!(g[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn policy_gradient_rejects_invalid_action() {
+        let _ = policy_gradient_logits(&[0.0, 0.0], 2, 2, 1.0);
+    }
+
+    #[test]
+    fn entropy_is_max_for_uniform() {
+        let u = entropy(&[0.25; 4]);
+        let skewed = entropy(&[0.97, 0.01, 0.01, 0.01]);
+        assert!(u > skewed);
+        assert!((u - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_always_a_distribution(logits in proptest::collection::vec(-50.0..50.0f64, 1..10)) {
+            let p = softmax(&logits);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn mse_grad_is_descent_direction(pred in proptest::collection::vec(-10.0..10.0f64, 1..8),
+                                         target in proptest::collection::vec(-10.0..10.0f64, 8)) {
+            let t = &target[..pred.len()];
+            let (loss, grad) = mse_loss(&pred, t);
+            let stepped: Vec<f64> = pred.iter().zip(&grad).map(|(p, g)| p - 0.01 * g).collect();
+            let (loss2, _) = mse_loss(&stepped, t);
+            prop_assert!(loss2 <= loss + 1e-12);
+        }
+    }
+}

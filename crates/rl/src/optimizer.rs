@@ -1,0 +1,234 @@
+//! Optimizers: plain SGD and Adam (the paper uses AdamOptimizer, lr 0.001).
+//!
+//! An optimizer transforms raw gradients into parameter *updates* (already
+//! negated and scaled), which [`crate::Mlp::apply_updates`] then adds to the
+//! parameters. Keeping the optimizer outside the network lets one network
+//! be trained by different optimizers in ablations.
+
+use crate::matrix::Matrix;
+use crate::mlp::{Gradients, Mlp};
+use serde::{Deserialize, Serialize};
+
+/// Transforms gradients into parameter updates.
+pub trait Optimizer {
+    /// Converts `grads` (∂L/∂θ) into deltas to *add* to the parameters.
+    fn updates(&mut self, grads: &Gradients) -> Gradients;
+
+    /// Convenience: one training step on `net` from `grads`.
+    fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
+        let u = self.updates(grads);
+        net.apply_updates(&u);
+    }
+}
+
+/// Plain stochastic gradient descent: `Δθ = −lr · g`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "non-positive learning rate");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn updates(&mut self, grads: &Gradients) -> Gradients {
+        let layers = grads
+            .layers
+            .iter()
+            .map(|(dw, db)| {
+                let mut w = dw.clone();
+                w.scale_inplace(-self.lr);
+                let b = db.iter().map(|g| -self.lr * g).collect();
+                (w, b)
+            })
+            .collect();
+        Gradients { layers }
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (paper: 0.001).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+    /// Per-layer (m_w, v_w, m_b, v_b), lazily initialized on first step.
+    state: Vec<(Matrix, Matrix, Vec<f64>, Vec<f64>)>,
+}
+
+impl Adam {
+    /// Adam with the given learning rate and standard betas (0.9 / 0.999).
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "non-positive learning rate");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, grads: &Gradients) {
+        if self.state.is_empty() {
+            self.state = grads
+                .layers
+                .iter()
+                .map(|(dw, db)| {
+                    (
+                        Matrix::zeros(dw.rows(), dw.cols()),
+                        Matrix::zeros(dw.rows(), dw.cols()),
+                        vec![0.0; db.len()],
+                        vec![0.0; db.len()],
+                    )
+                })
+                .collect();
+        }
+        assert_eq!(
+            self.state.len(),
+            grads.layers.len(),
+            "optimizer used across differently-shaped networks"
+        );
+    }
+}
+
+impl Optimizer for Adam {
+    fn updates(&mut self, grads: &Gradients) -> Gradients {
+        self.ensure_state(grads);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+
+        let mut out = Vec::with_capacity(grads.layers.len());
+        for ((dw, db), (mw, vw, mb, vb)) in grads.layers.iter().zip(&mut self.state) {
+            let mut w_update = Matrix::zeros(dw.rows(), dw.cols());
+            for i in 0..dw.data().len() {
+                let g = dw.data()[i];
+                let m = self.beta1 * mw.data()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * vw.data()[i] + (1.0 - self.beta2) * g * g;
+                mw.data_mut()[i] = m;
+                vw.data_mut()[i] = v;
+                let m_hat = m / bc1;
+                let v_hat = v / bc2;
+                w_update.data_mut()[i] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            let mut b_update = vec![0.0; db.len()];
+            for i in 0..db.len() {
+                let g = db[i];
+                let m = self.beta1 * mb[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * vb[i] + (1.0 - self.beta2) * g * g;
+                mb[i] = m;
+                vb[i] = v;
+                b_update[i] = -self.lr * (m / bc1) / ((v / bc2).sqrt() + self.eps);
+            }
+            out.push((w_update, b_update));
+        }
+        Gradients { layers: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Activation;
+
+    fn quad_grads(theta: &[f64]) -> Gradients {
+        // L(θ) = Σ (θ_i − i)², gradient 2(θ_i − i), packed as one "layer".
+        let g: Vec<f64> = theta
+            .iter()
+            .enumerate()
+            .map(|(i, t)| 2.0 * (t - i as f64))
+            .collect();
+        Gradients {
+            layers: vec![(Matrix::row_vector(g), vec![])],
+        }
+    }
+
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> Vec<f64> {
+        let mut theta = vec![5.0, -3.0, 10.0];
+        for _ in 0..steps {
+            let u = opt.updates(&quad_grads(&theta));
+            for (t, &d) in theta.iter_mut().zip(u.layers[0].0.data()) {
+                *t += d;
+            }
+        }
+        theta
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let theta = minimize(&mut Sgd::new(0.1), 200);
+        for (i, t) in theta.iter().enumerate() {
+            assert!((t - i as f64).abs() < 1e-6, "theta[{i}] = {t}");
+        }
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let theta = minimize(&mut Adam::new(0.2), 500);
+        for (i, t) in theta.iter().enumerate() {
+            assert!((t - i as f64).abs() < 1e-3, "theta[{i}] = {t}");
+        }
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step ≈ lr in magnitude.
+        let mut adam = Adam::new(0.01);
+        let g = Gradients {
+            layers: vec![(Matrix::row_vector(vec![3.7]), vec![])],
+        };
+        let u = adam.updates(&g);
+        assert!((u.layers[0].0.data()[0].abs() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_update_is_negative_scaled_gradient() {
+        let mut sgd = Sgd::new(0.5);
+        let g = Gradients {
+            layers: vec![(Matrix::row_vector(vec![2.0, -4.0]), vec![1.0])],
+        };
+        let u = sgd.updates(&g);
+        assert_eq!(u.layers[0].0.data(), &[-1.0, 2.0]);
+        assert_eq!(u.layers[0].1, vec![-0.5]);
+    }
+
+    #[test]
+    fn optimizers_train_networks_via_step() {
+        // Fit y = x via Adam on an MLP — the full integration path.
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Linear, 3);
+        let mut adam = Adam::new(0.01);
+        for _ in 0..800 {
+            let xs = Matrix::from_vec(8, 1, (0..8).map(|i| i as f64 / 8.0 - 0.5).collect());
+            let ys = net.forward_train(&xs);
+            let mut d = ys.clone();
+            for i in 0..8 {
+                let target = xs.get(i, 0);
+                d.set(i, 0, (ys.get(i, 0) - target) / 8.0);
+            }
+            let grads = net.backward(&d);
+            adam.step(&mut net, &grads);
+        }
+        let err = (net.forward_one(&[0.25])[0] - 0.25).abs();
+        assert!(err < 0.05, "error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive learning rate")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

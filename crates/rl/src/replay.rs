@@ -1,0 +1,162 @@
+//! Experience replay: a fixed-capacity ring buffer with uniform sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A ring buffer of transitions with uniform random sampling.
+///
+/// ```
+/// use fairmove_rl::ReplayBuffer;
+/// let mut buf = ReplayBuffer::new(2);
+/// buf.push(1);
+/// buf.push(2);
+/// buf.push(3); // evicts 1
+/// assert_eq!(buf.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    capacity: usize,
+    items: Vec<T>,
+    /// Next write position once the buffer is full.
+    head: usize,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    /// A buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity replay buffer");
+        ReplayBuffer {
+            capacity,
+            items: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a transition, evicting the oldest once full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement. Returns fewer
+    /// only if the buffer is empty (then returns none).
+    pub fn sample(&self, rng: &mut StdRng, n: usize) -> Vec<&T> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+
+    /// Iterates over all stored transitions (no particular order guarantee
+    /// once the buffer has wrapped).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Drops all stored transitions.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        let contents: Vec<i32> = b.iter().copied().collect();
+        // 0 and 1 were evicted.
+        assert!(contents.contains(&2) && contents.contains(&3) && contents.contains(&4));
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..4 {
+            b.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.sample(&mut rng, 32).len(), 32);
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let b: ReplayBuffer<i32> = ReplayBuffer::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(b.sample(&mut rng, 8).is_empty());
+    }
+
+    #[test]
+    fn sample_covers_contents() {
+        let mut b = ReplayBuffer::new(4);
+        for i in 0..4 {
+            b.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let seen: std::collections::HashSet<i32> =
+            b.sample(&mut rng, 200).into_iter().copied().collect();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut b = ReplayBuffer::new(4);
+        b.push(1);
+        b.clear();
+        assert!(b.is_empty());
+        b.push(2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _: ReplayBuffer<i32> = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn long_wrap_preserves_capacity_invariant() {
+        let mut b = ReplayBuffer::new(7);
+        for i in 0..1000 {
+            b.push(i);
+            assert!(b.len() <= 7);
+        }
+        // The newest item is always present.
+        assert!(b.iter().any(|&x| x == 999));
+    }
+}

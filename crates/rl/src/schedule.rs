@@ -1,0 +1,106 @@
+//! Exploration schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Linearly decaying ε for ε-greedy exploration: starts at `start`, reaches
+/// `end` after `decay_steps` calls, stays there.
+///
+/// ```
+/// use fairmove_rl::EpsilonSchedule;
+/// let mut eps = EpsilonSchedule::new(1.0, 0.0, 2);
+/// assert_eq!(eps.next_epsilon(), 1.0);
+/// assert_eq!(eps.next_epsilon(), 0.5);
+/// assert_eq!(eps.next_epsilon(), 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    start: f64,
+    end: f64,
+    decay_steps: u64,
+    step: u64,
+}
+
+impl EpsilonSchedule {
+    /// Builds a schedule.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ end ≤ start ≤ 1` and `decay_steps > 0`.
+    pub fn new(start: f64, end: f64, decay_steps: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end) && end <= start,
+            "bad epsilon range {start}..{end}"
+        );
+        assert!(decay_steps > 0, "zero decay steps");
+        EpsilonSchedule {
+            start,
+            end,
+            decay_steps,
+            step: 0,
+        }
+    }
+
+    /// A constant ε.
+    pub fn constant(eps: f64) -> Self {
+        Self::new(eps, eps, 1)
+    }
+
+    /// Current ε without advancing.
+    pub fn current(&self) -> f64 {
+        if self.step >= self.decay_steps {
+            self.end
+        } else {
+            let frac = self.step as f64 / self.decay_steps as f64;
+            self.start + (self.end - self.start) * frac
+        }
+    }
+
+    /// Returns the current ε and advances one step.
+    pub fn next_epsilon(&mut self) -> f64 {
+        let eps = self.current();
+        self.step += 1;
+        eps
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decays_linearly_then_floors() {
+        let mut s = EpsilonSchedule::new(1.0, 0.0, 4);
+        assert_eq!(s.next_epsilon(), 1.0);
+        assert_eq!(s.next_epsilon(), 0.75);
+        assert_eq!(s.next_epsilon(), 0.5);
+        assert_eq!(s.next_epsilon(), 0.25);
+        assert_eq!(s.next_epsilon(), 0.0);
+        assert_eq!(s.next_epsilon(), 0.0);
+    }
+
+    #[test]
+    fn constant_never_changes() {
+        let mut s = EpsilonSchedule::constant(0.1);
+        for _ in 0..100 {
+            assert!((s.next_epsilon() - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn current_does_not_advance() {
+        let s = EpsilonSchedule::new(0.5, 0.1, 10);
+        assert_eq!(s.current(), 0.5);
+        assert_eq!(s.current(), 0.5);
+        assert_eq!(s.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad epsilon range")]
+    fn rejects_end_above_start() {
+        let _ = EpsilonSchedule::new(0.1, 0.5, 10);
+    }
+}

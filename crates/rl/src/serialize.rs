@@ -1,0 +1,223 @@
+//! Plain-text model persistence.
+//!
+//! A production displacement service trains offline and ships frozen
+//! weights to the dispatch servers; this module provides a dependency-free
+//! textual format for that (one header line, then one line per layer:
+//! shape + whitespace-separated weights and biases). Exact round-tripping
+//! of `f64` is guaranteed by hex-float encoding.
+
+use crate::matrix::Matrix;
+use crate::mlp::{Activation, Mlp};
+use std::io::{self, BufRead, Write};
+
+/// Errors from [`load_mlp`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or numeric problem in the file.
+    Format(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn fmt_err(msg: impl Into<String>) -> LoadError {
+    LoadError::Format(msg.into())
+}
+
+fn activation_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::Tanh => "tanh",
+        Activation::Linear => "linear",
+    }
+}
+
+fn parse_activation(s: &str) -> Result<Activation, LoadError> {
+    match s {
+        "relu" => Ok(Activation::Relu),
+        "tanh" => Ok(Activation::Tanh),
+        "linear" => Ok(Activation::Linear),
+        other => Err(fmt_err(format!("unknown activation {other:?}"))),
+    }
+}
+
+/// Serializes `net` (assumed built with uniform hidden activation and one
+/// output activation, as [`Mlp::new`] produces) to the text format.
+pub fn save_mlp(
+    net: &Mlp,
+    hidden: Activation,
+    output: Activation,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    let shapes = net.layer_shapes();
+    writeln!(
+        w,
+        "fairmove-mlp v1 layers={} hidden={} output={}",
+        shapes.len(),
+        activation_name(hidden),
+        activation_name(output)
+    )?;
+    let params = net.export_params();
+    for ((out_dim, in_dim), (weights, biases)) in shapes.iter().zip(&params) {
+        write!(w, "layer {out_dim} {in_dim}")?;
+        for v in weights.data() {
+            write!(w, " {}", hex_f64(*v))?;
+        }
+        for v in biases {
+            write!(w, " {}", hex_f64(*v))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Loads a network saved with [`save_mlp`].
+pub fn load_mlp(r: &mut impl BufRead) -> Result<Mlp, LoadError> {
+    let mut header = String::new();
+    r.read_line(&mut header)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 5 || fields[0] != "fairmove-mlp" || fields[1] != "v1" {
+        return Err(fmt_err(format!("bad header: {header:?}")));
+    }
+    let n_layers: usize = fields[2]
+        .strip_prefix("layers=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| fmt_err("bad layer count"))?;
+    let hidden = parse_activation(
+        fields[3]
+            .strip_prefix("hidden=")
+            .ok_or_else(|| fmt_err("missing hidden activation"))?,
+    )?;
+    let output = parse_activation(
+        fields[4]
+            .strip_prefix("output=")
+            .ok_or_else(|| fmt_err("missing output activation"))?,
+    )?;
+
+    let mut sizes = Vec::new();
+    let mut params = Vec::new();
+    for line in r.lines().take(n_layers) {
+        let line = line?;
+        let mut it = line.split_whitespace();
+        if it.next() != Some("layer") {
+            return Err(fmt_err(format!("expected layer line, got {line:?}")));
+        }
+        let out_dim: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| fmt_err("bad out dim"))?;
+        let in_dim: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| fmt_err("bad in dim"))?;
+        let values: Vec<f64> = it
+            .map(parse_hex_f64)
+            .collect::<Result<_, _>>()?;
+        if values.len() != out_dim * in_dim + out_dim {
+            return Err(fmt_err(format!(
+                "layer {out_dim}x{in_dim}: expected {} values, got {}",
+                out_dim * in_dim + out_dim,
+                values.len()
+            )));
+        }
+        if sizes.is_empty() {
+            sizes.push(in_dim);
+        }
+        sizes.push(out_dim);
+        let (w, b) = values.split_at(out_dim * in_dim);
+        params.push((Matrix::from_vec(out_dim, in_dim, w.to_vec()), b.to_vec()));
+    }
+    if params.len() != n_layers {
+        return Err(fmt_err(format!(
+            "expected {n_layers} layers, found {}",
+            params.len()
+        )));
+    }
+
+    let mut net = Mlp::new(&sizes, hidden, output, 0);
+    net.import_params(&params)
+        .map_err(|e| fmt_err(format!("import failed: {e}")))?;
+    Ok(net)
+}
+
+/// Exact `f64` encoding via the IEEE-754 bit pattern in hex.
+fn hex_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_hex_f64(s: &str) -> Result<f64, LoadError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| fmt_err(format!("bad value {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly() {
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Linear, 77);
+        let mut buf = Vec::new();
+        save_mlp(&net, Activation::Relu, Activation::Linear, &mut buf).unwrap();
+        let loaded = load_mlp(&mut buf.as_slice()).unwrap();
+        let x = vec![0.3, -1.2, 0.0, 2.5];
+        assert_eq!(net.forward_one(&x), loaded.forward_one(&x));
+        assert_eq!(net.layer_shapes(), loaded.layer_shapes());
+    }
+
+    #[test]
+    fn round_trips_tanh_networks() {
+        let net = Mlp::new(&[2, 5, 5, 1], Activation::Tanh, Activation::Tanh, 3);
+        let mut buf = Vec::new();
+        save_mlp(&net, Activation::Tanh, Activation::Tanh, &mut buf).unwrap();
+        let loaded = load_mlp(&mut buf.as_slice()).unwrap();
+        let x = vec![0.5, -0.5];
+        assert_eq!(net.forward_one(&x), loaded.forward_one(&x));
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let junk = b"not-a-model\n".to_vec();
+        assert!(matches!(
+            load_mlp(&mut junk.as_slice()),
+            Err(LoadError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_layers() {
+        let net = Mlp::new(&[3, 4, 2], Activation::Relu, Activation::Linear, 1);
+        let mut buf = Vec::new();
+        save_mlp(&net, Activation::Relu, Activation::Linear, &mut buf).unwrap();
+        // Drop the last line.
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(load_mlp(&mut truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hex_encoding_is_exact_for_extremes() {
+        for v in [0.0, -0.0, 1.5e-308, f64::MAX, -std::f64::consts::PI] {
+            let s = hex_f64(v);
+            let back = parse_hex_f64(&s).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Tabular Q-learning (the paper's TQL baseline).
+//!
+//! Classic Watkins Q-learning over a discrete state index with per-state
+//! variable action counts (the FairMove action space differs by region).
+//! States are lazily materialized so the table only stores visited states.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse Q-table over `(state, action)` pairs.
+///
+/// ```
+/// use fairmove_rl::QTable;
+/// let mut q = QTable::new(0.5, 0.9, 0.0);
+/// let _ = q.greedy(7, 3);              // materialize state 7 with 3 actions
+/// q.update(7, 1, 10.0, 8, 3);          // reward 10 for action 1
+/// assert_eq!(q.greedy(7, 3), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QTable {
+    /// Learning rate.
+    pub alpha: f64,
+    /// Discount factor (the paper's β = 0.9).
+    pub gamma: f64,
+    q: HashMap<u64, Vec<f64>>,
+    /// Optimistic initial value (encourages exploration of unseen actions).
+    init_value: f64,
+}
+
+impl QTable {
+    /// A fresh table.
+    pub fn new(alpha: f64, gamma: f64, init_value: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+        assert!((0.0..1.0).contains(&gamma), "gamma out of range");
+        QTable {
+            alpha,
+            gamma,
+            q: HashMap::new(),
+            init_value,
+        }
+    }
+
+    /// Number of states materialized so far.
+    pub fn n_states(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Q-values for `state`, materializing `n_actions` entries on first
+    /// visit. Re-visits with a larger `n_actions` extend the row.
+    pub fn values_mut(&mut self, state: u64, n_actions: usize) -> &mut Vec<f64> {
+        let row = self
+            .q
+            .entry(state)
+            .or_insert_with(|| vec![self.init_value; n_actions]);
+        if row.len() < n_actions {
+            row.resize(n_actions, self.init_value);
+        }
+        row
+    }
+
+    /// Read-only Q-values for `state` (empty slice if unvisited).
+    pub fn values(&self, state: u64) -> &[f64] {
+        self.q.get(&state).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Greedy action for `state` over `n_actions` admissible actions.
+    pub fn greedy(&mut self, state: u64, n_actions: usize) -> usize {
+        let row = self.values_mut(state, n_actions);
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (i, &v) in row.iter().take(n_actions).enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// ε-greedy action for `state`.
+    pub fn epsilon_greedy(
+        &mut self,
+        state: u64,
+        n_actions: usize,
+        epsilon: f64,
+        rng: &mut StdRng,
+    ) -> usize {
+        // Materialize the row even on the exploration branch so a later
+        // `update` on this state always finds it.
+        let _ = self.values_mut(state, n_actions);
+        if rng.gen::<f64>() < epsilon {
+            rng.gen_range(0..n_actions)
+        } else {
+            self.greedy(state, n_actions)
+        }
+    }
+
+    /// The Watkins update:
+    /// `Q(s,a) ← Q(s,a) + α (r + γ max_a' Q(s',a') − Q(s,a))`.
+    ///
+    /// `next_n_actions` sizes the successor row; pass 0 for terminal states
+    /// (the max term is then 0).
+    pub fn update(
+        &mut self,
+        state: u64,
+        action: usize,
+        reward: f64,
+        next_state: u64,
+        next_n_actions: usize,
+    ) {
+        let gamma = self.gamma;
+        self.update_with_discount(state, action, reward, next_state, next_n_actions, gamma);
+    }
+
+    /// Semi-MDP variant of [`Self::update`] with an explicit bootstrap
+    /// discount (e.g. `γ^k` when `k` slots elapsed between decisions).
+    pub fn update_with_discount(
+        &mut self,
+        state: u64,
+        action: usize,
+        reward: f64,
+        next_state: u64,
+        next_n_actions: usize,
+        discount: f64,
+    ) {
+        let next_max = if next_n_actions == 0 {
+            0.0
+        } else {
+            let row = self.values_mut(next_state, next_n_actions);
+            row.iter()
+                .take(next_n_actions)
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let row = self
+            .q
+            .get_mut(&state)
+            .expect("update on unvisited state; call values_mut/greedy first");
+        assert!(action < row.len(), "action {action} out of row");
+        let td_target = reward + discount * next_max;
+        row[action] += self.alpha * (td_target - row[action]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A 4-state chain: 0 → 1 → 2 → 3(terminal, reward 1). Action 0 moves
+    /// right, action 1 stays with 0 reward. Optimal: always move right.
+    fn train_chain(episodes: usize) -> QTable {
+        let mut q = QTable::new(0.5, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..episodes {
+            let mut s = 0u64;
+            while s < 3 {
+                let a = q.epsilon_greedy(s, 2, 0.2, &mut rng);
+                let (s2, r) = if a == 0 { (s + 1, if s == 2 { 1.0 } else { 0.0 }) } else { (s, 0.0) };
+                let next_n = if s2 == 3 { 0 } else { 2 };
+                q.update(s, a, r, s2, next_n);
+                s = s2;
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn learns_optimal_chain_policy() {
+        let mut q = train_chain(300);
+        for s in 0..3 {
+            assert_eq!(q.greedy(s, 2), 0, "state {s} should move right");
+        }
+    }
+
+    #[test]
+    fn values_propagate_discounted() {
+        let mut q = train_chain(2000);
+        // Q(2, right) → 1, Q(1, right) → γ, Q(0, right) → γ².
+        let v2 = q.values_mut(2, 2)[0];
+        let v1 = q.values_mut(1, 2)[0];
+        let v0 = q.values_mut(0, 2)[0];
+        assert!((v2 - 1.0).abs() < 0.05, "v2 {v2}");
+        assert!((v1 - 0.9).abs() < 0.08, "v1 {v1}");
+        assert!((v0 - 0.81).abs() < 0.1, "v0 {v0}");
+    }
+
+    #[test]
+    fn rows_materialize_lazily() {
+        let mut q = QTable::new(0.1, 0.9, 0.0);
+        assert_eq!(q.n_states(), 0);
+        let _ = q.greedy(42, 3);
+        assert_eq!(q.n_states(), 1);
+        assert_eq!(q.values(42).len(), 3);
+        assert!(q.values(7).is_empty());
+    }
+
+    #[test]
+    fn rows_grow_when_action_space_grows() {
+        let mut q = QTable::new(0.1, 0.9, 0.5);
+        let _ = q.values_mut(1, 2);
+        let row = q.values_mut(1, 5);
+        assert_eq!(row.len(), 5);
+        assert!(row.iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform_random() {
+        let mut q = QTable::new(0.1, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[q.epsilon_greedy(0, 4, 1.0, &mut rng)] += 1;
+        }
+        for c in counts {
+            assert!(c > 800, "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn terminal_update_ignores_successor() {
+        let mut q = QTable::new(1.0, 0.9, 0.0);
+        let _ = q.values_mut(0, 1);
+        q.update(0, 0, 5.0, 999, 0);
+        assert!((q.values(0)[0] - 5.0).abs() < 1e-12);
+        // Terminal successor was never materialized.
+        assert!(q.values(999).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma out of range")]
+    fn rejects_gamma_one() {
+        let _ = QTable::new(0.1, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulation configuration.
+
+use fairmove_city::CityConfig;
+use fairmove_data::{ChargingPricing, EnergyModel, FareModel};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to construct a reproducible simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// City substrate parameters.
+    pub city: CityConfig,
+    /// Number of e-taxis (paper: 20,130).
+    pub fleet_size: usize,
+    /// Simulated days per run (paper evaluates one month).
+    pub days: u32,
+    /// Expected passenger requests per taxi per day (Shenzhen: 23.2 M trips
+    /// / 20,130 taxis / 31 days ≈ 37).
+    pub daily_trips_per_taxi: f64,
+    /// Battery / consumption model.
+    pub energy: EnergyModel,
+    /// Fare schedule.
+    pub fare: FareModel,
+    /// Time-of-use charging tariff.
+    pub pricing: ChargingPricing,
+    /// Energy burned per minute of vacant cruising, kWh (slow low-speed
+    /// cruising; calibrated so a taxi needs ~1.5–2 charges per day).
+    pub vacant_cruise_kwh_per_minute: f64,
+    /// State-of-charge below which charge actions become *available* to the
+    /// policy (above it, only movement actions exist; below
+    /// `energy.charge_threshold` charging is forced). The paper gates the
+    /// charge action on the energy level.
+    pub opportunistic_charge_soc: f64,
+    /// Master RNG seed. Two runs with the same config see the same demand
+    /// realization, so policies are compared on identical workloads.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    /// CI-friendly scaled-down default (DESIGN.md "Simulation scale"):
+    /// 600 taxis over the 120-region default city for 3 days.
+    fn default() -> Self {
+        SimConfig {
+            city: CityConfig::default(),
+            fleet_size: 600,
+            days: 3,
+            daily_trips_per_taxi: 35.0,
+            energy: EnergyModel::default(),
+            fare: FareModel::default(),
+            pricing: ChargingPricing::default(),
+            vacant_cruise_kwh_per_minute: 0.04,
+            opportunistic_charge_soc: 0.45,
+            seed: 2019,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Paper-scale configuration: 20,130 taxis, 491 regions, 123 stations,
+    /// 31 days. Slow — intended for `--scale full` runs only.
+    pub fn shenzhen_scale() -> Self {
+        SimConfig {
+            city: CityConfig::shenzhen_scale(),
+            fleet_size: 20_130,
+            days: 31,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A tiny configuration for fast unit tests: 40 regions, 8 stations,
+    /// 60 taxis, 1 day.
+    pub fn test_scale() -> Self {
+        SimConfig {
+            city: CityConfig {
+                n_regions: 40,
+                n_stations: 8,
+                total_charging_points: 16,
+                ..CityConfig::default()
+            },
+            fleet_size: 60,
+            days: 1,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Expected total daily passenger requests for this config.
+    pub fn daily_trips(&self) -> f64 {
+        self.daily_trips_per_taxi * self.fleet_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_scaled_down() {
+        let c = SimConfig::default();
+        assert_eq!(c.fleet_size, 600);
+        assert_eq!(c.city.n_regions, 120);
+        assert!((c.daily_trips() - 21_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shenzhen_scale_matches_paper() {
+        let c = SimConfig::shenzhen_scale();
+        assert_eq!(c.fleet_size, 20_130);
+        assert_eq!(c.city.n_regions, 491);
+        assert_eq!(c.city.n_stations, 123);
+        assert_eq!(c.days, 31);
+    }
+
+    #[test]
+    fn test_scale_is_small() {
+        let c = SimConfig::test_scale();
+        assert!(c.fleet_size <= 100);
+        assert_eq!(c.days, 1);
+    }
+}

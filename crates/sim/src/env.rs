@@ -1,0 +1,983 @@
+//! The slot-stepped fleet environment.
+//!
+//! [`Environment::step_slot`] advances the world by one 10-minute decision
+//! slot: it consults the policy for every vacant taxi, then plays out the
+//! slot minute by minute — passenger arrivals, pickups, drop-offs, station
+//! arrivals, queue handoffs, charge completions — and returns a
+//! [`SlotFeedback`] with the realized per-taxi profits and fleet fairness,
+//! from which learning policies assemble their reward signal (Eq. 4–5 of
+//! the paper).
+//!
+//! Simplifications vs. the real fleet, all documented in DESIGN.md:
+//! taxis never go off-duty; a taxi with an empty battery keeps crawling
+//! (the must-charge threshold `η = 20 %` makes this unreachable in
+//! practice); passenger pickup approach distance is sampled rather than
+//! routed.
+
+use crate::action::Action;
+use crate::config::SimConfig;
+use crate::ledger::{ChargeEvent, FleetLedger, TimeBucket, TripEvent};
+use crate::observation::{DecisionContext, SlotObservation};
+use crate::passenger::PassengerPool;
+use crate::policy::DisplacementPolicy;
+use crate::station::StationState;
+use crate::taxi::{Taxi, TaxiId, TaxiState};
+use crate::action::ActionSet;
+use fairmove_city::{City, RegionId, SimTime, StationId, MINUTES_PER_DAY, SLOT_MINUTES};
+use fairmove_data::{DemandModel, PassengerRequest, TripGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A trip in progress (matched, not yet completed).
+#[derive(Debug, Clone)]
+struct PendingTrip {
+    request: PassengerRequest,
+    approach_km: f64,
+    pickup_at: SimTime,
+    cruise_minutes: u32,
+    first_after_charge: Option<StationId>,
+}
+
+/// A charging excursion in progress.
+#[derive(Debug, Clone)]
+struct ChargeContext {
+    decided_at: SimTime,
+    plugged_at: Option<SimTime>,
+    plug_soc: f64,
+    /// How many times the taxi has balked at a jammed station and driven on.
+    redirects: u8,
+}
+
+/// Outcome of one slot, handed to [`DisplacementPolicy::observe`].
+#[derive(Debug, Clone)]
+pub struct SlotFeedback {
+    /// Start time of the slot that just ran.
+    pub slot_start: SimTime,
+    /// Profit realized by each taxi during the slot (fares collected minus
+    /// charging costs incurred), CNY, indexed by taxi id.
+    pub slot_profit: Vec<f64>,
+    /// Cumulative profit efficiency of each taxi so far, CNY/hour.
+    pub cumulative_pe: Vec<f64>,
+    /// Fleet mean of `cumulative_pe`.
+    pub mean_pe: f64,
+    /// Fleet profit fairness: variance of `cumulative_pe` (the paper's
+    /// Eq. 3 — smaller is fairer).
+    pub pf: f64,
+}
+
+impl SlotFeedback {
+    /// The paper's Eq. 4 per-taxi reward:
+    /// `α · PE(k, t) + (1 − α) · (−PF(t))`, with the slot profit expressed
+    /// as an hourly rate and both terms scaled to comparable magnitude.
+    ///
+    /// The fairness component is made *actionable* per taxi with a
+    /// progressive profit weight: a below-mean taxi's earnings count extra,
+    /// an above-mean taxi's count less — equalizing the marginal incentive
+    /// (an α-fair utility). The fleet-level variance enters as a small
+    /// shared penalty, matching Eq. 4's `−PF(t)` term; it is clamped
+    /// because early-run PE estimates have huge small-denominator noise.
+    pub fn reward(&self, alpha: f64, taxi: TaxiId) -> f64 {
+        let p = self.slot_profit[taxi.index()] * (60.0 / f64::from(SLOT_MINUTES)) / PE_SCALE;
+        let deviation = self.cumulative_pe[taxi.index()] - self.mean_pe;
+        let fairness = -(deviation.abs() / DEV_SCALE).min(2.0) - (self.pf / PF_SCALE).min(1.0);
+        alpha * p + (1.0 - alpha) * fairness
+    }
+}
+
+/// Scaling constants for the reward components (see [`SlotFeedback::reward`]).
+const PE_SCALE: f64 = 6.0;
+const PF_SCALE: f64 = 200.0;
+const DEV_SCALE: f64 = 12.0;
+
+/// The simulated world.
+pub struct Environment {
+    city: City,
+    config: SimConfig,
+    demand: DemandModel,
+    trip_gen: TripGenerator,
+    taxis: Vec<Taxi>,
+    stations: Vec<StationState>,
+    pool: PassengerPool,
+    ledger: FleetLedger,
+    now: SimTime,
+    /// Min-heap of (completion minute, taxi id).
+    schedule: BinaryHeap<Reverse<(u32, u32)>>,
+    vacant_by_region: Vec<Vec<TaxiId>>,
+    bucket_since: Vec<SimTime>,
+    pending_trip: Vec<Option<PendingTrip>>,
+    charge_ctx: Vec<Option<ChargeContext>>,
+    slot_profit: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Environment {
+    /// Builds a fresh environment. Taxis start vacant, placed in regions
+    /// proportionally to demand, with 50–95 % charge.
+    pub fn new(config: SimConfig) -> Self {
+        let city = City::generate(config.city.clone());
+        let demand = DemandModel::new(&city, config.daily_trips(), config.seed);
+        let trip_gen = TripGenerator::new(
+            &city,
+            demand.clone(),
+            config.fare.clone(),
+            config.seed,
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x454e_5649_524f); // "ENVIRO" salt
+
+        let weights: Vec<f64> = (0..city.n_regions())
+            .map(|r| {
+                demand
+                    .intensity(RegionId(r as u16), fairmove_city::TimeSlot(60))
+                    .max(1e-9)
+            })
+            .collect();
+        let mut vacant_by_region = vec![Vec::new(); city.n_regions()];
+        let taxis: Vec<Taxi> = (0..config.fleet_size)
+            .map(|i| {
+                let region =
+                    RegionId(fairmove_data::random::weighted_index(&mut rng, &weights) as u16);
+                let soc = rng.gen_range(0.5..0.95);
+                vacant_by_region[region.index()].push(TaxiId(i as u32));
+                Taxi::new(TaxiId(i as u32), region, soc, SimTime::ZERO)
+            })
+            .collect();
+
+        let stations = city
+            .stations()
+            .iter()
+            .map(|s| StationState::new(s.id, s.charging_points))
+            .collect();
+
+        let fleet_size = config.fleet_size;
+        let n_regions = city.n_regions();
+        Environment {
+            city,
+            demand,
+            trip_gen,
+            taxis,
+            stations,
+            pool: PassengerPool::new(n_regions),
+            ledger: FleetLedger::new(fleet_size),
+            now: SimTime::ZERO,
+            schedule: BinaryHeap::new(),
+            vacant_by_region,
+            bucket_since: vec![SimTime::ZERO; fleet_size],
+            pending_trip: vec![None; fleet_size],
+            charge_ctx: vec![None; fleet_size],
+            slot_profit: vec![0.0; fleet_size],
+            rng,
+            config,
+        }
+    }
+
+    /// The city substrate.
+    #[inline]
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+
+    /// The simulation config.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The demand model driving the request stream.
+    #[inline]
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// Current simulation time (start of the next slot).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The accumulated ledger. Call [`Self::flush_accounting`] first if the
+    /// run ended mid-activity and exact bucket totals matter.
+    #[inline]
+    pub fn ledger(&self) -> &FleetLedger {
+        &self.ledger
+    }
+
+    /// All taxis, id order.
+    #[inline]
+    pub fn taxis(&self) -> &[Taxi] {
+        &self.taxis
+    }
+
+    /// Whether the configured horizon has been reached.
+    pub fn done(&self) -> bool {
+        self.now.minutes() >= self.config.days * MINUTES_PER_DAY
+    }
+
+    /// Runs the full configured horizon under `policy`.
+    pub fn run(&mut self, policy: &mut dyn DisplacementPolicy) {
+        while !self.done() {
+            let feedback = self.step_slot(policy);
+            policy.observe(&feedback);
+        }
+        self.flush_accounting();
+    }
+
+    /// Builds the current global-view observation.
+    pub fn observation(&self) -> SlotObservation {
+        let next_slot = (self.now + SLOT_MINUTES).slot_of_day();
+        let mut vacant = vec![0u32; self.city.n_regions()];
+        for (r, list) in self.vacant_by_region.iter().enumerate() {
+            vacant[r] = list.len() as u32;
+        }
+        let pes = self.ledger.profit_efficiencies();
+        let mean_pe = pes.iter().sum::<f64>() / pes.len().max(1) as f64;
+        let pf = pes.iter().map(|pe| (pe - mean_pe).powi(2)).sum::<f64>()
+            / pes.len().max(1) as f64;
+        SlotObservation {
+            now: self.now,
+            slot: self.now.slot_of_day(),
+            vacant_per_region: vacant,
+            free_points_per_station: self.stations.iter().map(StationState::free_points).collect(),
+            queue_per_station: self
+                .stations
+                .iter()
+                .map(|s| s.queue_len() as u32)
+                .collect(),
+            inbound_per_station: self.stations.iter().map(|s| s.inbound).collect(),
+            predicted_demand: self.demand.intensities_at(next_slot),
+            waiting_per_region: self.pool.waiting_counts(self.now),
+            price_now: self.config.pricing.rate_at_time(self.now),
+            price_next_hour: self.config.pricing.rate_at_time(self.now + 60),
+            mean_pe,
+            pf,
+        }
+    }
+
+    /// Builds the decision contexts for all currently vacant taxis
+    /// (ascending taxi id).
+    pub fn decision_contexts(&self) -> Vec<DecisionContext> {
+        let mut ids: Vec<TaxiId> = self
+            .vacant_by_region
+            .iter()
+            .flat_map(|l| l.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|&id| {
+                let taxi = &self.taxis[id.index()];
+                let region = taxi
+                    .state
+                    .region()
+                    .expect("vacant taxi has a region");
+                let must_charge = self.config.energy.must_charge(taxi.soc);
+                let stations = self.city.nearest_stations().nearest(region);
+                // The paper gates charging on the energy level ("the
+                // charging action is decided by the energy level of each
+                // e-taxi"): below η charging is forced; below the
+                // opportunistic threshold the *station choice and timing*
+                // are learnable; above it only movement actions exist.
+                let actions = if must_charge {
+                    ActionSet::charge_only(stations)
+                } else if taxi.soc < self.config.opportunistic_charge_soc {
+                    ActionSet::full(&self.city.region(region).neighbors, stations)
+                } else {
+                    ActionSet::full(&self.city.region(region).neighbors, &[])
+                };
+                DecisionContext {
+                    taxi: id,
+                    region,
+                    soc: taxi.soc,
+                    must_charge,
+                    pe_standing: self.ledger.taxi(id).profit_efficiency(),
+                    actions,
+                }
+            })
+            .collect()
+    }
+
+    /// Advances one slot under `policy` and returns the realized feedback.
+    pub fn step_slot(&mut self, policy: &mut dyn DisplacementPolicy) -> SlotFeedback {
+        let slot_start = self.now;
+        self.slot_profit.iter_mut().for_each(|p| *p = 0.0);
+
+        // 1. Decisions for vacant taxis.
+        let obs = self.observation();
+        let decisions = self.decision_contexts();
+        let actions = policy.decide(&obs, &decisions);
+        debug_assert_eq!(actions.len(), decisions.len());
+        for (ctx, &action) in decisions.iter().zip(actions.iter()) {
+            let action = self.sanitize(ctx, action);
+            self.apply_action(ctx.taxi, action);
+        }
+
+        // 2. Demand for this slot, bucketed by arrival minute.
+        let mut arrivals: Vec<Vec<PassengerRequest>> =
+            (0..SLOT_MINUTES).map(|_| Vec::new()).collect();
+        for req in self.trip_gen.generate_slot(slot_start) {
+            let offset = (req.requested_at - slot_start).min(SLOT_MINUTES - 1);
+            arrivals[offset as usize].push(req);
+        }
+
+        // 3. Minute loop.
+        for m in 0..SLOT_MINUTES {
+            let now = slot_start + m;
+            self.now = now;
+            let mut dirty: Vec<RegionId> = Vec::new();
+
+            for req in arrivals[m as usize].drain(..) {
+                dirty.push(req.origin);
+                self.pool.push(req);
+            }
+
+            while let Some(&Reverse((minute, taxi))) = self.schedule.peek() {
+                if minute > now.minutes() {
+                    break;
+                }
+                self.schedule.pop();
+                if let Some(region) = self.complete_transition(TaxiId(taxi), now) {
+                    dirty.push(region);
+                }
+            }
+
+            dirty.sort_unstable();
+            dirty.dedup();
+            for region in dirty {
+                self.match_region(region, now);
+            }
+        }
+
+        // 4. Slot wrap-up.
+        self.now = slot_start + SLOT_MINUTES;
+        self.pool.sweep_expired(self.now);
+        self.ledger.expired_requests = self.pool.expired;
+        self.drain_vacant_cruisers();
+
+        let cumulative_pe = self.ledger.profit_efficiencies();
+        let mean_pe = cumulative_pe.iter().sum::<f64>() / cumulative_pe.len().max(1) as f64;
+        let pf = cumulative_pe
+            .iter()
+            .map(|pe| (pe - mean_pe).powi(2))
+            .sum::<f64>()
+            / cumulative_pe.len().max(1) as f64;
+
+        SlotFeedback {
+            slot_start,
+            slot_profit: self.slot_profit.clone(),
+            cumulative_pe,
+            mean_pe,
+            pf,
+        }
+    }
+
+    /// Flushes in-progress time accounting into the ledger (call at end of
+    /// a run so partially elapsed states are counted).
+    pub fn flush_accounting(&mut self) {
+        for i in 0..self.taxis.len() {
+            let bucket = bucket_of(&self.taxis[i].state);
+            let since = self.bucket_since[i];
+            let minutes = self.now - since;
+            if minutes > 0 {
+                self.ledger
+                    .taxi_mut(TaxiId(i as u32))
+                    .add_time(bucket, minutes);
+                self.bucket_since[i] = self.now;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Replaces inadmissible actions with a safe default.
+    fn sanitize(&self, ctx: &DecisionContext, action: Action) -> Action {
+        if ctx.actions.contains(action) {
+            action
+        } else if ctx.must_charge {
+            ctx.actions.charge_actions()[0]
+        } else {
+            Action::Stay
+        }
+    }
+
+    fn apply_action(&mut self, id: TaxiId, action: Action) {
+        let region = self.taxis[id.index()]
+            .state
+            .region()
+            .expect("decision taxi is vacant");
+        match action {
+            Action::Stay => {}
+            Action::MoveTo(dest) => {
+                let km = self.city.region_driving_distance(region, dest);
+                let minutes = self
+                    .city
+                    .travel()
+                    .minutes_for_distance(km, self.now)
+                    .max(1);
+                self.drain(id, km);
+                self.set_state(
+                    id,
+                    TaxiState::Repositioning {
+                        dest,
+                        arrive_at: self.now + minutes,
+                    },
+                );
+                self.schedule_at(id, self.now + minutes);
+            }
+            Action::Charge(station) => {
+                let km = self.city.region_to_station_distance(region, station);
+                let minutes = self
+                    .city
+                    .travel()
+                    .minutes_for_distance(km, self.now)
+                    .max(1);
+                self.drain(id, km);
+                self.charge_ctx[id.index()] = Some(ChargeContext {
+                    decided_at: self.now,
+                    plugged_at: None,
+                    plug_soc: 0.0,
+                    redirects: 0,
+                });
+                self.stations[station.index()].inbound += 1;
+                self.set_state(
+                    id,
+                    TaxiState::ToStation {
+                        station,
+                        arrive_at: self.now + minutes,
+                    },
+                );
+                self.schedule_at(id, self.now + minutes);
+            }
+        }
+    }
+
+    /// Handles a scheduled completion for `id` at `now`. Returns a region
+    /// whose matching state changed (a taxi became available there).
+    fn complete_transition(&mut self, id: TaxiId, now: SimTime) -> Option<RegionId> {
+        match self.taxis[id.index()].state {
+            TaxiState::Repositioning { dest, .. } => {
+                self.set_state(id, TaxiState::Vacant { region: dest });
+                Some(dest)
+            }
+            TaxiState::DrivingToPassenger { region, .. } => {
+                self.begin_service(id, region, now);
+                None
+            }
+            TaxiState::Serving { dest, .. } => {
+                self.finish_service(id, dest, now);
+                Some(dest)
+            }
+            TaxiState::ToStation { station, .. } => {
+                self.arrive_at_station(id, station, now);
+                None
+            }
+            TaxiState::Charging { station, .. } => {
+                let region = self.finish_charge(id, station, now);
+                Some(region)
+            }
+            TaxiState::Vacant { .. } | TaxiState::Queued { .. } => {
+                // Stale schedule entry; queued taxis are woken by release().
+                None
+            }
+        }
+    }
+
+    fn begin_service(&mut self, id: TaxiId, _region: RegionId, now: SimTime) {
+        let pending = self.pending_trip[id.index()]
+            .as_ref()
+            .expect("pickup without pending trip");
+        let trip_minutes = self
+            .city
+            .travel()
+            .minutes_for_distance(pending.request.distance_km, now)
+            + 2; // boarding + payment overhead
+        let dest = pending.request.destination;
+        self.set_state(
+            id,
+            TaxiState::Serving {
+                dest,
+                dropoff_at: now + trip_minutes,
+            },
+        );
+        self.schedule_at(id, now + trip_minutes);
+    }
+
+    fn finish_service(&mut self, id: TaxiId, dest: RegionId, now: SimTime) {
+        let pending = self.pending_trip[id.index()]
+            .take()
+            .expect("dropoff without pending trip");
+        let total_km = pending.approach_km + pending.request.distance_km;
+        self.drain(id, total_km);
+        self.slot_profit[id.index()] += pending.request.fare_cny;
+        self.ledger.record_trip(TripEvent {
+            taxi: id,
+            pickup_at: pending.pickup_at,
+            dropoff_at: now,
+            origin: pending.request.origin,
+            destination: dest,
+            distance_km: pending.request.distance_km,
+            fare_cny: pending.request.fare_cny,
+            cruise_minutes: pending.cruise_minutes,
+            first_after_charge: pending.first_after_charge,
+        });
+        let taxi = &mut self.taxis[id.index()];
+        taxi.free_since = now;
+        self.set_state(id, TaxiState::Vacant { region: dest });
+    }
+
+    /// Queue length (in multiples of capacity) beyond which an arriving
+    /// taxi balks and drives to another station instead of queueing.
+    const BALK_QUEUE_FACTOR: f64 = 1.5;
+    /// Maximum station-to-station redirects per charging excursion.
+    const MAX_REDIRECTS: u8 = 2;
+
+    fn arrive_at_station(&mut self, id: TaxiId, station: StationId, now: SimTime) {
+        self.stations[station.index()].inbound =
+            self.stations[station.index()].inbound.saturating_sub(1);
+
+        // Balking: a driver facing a visibly hopeless queue drives on to a
+        // nearby alternative instead (bounded times per excursion). This is
+        // what keeps real idle-time tails at tens of minutes rather than
+        // hours even when a policy herds.
+        let st = &self.stations[station.index()];
+        let hopeless =
+            st.queue_len() as f64 >= Self::BALK_QUEUE_FACTOR * f64::from(st.points).max(1.0);
+        let redirects = self.charge_ctx[id.index()]
+            .as_ref()
+            .map(|c| c.redirects)
+            .unwrap_or(0);
+        if hopeless && redirects < Self::MAX_REDIRECTS {
+            if let Some(alt) = self.pick_alternative_station(station) {
+                if let Some(ctx) = self.charge_ctx[id.index()].as_mut() {
+                    ctx.redirects += 1;
+                }
+                let km = self
+                    .city
+                    .travel()
+                    .driving_distance(self.city.station(station).position, self.city.station(alt).position);
+                let minutes = self.city.travel().minutes_for_distance(km, now).max(1);
+                self.drain(id, km);
+                self.stations[alt.index()].inbound += 1;
+                self.set_state(
+                    id,
+                    TaxiState::ToStation {
+                        station: alt,
+                        arrive_at: now + minutes,
+                    },
+                );
+                self.schedule_at(id, now + minutes);
+                return;
+            }
+        }
+
+        let plugged = self.stations[station.index()].arrive(id);
+        if plugged {
+            self.plug_in(id, station, now);
+        } else {
+            self.set_state(id, TaxiState::Queued { station });
+        }
+    }
+
+    /// The least-backlogged station near `station` (other than itself),
+    /// judged from the host region's nearest-station list.
+    fn pick_alternative_station(&self, station: StationId) -> Option<StationId> {
+        let region = self.city.station(station).region;
+        self.city
+            .nearest_stations()
+            .nearest(region)
+            .iter()
+            .copied()
+            .filter(|&s| s != station)
+            .min_by(|&a, &b| {
+                let load = |s: StationId| {
+                    let st = &self.stations[s.index()];
+                    (f64::from(st.occupied + st.inbound) + st.queue_len() as f64)
+                        / f64::from(st.points).max(1.0)
+                };
+                load(a).total_cmp(&load(b))
+            })
+    }
+
+    fn plug_in(&mut self, id: TaxiId, station: StationId, now: SimTime) {
+        let soc = self.taxis[id.index()].soc;
+        // Drivers unplug at varying levels (a top-up before a long fare, a
+        // full charge overnight); the spread below reproduces the paper's
+        // Fig. 3 charge-duration distribution (73.5% in 45–120 min, with
+        // tails on both sides).
+        let max_target = self.config.energy.charge_target;
+        let target = (0.62 + self.rng.gen::<f64>() * (max_target - 0.58))
+            .clamp((soc + 0.1).min(max_target), max_target);
+        let minutes = self.config.energy.charge_minutes(soc, target).max(1);
+        let ctx = self.charge_ctx[id.index()]
+            .as_mut()
+            .expect("plug-in without charge context");
+        ctx.plugged_at = Some(now);
+        ctx.plug_soc = soc;
+        self.set_state(
+            id,
+            TaxiState::Charging {
+                station,
+                finish_at: now + minutes,
+            },
+        );
+        self.schedule_at(id, now + minutes);
+    }
+
+    fn finish_charge(&mut self, id: TaxiId, station: StationId, now: SimTime) -> RegionId {
+        let ctx = self.charge_ctx[id.index()]
+            .take()
+            .expect("charge finish without context");
+        let plugged_at = ctx.plugged_at.expect("charging taxi was plugged");
+        let minutes = now - plugged_at;
+        let energy = self.config.energy.energy_for_minutes(ctx.plug_soc, minutes);
+        let cost = self
+            .config
+            .pricing
+            .charging_cost(plugged_at, now, self.config.energy.charge_power_kw);
+        {
+            let taxi = &mut self.taxis[id.index()];
+            taxi.recharge(energy, self.config.energy.battery_kwh);
+            taxi.free_since = now;
+            taxi.after_charge = Some(station);
+        }
+        self.slot_profit[id.index()] -= cost;
+        self.ledger.record_charge(ChargeEvent {
+            taxi: id,
+            station,
+            decided_at: ctx.decided_at,
+            plugged_at,
+            finished_at: now,
+            energy_kwh: energy,
+            cost_cny: cost,
+        });
+
+        let region = self.city.station(station).region;
+        self.set_state(id, TaxiState::Vacant { region });
+
+        // Hand the freed point to the next queued taxi, if any.
+        if let Some(next) = self.stations[station.index()].release() {
+            self.plug_in(next, station, now);
+        }
+        region
+    }
+
+    fn match_region(&mut self, region: RegionId, now: SimTime) {
+        loop {
+            if self.vacant_by_region[region.index()].is_empty() {
+                return;
+            }
+            let Some(request) = self.pool.pop(region, now) else {
+                return;
+            };
+            // FIFO by vacancy: the longest-waiting taxi gets the fare, as
+            // at a real taxi rank. (LIFO would systematically starve taxis
+            // at the bottom of big vacant pools — an artificial unfairness.)
+            let taxi = self.vacant_by_region[region.index()]
+                .first()
+                .copied()
+                .expect("checked non-empty");
+            // Approach: a short intra-region hop to the passenger.
+            let intra = (self.city.region(region).area_km2.sqrt() * 0.6).max(0.3);
+            let approach_km = self.rng.gen_range(0.2..(intra + 0.2));
+            let minutes = self
+                .city
+                .travel()
+                .minutes_for_distance(approach_km, now)
+                .max(1);
+            let free_since = self.taxis[taxi.index()].free_since;
+            let pickup_at = now + minutes;
+            self.pending_trip[taxi.index()] = Some(PendingTrip {
+                approach_km,
+                pickup_at,
+                cruise_minutes: pickup_at - free_since,
+                first_after_charge: self.taxis[taxi.index()].after_charge.take(),
+                request,
+            });
+            self.set_state(
+                taxi,
+                TaxiState::DrivingToPassenger {
+                    region,
+                    pickup_at,
+                },
+            );
+            self.schedule_at(taxi, pickup_at);
+        }
+    }
+
+    /// Changes a taxi's state, maintaining bucket accounting and the
+    /// vacant-by-region index.
+    fn set_state(&mut self, id: TaxiId, new_state: TaxiState) {
+        let i = id.index();
+        let old_state = self.taxis[i].state;
+        let old_bucket = bucket_of(&old_state);
+        let new_bucket = bucket_of(&new_state);
+        if old_bucket != new_bucket {
+            let minutes = self.now - self.bucket_since[i];
+            if minutes > 0 {
+                self.ledger.taxi_mut(id).add_time(old_bucket, minutes);
+            }
+            self.bucket_since[i] = self.now;
+        }
+
+        if let TaxiState::Vacant { region } = old_state {
+            let list = &mut self.vacant_by_region[region.index()];
+            if let Some(pos) = list.iter().position(|&t| t == id) {
+                // Order-preserving removal: the list is a FIFO rank.
+                list.remove(pos);
+            }
+        }
+        if let TaxiState::Vacant { region } = new_state {
+            self.vacant_by_region[region.index()].push(id);
+        }
+
+        self.taxis[i].state = new_state;
+        self.taxis[i].state_since = self.now;
+    }
+
+    fn schedule_at(&mut self, id: TaxiId, at: SimTime) {
+        self.schedule.push(Reverse((at.minutes(), id.0)));
+    }
+
+    fn drain(&mut self, id: TaxiId, km: f64) {
+        let kwh = self.config.energy.consumption(km);
+        self.taxis[id.index()].drain(kwh, self.config.energy.battery_kwh);
+    }
+
+    /// Low-speed cruising consumption for taxis that spent the slot vacant.
+    fn drain_vacant_cruisers(&mut self) {
+        let kwh = self.config.vacant_cruise_kwh_per_minute * f64::from(SLOT_MINUTES);
+        let battery = self.config.energy.battery_kwh;
+        for list in &self.vacant_by_region {
+            for &id in list {
+                self.taxis[id.index()].drain(kwh, battery);
+            }
+        }
+    }
+}
+
+/// Maps a state to its accounting bucket (the Fig. 1 decomposition).
+fn bucket_of(state: &TaxiState) -> TimeBucket {
+    match state {
+        TaxiState::Vacant { .. }
+        | TaxiState::Repositioning { .. }
+        | TaxiState::DrivingToPassenger { .. } => TimeBucket::Cruise,
+        TaxiState::Serving { .. } => TimeBucket::Serve,
+        TaxiState::ToStation { .. } | TaxiState::Queued { .. } => TimeBucket::Idle,
+        TaxiState::Charging { .. } => TimeBucket::Charge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StayPolicy;
+
+    fn small_env() -> Environment {
+        Environment::new(SimConfig::test_scale())
+    }
+
+    #[test]
+    fn construction_places_whole_fleet() {
+        let env = small_env();
+        assert_eq!(env.taxis().len(), 60);
+        let vacant: usize = env.vacant_by_region.iter().map(Vec::len).sum();
+        assert_eq!(vacant, 60);
+        assert!(env.taxis().iter().all(|t| t.state.is_vacant()));
+        assert!(env.taxis().iter().all(|t| (0.5..0.95).contains(&t.soc)));
+    }
+
+    #[test]
+    fn one_slot_advances_time() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        let fb = env.step_slot(&mut p);
+        assert_eq!(fb.slot_start, SimTime::ZERO);
+        assert_eq!(env.now(), SimTime(SLOT_MINUTES));
+        assert_eq!(fb.slot_profit.len(), 60);
+    }
+
+    #[test]
+    fn one_day_run_serves_passengers() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        assert!(env.done());
+        let trips = env.ledger().trips().len();
+        // 60 taxis * 35 trips/day expected demand; even a stay-only policy
+        // should serve a sizable share.
+        assert!(trips > 300, "only {trips} trips served");
+        let (rev, _) = env.ledger().totals();
+        assert!(rev > 0.0);
+    }
+
+    #[test]
+    fn taxis_eventually_charge() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        let charges = env.ledger().charges().len();
+        assert!(charges > 0, "no charge events in a full day");
+        for c in env.ledger().charges() {
+            assert!(c.energy_kwh > 0.0);
+            assert!(c.cost_cny > 0.0);
+            assert!(c.finished_at > c.plugged_at);
+            assert!(c.plugged_at >= c.decided_at);
+        }
+    }
+
+    #[test]
+    fn time_buckets_account_every_minute() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        let horizon = u64::from(env.config().days * MINUTES_PER_DAY);
+        for (i, l) in env.ledger().taxis().iter().enumerate() {
+            assert_eq!(
+                l.on_duty_minutes(),
+                horizon,
+                "taxi {i} accounted {} of {horizon} minutes",
+                l.on_duty_minutes()
+            );
+        }
+    }
+
+    #[test]
+    fn soc_stays_in_range() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        for t in env.taxis() {
+            assert!((0.0..=1.0).contains(&t.soc), "taxi soc {}", t.soc);
+        }
+    }
+
+    #[test]
+    fn trip_cruise_minutes_are_recorded() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        for trip in env.ledger().trips() {
+            assert!(trip.dropoff_at > trip.pickup_at);
+            assert!(trip.fare_cny >= env.config().fare.flagfall_cny - 1e-9);
+        }
+        // At least some trips should record nonzero cruise time.
+        assert!(env
+            .ledger()
+            .trips()
+            .iter()
+            .any(|t| t.cruise_minutes > 0));
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = || {
+            let mut env = Environment::new(SimConfig::test_scale());
+            let mut p = StayPolicy;
+            env.run(&mut p);
+            (
+                env.ledger().trips().len(),
+                env.ledger().charges().len(),
+                env.ledger().totals(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observation_shapes_match_city() {
+        let env = small_env();
+        let obs = env.observation();
+        assert_eq!(obs.vacant_per_region.len(), env.city().n_regions());
+        assert_eq!(obs.free_points_per_station.len(), env.city().n_stations());
+        assert_eq!(obs.predicted_demand.len(), env.city().n_regions());
+        let vacant_total: u32 = obs.vacant_per_region.iter().sum();
+        assert_eq!(vacant_total as usize, env.config().fleet_size);
+    }
+
+    #[test]
+    fn decision_contexts_cover_vacant_taxis() {
+        let env = small_env();
+        let ctxs = env.decision_contexts();
+        assert_eq!(ctxs.len(), 60);
+        for ctx in &ctxs {
+            assert!(!ctx.actions.is_empty());
+            if ctx.must_charge {
+                assert!(ctx.actions.charge_forced());
+            }
+        }
+    }
+
+    #[test]
+    fn first_trip_after_charge_is_tagged() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        if env.ledger().charges().is_empty() {
+            return; // nothing to check at this scale
+        }
+        let tagged = env
+            .ledger()
+            .trips()
+            .iter()
+            .filter(|t| t.first_after_charge.is_some())
+            .count();
+        assert!(
+            tagged > 0,
+            "charges happened but no first-after-charge trips recorded"
+        );
+    }
+
+    #[test]
+    fn charging_costs_use_time_of_use_tariff() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        for c in env.ledger().charges() {
+            let expected = env.config().pricing.charging_cost(
+                c.plugged_at,
+                c.finished_at,
+                env.config().energy.charge_power_kw,
+            );
+            assert!((c.cost_cny - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn feedback_pf_is_variance_of_pe() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        let mut fb = env.step_slot(&mut p);
+        for _ in 0..50 {
+            fb = env.step_slot(&mut p);
+        }
+        let mean = fb.cumulative_pe.iter().sum::<f64>() / fb.cumulative_pe.len() as f64;
+        let var = fb
+            .cumulative_pe
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / fb.cumulative_pe.len() as f64;
+        assert!((fb.mean_pe - mean).abs() < 1e-9);
+        assert!((fb.pf - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reward_alpha_extremes() {
+        let fb = SlotFeedback {
+            slot_start: SimTime::ZERO,
+            slot_profit: vec![10.0, 0.0],
+            cumulative_pe: vec![50.0, 40.0],
+            mean_pe: 45.0,
+            pf: 25.0,
+        };
+        // α = 1: pure efficiency; taxi 0 earns more.
+        assert!(fb.reward(1.0, TaxiId(0)) > fb.reward(1.0, TaxiId(1)));
+        // α = 0: pure fairness. Both taxis deviate equally (±5) from the
+        // mean, so their fairness penalties are identical and negative.
+        let r0 = fb.reward(0.0, TaxiId(0));
+        let r1 = fb.reward(0.0, TaxiId(1));
+        assert!((r0 - r1).abs() < 1e-9, "{r0} vs {r1}");
+        assert!(r0 < 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! What policies see each slot.
+//!
+//! The paper's state (Section III-C) splits into a **local view** per taxi —
+//! `[time slot, location]` — and a **global view** shared by all taxis in
+//! the slot: (i) available e-taxis per region, (ii) unoccupied charging
+//! points per station, (iii) expected passengers per region next slot.
+//! [`SlotObservation`] is the global view plus tariff context;
+//! [`DecisionContext`] is the per-taxi local view plus its admissible
+//! action set.
+
+use crate::action::ActionSet;
+use crate::taxi::TaxiId;
+use fairmove_city::{RegionId, SimTime, TimeSlot};
+use serde::{Deserialize, Serialize};
+
+/// Global-view state shared by every decision in a slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotObservation {
+    /// Slot start time.
+    pub now: SimTime,
+    /// Slot-of-day index (`0..144`).
+    pub slot: TimeSlot,
+    /// Vacant (decision-ready) taxis per region.
+    pub vacant_per_region: Vec<u32>,
+    /// Unoccupied charging points per station.
+    pub free_points_per_station: Vec<u32>,
+    /// Queue length per station.
+    pub queue_per_station: Vec<u32>,
+    /// Taxis currently driving toward each station.
+    pub inbound_per_station: Vec<u32>,
+    /// Expected passenger arrivals per region next slot (the demand
+    /// predictor feature; we use the generating model's intensity, i.e. the
+    /// ideal predictor).
+    pub predicted_demand: Vec<f64>,
+    /// Unserved passengers currently waiting per region.
+    pub waiting_per_region: Vec<u32>,
+    /// Charging price now, CNY/kWh.
+    pub price_now: f64,
+    /// Charging price one hour from now, CNY/kWh (lets policies anticipate
+    /// band changes).
+    pub price_next_hour: f64,
+    /// Fleet mean cumulative profit efficiency so far, CNY/h.
+    pub mean_pe: f64,
+    /// Fleet profit fairness so far (PE variance, Eq. 3).
+    pub pf: f64,
+}
+
+impl SlotObservation {
+    /// Demand minus committed supply for `region`: expected passengers next
+    /// slot minus vacant taxis already there. Positive means undersupplied.
+    pub fn supply_gap(&self, region: RegionId) -> f64 {
+        self.predicted_demand[region.index()] + f64::from(self.waiting_per_region[region.index()])
+            - f64::from(self.vacant_per_region[region.index()])
+    }
+}
+
+/// Per-taxi local view for one displacement decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionContext {
+    /// The deciding taxi.
+    pub taxi: TaxiId,
+    /// Its current region.
+    pub region: RegionId,
+    /// Its state of charge, `[0, 1]`.
+    pub soc: f64,
+    /// Whether the battery is below the threshold `η` (only charge actions
+    /// are admissible).
+    pub must_charge: bool,
+    /// This taxi's cumulative profit efficiency so far, CNY/h — the input
+    /// that lets a *shared* fairness-aware policy treat an under-earning
+    /// taxi differently from an over-earning one.
+    pub pe_standing: f64,
+    /// The admissible actions, canonical order.
+    pub actions: ActionSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+
+    #[test]
+    fn supply_gap_combines_demand_and_supply() {
+        let obs = SlotObservation {
+            now: SimTime::ZERO,
+            slot: TimeSlot(0),
+            vacant_per_region: vec![3, 0],
+            free_points_per_station: vec![],
+            queue_per_station: vec![],
+            inbound_per_station: vec![],
+            predicted_demand: vec![5.0, 1.0],
+            waiting_per_region: vec![2, 0],
+            price_now: 0.9,
+            price_next_hour: 1.2,
+            mean_pe: 40.0,
+            pf: 0.0,
+        };
+        // Region 0: 5 predicted + 2 waiting - 3 vacant = 4.
+        assert!((obs.supply_gap(RegionId(0)) - 4.0).abs() < 1e-12);
+        // Region 1: 1 + 0 - 0 = 1.
+        assert!((obs.supply_gap(RegionId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_context_carries_action_set() {
+        let ctx = DecisionContext {
+            taxi: TaxiId(0),
+            region: RegionId(2),
+            soc: 0.5,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(&[RegionId(1)], &[]),
+        };
+        assert!(ctx.actions.contains(Action::Stay));
+        assert!(ctx.actions.contains(Action::MoveTo(RegionId(1))));
+    }
+}

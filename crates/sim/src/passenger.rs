@@ -1,0 +1,167 @@
+//! Per-region passenger waiting pools.
+//!
+//! Requests queue FIFO within their origin region and expire when their
+//! patience runs out. Matching is region-local, as in the paper ("those
+//! passengers will be served by the available e-taxis in the same region").
+
+use fairmove_city::{RegionId, SimTime};
+use fairmove_data::PassengerRequest;
+use std::collections::VecDeque;
+
+/// Waiting passengers, bucketed by origin region.
+#[derive(Debug, Clone)]
+pub struct PassengerPool {
+    queues: Vec<VecDeque<PassengerRequest>>,
+    /// Requests that expired unserved, cumulative.
+    pub expired: u64,
+}
+
+impl PassengerPool {
+    /// An empty pool over `n_regions` regions.
+    pub fn new(n_regions: usize) -> Self {
+        PassengerPool {
+            queues: vec![VecDeque::new(); n_regions],
+            expired: 0,
+        }
+    }
+
+    /// Adds a request to its origin queue.
+    pub fn push(&mut self, request: PassengerRequest) {
+        self.queues[request.origin.index()].push_back(request);
+    }
+
+    /// Pops the longest-waiting unexpired request in `region`, dropping any
+    /// expired ones encountered at the front.
+    pub fn pop(&mut self, region: RegionId, now: SimTime) -> Option<PassengerRequest> {
+        let q = &mut self.queues[region.index()];
+        while let Some(front) = q.front() {
+            if is_expired(front, now) {
+                q.pop_front();
+                self.expired += 1;
+            } else {
+                return q.pop_front();
+            }
+        }
+        None
+    }
+
+    /// Number of unexpired requests waiting in `region`.
+    pub fn waiting(&self, region: RegionId, now: SimTime) -> usize {
+        self.queues[region.index()]
+            .iter()
+            .filter(|r| !is_expired(r, now))
+            .count()
+    }
+
+    /// Unexpired waiting counts for every region (the supply/demand
+    /// imbalance input to observations).
+    pub fn waiting_counts(&self, now: SimTime) -> Vec<u32> {
+        self.queues
+            .iter()
+            .map(|q| q.iter().filter(|r| !is_expired(r, now)).count() as u32)
+            .collect()
+    }
+
+    /// Drops every expired request across all regions. Called once per slot
+    /// so stale requests don't linger in quiet regions.
+    pub fn sweep_expired(&mut self, now: SimTime) {
+        for q in &mut self.queues {
+            while let Some(front) = q.front() {
+                if is_expired(front, now) {
+                    q.pop_front();
+                    self.expired += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Total unexpired requests across the city.
+    pub fn total_waiting(&self, now: SimTime) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.iter().filter(|r| !is_expired(r, now)).count())
+            .sum()
+    }
+}
+
+fn is_expired(r: &PassengerRequest, now: SimTime) -> bool {
+    now.minutes() > r.requested_at.minutes() + r.max_wait_minutes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, region: u16, at: u32, patience: u32) -> PassengerRequest {
+        PassengerRequest {
+            id,
+            origin: RegionId(region),
+            destination: RegionId(0),
+            distance_km: 3.0,
+            fare_cny: 12.0,
+            requested_at: SimTime(at),
+            max_wait_minutes: patience,
+        }
+    }
+
+    #[test]
+    fn pop_is_fifo() {
+        let mut p = PassengerPool::new(3);
+        p.push(request(1, 1, 0, 30));
+        p.push(request(2, 1, 5, 30));
+        assert_eq!(p.pop(RegionId(1), SimTime(6)).unwrap().id, 1);
+        assert_eq!(p.pop(RegionId(1), SimTime(6)).unwrap().id, 2);
+        assert!(p.pop(RegionId(1), SimTime(6)).is_none());
+    }
+
+    #[test]
+    fn pop_skips_expired() {
+        let mut p = PassengerPool::new(1);
+        p.push(request(1, 0, 0, 10));
+        p.push(request(2, 0, 5, 30));
+        // At t=20 the first request (expires at 10) is gone.
+        assert_eq!(p.pop(RegionId(0), SimTime(20)).unwrap().id, 2);
+        assert_eq!(p.expired, 1);
+    }
+
+    #[test]
+    fn expiry_boundary_is_inclusive() {
+        let mut p = PassengerPool::new(1);
+        p.push(request(1, 0, 0, 10));
+        // Exactly at requested + patience the request is still valid.
+        assert!(p.pop(RegionId(0), SimTime(10)).is_some());
+    }
+
+    #[test]
+    fn waiting_counts_ignore_expired() {
+        let mut p = PassengerPool::new(2);
+        p.push(request(1, 0, 0, 5));
+        p.push(request(2, 0, 0, 50));
+        p.push(request(3, 1, 0, 50));
+        let counts = p.waiting_counts(SimTime(20));
+        assert_eq!(counts, vec![1, 1]);
+        assert_eq!(p.waiting(RegionId(0), SimTime(20)), 1);
+        assert_eq!(p.total_waiting(SimTime(20)), 2);
+    }
+
+    #[test]
+    fn sweep_removes_expired_everywhere() {
+        let mut p = PassengerPool::new(2);
+        p.push(request(1, 0, 0, 5));
+        p.push(request(2, 1, 0, 5));
+        p.push(request(3, 1, 0, 60));
+        p.sweep_expired(SimTime(30));
+        assert_eq!(p.expired, 2);
+        assert_eq!(p.total_waiting(SimTime(30)), 1);
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut p = PassengerPool::new(2);
+        p.push(request(1, 0, 0, 30));
+        assert!(p.pop(RegionId(1), SimTime(0)).is_none());
+        assert!(p.pop(RegionId(0), SimTime(0)).is_some());
+    }
+}

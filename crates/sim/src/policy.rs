@@ -1,0 +1,107 @@
+//! The displacement-policy interface.
+//!
+//! A policy is consulted once per slot with the shared global view and one
+//! [`DecisionContext`] per vacant taxi, and must return one action per
+//! context. After the environment advances the slot it calls
+//! [`DisplacementPolicy::observe`] with the realized per-taxi rewards so
+//! learning policies can build transitions; static baselines ignore it.
+
+use crate::action::Action;
+use crate::env::SlotFeedback;
+use crate::observation::{DecisionContext, SlotObservation};
+
+/// A displacement policy: the paper's six methods (GT, SD2, TQL, DQN, TBA,
+/// CMA2C) all implement this.
+pub trait DisplacementPolicy {
+    /// Human-readable policy name (used in result tables).
+    fn name(&self) -> &str;
+
+    /// Chooses an action for every decision context, in order. Each returned
+    /// action must be admissible per the context's [`crate::ActionSet`];
+    /// the environment replaces inadmissible actions with a safe default
+    /// (stay, or nearest-station charge when charging is forced).
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action>;
+
+    /// Receives the realized outcome of the previous slot. Default: ignore.
+    fn observe(&mut self, feedback: &SlotFeedback) {
+        let _ = feedback;
+    }
+}
+
+/// The trivial policy: every taxi stays put. Useful as a floor baseline and
+/// in tests.
+#[derive(Debug, Default, Clone)]
+pub struct StayPolicy;
+
+impl DisplacementPolicy for StayPolicy {
+    fn name(&self) -> &str {
+        "Stay"
+    }
+
+    fn decide(&mut self, _obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        decisions
+            .iter()
+            .map(|d| {
+                if d.must_charge {
+                    // Nearest station is the first charge action.
+                    d.actions.charge_actions()[0]
+                } else {
+                    Action::Stay
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionSet;
+    use crate::taxi::TaxiId;
+    use fairmove_city::{RegionId, SimTime, StationId, TimeSlot};
+
+    fn obs() -> SlotObservation {
+        SlotObservation {
+            now: SimTime::ZERO,
+            slot: TimeSlot(0),
+            vacant_per_region: vec![],
+            free_points_per_station: vec![],
+            queue_per_station: vec![],
+            inbound_per_station: vec![],
+            predicted_demand: vec![],
+            waiting_per_region: vec![],
+            price_now: 0.9,
+            price_next_hour: 0.9,
+            mean_pe: 40.0,
+            pf: 0.0,
+        }
+    }
+
+    #[test]
+    fn stay_policy_stays_when_free() {
+        let mut p = StayPolicy;
+        let d = DecisionContext {
+            taxi: TaxiId(0),
+            region: RegionId(0),
+            soc: 0.8,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(&[RegionId(1)], &[StationId(0)]),
+        };
+        assert_eq!(p.decide(&obs(), &[d]), vec![Action::Stay]);
+    }
+
+    #[test]
+    fn stay_policy_charges_when_forced() {
+        let mut p = StayPolicy;
+        let d = DecisionContext {
+            taxi: TaxiId(0),
+            region: RegionId(0),
+            soc: 0.1,
+            must_charge: true,
+            pe_standing: 40.0,
+            actions: ActionSet::charge_only(&[StationId(3), StationId(1)]),
+        };
+        assert_eq!(p.decide(&obs(), &[d]), vec![Action::Charge(StationId(3))]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Point-in-time fleet statistics for monitoring and debugging.
+//!
+//! A real dispatch deployment watches live dashboards: how many taxis are
+//! serving vs. queueing, where the battery distribution sits, which
+//! stations are saturated. [`FleetSnapshot::capture`] computes that view
+//! from an [`Environment`].
+
+use crate::env::Environment;
+use crate::taxi::TaxiState;
+use serde::{Deserialize, Serialize};
+
+/// Counts of taxis per activity state plus battery statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Minute the snapshot was taken.
+    pub minute: u32,
+    /// Vacant cruising.
+    pub vacant: u32,
+    /// Executing a displacement move.
+    pub repositioning: u32,
+    /// Driving to a matched passenger.
+    pub to_passenger: u32,
+    /// Passenger on board.
+    pub serving: u32,
+    /// Driving to a charging station.
+    pub to_station: u32,
+    /// Waiting in a station queue.
+    pub queued: u32,
+    /// Plugged in.
+    pub charging: u32,
+    /// Mean state of charge, `[0, 1]`.
+    pub mean_soc: f64,
+    /// Minimum state of charge across the fleet.
+    pub min_soc: f64,
+    /// Taxis below the forced-charge threshold.
+    pub below_threshold: u32,
+    /// Stations with a non-empty queue.
+    pub saturated_stations: u32,
+}
+
+impl FleetSnapshot {
+    /// Captures the current fleet state.
+    pub fn capture(env: &Environment) -> FleetSnapshot {
+        let mut snap = FleetSnapshot {
+            minute: env.now().minutes(),
+            min_soc: 1.0,
+            ..FleetSnapshot::default()
+        };
+        let threshold = env.config().energy.charge_threshold;
+        let mut soc_sum = 0.0;
+        for taxi in env.taxis() {
+            match taxi.state {
+                TaxiState::Vacant { .. } => snap.vacant += 1,
+                TaxiState::Repositioning { .. } => snap.repositioning += 1,
+                TaxiState::DrivingToPassenger { .. } => snap.to_passenger += 1,
+                TaxiState::Serving { .. } => snap.serving += 1,
+                TaxiState::ToStation { .. } => snap.to_station += 1,
+                TaxiState::Queued { .. } => snap.queued += 1,
+                TaxiState::Charging { .. } => snap.charging += 1,
+            }
+            soc_sum += taxi.soc;
+            snap.min_soc = snap.min_soc.min(taxi.soc);
+            if taxi.soc < threshold {
+                snap.below_threshold += 1;
+            }
+        }
+        let n = env.taxis().len().max(1) as f64;
+        snap.mean_soc = soc_sum / n;
+        let obs = env.observation();
+        snap.saturated_stations = obs
+            .queue_per_station
+            .iter()
+            .filter(|&&q| q > 0)
+            .count() as u32;
+        snap
+    }
+
+    /// Total taxis covered by the snapshot.
+    pub fn total(&self) -> u32 {
+        self.vacant
+            + self.repositioning
+            + self.to_passenger
+            + self.serving
+            + self.to_station
+            + self.queued
+            + self.charging
+    }
+
+    /// Fraction of the fleet earning (passenger on board).
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.serving) / f64::from(self.total().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::policy::StayPolicy;
+
+    #[test]
+    fn fresh_environment_is_all_vacant() {
+        let env = Environment::new(SimConfig::test_scale());
+        let snap = FleetSnapshot::capture(&env);
+        assert_eq!(snap.total(), 60);
+        assert_eq!(snap.vacant, 60);
+        assert_eq!(snap.serving, 0);
+        assert_eq!(snap.utilization(), 0.0);
+        assert!(snap.mean_soc > 0.5 && snap.mean_soc < 0.95);
+        assert!(snap.min_soc >= 0.5);
+    }
+
+    #[test]
+    fn snapshot_accounts_every_taxi_mid_run() {
+        let mut env = Environment::new(SimConfig::test_scale());
+        let mut p = StayPolicy;
+        for _ in 0..60 {
+            let _ = env.step_slot(&mut p);
+        }
+        let snap = FleetSnapshot::capture(&env);
+        assert_eq!(snap.total(), 60, "taxi unaccounted for: {snap:?}");
+        assert!(snap.serving > 0, "nobody serving after 10 hours");
+        assert_eq!(snap.minute, 600);
+    }
+
+    #[test]
+    fn below_threshold_matches_config() {
+        let mut env = Environment::new(SimConfig::test_scale());
+        let mut p = StayPolicy;
+        for _ in 0..30 {
+            let _ = env.step_slot(&mut p);
+        }
+        let snap = FleetSnapshot::capture(&env);
+        let manual = env
+            .taxis()
+            .iter()
+            .filter(|t| t.soc < env.config().energy.charge_threshold)
+            .count() as u32;
+        assert_eq!(snap.below_threshold, manual);
+    }
+}

@@ -1,0 +1,169 @@
+//! Runtime charging-station state: occupancy and FIFO queues.
+//!
+//! A station has a fixed number of fast charging points. An arriving taxi
+//! plugs in if a point is free, otherwise it queues; queue wait is the
+//! dominant component of the paper's idle time, and queue buildup during
+//! cheap-tariff windows is the congestion phenomenon behind Fig. 4 and
+//! SD2's negative PRIT (Table III).
+
+use crate::taxi::TaxiId;
+use fairmove_city::StationId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Mutable state of one station.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StationState {
+    /// Which station this is.
+    pub id: StationId,
+    /// Total charging points.
+    pub points: u32,
+    /// Points currently in use.
+    pub occupied: u32,
+    /// Taxis waiting for a point, FIFO.
+    queue: VecDeque<TaxiId>,
+    /// Taxis en route to this station (affects expected congestion but not
+    /// occupancy yet).
+    pub inbound: u32,
+}
+
+impl StationState {
+    /// A fresh, empty station with `points` charging points.
+    pub fn new(id: StationId, points: u32) -> Self {
+        assert!(points > 0, "station {id} has no charging points");
+        StationState {
+            id,
+            points,
+            occupied: 0,
+            queue: VecDeque::new(),
+            inbound: 0,
+        }
+    }
+
+    /// Free charging points right now.
+    #[inline]
+    pub fn free_points(&self) -> u32 {
+        self.points - self.occupied
+    }
+
+    /// Number of taxis waiting.
+    #[inline]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Expected load counting occupied + queued + inbound, as a multiple of
+    /// capacity. Policies use this to avoid herding.
+    pub fn expected_load(&self) -> f64 {
+        f64::from(self.occupied + self.inbound) as f64 / f64::from(self.points)
+            + self.queue.len() as f64 / f64::from(self.points)
+    }
+
+    /// A taxi arrives wanting to charge. Returns `true` if it plugs in
+    /// immediately, `false` if it joined the queue.
+    pub fn arrive(&mut self, taxi: TaxiId) -> bool {
+        if self.occupied < self.points {
+            self.occupied += 1;
+            true
+        } else {
+            self.queue.push_back(taxi);
+            false
+        }
+    }
+
+    /// A taxi finishes charging and unplugs. Returns the queued taxi (if
+    /// any) that takes the freed point; that taxi is immediately plugged in
+    /// (occupancy unchanged in that case).
+    ///
+    /// # Panics
+    /// Panics if no point was occupied.
+    pub fn release(&mut self) -> Option<TaxiId> {
+        assert!(self.occupied > 0, "release on empty station {}", self.id);
+        if let Some(next) = self.queue.pop_front() {
+            // The freed point is immediately taken by the next in line.
+            Some(next)
+        } else {
+            self.occupied -= 1;
+            None
+        }
+    }
+
+    /// Removes a taxi from the queue (e.g. a policy reroutes it).
+    /// Returns whether it was present.
+    pub fn abandon_queue(&mut self, taxi: TaxiId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|&t| t == taxi) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station(points: u32) -> StationState {
+        StationState::new(StationId(0), points)
+    }
+
+    #[test]
+    fn arrivals_fill_points_then_queue() {
+        let mut s = station(2);
+        assert!(s.arrive(TaxiId(1)));
+        assert!(s.arrive(TaxiId(2)));
+        assert!(!s.arrive(TaxiId(3)));
+        assert_eq!(s.occupied, 2);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.free_points(), 0);
+    }
+
+    #[test]
+    fn release_hands_point_to_queue_fifo() {
+        let mut s = station(1);
+        assert!(s.arrive(TaxiId(1)));
+        assert!(!s.arrive(TaxiId(2)));
+        assert!(!s.arrive(TaxiId(3)));
+        assert_eq!(s.release(), Some(TaxiId(2)));
+        assert_eq!(s.occupied, 1, "point stays occupied by the next taxi");
+        assert_eq!(s.release(), Some(TaxiId(3)));
+        assert_eq!(s.release(), None);
+        assert_eq!(s.occupied, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on empty station")]
+    fn release_requires_occupancy() {
+        let mut s = station(1);
+        let _ = s.release();
+    }
+
+    #[test]
+    fn abandon_queue_removes_mid_queue() {
+        let mut s = station(1);
+        s.arrive(TaxiId(1));
+        s.arrive(TaxiId(2));
+        s.arrive(TaxiId(3));
+        assert!(s.abandon_queue(TaxiId(2)));
+        assert!(!s.abandon_queue(TaxiId(2)));
+        assert_eq!(s.release(), Some(TaxiId(3)));
+    }
+
+    #[test]
+    fn expected_load_counts_queue_and_inbound() {
+        let mut s = station(2);
+        s.arrive(TaxiId(1));
+        s.arrive(TaxiId(2));
+        s.arrive(TaxiId(3));
+        s.inbound = 1;
+        // occupied 2 + inbound 1 over 2 points = 1.5, plus queue 1/2 = 2.0.
+        assert!((s.expected_load() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no charging points")]
+    fn zero_point_station_rejected() {
+        let _ = station(0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The e-taxi agent: identity, battery, and activity state machine.
+
+use fairmove_city::{RegionId, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fleet-unique taxi identifier (dense, `0..fleet_size`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaxiId(pub u32);
+
+impl TaxiId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaxiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// What a taxi is doing right now (the Fig. 1 mobility decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaxiState {
+    /// Cruising vacant in a region, matchable and decision-ready.
+    Vacant {
+        /// Current region.
+        region: RegionId,
+    },
+    /// Executing a `MoveTo` displacement: cruising toward another region.
+    Repositioning {
+        /// Destination region.
+        dest: RegionId,
+        /// Arrival time.
+        arrive_at: SimTime,
+    },
+    /// Matched: driving to pick the passenger up (still cruise time).
+    DrivingToPassenger {
+        /// Region of the pickup.
+        region: RegionId,
+        /// Pickup time.
+        pickup_at: SimTime,
+    },
+    /// Passenger on board (service time, earning the fare).
+    Serving {
+        /// Drop-off region.
+        dest: RegionId,
+        /// Drop-off time.
+        dropoff_at: SimTime,
+    },
+    /// Driving to a charging station (idle time per the paper: `t4 − t3`
+    /// covers seeking + queueing).
+    ToStation {
+        /// Target station.
+        station: StationId,
+        /// Arrival time.
+        arrive_at: SimTime,
+    },
+    /// Waiting in a station queue for a free charging point (idle time).
+    Queued {
+        /// Station queued at.
+        station: StationId,
+    },
+    /// Plugged in and charging (charge time, incurring cost).
+    Charging {
+        /// Station charging at.
+        station: StationId,
+        /// Unplug time.
+        finish_at: SimTime,
+    },
+}
+
+impl TaxiState {
+    /// Whether the taxi is vacant-cruising (decision-ready at slot starts).
+    #[inline]
+    pub fn is_vacant(&self) -> bool {
+        matches!(self, TaxiState::Vacant { .. })
+    }
+
+    /// The region the taxi is currently associated with (current region for
+    /// cruising/serving states, the station's region is *not* resolved here —
+    /// station states return `None`).
+    pub fn region(&self) -> Option<RegionId> {
+        match *self {
+            TaxiState::Vacant { region } => Some(region),
+            TaxiState::Repositioning { dest, .. } => Some(dest),
+            TaxiState::DrivingToPassenger { region, .. } => Some(region),
+            TaxiState::Serving { dest, .. } => Some(dest),
+            _ => None,
+        }
+    }
+
+    /// The station the taxi is bound to, if any.
+    pub fn station(&self) -> Option<StationId> {
+        match *self {
+            TaxiState::ToStation { station, .. }
+            | TaxiState::Queued { station }
+            | TaxiState::Charging { station, .. } => Some(station),
+            _ => None,
+        }
+    }
+}
+
+/// One e-taxi.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Taxi {
+    /// Fleet-unique id.
+    pub id: TaxiId,
+    /// Current activity.
+    pub state: TaxiState,
+    /// State of charge, `[0, 1]`.
+    pub soc: f64,
+    /// When the current activity began (for time accounting).
+    pub state_since: SimTime,
+    /// When the taxi last became free to seek passengers (after a drop-off,
+    /// charge completion, or sim start) — the anchor for per-trip cruise
+    /// time (Fig. 10).
+    pub free_since: SimTime,
+    /// Set after a charge completes, cleared at the next pickup: the station
+    /// charged at, used for the first-cruise-time-after-charging statistics
+    /// (Figs. 5 and 6).
+    pub after_charge: Option<StationId>,
+}
+
+impl Taxi {
+    /// A fresh vacant taxi in `region` with the given state of charge.
+    pub fn new(id: TaxiId, region: RegionId, soc: f64, now: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&soc), "soc out of range: {soc}");
+        Taxi {
+            id,
+            state: TaxiState::Vacant { region },
+            soc,
+            state_since: now,
+            free_since: now,
+            after_charge: None,
+        }
+    }
+
+    /// Drains the battery by `kwh` of consumption, clamping at empty.
+    pub fn drain(&mut self, kwh: f64, battery_kwh: f64) {
+        self.soc = (self.soc - kwh / battery_kwh).max(0.0);
+    }
+
+    /// Adds `kwh` of charge, clamping at full.
+    pub fn recharge(&mut self, kwh: f64, battery_kwh: f64) {
+        self.soc = (self.soc + kwh / battery_kwh).min(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_taxi_is_vacant() {
+        let t = Taxi::new(TaxiId(3), RegionId(5), 0.8, SimTime(10));
+        assert!(t.state.is_vacant());
+        assert_eq!(t.state.region(), Some(RegionId(5)));
+        assert_eq!(t.free_since, SimTime(10));
+        assert!(t.after_charge.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "soc out of range")]
+    fn rejects_bad_soc() {
+        let _ = Taxi::new(TaxiId(0), RegionId(0), 1.5, SimTime::ZERO);
+    }
+
+    #[test]
+    fn drain_clamps_at_zero() {
+        let mut t = Taxi::new(TaxiId(0), RegionId(0), 0.1, SimTime::ZERO);
+        t.drain(40.0, 80.0);
+        assert_eq!(t.soc, 0.0);
+    }
+
+    #[test]
+    fn recharge_clamps_at_full() {
+        let mut t = Taxi::new(TaxiId(0), RegionId(0), 0.9, SimTime::ZERO);
+        t.recharge(40.0, 80.0);
+        assert_eq!(t.soc, 1.0);
+    }
+
+    #[test]
+    fn drain_and_recharge_are_proportional() {
+        let mut t = Taxi::new(TaxiId(0), RegionId(0), 0.5, SimTime::ZERO);
+        t.drain(8.0, 80.0);
+        assert!((t.soc - 0.4).abs() < 1e-12);
+        t.recharge(16.0, 80.0);
+        assert!((t.soc - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_region_and_station_accessors() {
+        let serving = TaxiState::Serving {
+            dest: RegionId(2),
+            dropoff_at: SimTime(50),
+        };
+        assert_eq!(serving.region(), Some(RegionId(2)));
+        assert_eq!(serving.station(), None);
+        assert!(!serving.is_vacant());
+
+        let queued = TaxiState::Queued {
+            station: StationId(4),
+        };
+        assert_eq!(queued.region(), None);
+        assert_eq!(queued.station(), Some(StationId(4)));
+    }
+
+    #[test]
+    fn taxi_id_display_and_index() {
+        assert_eq!(TaxiId(11).to_string(), "T11");
+        assert_eq!(TaxiId(11).index(), 11);
+    }
+}

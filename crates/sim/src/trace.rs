@@ -1,0 +1,222 @@
+//! Structured run traces.
+//!
+//! The paper's pipeline works from event logs; this module makes the
+//! simulator emit one. A [`TraceLog`] summarizes a run as a bounded ring of
+//! [`TraceEvent`]s built from the ledger (trip completions, charge events,
+//! expirations) so examples and debugging sessions can replay "what
+//! happened around minute X" without re-running the world.
+
+use crate::ledger::FleetLedger;
+use crate::taxi::TaxiId;
+use fairmove_city::{RegionId, SimTime, StationId};
+use serde::{Deserialize, Serialize};
+
+/// One noteworthy event in a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A passenger trip completed.
+    TripCompleted {
+        /// When the passenger was dropped off.
+        at: SimTime,
+        /// Serving taxi.
+        taxi: TaxiId,
+        /// Pickup region.
+        origin: RegionId,
+        /// Drop-off region.
+        destination: RegionId,
+        /// Fare, CNY.
+        fare_cny: f64,
+    },
+    /// A charging excursion completed.
+    ChargeCompleted {
+        /// When the taxi unplugged.
+        at: SimTime,
+        /// Charging taxi.
+        taxi: TaxiId,
+        /// Station used.
+        station: StationId,
+        /// Idle minutes (seek + queue).
+        idle_minutes: u32,
+        /// Cost, CNY.
+        cost_cny: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::TripCompleted { at, .. } | TraceEvent::ChargeCompleted { at, .. } => *at,
+        }
+    }
+}
+
+/// A time-ordered log of events extracted from a ledger.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Builds the full trace from a ledger, merged in time order.
+    pub fn from_ledger(ledger: &FleetLedger) -> Self {
+        let mut events: Vec<TraceEvent> = ledger
+            .trips()
+            .iter()
+            .map(|t| TraceEvent::TripCompleted {
+                at: t.dropoff_at,
+                taxi: t.taxi,
+                origin: t.origin,
+                destination: t.destination,
+                fare_cny: t.fare_cny,
+            })
+            .chain(ledger.charges().iter().map(|c| TraceEvent::ChargeCompleted {
+                at: c.finished_at,
+                taxi: c.taxi,
+                station: c.station,
+                idle_minutes: c.idle_minutes(),
+                cost_cny: c.cost_cny,
+            }))
+            .collect();
+        events.sort_by_key(|e| e.at());
+        TraceLog { events }
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events inside the minute window `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> &[TraceEvent] {
+        let start = self.events.partition_point(|e| e.at() < from);
+        let end = self.events.partition_point(|e| e.at() < to);
+        &self.events[start..end]
+    }
+
+    /// All events of one taxi, in time order.
+    pub fn for_taxi(&self, taxi: TaxiId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::TripCompleted { taxi: t, .. }
+                | TraceEvent::ChargeCompleted { taxi: t, .. } => *t == taxi,
+            })
+            .collect()
+    }
+
+    /// Renders a human-readable line per event (for examples/debugging).
+    pub fn render_window(&self, from: SimTime, to: SimTime) -> String {
+        let mut out = String::new();
+        for e in self.window(from, to) {
+            match e {
+                TraceEvent::TripCompleted {
+                    at,
+                    taxi,
+                    origin,
+                    destination,
+                    fare_cny,
+                } => out.push_str(&format!(
+                    "{at}  {taxi} trip {origin}->{destination} fare {fare_cny:.1} CNY\n"
+                )),
+                TraceEvent::ChargeCompleted {
+                    at,
+                    taxi,
+                    station,
+                    idle_minutes,
+                    cost_cny,
+                } => out.push_str(&format!(
+                    "{at}  {taxi} charged at {station} (idle {idle_minutes} min) cost {cost_cny:.1} CNY\n"
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::env::Environment;
+    use crate::policy::StayPolicy;
+
+    fn traced_run() -> (Environment, TraceLog) {
+        let mut env = Environment::new(SimConfig::test_scale());
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        let log = TraceLog::from_ledger(env.ledger());
+        (env, log)
+    }
+
+    #[test]
+    fn trace_covers_all_ledger_events() {
+        let (env, log) = traced_run();
+        assert_eq!(
+            log.len(),
+            env.ledger().trips().len() + env.ledger().charges().len()
+        );
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let (_, log) = traced_run();
+        for w in log.events().windows(2) {
+            assert!(w[0].at() <= w[1].at());
+        }
+    }
+
+    #[test]
+    fn window_slices_by_time() {
+        let (_, log) = traced_run();
+        let from = SimTime(6 * 60);
+        let to = SimTime(12 * 60);
+        let window = log.window(from, to);
+        assert!(!window.is_empty(), "quiet morning?");
+        for e in window {
+            assert!(e.at() >= from && e.at() < to);
+        }
+        // Windows partition the log.
+        let before = log.window(SimTime(0), from).len();
+        let after = log.window(to, SimTime(u32::MAX)).len();
+        assert_eq!(before + window.len() + after, log.len());
+    }
+
+    #[test]
+    fn per_taxi_filter_is_consistent() {
+        let (env, log) = traced_run();
+        let taxi = env.ledger().trips()[0].taxi;
+        let events = log.for_taxi(taxi);
+        let expected = env
+            .ledger()
+            .trips()
+            .iter()
+            .filter(|t| t.taxi == taxi)
+            .count()
+            + env
+                .ledger()
+                .charges()
+                .iter()
+                .filter(|c| c.taxi == taxi)
+                .count();
+        assert_eq!(events.len(), expected);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_event() {
+        let (_, log) = traced_run();
+        let text = log.render_window(SimTime(0), SimTime(u32::MAX));
+        assert_eq!(text.lines().count(), log.len());
+        assert!(text.contains("trip"));
+    }
+}

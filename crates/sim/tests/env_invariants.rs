@@ -1,0 +1,163 @@
+//! Environment invariants under adversarially random policies.
+//!
+//! A displacement policy is untrusted input to the simulator: whatever it
+//! returns, the world must stay consistent. These tests drive full days
+//! with a uniformly random policy (which herds, starves regions, and picks
+//! pathological stations far more aggressively than any learned policy)
+//! and check the core invariants hold.
+
+use fairmove_city::MINUTES_PER_DAY;
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, Environment, SimConfig, SlotObservation,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks a uniformly random admissible action for every taxi.
+struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DisplacementPolicy for RandomPolicy {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn decide(&mut self, _obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        decisions
+            .iter()
+            .map(|d| d.actions.action(self.rng.gen_range(0..d.actions.len())))
+            .collect()
+    }
+}
+
+/// A policy that deliberately returns inadmissible actions; the environment
+/// must sanitize them.
+struct MalformedPolicy;
+
+impl DisplacementPolicy for MalformedPolicy {
+    fn name(&self) -> &str {
+        "Malformed"
+    }
+
+    fn decide(&mut self, _obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        decisions
+            .iter()
+            .map(|_| Action::MoveTo(fairmove_city::RegionId(9999)))
+            .collect()
+    }
+}
+
+fn run_day(policy: &mut dyn DisplacementPolicy, seed: u64) -> Environment {
+    let mut config = SimConfig::test_scale();
+    config.seed = seed;
+    let mut env = Environment::new(config);
+    env.run(policy);
+    env
+}
+
+#[test]
+fn random_policy_preserves_time_accounting() {
+    for seed in [1u64, 2, 3] {
+        let mut policy = RandomPolicy::new(seed);
+        let env = run_day(&mut policy, seed);
+        let horizon = u64::from(env.config().days * MINUTES_PER_DAY);
+        for (i, ledger) in env.ledger().taxis().iter().enumerate() {
+            assert_eq!(
+                ledger.on_duty_minutes(),
+                horizon,
+                "seed {seed} taxi {i}: {} of {horizon} minutes accounted",
+                ledger.on_duty_minutes()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_policy_keeps_soc_in_bounds() {
+    let mut policy = RandomPolicy::new(7);
+    let env = run_day(&mut policy, 7);
+    for taxi in env.taxis() {
+        assert!((0.0..=1.0).contains(&taxi.soc), "soc {}", taxi.soc);
+    }
+}
+
+#[test]
+fn random_policy_charge_events_are_well_formed() {
+    let mut policy = RandomPolicy::new(11);
+    let env = run_day(&mut policy, 11);
+    assert!(!env.ledger().charges().is_empty());
+    for c in env.ledger().charges() {
+        assert!(c.decided_at <= c.plugged_at, "plug before decision");
+        assert!(c.plugged_at < c.finished_at, "zero-length charge");
+        assert!(c.energy_kwh > 0.0);
+        assert!(c.cost_cny > 0.0);
+        // Cost consistent with band extremes: 0.9..1.6 CNY/kWh at 40 kW.
+        let hours = f64::from(c.charge_minutes()) / 60.0;
+        assert!(c.cost_cny >= 0.9 * 40.0 * hours - 1e-6);
+        assert!(c.cost_cny <= 1.6 * 40.0 * hours + 1e-6);
+    }
+}
+
+#[test]
+fn random_policy_trips_are_well_formed() {
+    let mut policy = RandomPolicy::new(13);
+    let env = run_day(&mut policy, 13);
+    assert!(!env.ledger().trips().is_empty());
+    let flagfall = env.config().fare.flagfall_cny;
+    for t in env.ledger().trips() {
+        assert!(t.pickup_at < t.dropoff_at);
+        assert!(t.distance_km > 0.0);
+        assert!(t.fare_cny >= flagfall - 1e-9);
+    }
+}
+
+#[test]
+fn revenue_and_cost_reconcile_with_event_logs() {
+    let mut policy = RandomPolicy::new(17);
+    let env = run_day(&mut policy, 17);
+    let (revenue, cost) = env.ledger().totals();
+    let trip_sum: f64 = env.ledger().trips().iter().map(|t| t.fare_cny).sum();
+    let charge_sum: f64 = env.ledger().charges().iter().map(|c| c.cost_cny).sum();
+    assert!((revenue - trip_sum).abs() < 1e-6);
+    assert!((cost - charge_sum).abs() < 1e-6);
+    let per_taxi_trips: u32 = env.ledger().taxis().iter().map(|t| t.n_trips).sum();
+    assert_eq!(per_taxi_trips as usize, env.ledger().trips().len());
+    let per_taxi_charges: u32 = env.ledger().taxis().iter().map(|t| t.n_charges).sum();
+    assert_eq!(per_taxi_charges as usize, env.ledger().charges().len());
+}
+
+#[test]
+fn malformed_actions_are_sanitized_not_fatal() {
+    let mut policy = MalformedPolicy;
+    let env = run_day(&mut policy, 19);
+    // The sim survived a full day of garbage actions and still matched
+    // passengers (sanitization falls back to Stay / nearest charge).
+    assert!(!env.ledger().trips().is_empty());
+    let horizon = u64::from(env.config().days * MINUTES_PER_DAY);
+    for ledger in env.ledger().taxis() {
+        assert_eq!(ledger.on_duty_minutes(), horizon);
+    }
+}
+
+#[test]
+fn determinism_holds_under_random_policy() {
+    let run = |seed| {
+        let mut policy = RandomPolicy::new(seed);
+        let env = run_day(&mut policy, 23);
+        (
+            env.ledger().trips().len(),
+            env.ledger().charges().len(),
+            env.ledger().totals(),
+        )
+    };
+    assert_eq!(run(5), run(5));
+}

@@ -1,0 +1,93 @@
+//! Operations dashboard: the monitoring view a dispatch team would watch.
+//!
+//! Runs one day under FairMove-style displacement while collecting per-slot
+//! KPI samples, periodic fleet snapshots, and the event trace; then renders
+//! a textual dashboard: hourly utilization, charging saturation, profit
+//! flow, and a few minutes of raw event log.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ops_dashboard
+//! ```
+
+use fairmove_core::agents::{Cma2cConfig, Cma2cPolicy};
+use fairmove_core::city::SimTime;
+use fairmove_core::metrics::KpiSeries;
+use fairmove_core::sim::{DisplacementPolicy, Environment, FleetSnapshot, SimConfig, TraceLog};
+
+fn main() {
+    let mut config = SimConfig::default();
+    config.fleet_size = 200;
+    config.days = 1;
+    config.city.total_charging_points = 50;
+
+    let mut env = Environment::new(config.clone());
+    let mut policy = Cma2cPolicy::new(env.city(), Cma2cConfig::default());
+
+    let mut kpis = KpiSeries::new();
+    let mut snapshots: Vec<FleetSnapshot> = Vec::new();
+
+    println!("running one day of {} taxis under CMA2C (online learning) …\n", config.fleet_size);
+    let mut slot = 0u32;
+    while !env.done() {
+        let feedback = env.step_slot(&mut policy);
+        kpis.record(&feedback);
+        policy.observe(&feedback);
+        if slot % 6 == 0 {
+            snapshots.push(FleetSnapshot::capture(&env));
+        }
+        slot += 1;
+    }
+    env.flush_accounting();
+
+    // --- Hourly fleet-state strip chart ---
+    println!("hour   serving  vacant  charging  queued  util%  sat.stations");
+    println!("-----  -------  ------  --------  ------  -----  ------------");
+    for snap in &snapshots {
+        let hour = (snap.minute / 60) % 24;
+        println!(
+            "{:02}:00  {:>7}  {:>6}  {:>8}  {:>6}  {:>4.0}%  {:>12}",
+            hour,
+            snap.serving,
+            snap.vacant,
+            snap.charging,
+            snap.queued,
+            snap.utilization() * 100.0,
+            snap.saturated_stations,
+        );
+    }
+
+    // --- Profit flow per hour ---
+    println!("\nhourly fleet profit (CNY per slot, mean):");
+    for (h, v) in kpis.hourly_profit().iter().enumerate() {
+        if let Some(v) = v {
+            let bar = "#".repeat((v / 40.0).max(0.0) as usize);
+            println!("{h:02}:00  {v:>7.0}  {bar}");
+        }
+    }
+
+    // --- Fairness trend ---
+    let pf_ma = kpis.pf_moving_average(12);
+    println!(
+        "\nPF (PE variance) trend: start {:.1} → end {:.1} (2h moving average)",
+        pf_ma.first().copied().unwrap_or(0.0),
+        pf_ma.last().copied().unwrap_or(0.0)
+    );
+
+    // --- A slice of the raw event log ---
+    let trace = TraceLog::from_ledger(env.ledger());
+    println!("\nevent log, 08:00–08:15:");
+    print!(
+        "{}",
+        trace.render_window(SimTime::from_dhm(0, 8, 0), SimTime::from_dhm(0, 8, 15))
+    );
+
+    let (revenue, cost) = env.ledger().totals();
+    println!(
+        "\nday total: {} trips, {} charges, revenue {:.0} CNY, charging cost {:.0} CNY",
+        env.ledger().trips().len(),
+        env.ledger().charges().len(),
+        revenue,
+        cost
+    );
+}

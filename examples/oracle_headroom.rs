@@ -1,0 +1,70 @@
+//! Oracle headroom: how much improvement is physically available?
+//!
+//! Runs the ground truth, the model-based oracle heuristic (full knowledge,
+//! congestion-aware, price-aware), and a trained FairMove policy on the same
+//! demand, and reports where FairMove sits between the two — the honest way
+//! to read any reproduction's improvement numbers.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example oracle_headroom
+//! ```
+
+use fairmove_core::agents::OraclePolicy;
+use fairmove_core::city::City;
+use fairmove_core::method::{Method, MethodKind};
+use fairmove_core::metrics::MethodReport;
+use fairmove_core::runner::Runner;
+use fairmove_core::sim::SimConfig;
+
+fn main() {
+    let mut sim = SimConfig::default();
+    sim.fleet_size = 300;
+    sim.days = 1;
+    sim.city.total_charging_points = 75;
+    let runner = Runner::new(sim.clone(), 6, 0.6);
+    let city = City::generate(sim.city.clone());
+
+    println!("running ground truth …");
+    let mut gt = Method::build(MethodKind::Gt, &city, &sim, 0.6);
+    let (_, gt_out) = runner.train_and_evaluate(&mut gt);
+
+    println!("running oracle heuristic …");
+    let mut oracle = OraclePolicy::new();
+    let oracle_out = runner.run_once(&mut oracle, sim.seed);
+
+    println!("training + running FairMove …\n");
+    let mut fm = Method::build(MethodKind::FairMove, &city, &sim, 0.6);
+    let (_, fm_out) = runner.train_and_evaluate(&mut fm);
+
+    let print_line = |name: &str, report: &MethodReport| {
+        println!(
+            "{name:>9}:  PIPE {:+6.1}%   PIPF {:+6.1}%   PRCT {:+6.1}%   PRIT {:+6.1}%",
+            report.pipe * 100.0,
+            report.pipf * 100.0,
+            report.prct * 100.0,
+            report.prit * 100.0,
+        );
+    };
+
+    let oracle_report = MethodReport::compute("Oracle", &gt_out.ledger, &oracle_out.ledger);
+    let fm_report = MethodReport::compute("FairMove", &gt_out.ledger, &fm_out.ledger);
+    println!("vs ground truth:");
+    print_line("Oracle", &oracle_report);
+    print_line("FairMove", &fm_report);
+
+    let headroom_used = if oracle_report.pipe.abs() > 1e-9 {
+        fm_report.pipe / oracle_report.pipe * 100.0
+    } else {
+        f64::NAN
+    };
+    println!(
+        "\nFairMove captures {headroom_used:.0}% of the oracle's profit-efficiency headroom."
+    );
+    println!(
+        "(GT served {} trips; oracle {}; FairMove {})",
+        gt_out.ledger.trips().len(),
+        oracle_out.ledger.trips().len(),
+        fm_out.ledger.trips().len()
+    );
+}
