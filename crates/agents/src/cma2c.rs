@@ -25,11 +25,39 @@ use crate::features::{FeatureExtractor, SA_DIM, STATE_DIM};
 use crate::transition::TransitionTracker;
 use fairmove_rl::loss::{policy_gradient_logits, softmax};
 use fairmove_rl::{Activation, Adam, Matrix, Mlp, Optimizer, ReplayBuffer};
-use fairmove_sim::{
-    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation,
-};
+use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation};
+use fairmove_telemetry::{Counter, Gauge, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Training-diagnostic handles, registered once in
+/// [`DisplacementPolicy::set_telemetry`]. Recording is read-only with respect
+/// to the learner: it never touches the RNG or the gradients themselves.
+#[derive(Debug)]
+struct Cma2cMetrics {
+    critic_loss: Gauge,
+    critic_grad_norm: Gauge,
+    actor_grad_norm: Gauge,
+    train_steps: Counter,
+}
+
+impl Cma2cMetrics {
+    fn new(telemetry: &Telemetry, config: &Cma2cConfig) -> Option<Self> {
+        telemetry.is_enabled().then(|| {
+            // Learning rates are static hyper-parameters; export them once so
+            // run reports are self-describing.
+            telemetry.gauge("cma2c.actor_lr").set(config.actor_lr);
+            telemetry.gauge("cma2c.critic_lr").set(config.critic_lr);
+            telemetry.gauge("cma2c.alpha").set(config.alpha);
+            Cma2cMetrics {
+                critic_loss: telemetry.gauge("cma2c.critic_loss"),
+                critic_grad_norm: telemetry.gauge("cma2c.critic_grad_norm"),
+                actor_grad_norm: telemetry.gauge("cma2c.actor_grad_norm"),
+                train_steps: telemetry.counter("cma2c.train_steps"),
+            }
+        })
+    }
+}
 
 /// CMA2C hyper-parameters.
 #[derive(Debug, Clone)]
@@ -134,6 +162,7 @@ pub struct Cma2cPolicy {
     tracker: TransitionTracker<Payload>,
     rng: StdRng,
     train_steps: u64,
+    metrics: Option<Cma2cMetrics>,
     /// Whether learning (and stochastic exploration) is active.
     pub learning: bool,
 }
@@ -171,7 +200,12 @@ impl Cma2cPolicy {
         let mut critic_sizes = vec![STATE_DIM];
         critic_sizes.extend(&config.critic_hidden);
         critic_sizes.push(1);
-        let actor = Mlp::new(&actor_sizes, Activation::Relu, Activation::Linear, config.seed);
+        let actor = Mlp::new(
+            &actor_sizes,
+            Activation::Relu,
+            Activation::Linear,
+            config.seed,
+        );
         let critic = Mlp::new(
             &critic_sizes,
             Activation::Relu,
@@ -194,8 +228,9 @@ impl Cma2cPolicy {
             critic_opt: Adam::new(config.critic_lr),
             buffer: ReplayBuffer::new(config.buffer_capacity),
             tracker: TransitionTracker::new(),
-            rng: StdRng::seed_from_u64(config.seed ^ 0x434d_4132_43), // "CMA2C"
+            rng: StdRng::seed_from_u64(config.seed ^ 0x43_4d41_3243), // "CMA2C"
             train_steps: 0,
+            metrics: None,
             learning: true,
             config,
         }
@@ -323,7 +358,12 @@ impl Cma2cPolicy {
         let n = batch.len();
 
         // --- Critic: minimize (V(s) − (r + β V̂(s')))² (Eq. 6–7). ---
-        let next_states = stack(&batch.iter().map(|t| t.next_state.clone()).collect::<Vec<_>>());
+        let next_states = stack(
+            &batch
+                .iter()
+                .map(|t| t.next_state.clone())
+                .collect::<Vec<_>>(),
+        );
         let v_next = self.target_critic.forward(&next_states);
         let targets: Vec<f64> = batch
             .iter()
@@ -333,10 +373,18 @@ impl Cma2cPolicy {
         let states = stack(&batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>());
         let v_pred = self.critic.forward_train(&states);
         let mut d = Matrix::zeros(n, 1);
-        for i in 0..n {
-            d.set(i, 0, 2.0 * (v_pred.get(i, 0) - targets[i]) / n as f64);
+        for (i, &target) in targets.iter().enumerate() {
+            d.set(i, 0, 2.0 * (v_pred.get(i, 0) - target) / n as f64);
         }
         let mut critic_grads = self.critic.backward(&d);
+        if let Some(m) = &self.metrics {
+            let loss = (0..n)
+                .map(|i| (v_pred.get(i, 0) - targets[i]).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            m.critic_loss.set(loss);
+            m.critic_grad_norm.set(critic_grads.global_norm());
+        }
         critic_grads.clip_global_norm(5.0);
         self.critic_opt.step(&mut self.critic, &critic_grads);
 
@@ -377,6 +425,9 @@ impl Cma2cPolicy {
             }
         }
         let mut actor_grads = self.actor.backward(&d_logits);
+        if let Some(m) = &self.metrics {
+            m.actor_grad_norm.set(actor_grads.global_norm());
+        }
         actor_grads.clip_global_norm(5.0);
         self.actor_opt.step(&mut self.actor, &actor_grads);
 
@@ -384,6 +435,9 @@ impl Cma2cPolicy {
         self.target_critic
             .soft_update_from(&self.critic, self.config.target_tau);
         self.train_steps += 1;
+        if let Some(m) = &self.metrics {
+            m.train_steps.inc();
+        }
     }
 }
 
@@ -455,6 +509,10 @@ impl DisplacementPolicy for Cma2cPolicy {
         let gamma = self.config.gamma;
         self.tracker
             .accrue_all_discounted(gamma, |id| feedback.reward(alpha, id));
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = Cma2cMetrics::new(telemetry, &self.config);
     }
 }
 

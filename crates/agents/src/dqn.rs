@@ -11,11 +11,36 @@ use crate::features::{FeatureExtractor, SA_DIM};
 use crate::transition::TransitionTracker;
 use fairmove_city::City;
 use fairmove_rl::{Activation, Adam, EpsilonSchedule, Matrix, Mlp, Optimizer, ReplayBuffer};
-use fairmove_sim::{
-    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation,
-};
+use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation};
+use fairmove_telemetry::{Counter, Gauge, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Training-diagnostic handles (see `Cma2cMetrics` for the inertness
+/// contract: recording never touches the RNG or the update itself).
+#[derive(Debug)]
+struct DqnMetrics {
+    loss: Gauge,
+    grad_norm: Gauge,
+    epsilon: Gauge,
+    train_steps: Counter,
+}
+
+impl DqnMetrics {
+    fn new(telemetry: &Telemetry, config: &DqnConfig) -> Option<Self> {
+        telemetry.is_enabled().then(|| {
+            telemetry
+                .gauge("dqn.learning_rate")
+                .set(config.learning_rate);
+            DqnMetrics {
+                loss: telemetry.gauge("dqn.loss"),
+                grad_norm: telemetry.gauge("dqn.grad_norm"),
+                epsilon: telemetry.gauge("dqn.epsilon"),
+                train_steps: telemetry.counter("dqn.train_steps"),
+            }
+        })
+    }
+}
 
 /// DQN hyper-parameters.
 #[derive(Debug, Clone)]
@@ -100,6 +125,7 @@ pub struct DqnPolicy {
     epsilon: EpsilonSchedule,
     rng: StdRng,
     train_steps: u64,
+    metrics: Option<DqnMetrics>,
     /// Whether learning updates are applied (frozen for evaluation).
     pub learning: bool,
 }
@@ -118,7 +144,12 @@ impl DqnPolicy {
         sizes.extend(&config.hidden);
         sizes.push(1);
         let q = Mlp::new(&sizes, Activation::Relu, Activation::Linear, config.seed);
-        let mut target = Mlp::new(&sizes, Activation::Relu, Activation::Linear, config.seed + 1);
+        let mut target = Mlp::new(
+            &sizes,
+            Activation::Relu,
+            Activation::Linear,
+            config.seed + 1,
+        );
         target.copy_params_from(&q);
         let opt = Adam::new(config.learning_rate);
         let epsilon = EpsilonSchedule::new(
@@ -136,6 +167,7 @@ impl DqnPolicy {
             epsilon,
             rng: StdRng::seed_from_u64(config.seed ^ 0x44_51_4e),
             train_steps: 0,
+            metrics: None,
             learning: true,
             config,
         }
@@ -191,17 +223,27 @@ impl DqnPolicy {
         let xs = stack(&batch.iter().map(|t| t.sa.clone()).collect::<Vec<_>>());
         let preds = self.q.forward_train(&xs);
         let pred_vec: Vec<f64> = (0..batch.len()).map(|i| preds.get(i, 0)).collect();
-        let (_, grad) = fairmove_rl::huber_loss(&pred_vec, &targets, 5.0);
+        let (loss, grad) = fairmove_rl::huber_loss(&pred_vec, &targets, 5.0);
         let mut d = Matrix::zeros(batch.len(), 1);
         for (i, g) in grad.iter().enumerate() {
             d.set(i, 0, *g);
         }
         let mut grads = self.q.backward(&d);
+        if let Some(m) = &self.metrics {
+            m.loss.set(loss);
+            m.grad_norm.set(grads.global_norm());
+        }
         grads.clip_global_norm(5.0);
         self.opt.step(&mut self.q, &grads);
 
         self.train_steps += 1;
-        if self.train_steps % self.config.target_sync_every == 0 {
+        if let Some(m) = &self.metrics {
+            m.train_steps.inc();
+        }
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.target.copy_params_from(&self.q);
         }
     }
@@ -226,6 +268,9 @@ impl DisplacementPolicy for DqnPolicy {
             } else {
                 0.05
             };
+            if let Some(m) = &self.metrics {
+                m.epsilon.set(eps);
+            }
             let idx = if self.rng.gen::<f64>() < eps {
                 self.rng.gen_range(0..candidates.len())
             } else {
@@ -267,6 +312,10 @@ impl DisplacementPolicy for DqnPolicy {
         let gamma = self.config.gamma;
         self.tracker
             .accrue_all_discounted(gamma, |id| feedback.reward(alpha, id));
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = DqnMetrics::new(telemetry, &self.config);
     }
 }
 

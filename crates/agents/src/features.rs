@@ -71,12 +71,7 @@ impl FeatureExtractor {
     }
 
     /// Action features for one admissible action of `ctx`.
-    pub fn action(
-        &self,
-        obs: &SlotObservation,
-        ctx: &DecisionContext,
-        action: Action,
-    ) -> Vec<f64> {
+    pub fn action(&self, obs: &SlotObservation, ctx: &DecisionContext, action: Action) -> Vec<f64> {
         match action {
             Action::Stay => {
                 let mut f = self.region_target_features(obs, ctx.region, 0.0);
@@ -93,12 +88,7 @@ impl FeatureExtractor {
         }
     }
 
-    fn region_target_features(
-        &self,
-        obs: &SlotObservation,
-        dest: RegionId,
-        km: f64,
-    ) -> Vec<f64> {
+    fn region_target_features(&self, obs: &SlotObservation, dest: RegionId, km: f64) -> Vec<f64> {
         let d = dest.index();
         vec![
             0.0, // is_stay (caller sets)
@@ -158,11 +148,7 @@ impl FeatureExtractor {
     }
 
     /// State–action vectors for every admissible action, canonical order.
-    pub fn all_state_actions(
-        &self,
-        obs: &SlotObservation,
-        ctx: &DecisionContext,
-    ) -> Vec<Vec<f64>> {
+    pub fn all_state_actions(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Vec<Vec<f64>> {
         let state = self.state(obs, ctx);
         ctx.actions
             .actions()
@@ -247,11 +233,7 @@ mod tests {
             now: SimTime::from_dhm(0, 8, 0),
             slot: TimeSlot(48),
             vacant_per_region: vec![2; n],
-            free_points_per_station: city
-                .stations()
-                .iter()
-                .map(|s| s.charging_points)
-                .collect(),
+            free_points_per_station: city.stations().iter().map(|s| s.charging_points).collect(),
             queue_per_station: vec![0; m],
             inbound_per_station: vec![0; m],
             predicted_demand: vec![1.5; n],

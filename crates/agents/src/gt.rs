@@ -71,7 +71,11 @@ impl GroundTruthPolicy {
         seed: u64,
     ) -> Self {
         assert!(!region_weights.is_empty(), "need region weights");
-        assert_eq!(region_weights.len(), centroids.len(), "weights/centroids mismatch");
+        assert_eq!(
+            region_weights.len(),
+            centroids.len(),
+            "weights/centroids mismatch"
+        );
         let n_regions = region_weights.len();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x4454_5256); // "DTRV" salt
         let drivers = (0..fleet_size)
@@ -157,9 +161,9 @@ impl GroundTruthPolicy {
             .iter()
             .map(|&(_, r)| {
                 let believed = self.region_weights[r.index()];
-                let noise =
-                    (1.0 + profile.perception_noise * random::standard_normal(&mut self.rng))
-                        .max(0.1);
+                let noise = (1.0
+                    + profile.perception_noise * random::standard_normal(&mut self.rng))
+                .max(0.1);
                 // Home orbit: the pull decays with distance from the home
                 // region, so drivers gravitate toward — and persistently
                 // work — their own part of the city. Suburb-homed drivers
@@ -222,10 +226,7 @@ mod tests {
         let actions = if must_charge {
             ActionSet::charge_only(&[StationId(0), StationId(1)])
         } else if soc < 0.5 {
-            ActionSet::full(
-                &[RegionId(1), RegionId(2)],
-                &[StationId(0), StationId(1)],
-            )
+            ActionSet::full(&[RegionId(1), RegionId(2)], &[StationId(0), StationId(1)])
         } else {
             ActionSet::full(&[RegionId(1), RegionId(2)], &[])
         };
@@ -273,7 +274,10 @@ mod tests {
             .filter(|a| matches!(a, Action::Charge(_)))
             .count();
         assert!(cheap > 80, "cheap-window charging too rare: {cheap}/200");
-        assert_eq!(peak, 0, "peak-hour opportunistic charging should not happen");
+        assert_eq!(
+            peak, 0,
+            "peak-hour opportunistic charging should not happen"
+        );
     }
 
     #[test]

@@ -32,8 +32,7 @@ impl OraclePolicy {
 
     fn station_score(&self, obs: &SlotObservation, station: usize, km: f64) -> f64 {
         let free = f64::from(obs.free_points_per_station[station]);
-        let backlog =
-            f64::from(obs.queue_per_station[station] + obs.inbound_per_station[station]);
+        let backlog = f64::from(obs.queue_per_station[station] + obs.inbound_per_station[station]);
         // Expected wait: each backlogged taxi ahead of us ties up a point
         // for ~80 minutes spread over the station's points.
         let capacity = (free + backlog).max(1.0);

@@ -55,10 +55,7 @@ impl DisplacementPolicy for Sd2Policy {
     }
 
     fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
-        decisions
-            .iter()
-            .map(|d| Self::decide_one(obs, d))
-            .collect()
+        decisions.iter().map(|d| Self::decide_one(obs, d)).collect()
     }
 }
 

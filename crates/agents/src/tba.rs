@@ -15,9 +15,7 @@ use crate::features::{FeatureExtractor, LOCAL_SA_DIM};
 use crate::transition::TransitionTracker;
 use fairmove_rl::loss::{policy_gradient_logits, softmax};
 use fairmove_rl::{Activation, Adam, Matrix, Mlp, Optimizer};
-use fairmove_sim::{
-    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation,
-};
+use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -300,7 +298,16 @@ mod tests {
         unfair.pf = 1e6;
         p.observe(&unfair);
         // α = 1 reward: slot_profit × 6 / PE_SCALE(6) = 5.0 regardless of PF.
-        let done = p.tracker.begin(TaxiId(0), Payload { candidates: vec![], action: 0 }).unwrap();
+        let done = p
+            .tracker
+            .begin(
+                TaxiId(0),
+                Payload {
+                    candidates: vec![],
+                    action: 0,
+                },
+            )
+            .unwrap();
         assert!((done.reward - 5.0).abs() < 1e-9, "reward {}", done.reward);
     }
 

@@ -9,11 +9,34 @@
 
 use crate::transition::TransitionTracker;
 use fairmove_rl::{EpsilonSchedule, QTable};
-use fairmove_sim::{
-    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation,
-};
+use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation};
+use fairmove_telemetry::{Counter, Gauge, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Training-diagnostic handles (inert by contract: recording never touches
+/// the RNG or the table update).
+#[derive(Debug)]
+struct TqlMetrics {
+    epsilon: Gauge,
+    n_states: Gauge,
+    updates: Counter,
+}
+
+impl TqlMetrics {
+    fn new(telemetry: &Telemetry, config: &TqlConfig) -> Option<Self> {
+        telemetry.is_enabled().then(|| {
+            telemetry
+                .gauge("tql.learning_rate")
+                .set(config.learning_rate);
+            TqlMetrics {
+                epsilon: telemetry.gauge("tql.epsilon"),
+                n_states: telemetry.gauge("tql.n_states"),
+                updates: telemetry.counter("tql.updates"),
+            }
+        })
+    }
+}
 
 /// TQL hyper-parameters.
 #[derive(Debug, Clone)]
@@ -65,6 +88,7 @@ pub struct TqlPolicy {
     epsilon: EpsilonSchedule,
     tracker: TransitionTracker<Payload>,
     rng: StdRng,
+    metrics: Option<TqlMetrics>,
     /// Whether learning updates are applied (frozen for evaluation).
     pub learning: bool,
 }
@@ -85,6 +109,7 @@ impl TqlPolicy {
             epsilon,
             tracker: TransitionTracker::new(),
             rng,
+            metrics: None,
             learning: true,
         }
     }
@@ -150,9 +175,23 @@ impl DisplacementPolicy for TqlPolicy {
                         n,
                         discount,
                     );
+                    if let Some(m) = &self.metrics {
+                        m.updates.inc();
+                    }
                 }
             }
             out.push(ctx.actions.action(action_idx));
+        }
+        if let Some(m) = &self.metrics {
+            if !decisions.is_empty() {
+                let eps = if self.learning {
+                    self.epsilon.current()
+                } else {
+                    0.05
+                };
+                m.epsilon.set(eps);
+            }
+            m.n_states.set(self.q.n_states() as f64);
         }
         out
     }
@@ -162,6 +201,10 @@ impl DisplacementPolicy for TqlPolicy {
         let gamma = self.config.gamma;
         self.tracker
             .accrue_all_discounted(gamma, |id| feedback.reward(alpha, id));
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = TqlMetrics::new(telemetry, &self.config);
     }
 }
 

@@ -46,7 +46,11 @@ fn cma2c_trains_against_the_simulator() {
     );
     let r = run_episode(&mut p, &sim, sim.seed + 1);
     assert!(r.is_finite());
-    assert!(p.train_steps() > 50, "only {} gradient steps", p.train_steps());
+    assert!(
+        p.train_steps() > 50,
+        "only {} gradient steps",
+        p.train_steps()
+    );
     assert!(p.buffer_len() > 500, "buffer {}", p.buffer_len());
 }
 

@@ -1,0 +1,54 @@
+//! Policy-side telemetry inertness: attaching a telemetry context to a
+//! *learning* policy must not change a single decision — the ledgers of an
+//! instrumented and an uninstrumented training run must be bit-identical.
+
+use fairmove_agents::{Cma2cConfig, Cma2cPolicy, TqlConfig, TqlPolicy};
+use fairmove_sim::{DisplacementPolicy, Environment, FleetLedger, SimConfig, Telemetry};
+
+fn run_cma2c(telemetry: &Telemetry) -> FleetLedger {
+    let mut env = Environment::new(SimConfig::test_scale());
+    env.set_telemetry(telemetry);
+    let config = Cma2cConfig {
+        // Keep the test cheap: tiny batches, one gradient step per slot.
+        batch_size: 32,
+        min_buffer: 64,
+        train_iters: 1,
+        ..Cma2cConfig::default()
+    };
+    let mut policy = Cma2cPolicy::new(env.city(), config);
+    policy.set_telemetry(telemetry);
+    env.run(&mut policy);
+    env.ledger().clone()
+}
+
+fn run_tql(telemetry: &Telemetry) -> FleetLedger {
+    let mut env = Environment::new(SimConfig::test_scale());
+    env.set_telemetry(telemetry);
+    let mut policy = TqlPolicy::new(TqlConfig::default());
+    policy.set_telemetry(telemetry);
+    env.run(&mut policy);
+    env.ledger().clone()
+}
+
+#[test]
+fn cma2c_training_is_telemetry_inert() {
+    let enabled = Telemetry::enabled();
+    let on = run_cma2c(&enabled);
+    let off = run_cma2c(&Telemetry::disabled());
+    assert_eq!(on, off, "telemetry perturbed CMA2C training");
+    let snap = enabled.snapshot();
+    assert!(snap.counter("cma2c.train_steps").unwrap_or(0) > 0);
+    assert!(snap.gauge("cma2c.critic_loss").is_some());
+    assert!(snap.gauge("cma2c.actor_grad_norm").is_some());
+}
+
+#[test]
+fn tql_training_is_telemetry_inert() {
+    let enabled = Telemetry::enabled();
+    let on = run_tql(&enabled);
+    let off = run_tql(&Telemetry::disabled());
+    assert_eq!(on, off, "telemetry perturbed TQL training");
+    let snap = enabled.snapshot();
+    assert!(snap.counter("tql.updates").unwrap_or(0) > 0);
+    assert!(snap.gauge("tql.epsilon").is_some());
+}

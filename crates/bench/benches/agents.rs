@@ -3,9 +3,9 @@
 //! decision server can displace in real time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use fairmove_core::method::{Method, MethodKind};
 use fairmove_sim::{Environment, SimConfig};
+use std::time::Duration;
 
 fn bench_agents(c: &mut Criterion) {
     let mut group = c.benchmark_group("agents_decide");

@@ -2,10 +2,12 @@
 //! indexing, and demand/trip generation throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
-use fairmove_city::{City, CityConfig, NearestStations, Rect, SimTime, TravelModel, UrbanPartition};
 use fairmove_city::station::place_stations;
+use fairmove_city::{
+    City, CityConfig, NearestStations, Rect, SimTime, TravelModel, UrbanPartition,
+};
 use fairmove_data::{DemandModel, FareModel, TripGenerator};
+use std::time::Duration;
 
 fn bench_city(c: &mut Criterion) {
     let mut group = c.benchmark_group("city");

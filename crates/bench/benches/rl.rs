@@ -3,8 +3,8 @@
 //! hidden).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use fairmove_rl::{Activation, Adam, Matrix, Mlp, Optimizer};
+use std::time::Duration;
 
 fn net() -> Mlp {
     Mlp::new(&[22, 64, 64, 1], Activation::Relu, Activation::Linear, 7)

@@ -2,9 +2,9 @@
 //! observation construction.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::time::Duration;
 use fairmove_sim::policy::StayPolicy;
 use fairmove_sim::{Environment, SimConfig};
+use std::time::Duration;
 
 fn bench_step_slot(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim");

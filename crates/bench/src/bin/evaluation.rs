@@ -12,8 +12,8 @@
 //! All methods are trained (where applicable), frozen, and evaluated on the
 //! identical demand realization; every number is relative to the GT run.
 
-use fairmove_bench::report::{pct, Table};
 use fairmove_bench::parse_scale;
+use fairmove_bench::report::{pct, Table};
 use fairmove_core::experiments::{alpha_sweep, ComparisonConfig, ComparisonResults};
 use fairmove_core::method::MethodKind;
 use fairmove_metrics::{comparison, findings};
@@ -25,7 +25,10 @@ fn main() {
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| {
-            a.starts_with("fig") || a.starts_with("table") || a.starts_with("ablation") || *a == "summary"
+            a.starts_with("fig")
+                || a.starts_with("table")
+                || a.starts_with("ablation")
+                || *a == "summary"
         })
         .map(String::as_str)
         .collect();
@@ -75,6 +78,7 @@ fn main() {
         eval_seeds: scale.eval_seeds(),
     };
     let results = ComparisonResults::run(&config);
+    export_run_reports(&results, scale.name());
 
     if want("summary") {
         summary(&results);
@@ -105,6 +109,20 @@ fn main() {
     }
     if want("table3") {
         table3(&results);
+    }
+}
+
+/// Writes one JSONL run report per method (GT first) next to the text
+/// output: slot-latency histograms, training curves, and headline metrics,
+/// ready for cross-commit diffing.
+fn export_run_reports(results: &ComparisonResults, scale: &str) {
+    let path = format!("run_reports_eval_{scale}.jsonl");
+    let result = std::fs::File::create(&path).and_then(|mut f| {
+        fairmove_telemetry::RunReport::write_jsonl(results.run_reports(), &mut f)
+    });
+    match result {
+        Ok(()) => println!("run reports (JSONL): {path}\n"),
+        Err(e) => eprintln!("failed to write {path}: {e}\n"),
     }
 }
 
@@ -164,7 +182,7 @@ fn fig10(results: &ComparisonResults) {
 /// Fig. 11: average PRCT per hour of day, per method.
 fn fig11(results: &ComparisonResults) {
     println!("--- Fig. 11: hourly PRCT (cruise-time reduction vs GT) ---");
-    hourly_table(results, |gt, d| comparison::hourly_prct(gt, d));
+    hourly_table(results, comparison::hourly_prct);
     println!("paper: FairMove >40% at 05:00–07:00 (thin-demand hours)\n");
 }
 
@@ -190,7 +208,7 @@ fn fig12(results: &ComparisonResults) {
 /// Fig. 13: average PRIT per hour of day, per method.
 fn fig13(results: &ComparisonResults) {
     println!("--- Fig. 13: hourly PRIT (idle-time reduction vs GT) ---");
-    hourly_table(results, |gt, d| comparison::hourly_prit(gt, d));
+    hourly_table(results, comparison::hourly_prit);
     println!("paper: FairMove best in charging-peak hours (04–05, 17–18)\n");
 }
 
@@ -267,7 +285,13 @@ fn fig16(results: &ComparisonResults) {
 fn table2(results: &ComparisonResults) {
     println!("--- Table II: PRCT per method ---");
     let mut t = Table::new(&["method", "PRCT", "paper"]);
-    let paper = [("SD2", 19.4), ("TQL", 13.7), ("DQN", 23.6), ("TBA", 21.3), ("FairMove", 32.1)];
+    let paper = [
+        ("SD2", 19.4),
+        ("TQL", 13.7),
+        ("DQN", 23.6),
+        ("TBA", 21.3),
+        ("FairMove", 32.1),
+    ];
     for m in &results.methods {
         let reference = paper
             .iter()
@@ -285,7 +309,13 @@ fn table2(results: &ComparisonResults) {
 fn table3(results: &ComparisonResults) {
     println!("--- Table III: PRIT per method ---");
     let mut t = Table::new(&["method", "PRIT", "paper"]);
-    let paper = [("SD2", -23.1), ("TQL", 8.4), ("DQN", 21.0), ("TBA", 3.1), ("FairMove", 43.3)];
+    let paper = [
+        ("SD2", -23.1),
+        ("TQL", 8.4),
+        ("DQN", 21.0),
+        ("TBA", 3.1),
+        ("FairMove", 43.3),
+    ];
     for m in &results.methods {
         let reference = paper
             .iter()
@@ -321,9 +351,9 @@ fn table4(scale: fairmove_bench::Scale) {
 /// buy? Trains CMA2C with feature groups zeroed out.
 fn ablation_state(scale: fairmove_bench::Scale) {
     use fairmove_agents::Cma2cConfig;
+    use fairmove_city::City;
     use fairmove_core::method::Method;
     use fairmove_core::runner::Runner;
-    use fairmove_city::City;
 
     println!("--- Ablation: state feature groups ---");
     let sim = scale.sim();
@@ -349,8 +379,7 @@ fn ablation_state(scale: fairmove_bench::Scale) {
             },
         );
         let (_, out) = runner.train_and_evaluate(&mut method);
-        let report =
-            fairmove_metrics::MethodReport::compute(label, &gt_out.ledger, &out.ledger);
+        let report = fairmove_metrics::MethodReport::compute(label, &gt_out.ledger, &out.ledger);
         t.row(&[
             label.into(),
             pct(report.pipe),

@@ -19,6 +19,7 @@ use fairmove_data::schema::{GpsRecord, PartitionRecord, StationRecord, Transacti
 use fairmove_data::{ChargingPricing, PriceBand, RegionArchetype};
 use fairmove_metrics::findings;
 use fairmove_sim::Environment;
+use fairmove_telemetry::{RunReport, Telemetry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +31,10 @@ fn main() {
         .collect();
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
-    println!("== FairMove Section II findings (scale: {}) ==\n", scale.name());
+    println!(
+        "== FairMove Section II findings (scale: {}) ==\n",
+        scale.name()
+    );
 
     if want("fig2") {
         fig2();
@@ -48,9 +52,12 @@ fn main() {
 
     println!("running ground-truth simulation …\n");
     let sim = scale.sim();
+    let telemetry = Telemetry::enabled();
     let mut env = Environment::new(sim.clone());
+    env.set_telemetry(&telemetry);
     let mut gt = GroundTruthPolicy::for_city(env.city(), sim.fleet_size, sim.seed);
     env.run(&mut gt);
+    export_run_report(&env, &telemetry, scale);
 
     if want("fig3") {
         fig3(&env);
@@ -69,6 +76,33 @@ fn main() {
     }
     if want("fig8") {
         fig8(&env);
+    }
+}
+
+/// Serializes the ground-truth run's telemetry as a one-line JSONL run
+/// report next to the text output, for cross-commit diffing.
+fn export_run_report(env: &Environment, telemetry: &Telemetry, scale: Scale) {
+    let pes = env.ledger().profit_efficiencies();
+    let mean_pe = pes.iter().sum::<f64>() / pes.len().max(1) as f64;
+    let report = RunReport {
+        name: "GT".into(),
+        context: format!("figures scale={}", scale.name()),
+        training_curve: Vec::new(),
+        // The figures run has no reward objective; serialized as null.
+        average_reward: f64::NAN,
+        mean_pe,
+        pf: fairmove_metrics::profit_fairness(&pes),
+        trips: env.ledger().trips().len() as u64,
+        charges: env.ledger().charges().len() as u64,
+        expired_requests: env.ledger().expired_requests,
+        snapshot: telemetry.snapshot(),
+    };
+    let path = format!("run_report_figures_{}.jsonl", scale.name());
+    let result = std::fs::File::create(&path)
+        .and_then(|mut f| fairmove_telemetry::RunReport::write_jsonl([&report], &mut f));
+    match result {
+        Ok(()) => println!("run report (JSONL): {path}\n"),
+        Err(e) => eprintln!("failed to write {path}: {e}\n"),
     }
 }
 
@@ -146,7 +180,10 @@ fn fig3(env: &Environment) {
     let cdf = findings::charge_durations(env.ledger());
     let mut t = Table::new(&["quantile", "minutes"]);
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
-        t.row(&[format!("P{:.0}", q * 100.0), format!("{:.0}", cdf.quantile(q))]);
+        t.row(&[
+            format!("P{:.0}", q * 100.0),
+            format!("{:.0}", cdf.quantile(q)),
+        ]);
     }
     t.print();
     println!(
@@ -182,14 +219,20 @@ fn fig5(env: &Environment) {
     println!("--- Fig. 5: first cruise time after charging ---");
     let cdf = findings::first_cruise_after_charge(env.ledger());
     println!("samples: {}", cdf.len());
-    println!("≤ 10 min: {} (paper ≈ 40%)", pct(cdf.fraction_at_or_below(10.0)));
+    println!(
+        "≤ 10 min: {} (paper ≈ 40%)",
+        pct(cdf.fraction_at_or_below(10.0))
+    );
     println!(
         "> 60 min: {} (paper ≈ 10%)",
         pct(1.0 - cdf.fraction_at_or_below(60.0))
     );
     let mut t = Table::new(&["quantile", "minutes"]);
     for q in [0.25, 0.5, 0.75, 0.9] {
-        t.row(&[format!("P{:.0}", q * 100.0), format!("{:.0}", cdf.quantile(q))]);
+        t.row(&[
+            format!("P{:.0}", q * 100.0),
+            format!("{:.0}", cdf.quantile(q)),
+        ]);
     }
     t.print();
     println!();
@@ -220,8 +263,20 @@ fn fig6(env: &Environment) {
 fn fig7(env: &Environment) {
     println!("--- Fig. 7: per-trip revenue by region and time window ---");
     let n = env.city().n_regions();
-    let windows = [(0u8, 1u8, "late night 00–01"), (8, 9, "morning rush 08–09"), (18, 19, "evening rush 18–19")];
-    let mut t = Table::new(&["window", "regions", "min", "mean", "max", "airport", "suburb mean"]);
+    let windows = [
+        (0u8, 1u8, "late night 00–01"),
+        (8, 9, "morning rush 08–09"),
+        (18, 19, "evening rush 18–19"),
+    ];
+    let mut t = Table::new(&[
+        "window",
+        "regions",
+        "min",
+        "mean",
+        "max",
+        "airport",
+        "suburb mean",
+    ]);
     for (start, end, label) in windows {
         let revenue = findings::per_region_trip_revenue(env.ledger(), n, start, end);
         let vals: Vec<f64> = revenue.iter().filter_map(|v| *v).collect();
@@ -239,8 +294,7 @@ fn fig7(env: &Environment) {
             .unwrap_or_else(|| "-".into());
         let suburb: Vec<f64> = (0..n)
             .filter(|&i| {
-                env.demand().archetype(fairmove_city::RegionId(i as u16))
-                    == RegionArchetype::Suburb
+                env.demand().archetype(fairmove_city::RegionId(i as u16)) == RegionArchetype::Suburb
             })
             .filter_map(|i| revenue[i])
             .collect();
@@ -270,7 +324,10 @@ fn fig8(env: &Environment) {
     let cdf = findings::profit_efficiency_distribution(env.ledger());
     let mut t = Table::new(&["quantile", "CNY/h"]);
     for q in [0.05, 0.2, 0.5, 0.8, 0.95] {
-        t.row(&[format!("P{:.0}", q * 100.0), format!("{:.1}", cdf.quantile(q))]);
+        t.row(&[
+            format!("P{:.0}", q * 100.0),
+            format!("{:.1}", cdf.quantile(q)),
+        ]);
     }
     t.print();
     let gap = cdf.quantile(0.8) / cdf.quantile(0.2).max(1e-9) - 1.0;

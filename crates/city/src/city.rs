@@ -80,12 +80,8 @@ impl City {
             config.seed,
         );
         let travel = TravelModel::default();
-        let nearest = NearestStations::build(
-            &partition,
-            &stations,
-            &travel,
-            config.nearest_stations_k,
-        );
+        let nearest =
+            NearestStations::build(&partition, &stations, &travel, config.nearest_stations_k);
         City {
             config,
             partition,

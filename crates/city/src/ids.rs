@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn location_from_ids() {
         assert_eq!(Location::from(RegionId(1)), Location::Region(RegionId(1)));
-        assert_eq!(Location::from(StationId(2)), Location::Station(StationId(2)));
+        assert_eq!(
+            Location::from(StationId(2)),
+            Location::Station(StationId(2))
+        );
     }
 
     #[test]

@@ -79,11 +79,7 @@ impl RegionRouter {
                     let nd = d + w;
                     if nd < row[vi] {
                         row[vi] = nd;
-                        first_hop[vi] = if u == source {
-                            v.0
-                        } else {
-                            first_hop[u]
-                        };
+                        first_hop[vi] = if u == source { v.0 } else { first_hop[u] };
                         heap.push(QueueEntry(nd, vi));
                     }
                 }
@@ -210,7 +206,12 @@ mod tests {
                     continue;
                 }
                 let hop = r.next_hop(a.id, b.id).expect("reachable");
-                assert!(p.are_adjacent(a.id, hop), "{} hop {} not adjacent", a.id, hop);
+                assert!(
+                    p.are_adjacent(a.id, hop),
+                    "{} hop {} not adjacent",
+                    a.id,
+                    hop
+                );
                 assert!(
                     r.distance(hop, b.id) < r.distance(a.id, b.id),
                     "no progress {} -> {} via {}",
@@ -234,7 +235,10 @@ mod tests {
             assert!(p.are_adjacent(w[0], w[1]));
         }
         // Path length telescopes to the routed distance.
-        let total: f64 = path.windows(2).map(|w| p.centroid_distance(w[0], w[1])).sum();
+        let total: f64 = path
+            .windows(2)
+            .map(|w| p.centroid_distance(w[0], w[1]))
+            .sum();
         assert!((total - r.distance(a, b)).abs() < 1e-9);
     }
 
@@ -245,9 +249,7 @@ mod tests {
         for &a in &ids {
             for &b in &ids {
                 for &c in &ids {
-                    assert!(
-                        r.distance(a, c) <= r.distance(a, b) + r.distance(b, c) + 1e-9
-                    );
+                    assert!(r.distance(a, c) <= r.distance(a, b) + r.distance(b, c) + 1e-9);
                 }
             }
         }

@@ -99,7 +99,8 @@ pub fn place_stations(
             .iter_mut()
             .max_by_key(|s| s.charging_points)
             .expect("n_stations > 0");
-        let adjusted = i64::from(largest.charging_points) + i64::from(total_points) - i64::from(current);
+        let adjusted =
+            i64::from(largest.charging_points) + i64::from(total_points) - i64::from(current);
         largest.charging_points = adjusted.max(1) as u32;
     }
 
@@ -172,7 +173,10 @@ mod tests {
         let s = place_stations(&p, 123, 5000, 5);
         let max = s.iter().map(|st| st.charging_points).max().unwrap();
         let min = s.iter().map(|st| st.charging_points).min().unwrap();
-        assert!(max >= 3 * min.max(1), "expected skewed sizes, got {min}..{max}");
+        assert!(
+            max >= 3 * min.max(1),
+            "expected skewed sizes, got {min}..{max}"
+        );
     }
 
     #[test]

@@ -116,9 +116,7 @@ impl fmt::Display for SimTime {
 }
 
 /// An hour of day, `0..24`. Used for pricing bands and hourly metrics.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HourOfDay(pub u8);
 
 impl HourOfDay {
@@ -151,9 +149,7 @@ impl fmt::Display for HourOfDay {
 }
 
 /// A decision slot within a day, `0..144`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TimeSlot(pub u16);
 
 impl TimeSlot {

@@ -11,6 +11,7 @@ use crate::runner::{RunOutcome, Runner};
 use fairmove_city::City;
 use fairmove_metrics::MethodReport;
 use fairmove_sim::{FleetLedger, SimConfig};
+use fairmove_telemetry::{RunReport, Telemetry};
 
 /// Configuration for the full comparison.
 #[derive(Debug, Clone)]
@@ -55,6 +56,9 @@ pub struct MethodResult {
     pub outcome: RunOutcome,
     /// Eq. 12–15 report vs. ground truth.
     pub report: MethodReport,
+    /// Telemetry run report (per-method registry snapshot, learning curve,
+    /// headline outcome) ready for JSONL export.
+    pub run_report: RunReport,
 }
 
 /// Everything the evaluation section needs.
@@ -62,6 +66,8 @@ pub struct MethodResult {
 pub struct ComparisonResults {
     /// The ground-truth (no-displacement) evaluation run.
     pub gt: RunOutcome,
+    /// Telemetry run report for the ground-truth run.
+    pub gt_report: RunReport,
     /// Each method's results, in the order requested.
     pub methods: Vec<MethodResult>,
 }
@@ -79,23 +85,33 @@ impl ComparisonResults {
         let city = City::generate(config.sim.city.clone());
         let reps = config.eval_seeds.max(1);
         let eval_seed = |rep: u32| config.sim.seed + u64::from(rep) * EVAL_SEED_STRIDE;
+        let context = format!(
+            "seed={} eval_seeds={} train_episodes={} alpha={}",
+            config.sim.seed, reps, config.train_episodes, config.alpha
+        );
 
-        // GT per evaluation seed.
+        // GT per evaluation seed. Every method records into its own
+        // telemetry registry so run reports stay per-method.
+        let gt_telemetry = Telemetry::enabled();
+        let gt_runner = runner.clone().with_telemetry(&gt_telemetry);
         let mut gt_method = Method::build(MethodKind::Gt, &city, &config.sim, config.alpha);
         let gt_runs: Vec<_> = (0..reps)
-            .map(|rep| runner.run_once(gt_method.as_policy(), eval_seed(rep)))
+            .map(|rep| gt_runner.run_once(gt_method.as_policy(), eval_seed(rep)))
             .collect();
         let gt = gt_runs[0].clone();
+        let gt_report = gt_runner.run_report(MethodKind::Gt.name(), &context, &[], &gt);
 
         let methods = config
             .methods
             .iter()
             .map(|&kind| {
+                let telemetry = Telemetry::enabled();
+                let method_runner = runner.clone().with_telemetry(&telemetry);
                 let mut method = Method::build(kind, &city, &config.sim, config.alpha);
-                let training_curve = runner.train(&mut method);
+                let training_curve = method_runner.train(&mut method);
                 method.freeze();
                 let runs: Vec<_> = (0..reps)
-                    .map(|rep| runner.run_once(method.as_policy(), eval_seed(rep)))
+                    .map(|rep| method_runner.run_once(method.as_policy(), eval_seed(rep)))
                     .collect();
                 // Average the paired per-seed reports.
                 let per_seed: Vec<MethodReport> = runs
@@ -106,9 +122,7 @@ impl ComparisonResults {
                     })
                     .collect();
                 let n = per_seed.len() as f64;
-                let mean = |f: fn(&MethodReport) -> f64| {
-                    per_seed.iter().map(f).sum::<f64>() / n
-                };
+                let mean = |f: fn(&MethodReport) -> f64| per_seed.iter().map(f).sum::<f64>() / n;
                 let report = MethodReport {
                     name: kind.name().to_string(),
                     prct: mean(|r| r.prct),
@@ -119,16 +133,23 @@ impl ComparisonResults {
                     median_pe: mean(|r| r.median_pe),
                 };
                 let outcome = runs.into_iter().next().expect("reps >= 1");
+                let run_report =
+                    method_runner.run_report(kind.name(), &context, &training_curve, &outcome);
                 MethodResult {
                     kind,
                     training_curve,
                     outcome,
                     report,
+                    run_report,
                 }
             })
             .collect();
 
-        ComparisonResults { gt, methods }
+        ComparisonResults {
+            gt,
+            gt_report,
+            methods,
+        }
     }
 
     /// The result for one method, if it was run.
@@ -139,6 +160,12 @@ impl ComparisonResults {
     /// The ground-truth ledger.
     pub fn gt_ledger(&self) -> &FleetLedger {
         &self.gt.ledger
+    }
+
+    /// All telemetry run reports (GT first, then methods in request order) —
+    /// the iteration the bench binaries serialize to JSONL.
+    pub fn run_reports(&self) -> impl Iterator<Item = &RunReport> {
+        std::iter::once(&self.gt_report).chain(self.methods.iter().map(|m| &m.run_report))
     }
 }
 
@@ -152,11 +179,7 @@ impl ComparisonResults {
 /// balanced objective both extremes — pure fairness (never earns) and pure
 /// efficiency (competitive, unfair) — lose to mid-range training, which is
 /// the paper's Table IV finding.
-pub fn alpha_sweep(
-    sim: &SimConfig,
-    train_episodes: u32,
-    alphas: &[f64],
-) -> Vec<(f64, f64)> {
+pub fn alpha_sweep(sim: &SimConfig, train_episodes: u32, alphas: &[f64]) -> Vec<(f64, f64)> {
     alpha_sweep_at(sim, train_episodes, alphas, 0.6)
 }
 
@@ -232,6 +255,27 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn run_reports_cover_gt_and_every_method() {
+        let results = ComparisonResults::run(&tiny_config());
+        let reports: Vec<_> = results.run_reports().collect();
+        assert_eq!(reports.len(), 3); // GT + Sd2 + FairMove
+        assert_eq!(reports[0].name, "GT");
+        for r in &reports {
+            assert!(r.trips > 0, "{} report has no trips", r.name);
+            assert!(
+                r.snapshot.histogram("sim.step_slot_seconds").is_some(),
+                "{} report lacks slot latency",
+                r.name
+            );
+            fairmove_telemetry::export::validate_json(&r.to_json())
+                .expect("report must be valid JSON");
+        }
+        // Learning method reports carry their curve; GT's is empty.
+        assert!(reports[0].training_curve.is_empty());
+        assert_eq!(reports[2].training_curve.len(), 1);
     }
 
     #[test]

@@ -55,3 +55,4 @@ pub use fairmove_data as data;
 pub use fairmove_metrics as metrics;
 pub use fairmove_rl as rl;
 pub use fairmove_sim as sim;
+pub use fairmove_telemetry as telemetry;

@@ -95,9 +95,7 @@ impl Method {
     pub fn build(kind: MethodKind, city: &City, sim: &SimConfig, alpha: f64) -> Method {
         let seed = sim.seed;
         match kind {
-            MethodKind::Gt => {
-                Method::Gt(GroundTruthPolicy::for_city(city, sim.fleet_size, seed))
-            }
+            MethodKind::Gt => Method::Gt(GroundTruthPolicy::for_city(city, sim.fleet_size, seed)),
             MethodKind::Sd2 => Method::Sd2(Sd2Policy::new()),
             MethodKind::Tql => Method::Tql(TqlPolicy::new(TqlConfig {
                 alpha_mix: alpha,

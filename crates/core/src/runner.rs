@@ -7,6 +7,7 @@
 
 use crate::method::Method;
 use fairmove_sim::{DisplacementPolicy, Environment, SimConfig};
+use fairmove_telemetry::{RunReport, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one environment run.
@@ -32,12 +33,22 @@ pub struct Runner {
     pub sim: SimConfig,
     /// Training episodes for learning methods.
     pub train_episodes: u32,
-    /// Seed offset between training episodes (episode `i` trains on
-    /// `seed + TRAIN_SEED_BASE + i`).
+    /// Efficiency/fairness reward weight α ∈ [0, 1] used when scoring runs
+    /// (the mixing weight of the paper's Eq. 4; Table IV sweeps it).
     pub alpha: f64,
+    /// Telemetry context attached to every environment and policy this
+    /// runner drives. Disabled by default; not part of the persisted
+    /// configuration (instrumentation is deterministically inert, so a
+    /// reloaded runner reproduces the same results either way).
+    #[serde(skip, default)]
+    pub telemetry: Telemetry,
 }
 
-/// Offset separating training seeds from the evaluation seed.
+/// Offset separating training seeds from the evaluation seed: training
+/// episode `i` runs on `sim.seed + TRAIN_SEED_BASE + i`. This keeps every
+/// training demand realization disjoint from the shared evaluation
+/// realization (the paper's protocol: all methods are evaluated frozen on
+/// identical demand) while remaining fully deterministic.
 const TRAIN_SEED_BASE: u64 = 1_000_003;
 
 impl Runner {
@@ -48,7 +59,15 @@ impl Runner {
             sim,
             train_episodes,
             alpha,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry context; environments and policies driven by
+    /// this runner will record into it.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// Runs `policy` once on a fresh environment with `seed`, returning the
@@ -59,6 +78,9 @@ impl Runner {
             ..self.sim.clone()
         };
         let mut env = Environment::new(config);
+        env.set_telemetry(&self.telemetry);
+        policy.set_telemetry(&self.telemetry);
+        let _episode_span = self.telemetry.span("runner.episode_seconds");
         let mut reward_sum = 0.0;
         let mut reward_count = 0u64;
         let mut last_mean_pe = 0.0;
@@ -89,10 +111,15 @@ impl Runner {
         if !method.kind().is_learning() {
             return Vec::new();
         }
+        let episodes = self.telemetry.counter("runner.train_episodes");
+        let episode_reward = self.telemetry.gauge("runner.episode_reward");
         (0..self.train_episodes)
             .map(|episode| {
                 let seed = self.sim.seed + TRAIN_SEED_BASE + u64::from(episode);
-                self.run_once(method.as_policy(), seed).average_reward
+                let reward = self.run_once(method.as_policy(), seed).average_reward;
+                episodes.inc();
+                episode_reward.set(reward);
+                reward
             })
             .collect()
     }
@@ -104,6 +131,30 @@ impl Runner {
         method.freeze();
         let outcome = self.run_once(method.as_policy(), self.sim.seed);
         (curve, outcome)
+    }
+
+    /// Packages an outcome, its learning curve, and the current telemetry
+    /// snapshot into a serializable [`RunReport`] (one JSONL line per report
+    /// in the bench binaries).
+    pub fn run_report(
+        &self,
+        name: &str,
+        context: &str,
+        curve: &[f64],
+        outcome: &RunOutcome,
+    ) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            context: context.to_string(),
+            training_curve: curve.to_vec(),
+            average_reward: outcome.average_reward,
+            mean_pe: outcome.mean_pe,
+            pf: outcome.pf,
+            trips: outcome.ledger.trips().len() as u64,
+            charges: outcome.ledger.charges().len() as u64,
+            expired_requests: outcome.ledger.expired_requests,
+            snapshot: self.telemetry.snapshot(),
+        }
     }
 }
 
@@ -149,6 +200,27 @@ mod tests {
         let (curve, out) = r.train_and_evaluate(&mut m);
         assert_eq!(curve.len(), 1);
         assert!(out.average_reward.is_finite());
+    }
+
+    #[test]
+    fn instrumented_runner_produces_a_complete_run_report() {
+        let tel = Telemetry::enabled();
+        let r = runner().with_telemetry(&tel);
+        let city = City::generate(r.sim.city.clone());
+        let mut m = Method::build(MethodKind::Tql, &city, &r.sim, 0.6);
+        let (curve, out) = r.train_and_evaluate(&mut m);
+        let report = r.run_report("TQL", "eval seed 42", &curve, &out);
+        assert_eq!(report.training_curve.len(), 1);
+        assert!(report.trips > 0);
+        // The snapshot carries both sim- and runner-level instrumentation.
+        assert!(report.snapshot.histogram("sim.step_slot_seconds").is_some());
+        let episodes = report
+            .snapshot
+            .histogram("runner.episode_seconds")
+            .expect("episode span missing");
+        assert_eq!(episodes.count, 2); // one training + one evaluation run
+        fairmove_telemetry::export::validate_json(&report.to_json())
+            .expect("run report must serialize to valid JSON");
     }
 
     #[test]

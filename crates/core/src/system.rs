@@ -10,6 +10,7 @@ use fairmove_agents::Cma2cConfig;
 use fairmove_city::City;
 use fairmove_metrics::MethodReport;
 use fairmove_sim::{Action, DecisionContext, SimConfig, SlotObservation};
+use fairmove_telemetry::Telemetry;
 
 /// Top-level configuration.
 #[derive(Debug, Clone)]
@@ -79,6 +80,7 @@ pub struct FairMove {
     city: City,
     policy: Method,
     trained_episodes: u32,
+    telemetry: Telemetry,
 }
 
 impl FairMove {
@@ -97,8 +99,15 @@ impl FairMove {
             city,
             policy,
             trained_episodes: 0,
+            telemetry: Telemetry::disabled(),
             config,
         }
+    }
+
+    /// Attaches a telemetry context; training and evaluation record into it.
+    /// Instrumentation is deterministically inert — results are unchanged.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// The city substrate the system operates over.
@@ -117,7 +126,8 @@ impl FairMove {
             self.config.sim.clone(),
             self.config.train_episodes,
             self.config.cma2c.alpha,
-        );
+        )
+        .with_telemetry(&self.telemetry);
         let reward_curve = runner.train(&mut self.policy);
         self.trained_episodes += self.config.train_episodes;
         let train_steps = match &self.policy {
@@ -134,7 +144,8 @@ impl FairMove {
     /// Evaluates the (frozen) policy against a ground-truth run on the same
     /// demand realization.
     pub fn evaluate(&mut self) -> EvaluationResult {
-        let runner = Runner::new(self.config.sim.clone(), 0, self.config.cma2c.alpha);
+        let runner = Runner::new(self.config.sim.clone(), 0, self.config.cma2c.alpha)
+            .with_telemetry(&self.telemetry);
         let mut gt = Method::build(
             MethodKind::Gt,
             &self.city,

@@ -235,9 +235,7 @@ mod tests {
     fn total_intensity_sums_to_daily_trips() {
         let (city, m) = model();
         let total: f64 = TimeSlot::all()
-            .flat_map(|s| {
-                (0..city.n_regions() as u16).map(move |r| (RegionId(r), s))
-            })
+            .flat_map(|s| (0..city.n_regions() as u16).map(move |r| (RegionId(r), s)))
             .map(|(r, s)| m.intensity(r, s))
             .sum();
         assert!((total - 20_000.0).abs() < 1e-6, "total {total}");
@@ -289,7 +287,10 @@ mod tests {
         let r = RegionId(0);
         let evening = m.intensity(r, TimeSlot(18 * 6));
         for s in TimeSlot::all() {
-            assert!(m.intensity(r, s) <= evening + 1e-12, "slot {s:?} beats evening");
+            assert!(
+                m.intensity(r, s) <= evening + 1e-12,
+                "slot {s:?} beats evening"
+            );
         }
     }
 
@@ -310,7 +311,10 @@ mod tests {
         assert!(!downtown.is_empty() && !suburb.is_empty());
         let d_mean: f64 = downtown.iter().sum::<f64>() / downtown.len() as f64;
         let s_mean: f64 = suburb.iter().sum::<f64>() / suburb.len() as f64;
-        assert!(d_mean > 3.0 * s_mean, "downtown {d_mean} vs suburb {s_mean}");
+        assert!(
+            d_mean > 3.0 * s_mean,
+            "downtown {d_mean} vs suburb {s_mean}"
+        );
     }
 
     #[test]

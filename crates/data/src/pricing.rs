@@ -62,14 +62,14 @@ impl Default for ChargingPricing {
         let mut band = [Flat; 24];
         for (h, b) in band.iter_mut().enumerate() {
             *b = match h {
-                0..=6 => OffPeak,  // night valley
-                7 => Flat,         // morning shoulder
-                8..=11 => Peak,    // morning consumption peak
+                0..=6 => OffPeak,   // night valley
+                7 => Flat,          // morning shoulder
+                8..=11 => Peak,     // morning consumption peak
                 12..=13 => OffPeak, // midday valley
                 14..=16 => Flat,
-                17 => OffPeak,     // pre-evening dip
-                18..=22 => Peak,   // evening consumption peak
-                _ => OffPeak,      // 23:00
+                17 => OffPeak,   // pre-evening dip
+                18..=22 => Peak, // evening consumption peak
+                _ => OffPeak,    // 23:00
             };
         }
         ChargingPricing {
@@ -133,7 +133,9 @@ impl ChargingPricing {
 
     /// Hours (0..24) whose band is `band`.
     pub fn hours_in_band(&self, band: PriceBand) -> Vec<HourOfDay> {
-        HourOfDay::all().filter(|h| self.band_at(*h) == band).collect()
+        HourOfDay::all()
+            .filter(|h| self.band_at(*h) == band)
+            .collect()
     }
 }
 
@@ -206,7 +208,11 @@ mod tests {
     fn charging_cost_peak_costs_more() {
         let p = ChargingPricing::default();
         let off = p.charging_cost(SimTime::from_dhm(0, 2, 0), SimTime::from_dhm(0, 3, 0), 40.0);
-        let peak = p.charging_cost(SimTime::from_dhm(0, 9, 0), SimTime::from_dhm(0, 10, 0), 40.0);
+        let peak = p.charging_cost(
+            SimTime::from_dhm(0, 9, 0),
+            SimTime::from_dhm(0, 10, 0),
+            40.0,
+        );
         assert!((peak / off - 1.6 / 0.9).abs() < 1e-9);
     }
 

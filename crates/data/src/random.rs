@@ -165,8 +165,10 @@ mod tests {
     fn log_normal_mean_cv_calibration() {
         let mut r = rng();
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| log_normal_mean_cv(&mut r, 8.0, 0.8)).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n)
+            .map(|_| log_normal_mean_cv(&mut r, 8.0, 0.8))
+            .sum::<f64>()
+            / f64::from(n);
         assert!((mean - 8.0).abs() < 0.2, "mean {mean}");
     }
 

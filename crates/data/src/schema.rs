@@ -277,10 +277,13 @@ mod tests {
             fast_points: 120,
         };
         let parsed = StationRecord::from_csv(&r.to_csv()).unwrap();
-        assert_eq!(parsed, StationRecord {
-            position: Point::new(25.0, 12.0),
-            ..parsed.clone()
-        });
+        assert_eq!(
+            parsed,
+            StationRecord {
+                position: Point::new(25.0, 12.0),
+                ..parsed.clone()
+            }
+        );
         assert_eq!(parsed.name, "Futian Hub");
         assert_eq!(parsed.fast_points, 120);
     }

@@ -66,10 +66,9 @@ impl TripGenerator {
     pub fn new(city: &City, demand: DemandModel, fare: FareModel, seed: u64) -> Self {
         let n = city.n_regions();
         let mut distances = vec![vec![0.0f64; n]; n];
-        for o in 0..n {
-            for d in 0..n {
-                distances[o][d] =
-                    city.region_driving_distance(RegionId(o as u16), RegionId(d as u16));
+        for (o, row) in distances.iter_mut().enumerate() {
+            for (d, km) in row.iter_mut().enumerate() {
+                *km = city.region_driving_distance(RegionId(o as u16), RegionId(d as u16));
             }
         }
         let intra_km: Vec<f64> = city
@@ -100,7 +99,7 @@ impl TripGenerator {
         TripGenerator {
             demand,
             fare,
-            rng: StdRng::seed_from_u64(seed ^ 0x5452_4950_53), // "TRIPS" salt
+            rng: StdRng::seed_from_u64(seed ^ 0x54_5249_5053), // "TRIPS" salt
             next_id: 0,
             cum_weights,
             distances,
@@ -154,8 +153,7 @@ impl TripGenerator {
         let distance_km = (base_dist * jitter).max(0.3);
         let requested_at = slot_start + self.rng.gen_range(0..SLOT_MINUTES);
         let fare_cny = self.fare.fare(distance_km, requested_at.hour_of_day());
-        let max_wait_minutes =
-            (8.0 + random::exponential(&mut self.rng, 7.0)).min(30.0) as u32;
+        let max_wait_minutes = (8.0 + random::exponential(&mut self.rng, 7.0)).min(30.0) as u32;
         let id = self.next_id;
         self.next_id += 1;
         PassengerRequest {
@@ -267,8 +265,7 @@ mod tests {
         let all = one_day(&mut gen);
         // Mean trip distance should be well below the city diameter: the
         // gravity decay keeps most trips local.
-        let mean_dist: f64 =
-            all.iter().map(|r| r.distance_km).sum::<f64>() / all.len() as f64;
+        let mean_dist: f64 = all.iter().map(|r| r.distance_km).sum::<f64>() / all.len() as f64;
         let diameter = city.partition().bounds().width() + city.partition().bounds().height();
         assert!(mean_dist < diameter / 3.0, "mean {mean_dist} km");
         assert!(mean_dist > 1.0, "mean {mean_dist} km suspiciously short");
@@ -278,9 +275,7 @@ mod tests {
     fn airport_trips_are_longer_and_pricier() {
         let (_, mut gen) = generator(40_000.0);
         let airport = gen.demand().airport().unwrap();
-        let all: Vec<PassengerRequest> = (0..3)
-            .flat_map(|_| one_day(&mut gen))
-            .collect();
+        let all: Vec<PassengerRequest> = (0..3).flat_map(|_| one_day(&mut gen)).collect();
         let (mut a_rev, mut a_n, mut rest_rev, mut rest_n) = (0.0, 0u32, 0.0, 0u32);
         for r in &all {
             if r.origin == airport {
@@ -315,10 +310,7 @@ mod tests {
                     .len();
             }
         }
-        assert!(
-            rush > 3 * trough.max(1),
-            "rush {rush} vs trough {trough}"
-        );
+        assert!(rush > 3 * trough.max(1), "rush {rush} vs trough {trough}");
     }
 
     #[test]

@@ -155,9 +155,7 @@ pub struct MethodReport {
 impl MethodReport {
     /// Computes the full report for strategy ledger `d` against `gt`.
     pub fn compute(name: impl Into<String>, gt: &FleetLedger, d: &FleetLedger) -> Self {
-        let cruise = crate::stats::Cdf::new(
-            d.trips().iter().map(|t| f64::from(t.cruise_minutes)),
-        );
+        let cruise = crate::stats::Cdf::new(d.trips().iter().map(|t| f64::from(t.cruise_minutes)));
         let pe = crate::stats::Cdf::new(d.profit_efficiencies().iter().copied());
         MethodReport {
             name: name.into(),
@@ -178,8 +176,8 @@ mod tests {
     use fairmove_sim::{ChargeEvent, TaxiId, TripEvent};
 
     fn ledger_with(
-        cruises: &[(u32, u32)],          // (pickup hour, cruise minutes)
-        idles: &[(u32, u32)],            // (decided hour, idle minutes)
+        cruises: &[(u32, u32)],            // (pickup hour, cruise minutes)
+        idles: &[(u32, u32)],              // (decided hour, idle minutes)
         pe_minutes_revenue: &[(u64, f64)], // (serve minutes, revenue) per taxi
     ) -> FleetLedger {
         let mut l = FleetLedger::new(pe_minutes_revenue.len().max(1));

@@ -36,10 +36,12 @@ pub fn charge_events_by_hour(ledger: &FleetLedger) -> [u32; 24] {
 
 /// Fig. 5: first cruise time after charging (minutes), across all stations.
 pub fn first_cruise_after_charge(ledger: &FleetLedger) -> Cdf {
-    Cdf::new(ledger.trips().iter().filter_map(|t| {
-        t.first_after_charge
-            .map(|_| f64::from(t.cruise_minutes))
-    }))
+    Cdf::new(
+        ledger
+            .trips()
+            .iter()
+            .filter_map(|t| t.first_after_charge.map(|_| f64::from(t.cruise_minutes))),
+    )
 }
 
 /// Fig. 6: first cruise time after charging, grouped by station.

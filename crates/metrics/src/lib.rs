@@ -12,15 +12,15 @@
 //! * the Section II data-driven findings extractors (charge-time CDF,
 //!   charging peaks, first-cruise-time, per-region revenue) in [`findings`].
 
+pub mod bootstrap;
 pub mod comparison;
 pub mod fairness;
 pub mod findings;
-pub mod bootstrap;
 pub mod stats;
 pub mod timeseries;
 
+pub use bootstrap::bootstrap_mean_ci;
 pub use comparison::{hourly_prct, hourly_prit, pipe, pipf, prct, prit, MethodReport};
 pub use fairness::{gini, jain_index, profit_fairness};
-pub use bootstrap::bootstrap_mean_ci;
 pub use stats::Cdf;
 pub use timeseries::{KpiSample, KpiSeries};

@@ -72,8 +72,8 @@ impl Cdf {
         if self.sorted.is_empty() {
             return f64::NAN;
         }
-        let idx = ((q * (self.sorted.len() - 1) as f64).round() as usize)
-            .min(self.sorted.len() - 1);
+        let idx =
+            ((q * (self.sorted.len() - 1) as f64).round() as usize).min(self.sorted.len() - 1);
         self.sorted[idx]
     }
 

@@ -18,12 +18,7 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
     assert!(!logits.is_empty(), "log_softmax of empty slice");
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let log_sum: f64 = logits
-        .iter()
-        .map(|&l| (l - max).exp())
-        .sum::<f64>()
-        .ln()
-        + max;
+    let log_sum: f64 = logits.iter().map(|&l| (l - max).exp()).sum::<f64>().ln() + max;
     logits.iter().map(|&l| l - log_sum).collect()
 }
 

@@ -272,7 +272,11 @@ mod tests {
     #[test]
     fn matmul_transpose_b_equals_explicit() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 4.0, -1.0]);
-        let b = m(4, 3, &[2.0, 1.0, 0.0, -1.0, 3.0, 2.0, 0.0, 0.0, 1.0, 5.0, -2.0, 0.5]);
+        let b = m(
+            4,
+            3,
+            &[2.0, 1.0, 0.0, -1.0, 3.0, 2.0, 0.0, 0.0, 1.0, 5.0, -2.0, 0.5],
+        );
         let fast = a.matmul_transpose_b(&b);
         let explicit = a.matmul(&b.transpose());
         assert_eq!(fast, explicit);

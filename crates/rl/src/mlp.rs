@@ -208,7 +208,9 @@ impl Mlp {
     /// Convenience: forward a single input vector.
     pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.input_dim(), "input width mismatch");
-        self.forward(&Matrix::row_vector(x.to_vec())).data().to_vec()
+        self.forward(&Matrix::row_vector(x.to_vec()))
+            .data()
+            .to_vec()
     }
 
     /// Training forward pass: caches activations for [`Self::backward`].

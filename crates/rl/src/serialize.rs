@@ -126,9 +126,7 @@ pub fn load_mlp(r: &mut impl BufRead) -> Result<Mlp, LoadError> {
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| fmt_err("bad in dim"))?;
-        let values: Vec<f64> = it
-            .map(parse_hex_f64)
-            .collect::<Result<_, _>>()?;
+        let values: Vec<f64> = it.map(parse_hex_f64).collect::<Result<_, _>>()?;
         if values.len() != out_dim * in_dim + out_dim {
             return Err(fmt_err(format!(
                 "layer {out_dim}x{in_dim}: expected {} values, got {}",

@@ -158,7 +158,11 @@ mod tests {
             let mut s = 0u64;
             while s < 3 {
                 let a = q.epsilon_greedy(s, 2, 0.2, &mut rng);
-                let (s2, r) = if a == 0 { (s + 1, if s == 2 { 1.0 } else { 0.0 }) } else { (s, 0.0) };
+                let (s2, r) = if a == 0 {
+                    (s + 1, if s == 2 { 1.0 } else { 0.0 })
+                } else {
+                    (s, 0.0)
+                };
                 let next_n = if s2 == 3 { 0 } else { 2 };
                 q.update(s, a, r, s2, next_n);
                 s = s2;

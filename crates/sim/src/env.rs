@@ -15,6 +15,7 @@
 //! routed.
 
 use crate::action::Action;
+use crate::action::ActionSet;
 use crate::config::SimConfig;
 use crate::ledger::{ChargeEvent, FleetLedger, TimeBucket, TripEvent};
 use crate::observation::{DecisionContext, SlotObservation};
@@ -22,9 +23,9 @@ use crate::passenger::PassengerPool;
 use crate::policy::DisplacementPolicy;
 use crate::station::StationState;
 use crate::taxi::{Taxi, TaxiId, TaxiState};
-use crate::action::ActionSet;
 use fairmove_city::{City, RegionId, SimTime, StationId, MINUTES_PER_DAY, SLOT_MINUTES};
 use fairmove_data::{DemandModel, PassengerRequest, TripGenerator};
+use fairmove_telemetry::{buckets, Counter, Gauge, Histogram, Span, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -91,6 +92,55 @@ const PE_SCALE: f64 = 6.0;
 const PF_SCALE: f64 = 200.0;
 const DEV_SCALE: f64 = 12.0;
 
+/// Pre-registered telemetry handles for the per-slot metrics, built once
+/// in [`Environment::set_telemetry`] so the hot loop records through plain
+/// atomics and never touches the registry.
+///
+/// Everything here is *observational*: values are read off simulation state
+/// that exists regardless of telemetry, so enabling it cannot perturb a run.
+struct SimMetrics {
+    /// Wall time of each [`Environment::step_slot`] call.
+    slot_seconds: Histogram,
+    /// Slots stepped.
+    slots: Counter,
+    /// Decision contexts handed to the policy.
+    decisions: Counter,
+    /// Passenger–taxi matches made.
+    matches: Counter,
+    /// Trips completed.
+    trips: Counter,
+    /// Charge events completed.
+    charges: Counter,
+    /// Requests that expired unserved.
+    expired: Counter,
+    /// Balk-and-redirect events at jammed stations.
+    redirects: Counter,
+    /// Total taxis queued at stations at the end of the latest slot.
+    charge_queue_depth: Gauge,
+    /// Distribution of the per-slot total charge-queue depth.
+    charge_queue: Histogram,
+    /// Vacant taxis at the end of the latest slot.
+    vacant_taxis: Gauge,
+}
+
+impl SimMetrics {
+    fn new(telemetry: &Telemetry) -> Option<SimMetrics> {
+        telemetry.is_enabled().then(|| SimMetrics {
+            slot_seconds: telemetry.histogram("sim.step_slot_seconds", buckets::LATENCY_SECONDS),
+            slots: telemetry.counter("sim.slots"),
+            decisions: telemetry.counter("sim.decisions"),
+            matches: telemetry.counter("sim.matches"),
+            trips: telemetry.counter("sim.trips"),
+            charges: telemetry.counter("sim.charges"),
+            expired: telemetry.counter("sim.expired_requests"),
+            redirects: telemetry.counter("sim.station_redirects"),
+            charge_queue_depth: telemetry.gauge("sim.charge_queue_depth"),
+            charge_queue: telemetry.histogram("sim.charge_queue_depth_per_slot", buckets::COUNTS),
+            vacant_taxis: telemetry.gauge("sim.vacant_taxis"),
+        })
+    }
+}
+
 /// The simulated world.
 pub struct Environment {
     city: City,
@@ -110,6 +160,13 @@ pub struct Environment {
     charge_ctx: Vec<Option<ChargeContext>>,
     slot_profit: Vec<f64>,
     rng: StdRng,
+    telemetry: Telemetry,
+    metrics: Option<SimMetrics>,
+    /// Matches made during the current slot (plain counter; folded into
+    /// telemetry at slot end).
+    slot_matches: u64,
+    /// Station redirects during the current slot.
+    slot_redirects: u64,
 }
 
 impl Environment {
@@ -118,12 +175,7 @@ impl Environment {
     pub fn new(config: SimConfig) -> Self {
         let city = City::generate(config.city.clone());
         let demand = DemandModel::new(&city, config.daily_trips(), config.seed);
-        let trip_gen = TripGenerator::new(
-            &city,
-            demand.clone(),
-            config.fare.clone(),
-            config.seed,
-        );
+        let trip_gen = TripGenerator::new(&city, demand.clone(), config.fare.clone(), config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x454e_5649_524f); // "ENVIRO" salt
 
         let weights: Vec<f64> = (0..city.n_regions())
@@ -168,8 +220,30 @@ impl Environment {
             charge_ctx: vec![None; fleet_size],
             slot_profit: vec![0.0; fleet_size],
             rng,
+            telemetry: Telemetry::disabled(),
+            metrics: None,
+            slot_matches: 0,
+            slot_redirects: 0,
             config,
         }
+    }
+
+    /// Attaches a telemetry context; per-slot metric handles are registered
+    /// once here so the stepping loop records lock-free. Passing a
+    /// [`Telemetry::disabled`] context detaches instrumentation again.
+    ///
+    /// Telemetry is deterministically inert: it never touches the
+    /// environment RNG or control flow, so runs with it enabled and
+    /// disabled produce bit-identical ledgers (asserted by test).
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = SimMetrics::new(telemetry);
+        self.telemetry = telemetry.clone();
+    }
+
+    /// The attached telemetry context (disabled by default).
+    #[inline]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The city substrate.
@@ -232,18 +306,17 @@ impl Environment {
         }
         let pes = self.ledger.profit_efficiencies();
         let mean_pe = pes.iter().sum::<f64>() / pes.len().max(1) as f64;
-        let pf = pes.iter().map(|pe| (pe - mean_pe).powi(2)).sum::<f64>()
-            / pes.len().max(1) as f64;
+        let pf = pes.iter().map(|pe| (pe - mean_pe).powi(2)).sum::<f64>() / pes.len().max(1) as f64;
         SlotObservation {
             now: self.now,
             slot: self.now.slot_of_day(),
             vacant_per_region: vacant,
-            free_points_per_station: self.stations.iter().map(StationState::free_points).collect(),
-            queue_per_station: self
+            free_points_per_station: self
                 .stations
                 .iter()
-                .map(|s| s.queue_len() as u32)
+                .map(StationState::free_points)
                 .collect(),
+            queue_per_station: self.stations.iter().map(|s| s.queue_len() as u32).collect(),
             inbound_per_station: self.stations.iter().map(|s| s.inbound).collect(),
             predicted_demand: self.demand.intensities_at(next_slot),
             waiting_per_region: self.pool.waiting_counts(self.now),
@@ -266,10 +339,7 @@ impl Environment {
         ids.iter()
             .map(|&id| {
                 let taxi = &self.taxis[id.index()];
-                let region = taxi
-                    .state
-                    .region()
-                    .expect("vacant taxi has a region");
+                let region = taxi.state.region().expect("vacant taxi has a region");
                 let must_charge = self.config.energy.must_charge(taxi.soc);
                 let stations = self.city.nearest_stations().nearest(region);
                 // The paper gates charging on the energy level ("the
@@ -300,6 +370,17 @@ impl Environment {
     pub fn step_slot(&mut self, policy: &mut dyn DisplacementPolicy) -> SlotFeedback {
         let slot_start = self.now;
         self.slot_profit.iter_mut().for_each(|p| *p = 0.0);
+        self.slot_matches = 0;
+        self.slot_redirects = 0;
+        // Pre-slot readings for the end-of-slot telemetry deltas (plain
+        // integer reads; free when telemetry is disabled).
+        let trips_before = self.ledger.trips().len() as u64;
+        let charges_before = self.ledger.charges().len() as u64;
+        let expired_before = self.pool.expired;
+        let slot_span: Option<Span> = self
+            .metrics
+            .as_ref()
+            .map(|m| Span::new(m.slot_seconds.clone()));
 
         // 1. Decisions for vacant taxis.
         let obs = self.observation();
@@ -361,6 +442,26 @@ impl Environment {
             .sum::<f64>()
             / cumulative_pe.len().max(1) as f64;
 
+        // Telemetry wrap-up: pure observation of state computed above.
+        if let Some(m) = &self.metrics {
+            m.slots.inc();
+            m.decisions.add(decisions.len() as u64);
+            m.matches.add(self.slot_matches);
+            m.redirects.add(self.slot_redirects);
+            m.trips.add(self.ledger.trips().len() as u64 - trips_before);
+            m.charges
+                .add(self.ledger.charges().len() as u64 - charges_before);
+            m.expired.add(self.pool.expired - expired_before);
+            let queued: usize = self.stations.iter().map(StationState::queue_len).sum();
+            m.charge_queue_depth.set(queued as f64);
+            m.charge_queue.observe(queued as f64);
+            let vacant: usize = self.vacant_by_region.iter().map(Vec::len).sum();
+            m.vacant_taxis.set(vacant as f64);
+        }
+        if let Some(span) = slot_span {
+            span.finish();
+        }
+
         SlotFeedback {
             slot_start,
             slot_profit: self.slot_profit.clone(),
@@ -410,11 +511,7 @@ impl Environment {
             Action::Stay => {}
             Action::MoveTo(dest) => {
                 let km = self.city.region_driving_distance(region, dest);
-                let minutes = self
-                    .city
-                    .travel()
-                    .minutes_for_distance(km, self.now)
-                    .max(1);
+                let minutes = self.city.travel().minutes_for_distance(km, self.now).max(1);
                 self.drain(id, km);
                 self.set_state(
                     id,
@@ -427,11 +524,7 @@ impl Environment {
             }
             Action::Charge(station) => {
                 let km = self.city.region_to_station_distance(region, station);
-                let minutes = self
-                    .city
-                    .travel()
-                    .minutes_for_distance(km, self.now)
-                    .max(1);
+                let minutes = self.city.travel().minutes_for_distance(km, self.now).max(1);
                 self.drain(id, km);
                 self.charge_ctx[id.index()] = Some(ChargeContext {
                     decided_at: self.now,
@@ -552,10 +645,11 @@ impl Environment {
                 if let Some(ctx) = self.charge_ctx[id.index()].as_mut() {
                     ctx.redirects += 1;
                 }
-                let km = self
-                    .city
-                    .travel()
-                    .driving_distance(self.city.station(station).position, self.city.station(alt).position);
+                self.slot_redirects += 1;
+                let km = self.city.travel().driving_distance(
+                    self.city.station(station).position,
+                    self.city.station(alt).position,
+                );
                 let minutes = self.city.travel().minutes_for_distance(km, now).max(1);
                 self.drain(id, km);
                 self.stations[alt.index()].inbound += 1;
@@ -631,10 +725,10 @@ impl Environment {
         let plugged_at = ctx.plugged_at.expect("charging taxi was plugged");
         let minutes = now - plugged_at;
         let energy = self.config.energy.energy_for_minutes(ctx.plug_soc, minutes);
-        let cost = self
-            .config
-            .pricing
-            .charging_cost(plugged_at, now, self.config.energy.charge_power_kw);
+        let cost =
+            self.config
+                .pricing
+                .charging_cost(plugged_at, now, self.config.energy.charge_power_kw);
         {
             let taxi = &mut self.taxis[id.index()];
             taxi.recharge(energy, self.config.energy.battery_kwh);
@@ -687,6 +781,7 @@ impl Environment {
                 .max(1);
             let free_since = self.taxis[taxi.index()].free_since;
             let pickup_at = now + minutes;
+            self.slot_matches += 1;
             self.pending_trip[taxi.index()] = Some(PendingTrip {
                 approach_km,
                 pickup_at,
@@ -694,13 +789,7 @@ impl Environment {
                 first_after_charge: self.taxis[taxi.index()].after_charge.take(),
                 request,
             });
-            self.set_state(
-                taxi,
-                TaxiState::DrivingToPassenger {
-                    region,
-                    pickup_at,
-                },
-            );
+            self.set_state(taxi, TaxiState::DrivingToPassenger { region, pickup_at });
             self.schedule_at(taxi, pickup_at);
         }
     }
@@ -862,11 +951,37 @@ mod tests {
             assert!(trip.fare_cny >= env.config().fare.flagfall_cny - 1e-9);
         }
         // At least some trips should record nonzero cruise time.
-        assert!(env
-            .ledger()
-            .trips()
-            .iter()
-            .any(|t| t.cruise_minutes > 0));
+        assert!(env.ledger().trips().iter().any(|t| t.cruise_minutes > 0));
+    }
+
+    #[test]
+    fn telemetry_counters_track_the_ledger() {
+        let tel = Telemetry::enabled();
+        let mut env = small_env();
+        env.set_telemetry(&tel);
+        assert!(env.telemetry().is_enabled());
+        let mut p = StayPolicy;
+        env.run(&mut p);
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("sim.trips"),
+            Some(env.ledger().trips().len() as u64)
+        );
+        assert_eq!(
+            snap.counter("sim.charges"),
+            Some(env.ledger().charges().len() as u64)
+        );
+        assert_eq!(
+            snap.counter("sim.expired_requests"),
+            Some(env.ledger().expired_requests)
+        );
+        let slots = snap.counter("sim.slots").unwrap();
+        let expected_slots = u64::from(env.config().days * MINUTES_PER_DAY / SLOT_MINUTES);
+        assert_eq!(slots, expected_slots);
+        // One slot-latency observation per slot, and matches cover trips.
+        let h = snap.histogram("sim.step_slot_seconds").unwrap();
+        assert_eq!(h.count, slots);
+        assert!(snap.counter("sim.matches").unwrap() >= snap.counter("sim.trips").unwrap());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub enum TimeBucket {
 }
 
 /// One completed passenger trip.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TripEvent {
     /// Serving taxi.
     pub taxi: TaxiId,
@@ -49,7 +49,7 @@ pub struct TripEvent {
 }
 
 /// One completed charging event.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChargeEvent {
     /// Charging taxi.
     pub taxi: TaxiId,
@@ -82,7 +82,7 @@ impl ChargeEvent {
 }
 
 /// Cumulative accounting for one taxi.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TaxiLedger {
     /// Vacant-driving minutes.
     pub cruise_minutes: u64,
@@ -139,7 +139,11 @@ impl TaxiLedger {
 }
 
 /// Accounting for the whole fleet plus the event logs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every event and every per-taxi total exactly — the
+/// telemetry determinism test relies on this to assert that instrumented
+/// and uninstrumented runs are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetLedger {
     taxis: Vec<TaxiLedger>,
     trips: Vec<TripEvent>,
@@ -210,7 +214,10 @@ impl FleetLedger {
 
     /// Per-taxi profit efficiency (CNY/hour), in taxi-id order.
     pub fn profit_efficiencies(&self) -> Vec<f64> {
-        self.taxis.iter().map(TaxiLedger::profit_efficiency).collect()
+        self.taxis
+            .iter()
+            .map(TaxiLedger::profit_efficiency)
+            .collect()
     }
 
     /// Fleet totals: (revenue, cost) in CNY.

@@ -32,15 +32,19 @@ pub mod passenger;
 pub mod policy;
 pub mod snapshot;
 pub mod station;
-pub mod trace;
 pub mod taxi;
+pub mod trace;
 
 pub use action::{Action, ActionSet};
 pub use config::SimConfig;
 pub use env::{Environment, SlotFeedback};
 pub use ledger::{ChargeEvent, FleetLedger, TaxiLedger, TripEvent};
 pub use observation::{DecisionContext, SlotObservation};
-pub use snapshot::FleetSnapshot;
-pub use trace::{TraceEvent, TraceLog};
 pub use policy::DisplacementPolicy;
+pub use snapshot::FleetSnapshot;
 pub use taxi::{Taxi, TaxiId, TaxiState};
+pub use trace::{TraceEvent, TraceLog};
+
+// Telemetry is part of the simulator's public vocabulary: environments and
+// policies both accept a handle via `set_telemetry`.
+pub use fairmove_telemetry::{Snapshot as TelemetrySnapshot, Telemetry};

@@ -9,6 +9,7 @@
 use crate::action::Action;
 use crate::env::SlotFeedback;
 use crate::observation::{DecisionContext, SlotObservation};
+use fairmove_telemetry::Telemetry;
 
 /// A displacement policy: the paper's six methods (GT, SD2, TQL, DQN, TBA,
 /// CMA2C) all implement this.
@@ -25,6 +26,15 @@ pub trait DisplacementPolicy {
     /// Receives the realized outcome of the previous slot. Default: ignore.
     fn observe(&mut self, feedback: &SlotFeedback) {
         let _ = feedback;
+    }
+
+    /// Hands the policy a telemetry context to record training diagnostics
+    /// into (losses, gradient norms, exploration rates). Default: ignore.
+    ///
+    /// Implementations must be *deterministically inert*: recording metrics
+    /// may never touch the policy's RNG or change any decision it makes.
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let _ = telemetry;
     }
 }
 

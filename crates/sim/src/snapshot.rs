@@ -67,11 +67,7 @@ impl FleetSnapshot {
         let n = env.taxis().len().max(1) as f64;
         snap.mean_soc = soc_sum / n;
         let obs = env.observation();
-        snap.saturated_stations = obs
-            .queue_per_station
-            .iter()
-            .filter(|&&q| q > 0)
-            .count() as u32;
+        snap.saturated_stations = obs.queue_per_station.iter().filter(|&&q| q > 0).count() as u32;
         snap
     }
 

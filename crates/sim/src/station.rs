@@ -55,7 +55,7 @@ impl StationState {
     /// Expected load counting occupied + queued + inbound, as a multiple of
     /// capacity. Policies use this to avoid herding.
     pub fn expected_load(&self) -> f64 {
-        f64::from(self.occupied + self.inbound) as f64 / f64::from(self.points)
+        f64::from(self.occupied + self.inbound) / f64::from(self.points)
             + self.queue.len() as f64 / f64::from(self.points)
     }
 

@@ -1,10 +1,14 @@
 //! Structured run traces.
 //!
 //! The paper's pipeline works from event logs; this module makes the
-//! simulator emit one. A [`TraceLog`] summarizes a run as a bounded ring of
-//! [`TraceEvent`]s built from the ledger (trip completions, charge events,
-//! expirations) so examples and debugging sessions can replay "what
-//! happened around minute X" without re-running the world.
+//! simulator emit one. A [`TraceLog`] summarizes a run as a time-ordered
+//! list of [`TraceEvent`]s built from the ledger (trip completions, charge
+//! events) so examples and debugging sessions can replay "what happened
+//! around minute X" without re-running the world.
+//!
+//! [`TraceLog::from_ledger`] keeps every event; for long runs where only the
+//! tail matters, [`TraceLog::with_capacity_limit`] bounds the log to the
+//! newest `limit` events.
 
 use crate::ledger::FleetLedger;
 use crate::taxi::TaxiId;
@@ -70,16 +74,32 @@ impl TraceLog {
                 destination: t.destination,
                 fare_cny: t.fare_cny,
             })
-            .chain(ledger.charges().iter().map(|c| TraceEvent::ChargeCompleted {
-                at: c.finished_at,
-                taxi: c.taxi,
-                station: c.station,
-                idle_minutes: c.idle_minutes(),
-                cost_cny: c.cost_cny,
-            }))
+            .chain(
+                ledger
+                    .charges()
+                    .iter()
+                    .map(|c| TraceEvent::ChargeCompleted {
+                        at: c.finished_at,
+                        taxi: c.taxi,
+                        station: c.station,
+                        idle_minutes: c.idle_minutes(),
+                        cost_cny: c.cost_cny,
+                    }),
+            )
             .collect();
         events.sort_by_key(|e| e.at());
         TraceLog { events }
+    }
+
+    /// Like [`Self::from_ledger`], but keeps only the **newest** `limit`
+    /// events (the tail of the time-ordered log). A `limit` of 0 yields an
+    /// empty log.
+    pub fn with_capacity_limit(ledger: &FleetLedger, limit: usize) -> Self {
+        let mut log = Self::from_ledger(ledger);
+        if log.events.len() > limit {
+            log.events.drain(..log.events.len() - limit);
+        }
+        log
     }
 
     /// All events in time order.
@@ -210,6 +230,25 @@ mod tests {
                 .filter(|c| c.taxi == taxi)
                 .count();
         assert_eq!(events.len(), expected);
+    }
+
+    #[test]
+    fn capacity_limit_keeps_the_newest_events() {
+        let (env, full) = traced_run();
+        let limit = full.len() / 2;
+        let bounded = TraceLog::with_capacity_limit(env.ledger(), limit);
+        assert_eq!(bounded.len(), limit);
+        // The bounded log is exactly the tail of the full log.
+        assert_eq!(bounded.events(), &full.events()[full.len() - limit..]);
+    }
+
+    #[test]
+    fn capacity_limit_larger_than_log_is_a_noop() {
+        let (env, full) = traced_run();
+        let bounded = TraceLog::with_capacity_limit(env.ledger(), usize::MAX);
+        assert_eq!(bounded.events(), full.events());
+        let empty = TraceLog::with_capacity_limit(env.ledger(), 0);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! Exporters: render a [`Snapshot`] as pretty text, JSON, or Prometheus
+//! text-exposition format.
+//!
+//! All three are hand-rolled (the formats involved are tiny) and
+//! deterministic: snapshots are name-sorted, so identical registries render
+//! byte-identically. A minimal JSON validator ([`validate_json`]) is
+//! included so tests — and downstream tooling without a JSON dependency —
+//! can check parseability.
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Pretty text
+// ---------------------------------------------------------------------------
+
+/// Renders a human-readable dashboard view: counters, gauges, then each
+/// histogram with summary statistics and a bar per (non-empty) bucket.
+pub fn render_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if snapshot.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = key_width(snapshot.counters.iter().map(|(n, _)| n.as_str()));
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<width$}  {value}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let width = key_width(snapshot.gauges.iter().map(|(n, _)| n.as_str()));
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {value:.6}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for h in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "  {}  count {}  mean {:.6}  p50 <= {}  p95 <= {}",
+                h.name,
+                h.count,
+                h.mean(),
+                bound_label(h.quantile(0.5)),
+                bound_label(h.quantile(0.95)),
+            );
+            let max = h.counts.iter().copied().max().unwrap_or(0).max(1) as f64;
+            for (i, &count) in h.counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let le = h
+                    .bounds
+                    .get(i)
+                    .map(|b| bound_label(*b))
+                    .unwrap_or_else(|| "+Inf".to_string());
+                let bar = "#".repeat(((count as f64 / max) * 30.0).ceil() as usize);
+                let _ = writeln!(out, "    le {le:<10}  {count:>8}  {bar}");
+            }
+        }
+    }
+    out
+}
+
+fn key_width<'a>(names: impl Iterator<Item = &'a str>) -> usize {
+    names.map(str::len).max().unwrap_or(0)
+}
+
+fn bound_label(bound: f64) -> String {
+    if bound.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{bound}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// Renders the snapshot as a single-line JSON object:
+/// `{"counters":{…},"gauges":{…},"histograms":{name:{"bounds":…,"counts":…,"sum":…,"count":…}}}`.
+/// Non-finite numbers render as `null` (JSON has no NaN/Inf).
+pub fn render_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), value);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), json_f64(*value));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, h) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(&h.name), histogram_json(h));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::from("{\"bounds\":[");
+    for (i, b) in h.bounds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_f64(*b));
+    }
+    out.push_str("],\"counts\":[");
+    for (i, c) in h.counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{c}");
+    }
+    let _ = write!(out, "],\"sum\":{},\"count\":{}}}", json_f64(h.sum), h.count);
+    out
+}
+
+/// A JSON number for `value`, or `null` when non-finite.
+pub fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON string literal for `s` (escapes quotes, backslashes, control
+/// characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Renders the snapshot in the Prometheus text-exposition format. Metric
+/// names are sanitized (`.` and any other invalid character become `_`);
+/// histogram buckets are emitted cumulatively with `le` labels plus the
+/// `+Inf` bucket, `_sum`, and `_count` series.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", prometheus_f64(*value));
+    }
+    for h in &snapshot.histograms {
+        let name = prometheus_name(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            let le = h
+                .bounds
+                .get(i)
+                .map(|b| prometheus_f64(*b))
+                .unwrap_or_else(|| "+Inf".to_string());
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", prometheus_f64(h.sum));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`,
+/// prefixing an underscore if the first character is a digit.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { c } else { '_' });
+    }
+    out
+}
+
+fn prometheus_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON validation (for tests and dependency-free tooling)
+// ---------------------------------------------------------------------------
+
+/// Checks that `input` is one complete, well-formed JSON value. Returns the
+/// byte offset and message of the first error. This is a validator, not a
+/// parser — it builds nothing.
+pub fn validate_json(input: &str) -> Result<(), String> {
+    let mut v = Validator {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    v.skip_ws();
+    v.value()?;
+    v.skip_ws();
+    if v.pos != v.bytes.len() {
+        return Err(format!("trailing data at byte {}", v.pos));
+    }
+    Ok(())
+}
+
+struct Validator<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Validator<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("expected a JSON value at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        self.pos += 1;
+                    }
+                    Some(b'u') => {
+                        self.pos += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", self.pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                c if c < 0x20 => return Err(format!("raw control char at byte {}", self.pos - 1)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("expected digits at byte {}", self.pos));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(format!("expected fraction digits at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(format!("expected exponent digits at byte {}", self.pos));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    /// A small fixed registry used by the golden tests.
+    fn sample() -> Snapshot {
+        let tel = Telemetry::enabled();
+        tel.counter("sim.trips").add(5);
+        tel.gauge("dqn.epsilon").set(0.125);
+        let h = tel.histogram("lat", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn json_golden_output() {
+        let json = render_json(&sample());
+        assert_eq!(
+            json,
+            "{\"counters\":{\"sim.trips\":5},\
+             \"gauges\":{\"dqn.epsilon\":0.125},\
+             \"histograms\":{\"lat\":{\"bounds\":[1,2],\"counts\":[1,1,1],\"sum\":11,\"count\":3}}}"
+        );
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn prometheus_golden_output() {
+        let prom = render_prometheus(&sample());
+        assert_eq!(
+            prom,
+            "# TYPE sim_trips counter\n\
+             sim_trips 5\n\
+             # TYPE dqn_epsilon gauge\n\
+             dqn_epsilon 0.125\n\
+             # TYPE lat histogram\n\
+             lat_bucket{le=\"1\"} 1\n\
+             lat_bucket{le=\"2\"} 2\n\
+             lat_bucket{le=\"+Inf\"} 3\n\
+             lat_sum 11\n\
+             lat_count 3\n"
+        );
+    }
+
+    #[test]
+    fn text_render_mentions_every_metric() {
+        let text = render_text(&sample());
+        assert!(text.contains("sim.trips"));
+        assert!(text.contains("dqn.epsilon"));
+        assert!(text.contains("lat"));
+        assert!(text.contains("count 3"));
+        assert!(text.contains("le +Inf"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholders() {
+        let empty = Snapshot::default();
+        assert_eq!(render_text(&empty), "(no metrics recorded)\n");
+        let json = render_json(&empty);
+        assert_eq!(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+        validate_json(&json).unwrap();
+        assert_eq!(render_prometheus(&empty), "");
+    }
+
+    #[test]
+    fn non_finite_gauges_become_json_null() {
+        let tel = Telemetry::enabled();
+        tel.gauge("bad").set(f64::NAN);
+        let json = render_json(&tel.snapshot());
+        assert!(json.contains("\"bad\":null"));
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names() {
+        assert_eq!(prometheus_name("sim.step_slot"), "sim_step_slot");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        validate_json(&json_string("a\"b\\c\nd\t\u{1}")).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_valid_json() {
+        for ok in [
+            "null",
+            "true",
+            "-1.5e-3",
+            "[]",
+            "{}",
+            "[1, 2, {\"a\": [null]}]",
+            "{\"k\": \"v\\u00e9\"}",
+            "  {\"a\":1}  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{} {}",
+            "{'a':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

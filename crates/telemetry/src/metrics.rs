@@ -1,0 +1,563 @@
+//! The typed metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Metrics are created through a [`Telemetry`] handle and recorded through
+//! cheap cloneable handles ([`Counter`], [`Gauge`], [`Histogram`]). All
+//! recording is lock-free atomics; the registry mutex is taken only when a
+//! metric is first registered or a [`Snapshot`] is taken.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Standard bucket layouts.
+pub mod buckets {
+    /// Wall-time buckets in seconds: 100 µs … 60 s, roughly geometric.
+    /// Suits everything from a single matching pass to a full episode.
+    pub const LATENCY_SECONDS: &[f64] = &[
+        1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+        10.0, 30.0, 60.0,
+    ];
+
+    /// Small-count buckets (queue depths, retry counts, …).
+    pub const COUNTS: &[f64] = &[0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0];
+}
+
+// ---------------------------------------------------------------------------
+// Cells (shared storage)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+/// A gauge stores an `f64` bit-cast into an `AtomicU64`.
+#[derive(Debug, Default)]
+struct GaugeCell {
+    bits: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// Inclusive upper bounds, strictly increasing. An implicit overflow
+    /// bucket (`+Inf`) follows the last bound.
+    bounds: Vec<f64>,
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, `f64` bits (updated by CAS).
+    sum_bits: AtomicU64,
+    total: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        HistogramCell {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        // First bucket whose inclusive upper bound admits the value; the
+        // overflow bucket takes everything past the last bound (and NaN).
+        let idx = self.bounds.partition_point(|&b| b < value);
+        let idx = if value.is_nan() {
+            self.bounds.len()
+        } else {
+            idx
+        };
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. Cloning shares the underlying cell;
+/// a default-constructed (or disabled-registry) counter is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<CounterCell>>);
+
+impl Counter {
+    /// Increments by 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled counter).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a disabled gauge).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// A fixed-bucket histogram with inclusive upper bounds plus an overflow
+/// (`+Inf`) bucket.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.observe(value);
+        }
+    }
+
+    /// Whether this handle records anywhere (false when telemetry is
+    /// disabled). [`crate::Span`] uses this to skip clock reads entirely.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Total observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.total.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + Telemetry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCell>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+}
+
+/// The telemetry context threaded through the stack. Cloning is cheap (an
+/// `Arc` bump) and every clone records into the same registry.
+///
+/// [`Telemetry::default`] (= [`Telemetry::disabled`]) carries no registry:
+/// all handles it creates are no-ops and snapshots are empty.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Registry>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A live telemetry context with a fresh registry.
+    pub fn enabled() -> Self {
+        Telemetry(Some(Arc::new(Registry::default())))
+    }
+
+    /// The inert context: every handle is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// Whether this context records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter(self.0.as_ref().map(|r| {
+            Arc::clone(
+                r.counters
+                    .lock()
+                    .expect("telemetry registry poisoned")
+                    .entry(name)
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge(self.0.as_ref().map(|r| {
+            Arc::clone(
+                r.gauges
+                    .lock()
+                    .expect("telemetry registry poisoned")
+                    .entry(name)
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Registers (or retrieves) the histogram `name` with the given
+    /// inclusive upper `bounds` (strictly increasing; an overflow bucket is
+    /// implicit). If the name already exists, the existing bucket layout
+    /// wins — first registration fixes it.
+    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> Histogram {
+        Histogram(self.0.as_ref().map(|r| {
+            Arc::clone(
+                r.histograms
+                    .lock()
+                    .expect("telemetry registry poisoned")
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(HistogramCell::new(bounds))),
+            )
+        }))
+    }
+
+    /// Opens a wall-time span recording into the histogram `name` (bucket
+    /// layout [`buckets::LATENCY_SECONDS`]) when the guard drops. By
+    /// convention span names end in `_seconds`.
+    pub fn span(&self, name: &'static str) -> crate::Span {
+        crate::Span::new(self.histogram(name, buckets::LATENCY_SECONDS))
+    }
+
+    /// A point-in-time copy of every metric, names sorted. Empty when
+    /// disabled.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(r) = &self.0 else {
+            return Snapshot::default();
+        };
+        let counters = r
+            .counters
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(&name, cell)| (name.to_string(), cell.value.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = r
+            .gauges
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(&name, cell)| {
+                (
+                    name.to_string(),
+                    f64::from_bits(cell.bits.load(Ordering::Relaxed)),
+                )
+            })
+            .collect();
+        let histograms = r
+            .histograms
+            .lock()
+            .expect("telemetry registry poisoned")
+            .iter()
+            .map(|(&name, cell)| HistogramSnapshot {
+                name: name.to_string(),
+                bounds: cell.bounds.clone(),
+                counts: cell
+                    .counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                sum: f64::from_bits(cell.sum_bits.load(Ordering::Relaxed)),
+                count: cell.total.load(Ordering::Relaxed),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Inclusive upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one entry per bound plus the trailing overflow
+    /// bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile: the bound of the first
+    /// bucket whose cumulative count reaches `q · count`
+    /// (`+Inf` if it lands in the overflow bucket, 0.0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// A point-in-time copy of a whole registry, every section sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let tel = Telemetry::disabled();
+        let c = tel.counter("c");
+        let g = tel.gauge("g");
+        let h = tel.histogram("h", buckets::COUNTS);
+        c.inc();
+        g.set(3.0);
+        h.observe(1.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert!(!h.is_enabled());
+        assert!(tel.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let tel = Telemetry::enabled();
+        let c = tel.counter("sim.trips");
+        c.inc();
+        c.add(4);
+        let g = tel.gauge("dqn.epsilon");
+        g.set(0.25);
+        g.set(0.125);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("sim.trips"), Some(5));
+        assert_eq!(snap.gauge("dqn.epsilon"), Some(0.125));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn same_name_shares_the_cell() {
+        let tel = Telemetry::enabled();
+        tel.counter("shared").add(2);
+        tel.counter("shared").add(3);
+        assert_eq!(tel.counter("shared").get(), 5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("h", &[1.0, 2.0, 5.0]);
+        // Exactly on a bound → that bucket (inclusive upper bound).
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(5.0);
+        // Strictly below the first bound → first bucket.
+        h.observe(0.5);
+        // Between bounds → the next bucket up.
+        h.observe(1.5);
+        // Past the last bound → overflow.
+        h.observe(100.0);
+        let snap = tel.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.bounds, vec![1.0, 2.0, 5.0]);
+        assert_eq!(hs.counts, vec![2, 2, 1, 1]);
+        assert_eq!(hs.count, 6);
+        assert!((hs.sum - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_nan_goes_to_overflow() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("h", &[1.0]);
+        h.observe(f64::NAN);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("h").unwrap().counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn histogram_quantile_and_mean() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("h", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        let snap = tel.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert!((hs.mean() - 1.375).abs() < 1e-12);
+        assert_eq!(hs.quantile(0.5), 1.0); // 2 of 4 fall in the first bucket
+        assert_eq!(hs.quantile(1.0), 4.0);
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn first_histogram_registration_fixes_the_layout() {
+        let tel = Telemetry::enabled();
+        tel.histogram("h", &[1.0, 2.0]).observe(1.5);
+        // Re-registration with different bounds returns the existing cell.
+        tel.histogram("h", &[10.0]).observe(1.5);
+        let snap = tel.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.bounds, vec![1.0, 2.0]);
+        assert_eq!(hs.count, 2);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_multiple_threads() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("work", buckets::COUNTS);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = tel.counter("hits");
+                let h = h.clone();
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                        h.observe(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("hits"), Some(80_000));
+        let hs = snap.histogram("work").unwrap();
+        assert_eq!(hs.count, 80_000);
+        assert!((hs.sum - 80_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_sections_are_name_sorted() {
+        let tel = Telemetry::enabled();
+        tel.counter("z").inc();
+        tel.counter("a").inc();
+        tel.gauge("m").set(1.0);
+        tel.gauge("b").set(2.0);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "z");
+        assert_eq!(snap.gauges[0].0, "b");
+        assert_eq!(snap.gauges[1].0, "m");
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.counter("via_clone").add(7);
+        assert_eq!(tel.snapshot().counter("via_clone"), Some(7));
+    }
+}

@@ -1,0 +1,141 @@
+//! Run reports: one JSON-serializable record per evaluated run, combining
+//! the registry snapshot with the learning curve and final outcome.
+//!
+//! The bench binaries write one report per method as a JSONL line next to
+//! their text output; diffing two such files across commits (same seed,
+//! same scale) shows exactly which metric moved.
+
+use crate::export::{json_f64, json_string, render_json};
+use crate::metrics::Snapshot;
+use std::io::{self, Write};
+
+/// Everything worth keeping from one run: identity, learning curve, final
+/// outcome numbers, and the full metric snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Method name ("FairMove", "DQN", …).
+    pub name: String,
+    /// Free-form run context (scale name, experiment, …).
+    pub context: String,
+    /// Per-episode average training reward (empty for static methods).
+    pub training_curve: Vec<f64>,
+    /// Mean per-taxi per-slot reward of the evaluation run.
+    pub average_reward: f64,
+    /// Final fleet mean profit efficiency, CNY/h.
+    pub mean_pe: f64,
+    /// Final profit fairness (PE variance; smaller is fairer).
+    pub pf: f64,
+    /// Completed trips in the evaluation run.
+    pub trips: u64,
+    /// Completed charge events in the evaluation run.
+    pub charges: u64,
+    /// Requests that expired unserved.
+    pub expired_requests: u64,
+    /// The telemetry registry at the end of the run.
+    pub snapshot: Snapshot,
+}
+
+impl RunReport {
+    /// Serializes the report as one line of JSON (no trailing newline).
+    /// Non-finite numbers render as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"name\":{},", json_string(&self.name)));
+        out.push_str(&format!("\"context\":{},", json_string(&self.context)));
+        out.push_str("\"training_curve\":[");
+        for (i, r) in self.training_curve.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_f64(*r));
+        }
+        out.push_str("],");
+        out.push_str(&format!(
+            "\"average_reward\":{},",
+            json_f64(self.average_reward)
+        ));
+        out.push_str(&format!("\"mean_pe\":{},", json_f64(self.mean_pe)));
+        out.push_str(&format!("\"pf\":{},", json_f64(self.pf)));
+        out.push_str(&format!("\"trips\":{},", self.trips));
+        out.push_str(&format!("\"charges\":{},", self.charges));
+        out.push_str(&format!("\"expired_requests\":{},", self.expired_requests));
+        out.push_str(&format!("\"snapshot\":{}", render_json(&self.snapshot)));
+        out.push('}');
+        out
+    }
+
+    /// Writes `reports` as JSON Lines: one [`Self::to_json`] line each.
+    pub fn write_jsonl<'a, W: Write>(
+        reports: impl IntoIterator<Item = &'a RunReport>,
+        w: &mut W,
+    ) -> io::Result<()> {
+        for report in reports {
+            writeln!(w, "{}", report.to_json())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+    use crate::Telemetry;
+
+    fn sample() -> RunReport {
+        let tel = Telemetry::enabled();
+        tel.counter("sim.trips").add(12);
+        tel.histogram("sim.step_slot_seconds", &[0.01, 0.1])
+            .observe(0.02);
+        RunReport {
+            name: "FairMove".into(),
+            context: "test".into(),
+            training_curve: vec![0.1, 0.3],
+            average_reward: 0.42,
+            mean_pe: 47.5,
+            pf: 120.0,
+            trips: 12,
+            charges: 3,
+            expired_requests: 1,
+            snapshot: tel.snapshot(),
+        }
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let json = sample().to_json();
+        validate_json(&json).unwrap();
+        for key in [
+            "\"name\":\"FairMove\"",
+            "\"training_curve\":[0.1,0.3]",
+            "\"mean_pe\":47.5",
+            "\"pf\":120",
+            "\"snapshot\":",
+            "sim.step_slot_seconds",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn jsonl_writes_one_valid_line_per_report() {
+        let reports = [sample(), sample()];
+        let mut buf = Vec::new();
+        RunReport::write_jsonl(reports.iter(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn non_finite_outcome_fields_render_as_null() {
+        let mut r = sample();
+        r.average_reward = f64::NAN;
+        let json = r.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"average_reward\":null"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Wall-time spans: RAII guards that record elapsed seconds into a
+//! histogram when dropped.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// A timing guard created by [`crate::Telemetry::span`] or the
+/// [`crate::span!`] macro. Records the elapsed wall time (seconds) into its
+/// histogram on drop.
+///
+/// When telemetry is disabled the guard holds no histogram and never reads
+/// the clock, so an instrumented hot path pays only a branch.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// A span recording into `histogram` (inert if the histogram is).
+    pub fn new(histogram: Histogram) -> Self {
+        let started = histogram.is_enabled().then(Instant::now);
+        Span { histogram, started }
+    }
+
+    /// Ends the span early, recording now instead of at scope exit.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some(started) = self.started.take() {
+            self.histogram.observe(started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn span_records_one_observation_on_drop() {
+        let tel = Telemetry::enabled();
+        {
+            let _span = tel.span("op_seconds");
+        }
+        let snap = tel.snapshot();
+        let h = snap.histogram("op_seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn span_macro_expands_to_method_call() {
+        let tel = Telemetry::enabled();
+        {
+            let _span = crate::span!(tel, "macro_seconds");
+        }
+        assert_eq!(tel.snapshot().histogram("macro_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let tel = Telemetry::enabled();
+        let span = tel.span("early_seconds");
+        span.finish();
+        assert_eq!(tel.snapshot().histogram("early_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let tel = Telemetry::disabled();
+        {
+            let _span = tel.span("nothing_seconds");
+        }
+        assert!(tel.snapshot().is_empty());
+    }
+}

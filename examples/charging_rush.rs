@@ -12,10 +12,10 @@
 //! ```
 
 use fairmove_core::agents::GroundTruthPolicy;
+use fairmove_core::city::HourOfDay;
 use fairmove_core::data::{ChargingPricing, PriceBand};
 use fairmove_core::metrics::findings;
 use fairmove_core::sim::{Environment, SimConfig};
-use fairmove_core::city::HourOfDay;
 
 fn band_label(band: PriceBand) -> &'static str {
     match band {
@@ -32,7 +32,10 @@ fn main() {
 
     let mut env = Environment::new(config.clone());
     let mut gt = GroundTruthPolicy::for_city(env.city(), config.fleet_size, config.seed);
-    println!("simulating one day of {} heuristic drivers …\n", config.fleet_size);
+    println!(
+        "simulating one day of {} heuristic drivers …\n",
+        config.fleet_size
+    );
     env.run(&mut gt);
 
     let pricing = ChargingPricing::default();
@@ -53,7 +56,10 @@ fn main() {
         let hour = HourOfDay(h);
         let band = pricing.band_at(hour);
         let idle = if idle_n[h as usize] > 0 {
-            format!("{:.1} min", idle_sum[h as usize] / f64::from(idle_n[h as usize]))
+            format!(
+                "{:.1} min",
+                idle_sum[h as usize] / f64::from(idle_n[h as usize])
+            )
         } else {
             "-".to_string()
         };

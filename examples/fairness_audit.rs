@@ -9,20 +9,28 @@
 //! cargo run --release --example fairness_audit
 //! ```
 
-use fairmove_core::metrics::{findings, gini, profit_fairness};
-use fairmove_core::method::{Method, MethodKind};
-use fairmove_core::runner::Runner;
 use fairmove_core::city::City;
+use fairmove_core::method::{Method, MethodKind};
+use fairmove_core::metrics::{findings, gini, profit_fairness};
+use fairmove_core::runner::Runner;
 use fairmove_core::sim::SimConfig;
 
 fn describe(name: &str, pes: &[f64]) {
     let cdf = fairmove_core::metrics::Cdf::new(pes.iter().copied());
     println!("{name}:");
-    println!("  P20 {:.1}  median {:.1}  P80 {:.1}  (CNY/h)",
-        cdf.quantile(0.2), cdf.median(), cdf.quantile(0.8));
+    println!(
+        "  P20 {:.1}  median {:.1}  P80 {:.1}  (CNY/h)",
+        cdf.quantile(0.2),
+        cdf.median(),
+        cdf.quantile(0.8)
+    );
     let gap = cdf.quantile(0.8) / cdf.quantile(0.2).max(1e-9) - 1.0;
     println!("  P80/P20 gap: {:+.0}%", gap * 100.0);
-    println!("  PF (variance): {:.1}   Gini: {:.3}", profit_fairness(pes), gini(pes));
+    println!(
+        "  PF (variance): {:.1}   Gini: {:.3}",
+        profit_fairness(pes),
+        gini(pes)
+    );
 }
 
 fn main() {
@@ -40,9 +48,15 @@ fn main() {
     let mut fm = Method::build(MethodKind::FairMove, &city, &sim, 0.6);
     let (_, fm_out) = runner.train_and_evaluate(&mut fm);
 
-    describe("Ground truth (no displacement)", &gt_out.ledger.profit_efficiencies());
+    describe(
+        "Ground truth (no displacement)",
+        &gt_out.ledger.profit_efficiencies(),
+    );
     println!();
-    describe("FairMove displacement", &fm_out.ledger.profit_efficiencies());
+    describe(
+        "FairMove displacement",
+        &fm_out.ledger.profit_efficiencies(),
+    );
 
     let gt_pf = profit_fairness(&gt_out.ledger.profit_efficiencies());
     let fm_pf = profit_fairness(&fm_out.ledger.profit_efficiencies());

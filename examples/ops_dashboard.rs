@@ -1,9 +1,10 @@
 //! Operations dashboard: the monitoring view a dispatch team would watch.
 //!
-//! Runs one day under FairMove-style displacement while collecting per-slot
-//! KPI samples, periodic fleet snapshots, and the event trace; then renders
-//! a textual dashboard: hourly utilization, charging saturation, profit
-//! flow, and a few minutes of raw event log.
+//! Runs one day under FairMove-style displacement with a telemetry context
+//! attached, then renders the dashboard **from the telemetry registry
+//! snapshot** — the same counters, gauges, and histograms the simulator and
+//! the CMA2C learner record during the run — via the text exporter. A slice
+//! of the bounded event trace rounds out the view.
 //!
 //! Run with:
 //! ```text
@@ -12,8 +13,8 @@
 
 use fairmove_core::agents::{Cma2cConfig, Cma2cPolicy};
 use fairmove_core::city::SimTime;
-use fairmove_core::metrics::KpiSeries;
-use fairmove_core::sim::{DisplacementPolicy, Environment, FleetSnapshot, SimConfig, TraceLog};
+use fairmove_core::sim::{DisplacementPolicy, Environment, SimConfig, TraceLog};
+use fairmove_core::telemetry::{export, Telemetry};
 
 fn main() {
     let mut config = SimConfig::default();
@@ -21,73 +22,65 @@ fn main() {
     config.days = 1;
     config.city.total_charging_points = 50;
 
+    // One registry for the whole run: the environment records slot-level
+    // operational metrics, the policy its training diagnostics.
+    let telemetry = Telemetry::enabled();
     let mut env = Environment::new(config.clone());
+    env.set_telemetry(&telemetry);
     let mut policy = Cma2cPolicy::new(env.city(), Cma2cConfig::default());
+    policy.set_telemetry(&telemetry);
 
-    let mut kpis = KpiSeries::new();
-    let mut snapshots: Vec<FleetSnapshot> = Vec::new();
+    println!(
+        "running one day of {} taxis under CMA2C (online learning) …\n",
+        config.fleet_size
+    );
+    env.run(&mut policy);
 
-    println!("running one day of {} taxis under CMA2C (online learning) …\n", config.fleet_size);
-    let mut slot = 0u32;
-    while !env.done() {
-        let feedback = env.step_slot(&mut policy);
-        kpis.record(&feedback);
-        policy.observe(&feedback);
-        if slot % 6 == 0 {
-            snapshots.push(FleetSnapshot::capture(&env));
-        }
-        slot += 1;
-    }
-    env.flush_accounting();
+    // --- The dashboard proper: the registry snapshot, text-rendered. ---
+    let snapshot = telemetry.snapshot();
+    println!("{}", export::render_text(&snapshot));
 
-    // --- Hourly fleet-state strip chart ---
-    println!("hour   serving  vacant  charging  queued  util%  sat.stations");
-    println!("-----  -------  ------  --------  ------  -----  ------------");
-    for snap in &snapshots {
-        let hour = (snap.minute / 60) % 24;
+    // --- Headline numbers, read from the same snapshot (no ledger math). ---
+    let counter = |name| snapshot.counter(name).unwrap_or(0);
+    println!(
+        "day total: {} trips, {} charges, {} expired requests, {} station redirects",
+        counter("sim.trips"),
+        counter("sim.charges"),
+        counter("sim.expired_requests"),
+        counter("sim.station_redirects"),
+    );
+    if let Some(h) = snapshot.histogram("sim.step_slot_seconds") {
         println!(
-            "{:02}:00  {:>7}  {:>6}  {:>8}  {:>6}  {:>4.0}%  {:>12}",
-            hour,
-            snap.serving,
-            snap.vacant,
-            snap.charging,
-            snap.queued,
-            snap.utilization() * 100.0,
-            snap.saturated_stations,
+            "slot latency: mean {:.2} ms, p95 {:.2} ms over {} slots",
+            h.mean() * 1e3,
+            h.quantile(0.95) * 1e3,
+            h.count,
+        );
+    }
+    if let Some(steps) = snapshot.counter("cma2c.train_steps") {
+        println!(
+            "learner: {} gradient steps, critic loss {:.3}, actor grad norm {:.3}",
+            steps,
+            snapshot.gauge("cma2c.critic_loss").unwrap_or(f64::NAN),
+            snapshot.gauge("cma2c.actor_grad_norm").unwrap_or(f64::NAN),
         );
     }
 
-    // --- Profit flow per hour ---
-    println!("\nhourly fleet profit (CNY per slot, mean):");
-    for (h, v) in kpis.hourly_profit().iter().enumerate() {
-        if let Some(v) = v {
-            let bar = "#".repeat((v / 40.0).max(0.0) as usize);
-            println!("{h:02}:00  {v:>7.0}  {bar}");
-        }
-    }
-
-    // --- Fairness trend ---
-    let pf_ma = kpis.pf_moving_average(12);
-    println!(
-        "\nPF (PE variance) trend: start {:.1} → end {:.1} (2h moving average)",
-        pf_ma.first().copied().unwrap_or(0.0),
-        pf_ma.last().copied().unwrap_or(0.0)
-    );
-
-    // --- A slice of the raw event log ---
+    // --- A slice of the raw event log. ---
     let trace = TraceLog::from_ledger(env.ledger());
     println!("\nevent log, 08:00–08:15:");
     print!(
         "{}",
         trace.render_window(SimTime::from_dhm(0, 8, 0), SimTime::from_dhm(0, 8, 15))
     );
+    // For long-running dashboards, bound the kept trace to the newest events:
+    let tail = TraceLog::with_capacity_limit(env.ledger(), 3);
+    println!("\nlast {} events of the day:", tail.len());
+    print!("{}", tail.render_window(SimTime(0), SimTime(u32::MAX)));
 
-    let (revenue, cost) = env.ledger().totals();
-    println!(
-        "\nday total: {} trips, {} charges, revenue {:.0} CNY, charging cost {:.0} CNY",
-        env.ledger().trips().len(),
-        env.ledger().charges().len(),
-        revenue,
-        cost
-    );
+    // The same snapshot also exports as JSON and Prometheus text exposition:
+    println!("\nPrometheus exposition (first lines):");
+    for line in export::render_prometheus(&snapshot).lines().take(8) {
+        println!("  {line}");
+    }
 }

@@ -58,9 +58,7 @@ fn main() {
     } else {
         f64::NAN
     };
-    println!(
-        "\nFairMove captures {headroom_used:.0}% of the oracle's profit-efficiency headroom."
-    );
+    println!("\nFairMove captures {headroom_used:.0}% of the oracle's profit-efficiency headroom.");
     println!(
         "(GT served {} trips; oracle {}; FairMove {})",
         gt_out.ledger.trips().len(),

@@ -38,7 +38,10 @@ fn main() {
     println!("  trips served      : {}", eval.ledger.trips().len());
     println!("  charge events     : {}", eval.ledger.charges().len());
     println!("  fleet mean PE     : {:.1} CNY/h", eval.mean_pe);
-    println!("  profit fairness PF: {:.1} (variance; lower is fairer)", eval.pf);
+    println!(
+        "  profit fairness PF: {:.1} (variance; lower is fairer)",
+        eval.pf
+    );
     let r = &eval.vs_ground_truth;
     println!("  vs ground truth:");
     println!("    PRCT (cruise-time reduction) : {:+.1}%", r.prct * 100.0);

@@ -2,10 +2,10 @@
 //! metrics pipeline consumes the resulting ledgers, and the whole stack is
 //! deterministic under a fixed seed.
 
-use fairmove_core::method::{Method, MethodKind};
-use fairmove_core::metrics::{self, findings};
 use fairmove_core::city::City;
 use fairmove_core::city::MINUTES_PER_DAY;
+use fairmove_core::method::{Method, MethodKind};
+use fairmove_core::metrics::{self, findings};
 use fairmove_core::sim::{Environment, SimConfig};
 
 fn tiny_sim() -> SimConfig {
@@ -47,8 +47,7 @@ fn metrics_pipeline_consumes_simulation_output() {
     let mut env_sd2 = Environment::new(sim.clone());
     env_sd2.run(sd2.as_policy());
 
-    let report =
-        metrics::MethodReport::compute("SD2", env_gt.ledger(), env_sd2.ledger());
+    let report = metrics::MethodReport::compute("SD2", env_gt.ledger(), env_sd2.ledger());
     assert!(report.prct.is_finite());
     assert!(report.prit.is_finite());
     assert!(report.pipe.is_finite());
