@@ -355,6 +355,11 @@ impl Cma2cPolicy {
             .into_iter()
             .cloned()
             .collect();
+        if batch.is_empty() {
+            // min_buffer == 0 with an empty buffer: nothing to learn from,
+            // and the n-normalized gradients below would divide by zero.
+            return;
+        }
         let n = batch.len();
 
         // --- Critic: minimize (V(s) − (r + β V̂(s')))² (Eq. 6–7). ---
@@ -513,6 +518,16 @@ impl DisplacementPolicy for Cma2cPolicy {
 
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.metrics = Cma2cMetrics::new(telemetry, &self.config);
+    }
+
+    fn is_healthy(&self) -> bool {
+        // Target critic mirrors the critic, so checking it separately would
+        // only re-detect the same divergence one soft-update later.
+        self.actor.params_finite() && self.critic.params_finite()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed ^ 0x43_4d41_3243); // "CMA2C"
     }
 }
 

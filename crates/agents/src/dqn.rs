@@ -198,6 +198,10 @@ impl DqnPolicy {
             .into_iter()
             .cloned()
             .collect();
+        if batch.is_empty() {
+            // min_replay == 0 with an empty buffer: nothing to learn from.
+            return;
+        }
 
         // Bootstrap targets: flatten all next-candidates into one forward
         // pass through the target network, then segment-max.
@@ -316,6 +320,14 @@ impl DisplacementPolicy for DqnPolicy {
 
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.metrics = DqnMetrics::new(telemetry, &self.config);
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.q.params_finite()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed ^ 0x44_51_4e); // "DQN"
     }
 }
 

@@ -200,6 +200,14 @@ impl DisplacementPolicy for TbaPolicy {
         self.tracker
             .accrue_all_discounted(0.9, |id| feedback.reward(1.0, id));
     }
+
+    fn is_healthy(&self) -> bool {
+        self.policy.params_finite()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed ^ 0x544241); // "TBA"
+    }
 }
 
 #[cfg(test)]

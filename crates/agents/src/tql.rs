@@ -206,6 +206,15 @@ impl DisplacementPolicy for TqlPolicy {
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.metrics = TqlMetrics::new(telemetry, &self.config);
     }
+
+    fn is_healthy(&self) -> bool {
+        // A tabular learner diverges by writing non-finite Q values.
+        self.q.values_finite()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
 }
 
 #[cfg(test)]

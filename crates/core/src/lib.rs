@@ -42,11 +42,13 @@ pub mod experiments;
 pub mod method;
 pub mod runner;
 pub mod system;
+pub mod watchdog;
 
 pub use experiments::{ComparisonConfig, ComparisonResults};
 pub use method::{Method, MethodKind};
 pub use runner::{RunOutcome, Runner};
 pub use system::{EvaluationResult, FairMove, FairMoveConfig, TrainingStats};
+pub use watchdog::{GuardedTrainee, WatchdogConfig, WatchdogReport};
 
 // Re-export the layer crates so downstream users need a single dependency.
 pub use fairmove_agents as agents;

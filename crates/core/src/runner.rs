@@ -6,7 +6,8 @@
 //! on environments with different (training) seeds.
 
 use crate::method::Method;
-use fairmove_sim::{DisplacementPolicy, Environment, SimConfig};
+use crate::watchdog::{GuardedTrainee, WatchdogConfig, WatchdogReport};
+use fairmove_sim::{DisplacementPolicy, Environment, FaultPlan, SimConfig};
 use fairmove_telemetry::{RunReport, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,10 @@ pub struct Runner {
 /// identical demand) while remaining fully deterministic.
 const TRAIN_SEED_BASE: u64 = 1_000_003;
 
+/// Salt for watchdog exploration re-seeds, so a restored policy explores a
+/// different trajectory than the one that diverged.
+const WATCHDOG_SEED_SALT: u64 = 0x5741_5443_4844_4f47; // "WATCHDOG"
+
 impl Runner {
     /// A runner over `sim` with `train_episodes` of training per learning
     /// method and reward weight `alpha`.
@@ -73,11 +78,26 @@ impl Runner {
     /// Runs `policy` once on a fresh environment with `seed`, returning the
     /// outcome. Rewards are evaluated at `alpha`.
     pub fn run_once(&self, policy: &mut dyn DisplacementPolicy, seed: u64) -> RunOutcome {
+        self.run_once_with_faults(policy, seed, None)
+    }
+
+    /// Like [`Self::run_once`] but with a fault plan injected into the
+    /// environment (resilience scenarios). `None` is bit-identical to
+    /// [`Self::run_once`].
+    pub fn run_once_with_faults(
+        &self,
+        policy: &mut dyn DisplacementPolicy,
+        seed: u64,
+        faults: Option<&FaultPlan>,
+    ) -> RunOutcome {
         let config = SimConfig {
             seed,
             ..self.sim.clone()
         };
         let mut env = Environment::new(config);
+        if let Some(plan) = faults {
+            env.set_fault_plan(plan.clone());
+        }
         env.set_telemetry(&self.telemetry);
         policy.set_telemetry(&self.telemetry);
         let _episode_span = self.telemetry.span("runner.episode_seconds");
@@ -122,6 +142,63 @@ impl Runner {
                 reward
             })
             .collect()
+    }
+
+    /// Trains a learning method under a watchdog: each episode is vetted
+    /// (finite, bounded reward; healthy policy), healthy episodes are
+    /// checkpointed, and diverged episodes are rolled back to the last good
+    /// checkpoint with exploration re-seeded. Returns the learning curve of
+    /// *accepted* episodes and the watchdog's report.
+    ///
+    /// Fully deterministic: the same trainee, seeds, and thresholds produce
+    /// the same checkpoints, restores, and curve.
+    pub fn train_guarded(
+        &self,
+        trainee: &mut dyn GuardedTrainee,
+        watchdog: &WatchdogConfig,
+    ) -> (Vec<f64>, WatchdogReport) {
+        let mut report = WatchdogReport::default();
+        let mut curve = Vec::with_capacity(self.train_episodes as usize);
+        let mut last_good: Option<Vec<u8>> = None;
+        let episodes = self.telemetry.counter("runner.train_episodes");
+        let episode_reward = self.telemetry.gauge("runner.episode_reward");
+        let checkpoints = self.telemetry.counter("runner.watchdog_checkpoints");
+        let restores = self.telemetry.counter("runner.watchdog_restores");
+        let unrecovered = self.telemetry.counter("runner.watchdog_unrecovered");
+        for episode in 0..self.train_episodes {
+            let seed = self.sim.seed + TRAIN_SEED_BASE + u64::from(episode);
+            let reward = self.run_once(trainee.policy(), seed).average_reward;
+            episodes.inc();
+            let healthy = reward.is_finite()
+                && reward.abs() <= watchdog.max_abs_reward
+                && trainee.policy().is_healthy();
+            if healthy {
+                episode_reward.set(reward);
+                curve.push(reward);
+                if let Some(bytes) = trainee.checkpoint() {
+                    last_good = Some(bytes);
+                    report.checkpoints += 1;
+                    checkpoints.inc();
+                }
+            } else if last_good.as_ref().is_some_and(|bytes| {
+                // Roll back to the last known-good parameters...
+                trainee.restore(bytes)
+            }) {
+                report.restores += 1;
+                restores.inc();
+                // ...and explore differently this time.
+                trainee
+                    .policy()
+                    .reseed_exploration(self.sim.seed ^ WATCHDOG_SEED_SALT ^ u64::from(episode));
+            } else {
+                report.unrecovered += 1;
+                unrecovered.inc();
+                trainee
+                    .policy()
+                    .reseed_exploration(self.sim.seed ^ WATCHDOG_SEED_SALT ^ u64::from(episode));
+            }
+        }
+        (curve, report)
     }
 
     /// Trains (if applicable), freezes, and evaluates a method on the
@@ -221,6 +298,182 @@ mod tests {
         assert_eq!(episodes.count, 2); // one training + one evaluation run
         fairmove_telemetry::export::validate_json(&report.to_json())
             .expect("run report must serialize to valid JSON");
+    }
+
+    /// Behaves like StayPolicy, but "diverges" (reports unhealthy, as a
+    /// NaN-poisoned network would) at the start of a chosen episode.
+    /// Checkpoint/restore model parameter save/load: a restore heals it.
+    struct FlakyPolicy {
+        episodes_seen: u32,
+        diverge_on: u32,
+        poisoned: bool,
+        reseeds: Vec<u64>,
+    }
+
+    impl DisplacementPolicy for FlakyPolicy {
+        fn name(&self) -> &str {
+            "Flaky"
+        }
+
+        fn decide(
+            &mut self,
+            obs: &fairmove_sim::SlotObservation,
+            decisions: &[fairmove_sim::DecisionContext],
+        ) -> Vec<fairmove_sim::Action> {
+            if obs.now.minutes() == 0 {
+                self.episodes_seen += 1;
+                if self.episodes_seen == self.diverge_on {
+                    self.poisoned = true;
+                }
+            }
+            decisions
+                .iter()
+                .map(|d| {
+                    if d.must_charge {
+                        d.actions.charge_actions()[0]
+                    } else {
+                        fairmove_sim::Action::Stay
+                    }
+                })
+                .collect()
+        }
+
+        fn is_healthy(&self) -> bool {
+            !self.poisoned
+        }
+
+        fn reseed_exploration(&mut self, seed: u64) {
+            self.reseeds.push(seed);
+        }
+    }
+
+    struct FlakyTrainee {
+        policy: FlakyPolicy,
+    }
+
+    impl GuardedTrainee for FlakyTrainee {
+        fn policy(&mut self) -> &mut dyn DisplacementPolicy {
+            &mut self.policy
+        }
+
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            Some(vec![0x01])
+        }
+
+        fn restore(&mut self, _bytes: &[u8]) -> bool {
+            self.policy.poisoned = false;
+            true
+        }
+    }
+
+    #[test]
+    fn watchdog_restores_mid_training_divergence_and_completes() {
+        let r = Runner::new(SimConfig::test_scale(), 4, 0.6);
+        let mut trainee = FlakyTrainee {
+            policy: FlakyPolicy {
+                episodes_seen: 0,
+                diverge_on: 2,
+                poisoned: false,
+                reseeds: Vec::new(),
+            },
+        };
+        let (curve, report) = r.train_guarded(&mut trainee, &WatchdogConfig::default());
+        // Episode 2 diverged; 1, 3, 4 were healthy and checkpointed.
+        assert_eq!(report.checkpoints, 3);
+        assert_eq!(report.restores, 1);
+        assert_eq!(report.unrecovered, 0);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|r| r.is_finite()));
+        // The restore re-seeded exploration exactly once.
+        assert_eq!(trainee.policy.reseeds.len(), 1);
+        // Training completed with a healed policy; evaluation is finite.
+        assert!(trainee.policy.is_healthy());
+        let out = r.run_once(trainee.policy(), r.sim.seed);
+        assert!(out.mean_pe.is_finite());
+        assert!(out.pf.is_finite());
+        assert!(!out.ledger.trips().is_empty());
+    }
+
+    #[test]
+    fn watchdog_counts_unrecoverable_divergence_before_first_checkpoint() {
+        let r = Runner::new(SimConfig::test_scale(), 2, 0.6);
+        struct NoCheckpoint {
+            policy: FlakyPolicy,
+        }
+        impl GuardedTrainee for NoCheckpoint {
+            fn policy(&mut self) -> &mut dyn DisplacementPolicy {
+                &mut self.policy
+            }
+            fn checkpoint(&self) -> Option<Vec<u8>> {
+                None
+            }
+            fn restore(&mut self, _bytes: &[u8]) -> bool {
+                false
+            }
+        }
+        let mut trainee = NoCheckpoint {
+            policy: FlakyPolicy {
+                episodes_seen: 0,
+                diverge_on: 1,
+                poisoned: false,
+                reseeds: Vec::new(),
+            },
+        };
+        let (curve, report) = r.train_guarded(&mut trainee, &WatchdogConfig::default());
+        // Every episode after the divergence stays unhealthy — nothing to
+        // restore from, but the watchdog keeps re-seeding and counting.
+        assert_eq!(report.checkpoints, 0);
+        assert_eq!(report.restores, 0);
+        assert_eq!(report.unrecovered, 2);
+        assert!(curve.is_empty());
+        assert_eq!(trainee.policy.reseeds.len(), 2);
+    }
+
+    #[test]
+    fn watchdog_telemetry_matches_report() {
+        let tel = Telemetry::enabled();
+        let r = Runner::new(SimConfig::test_scale(), 3, 0.6).with_telemetry(&tel);
+        let mut trainee = FlakyTrainee {
+            policy: FlakyPolicy {
+                episodes_seen: 0,
+                diverge_on: 2,
+                poisoned: false,
+                reseeds: Vec::new(),
+            },
+        };
+        let (_, report) = r.train_guarded(&mut trainee, &WatchdogConfig::default());
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counter("runner.watchdog_checkpoints"),
+            Some(report.checkpoints)
+        );
+        assert_eq!(
+            snap.counter("runner.watchdog_restores"),
+            Some(report.restores)
+        );
+        assert_eq!(snap.counter("runner.train_episodes"), Some(3));
+    }
+
+    #[test]
+    fn fault_injection_at_the_runner_layer_is_deterministic() {
+        use fairmove_sim::{FaultSpec, SlotWindow};
+        let r = runner();
+        let city = City::generate(r.sim.city.clone());
+        let plan = FaultPlan::new(3).with(FaultSpec::StationOutage {
+            station: 0,
+            window: SlotWindow::new(10, 50),
+        });
+        let run = |plan: Option<&FaultPlan>| {
+            let mut m = Method::build(MethodKind::Sd2, &city, &r.sim, 0.6);
+            r.run_once_with_faults(m.as_policy(), r.sim.seed, plan)
+        };
+        // Same seed + same plan reproduces the ledger bit for bit.
+        assert_eq!(run(Some(&plan)).ledger, run(Some(&plan)).ledger);
+        // A zero-fault plan is indistinguishable from no plan.
+        let empty = FaultPlan::new(9);
+        assert_eq!(run(Some(&empty)).ledger, run(None).ledger);
+        // And the outage plan actually changed the world vs. fault-free.
+        assert_ne!(run(Some(&plan)).ledger, run(None).ledger);
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Training watchdogs: checkpoint on health, restore on divergence.
+//!
+//! Deep RL training occasionally diverges — a bad batch explodes the loss,
+//! NaN propagates through the network, and every episode afterwards is
+//! wasted. [`crate::Runner::train_guarded`] monitors each training episode
+//! and, when an episode produces a non-finite or exploding reward or leaves
+//! the policy unhealthy (non-finite parameters), restores the last
+//! known-good checkpoint and re-seeds exploration so the restored policy
+//! does not march back down the trajectory that diverged.
+//!
+//! The watchdog is deterministic: checkpoints are byte buffers from
+//! [`fairmove_rl::save_mlp`], restore decisions depend only on episode
+//! outcomes, and the re-seed is derived from the evaluation seed and the
+//! episode index.
+
+use crate::method::Method;
+use fairmove_sim::DisplacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Divergence thresholds for [`crate::Runner::train_guarded`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// An episode whose average reward exceeds this magnitude is treated as
+    /// exploded even if still finite.
+    pub max_abs_reward: f64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // Rewards are per-taxi per-slot CNY-scale quantities; 1e6 is orders
+        // of magnitude beyond anything a healthy run produces.
+        WatchdogConfig {
+            max_abs_reward: 1e6,
+        }
+    }
+}
+
+/// What the watchdog saw and did over one guarded training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogReport {
+    /// Healthy episodes whose parameters were checkpointed.
+    pub checkpoints: u64,
+    /// Diverged episodes rolled back to the last good checkpoint.
+    pub restores: u64,
+    /// Diverged episodes with no checkpoint to roll back to (the policy
+    /// either doesn't support checkpointing or hadn't completed a healthy
+    /// episode yet); exploration is still re-seeded.
+    pub unrecovered: u64,
+}
+
+impl WatchdogReport {
+    /// Total episodes the watchdog rejected.
+    pub fn bad_episodes(&self) -> u64 {
+        self.restores + self.unrecovered
+    }
+}
+
+/// A trainee the watchdog can guard: a policy plus (optionally) parameter
+/// checkpointing. Implemented by [`Method`]; tests use mock trainees to
+/// exercise divergence paths deterministically.
+pub trait GuardedTrainee {
+    /// The policy to drive through training episodes.
+    fn policy(&mut self) -> &mut dyn DisplacementPolicy;
+
+    /// Serializes current learned parameters, or `None` if this trainee
+    /// does not support checkpointing.
+    fn checkpoint(&self) -> Option<Vec<u8>>;
+
+    /// Restores parameters from [`Self::checkpoint`] bytes. Returns whether
+    /// the restore was applied.
+    fn restore(&mut self, bytes: &[u8]) -> bool;
+}
+
+impl GuardedTrainee for Method {
+    fn policy(&mut self) -> &mut dyn DisplacementPolicy {
+        self.as_policy()
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        match self {
+            Method::FairMove(p) => {
+                let mut buf = Vec::new();
+                p.save(&mut buf).ok()?;
+                Some(buf)
+            }
+            // The other learners have no save/load surface (the paper only
+            // persists FairMove); the watchdog still re-seeds them.
+            _ => None,
+        }
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        match self {
+            Method::FairMove(p) => p.load(&mut &bytes[..]).is_ok(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::MethodKind;
+    use fairmove_city::City;
+    use fairmove_sim::SimConfig;
+
+    #[test]
+    fn fairmove_checkpoints_roundtrip() {
+        let sim = SimConfig::test_scale();
+        let city = City::generate(sim.city.clone());
+        let mut m = Method::build(MethodKind::FairMove, &city, &sim, 0.6);
+        let bytes = m.checkpoint().expect("FairMove must checkpoint");
+        assert!(!bytes.is_empty());
+        assert!(m.restore(&bytes), "restoring own checkpoint must succeed");
+        assert!(!m.restore(b"garbage"), "corrupt bytes must be rejected");
+    }
+
+    #[test]
+    fn non_checkpointing_methods_return_none() {
+        let sim = SimConfig::test_scale();
+        let city = City::generate(sim.city.clone());
+        for kind in [MethodKind::Gt, MethodKind::Sd2, MethodKind::Tql] {
+            let mut m = Method::build(kind, &city, &sim, 0.6);
+            assert!(m.checkpoint().is_none(), "{kind:?}");
+            assert!(!m.restore(&[]), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn report_totals_add_up() {
+        let r = WatchdogReport {
+            checkpoints: 5,
+            restores: 2,
+            unrecovered: 1,
+        };
+        assert_eq!(r.bad_episodes(), 3);
+    }
+}

@@ -124,13 +124,32 @@ impl TripGenerator {
     /// boundaries; arrival minutes are uniform in
     /// `[slot_start, slot_start + SLOT_MINUTES)`).
     pub fn generate_slot(&mut self, slot_start: SimTime) -> Vec<PassengerRequest> {
+        self.generate_slot_scaled(slot_start, None)
+    }
+
+    /// Like [`generate_slot`](Self::generate_slot), but with optional
+    /// per-region demand multipliers (fault injection: surges > 1,
+    /// blackouts = 0). Passing `None` — or factors of exactly 1.0 — is
+    /// bit-identical to the unscaled stream: `λ × 1.0 == λ` in IEEE
+    /// arithmetic, so the Poisson sampler consumes the same draws.
+    pub fn generate_slot_scaled(
+        &mut self,
+        slot_start: SimTime,
+        scale: Option<&[f64]>,
+    ) -> Vec<PassengerRequest> {
         let slot: TimeSlot = slot_start.slot_of_day();
         let n = self.cum_weights.len();
+        if let Some(s) = scale {
+            assert_eq!(s.len(), n, "demand scale must cover every region");
+        }
         // Expected count is small per region; reserve for the common case.
         let mut out = Vec::with_capacity(16);
         for o in 0..n {
             let origin = RegionId(o as u16);
-            let lambda = self.demand.intensity(origin, slot);
+            let mut lambda = self.demand.intensity(origin, slot);
+            if let Some(s) = scale {
+                lambda *= s[o];
+            }
             let count = random::poisson(&mut self.rng, lambda);
             for _ in 0..count {
                 out.push(self.make_request(origin, slot_start));

@@ -1,0 +1,31 @@
+//! Deterministic fault injection for the FairMove fleet simulator.
+//!
+//! The paper's dispatcher is *centralized*: one process observes every
+//! region, decides every displacement, and talks to every charging station.
+//! Its real-world failure modes are therefore infrastructure failures —
+//! charger outages, stale or partial observations, lost dispatch commands,
+//! demand shocks, taxis dropping out of service. This crate models those as
+//! data: a [`FaultPlan`] is a seeded list of [`FaultSpec`]s with slot
+//! windows, compiled per slot into a [`FaultSet`] that the environment
+//! consults while stepping.
+//!
+//! # Determinism contract
+//!
+//! Everything here is a pure function of `(plan, slot[, taxi])`:
+//!
+//! * [`FaultPlan::faults_at`] derives the active [`FaultSet`] from the spec
+//!   list alone — no interior mutability, no global state.
+//! * Probabilistic faults (dispatch-command loss) are sampled with a
+//!   [`splitmix64`]-style hash of `(plan seed, slot, taxi)` rather than an
+//!   RNG stream, so injecting them never perturbs the simulator's own RNG
+//!   and the same plan always drops the same commands.
+//!
+//! The crate is dependency-free on purpose: identifiers are plain integers
+//! (`u16` region/station indices, `u32` taxi indices, absolute slot
+//! numbers), and the simulator layer owns the mapping to its typed ids.
+
+mod plan;
+mod scenarios;
+
+pub use plan::{splitmix64, FaultPlan, FaultSet, FaultSpec, SlotWindow};
+pub use scenarios::{scenario, scenario_battery, FleetShape, SCENARIO_NAMES};

@@ -1,0 +1,546 @@
+//! Fault plans, per-slot fault sets, and the deterministic hash sampler.
+
+/// Half-open window of absolute slots `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotWindow {
+    /// First slot (inclusive) in which the fault is active.
+    pub start: u32,
+    /// First slot (exclusive) after which the fault has cleared.
+    pub end: u32,
+}
+
+impl SlotWindow {
+    /// A window covering `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "inverted slot window [{start}, {end})");
+        SlotWindow { start, end }
+    }
+
+    /// Whether `slot` falls inside the window.
+    #[inline]
+    pub fn contains(&self, slot: u32) -> bool {
+        slot >= self.start && slot < self.end
+    }
+
+    /// Number of slots covered.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the window covers no slots at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// One injectable fault, active during its [`SlotWindow`].
+///
+/// Identifiers are plain indices (`u16` region/station, `u32` taxi) so this
+/// crate stays dependency-free; the simulator maps them to its typed ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// A charging station loses power: no taxi can plug in while the outage
+    /// lasts. Arrivals queue (or balk) and in-progress charges finish on
+    /// backup power.
+    StationOutage { station: u16, window: SlotWindow },
+    /// Regional demand multiplied by `factor > 1` (concert, storm, rail
+    /// disruption...).
+    DemandSurge {
+        region: u16,
+        factor: f64,
+        window: SlotWindow,
+    },
+    /// Regional demand drops to zero (road closure, evacuation).
+    DemandBlackout { region: u16, window: SlotWindow },
+    /// A taxi is out of service: it ignores dispatch and serves no
+    /// passengers while broken down.
+    TaxiBreakdown { taxi: u32, window: SlotWindow },
+    /// The dispatcher's global view lags reality by `lag_slots` slots
+    /// (telemetry backhaul congestion). Per-taxi state stays truthful — the
+    /// vehicles know their own position and charge.
+    ObservationStaleness { lag_slots: u32, window: SlotWindow },
+    /// The dispatcher stops receiving counts from one region entirely; the
+    /// region reads as empty (no vacant taxis, no waiting passengers).
+    ObservationDropout { region: u16, window: SlotWindow },
+    /// Each displacement command is independently lost with `probability`;
+    /// a lost command silently degrades to the taxi's default behavior
+    /// (stay put, or charge when it must).
+    CommandLoss {
+        probability: f64,
+        window: SlotWindow,
+    },
+}
+
+impl FaultSpec {
+    /// The window during which this fault is active.
+    pub fn window(&self) -> SlotWindow {
+        match *self {
+            FaultSpec::StationOutage { window, .. }
+            | FaultSpec::DemandSurge { window, .. }
+            | FaultSpec::DemandBlackout { window, .. }
+            | FaultSpec::TaxiBreakdown { window, .. }
+            | FaultSpec::ObservationStaleness { window, .. }
+            | FaultSpec::ObservationDropout { window, .. }
+            | FaultSpec::CommandLoss { window, .. } => window,
+        }
+    }
+}
+
+/// A seeded, ordered list of faults to inject over a run.
+///
+/// Two plans with equal seeds and equal specs produce identical per-slot
+/// [`FaultSet`]s and identical command-loss draws — the whole plan is data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan. The seed only matters for probabilistic faults
+    /// (command loss).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Builder-style push.
+    #[must_use]
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Appends a fault spec.
+    pub fn push(&mut self, spec: FaultSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The plan's seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All specs, in insertion order.
+    #[inline]
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Largest staleness lag any spec can introduce, regardless of window.
+    /// The environment sizes its observation history with this.
+    pub fn max_staleness_lag(&self) -> u32 {
+        self.specs
+            .iter()
+            .map(|s| match *s {
+                FaultSpec::ObservationStaleness { lag_slots, .. } => lag_slots,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any spec scales demand (lets the environment skip building
+    /// per-region factor tables when it never needs them).
+    pub fn has_demand_faults(&self) -> bool {
+        self.specs.iter().any(|s| {
+            matches!(
+                s,
+                FaultSpec::DemandSurge { .. } | FaultSpec::DemandBlackout { .. }
+            )
+        })
+    }
+
+    /// Compiles the set of faults active at absolute slot `slot`.
+    pub fn faults_at(&self, slot: u32) -> FaultSet {
+        let mut set = FaultSet::default();
+        let mut survive = 1.0f64; // P(no command loss) across active specs
+        for spec in &self.specs {
+            if !spec.window().contains(slot) {
+                continue;
+            }
+            match *spec {
+                FaultSpec::StationOutage { station, .. } => set.stations_out.push(station),
+                FaultSpec::DemandSurge { region, factor, .. } => {
+                    set.scale_demand(region, factor.max(0.0));
+                }
+                FaultSpec::DemandBlackout { region, .. } => set.scale_demand(region, 0.0),
+                FaultSpec::TaxiBreakdown { taxi, .. } => set.taxis_out.push(taxi),
+                FaultSpec::ObservationStaleness { lag_slots, .. } => {
+                    set.obs_lag_slots = set.obs_lag_slots.max(lag_slots);
+                }
+                FaultSpec::ObservationDropout { region, .. } => {
+                    set.obs_dropped_regions.push(region);
+                }
+                FaultSpec::CommandLoss { probability, .. } => {
+                    survive *= 1.0 - probability.clamp(0.0, 1.0);
+                }
+            }
+        }
+        set.command_loss_prob = 1.0 - survive;
+        set.stations_out.sort_unstable();
+        set.stations_out.dedup();
+        set.taxis_out.sort_unstable();
+        set.taxis_out.dedup();
+        set.obs_dropped_regions.sort_unstable();
+        set.obs_dropped_regions.dedup();
+        set.demand_factors.sort_unstable_by_key(|&(r, _)| r);
+        set
+    }
+
+    /// Deterministic command-loss draw for `(slot, taxi)` at `probability`.
+    ///
+    /// Hash-based rather than stream-based: consulting it any number of
+    /// times, in any order, never perturbs other randomness. `probability`
+    /// is passed explicitly (it is the per-slot combined probability from
+    /// [`FaultSet::command_loss_prob`]).
+    pub fn command_lost(&self, slot: u32, taxi: u32, probability: f64) -> bool {
+        if probability <= 0.0 {
+            return false;
+        }
+        if probability >= 1.0 {
+            return true;
+        }
+        let key = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(slot).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ u64::from(taxi).wrapping_mul(0x94D0_49BB_1331_11EB)
+            ^ 0x434D_444C; // "CMDL"
+        let u = (splitmix64(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < probability
+    }
+
+    /// A reproducible pseudo-random plan over a fleet of the given shape,
+    /// for property tests: every category of fault can appear, windows fall
+    /// inside `[0, shape.horizon_slots)`.
+    pub fn randomized(seed: u64, shape: &crate::FleetShape) -> FaultPlan {
+        let mut rng = Mix64::new(seed ^ 0x464C_5452); // "FLTR"
+        let mut plan = FaultPlan::new(seed);
+        let n_specs = 1 + rng.below(8);
+        for _ in 0..n_specs {
+            let horizon = shape.horizon_slots.max(1);
+            let start = rng.below(u64::from(horizon)) as u32;
+            let len = 1 + rng.below(u64::from(horizon)) as u32;
+            let window = SlotWindow::new(start, (start + len).min(horizon));
+            let spec = match rng.below(7) {
+                0 => FaultSpec::StationOutage {
+                    station: rng.below(u64::from(shape.n_stations.max(1))) as u16,
+                    window,
+                },
+                1 => FaultSpec::DemandSurge {
+                    region: rng.below(u64::from(shape.n_regions.max(1))) as u16,
+                    factor: 0.5 + rng.f64() * 2.5,
+                    window,
+                },
+                2 => FaultSpec::DemandBlackout {
+                    region: rng.below(u64::from(shape.n_regions.max(1))) as u16,
+                    window,
+                },
+                3 => FaultSpec::TaxiBreakdown {
+                    taxi: rng.below(u64::from(shape.fleet_size.max(1))) as u32,
+                    window,
+                },
+                4 => FaultSpec::ObservationStaleness {
+                    lag_slots: 1 + rng.below(3) as u32,
+                    window,
+                },
+                5 => FaultSpec::ObservationDropout {
+                    region: rng.below(u64::from(shape.n_regions.max(1))) as u16,
+                    window,
+                },
+                _ => FaultSpec::CommandLoss {
+                    probability: rng.f64() * 0.5,
+                    window,
+                },
+            };
+            plan.push(spec);
+        }
+        plan
+    }
+}
+
+/// Faults active during one slot, compiled by [`FaultPlan::faults_at`].
+///
+/// Id vectors are sorted and deduplicated so membership checks are binary
+/// searches and equality is structural.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSet {
+    /// Stations that cannot plug in new taxis this slot.
+    pub stations_out: Vec<u16>,
+    /// Per-region multiplicative demand factors (absent region ⇒ 1.0).
+    pub demand_factors: Vec<(u16, f64)>,
+    /// Taxis out of service this slot.
+    pub taxis_out: Vec<u32>,
+    /// How many slots behind reality the dispatcher's global view is.
+    pub obs_lag_slots: u32,
+    /// Regions whose counts the dispatcher does not receive this slot.
+    pub obs_dropped_regions: Vec<u16>,
+    /// Combined probability that any one dispatch command is lost.
+    pub command_loss_prob: f64,
+}
+
+impl FaultSet {
+    /// Whether nothing is injected this slot.
+    pub fn is_empty(&self) -> bool {
+        self.stations_out.is_empty()
+            && self.demand_factors.is_empty()
+            && self.taxis_out.is_empty()
+            && self.obs_lag_slots == 0
+            && self.obs_dropped_regions.is_empty()
+            && self.command_loss_prob <= 0.0
+    }
+
+    /// Whether `station` is out of service.
+    #[inline]
+    pub fn station_out(&self, station: u16) -> bool {
+        self.stations_out.binary_search(&station).is_ok()
+    }
+
+    /// Whether `taxi` is out of service.
+    #[inline]
+    pub fn taxi_out(&self, taxi: u32) -> bool {
+        self.taxis_out.binary_search(&taxi).is_ok()
+    }
+
+    /// Whether the dispatcher has lost the feed from `region`.
+    #[inline]
+    pub fn region_dropped(&self, region: u16) -> bool {
+        self.obs_dropped_regions.binary_search(&region).is_ok()
+    }
+
+    /// Demand multiplier for `region` (1.0 when unaffected).
+    pub fn demand_factor(&self, region: u16) -> f64 {
+        match self
+            .demand_factors
+            .binary_search_by_key(&region, |&(r, _)| r)
+        {
+            Ok(i) => self.demand_factors[i].1,
+            Err(_) => 1.0,
+        }
+    }
+
+    fn scale_demand(&mut self, region: u16, factor: f64) {
+        if let Some(entry) = self.demand_factors.iter_mut().find(|(r, _)| *r == region) {
+            entry.1 *= factor;
+        } else {
+            self.demand_factors.push((region, factor));
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mix used for hash-based sampling.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Minimal deterministic generator for [`FaultPlan::randomized`]; a counter
+/// fed through [`splitmix64`].
+struct Mix64 {
+    state: u64,
+}
+
+impl Mix64 {
+    fn new(seed: u64) -> Self {
+        Mix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FleetShape;
+
+    fn shape() -> FleetShape {
+        FleetShape {
+            n_regions: 40,
+            n_stations: 8,
+            fleet_size: 60,
+            horizon_slots: 144,
+        }
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = SlotWindow::new(3, 6);
+        assert!(!w.contains(2));
+        assert!(w.contains(3));
+        assert!(w.contains(5));
+        assert!(!w.contains(6));
+        assert_eq!(w.len(), 3);
+        assert!(SlotWindow::new(4, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_rejected() {
+        let _ = SlotWindow::new(5, 4);
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_empty_sets() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        for slot in [0, 1, 100] {
+            assert!(plan.faults_at(slot).is_empty());
+        }
+    }
+
+    #[test]
+    fn faults_respect_windows() {
+        let plan = FaultPlan::new(0).with(FaultSpec::StationOutage {
+            station: 2,
+            window: SlotWindow::new(10, 20),
+        });
+        assert!(plan.faults_at(9).is_empty());
+        assert!(plan.faults_at(10).station_out(2));
+        assert!(plan.faults_at(19).station_out(2));
+        assert!(plan.faults_at(20).is_empty());
+        assert!(!plan.faults_at(10).station_out(3));
+    }
+
+    #[test]
+    fn overlapping_outages_deduplicate() {
+        let w = SlotWindow::new(0, 5);
+        let plan = FaultPlan::new(0)
+            .with(FaultSpec::StationOutage {
+                station: 1,
+                window: w,
+            })
+            .with(FaultSpec::StationOutage {
+                station: 1,
+                window: w,
+            })
+            .with(FaultSpec::StationOutage {
+                station: 0,
+                window: w,
+            });
+        let set = plan.faults_at(2);
+        assert_eq!(set.stations_out, vec![0, 1]);
+    }
+
+    #[test]
+    fn demand_factors_combine_multiplicatively() {
+        let w = SlotWindow::new(0, 5);
+        let plan = FaultPlan::new(0)
+            .with(FaultSpec::DemandSurge {
+                region: 3,
+                factor: 2.0,
+                window: w,
+            })
+            .with(FaultSpec::DemandSurge {
+                region: 3,
+                factor: 1.5,
+                window: w,
+            })
+            .with(FaultSpec::DemandBlackout {
+                region: 4,
+                window: w,
+            });
+        let set = plan.faults_at(1);
+        assert!((set.demand_factor(3) - 3.0).abs() < 1e-12);
+        assert_eq!(set.demand_factor(4), 0.0);
+        assert_eq!(set.demand_factor(5), 1.0);
+    }
+
+    #[test]
+    fn staleness_takes_max_lag_and_command_loss_combines() {
+        let w = SlotWindow::new(0, 5);
+        let plan = FaultPlan::new(0)
+            .with(FaultSpec::ObservationStaleness {
+                lag_slots: 2,
+                window: w,
+            })
+            .with(FaultSpec::ObservationStaleness {
+                lag_slots: 4,
+                window: w,
+            })
+            .with(FaultSpec::CommandLoss {
+                probability: 0.5,
+                window: w,
+            })
+            .with(FaultSpec::CommandLoss {
+                probability: 0.5,
+                window: w,
+            });
+        let set = plan.faults_at(0);
+        assert_eq!(set.obs_lag_slots, 4);
+        assert!((set.command_loss_prob - 0.75).abs() < 1e-12);
+        assert_eq!(plan.max_staleness_lag(), 4);
+    }
+
+    #[test]
+    fn command_loss_is_deterministic_and_calibrated() {
+        let plan = FaultPlan::new(42);
+        let p = 0.3;
+        let mut lost = 0u32;
+        let trials = 10_000u32;
+        for i in 0..trials {
+            let slot = i / 100;
+            let taxi = i % 100;
+            let a = plan.command_lost(slot, taxi, p);
+            let b = plan.command_lost(slot, taxi, p);
+            assert_eq!(a, b, "same (slot, taxi) must draw the same outcome");
+            if a {
+                lost += 1;
+            }
+        }
+        let rate = f64::from(lost) / f64::from(trials);
+        assert!((rate - p).abs() < 0.03, "loss rate {rate} far from {p}");
+        assert!(!plan.command_lost(0, 0, 0.0));
+        assert!(plan.command_lost(0, 0, 1.0));
+    }
+
+    #[test]
+    fn command_loss_depends_on_seed() {
+        let a = FaultPlan::new(1);
+        let b = FaultPlan::new(2);
+        let differs = (0..200).any(|i| a.command_lost(0, i, 0.5) != b.command_lost(0, i, 0.5));
+        assert!(differs, "different seeds should drop different commands");
+    }
+
+    #[test]
+    fn randomized_plans_are_reproducible() {
+        let s = shape();
+        let a = FaultPlan::randomized(9, &s);
+        let b = FaultPlan::randomized(9, &s);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for spec in a.specs() {
+            let w = spec.window();
+            assert!(w.end <= s.horizon_slots);
+        }
+        let c = FaultPlan::randomized(10, &s);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+}

@@ -1,0 +1,225 @@
+//! Named fault scenarios, parameterized by fleet shape.
+//!
+//! Each scenario is a recipe: given the fleet's shape (region/station/taxi
+//! counts, horizon) it compiles to a concrete [`FaultPlan`]. The battery of
+//! names is fixed so benches and CI can iterate it without coordination.
+
+use crate::{FaultPlan, FaultSpec, SlotWindow};
+
+/// The shape of a fleet run, enough to scale scenarios to any config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetShape {
+    /// Number of city regions.
+    pub n_regions: u16,
+    /// Number of charging stations.
+    pub n_stations: u16,
+    /// Number of taxis.
+    pub fleet_size: u32,
+    /// Run length in slots.
+    pub horizon_slots: u32,
+}
+
+/// The canonical scenario battery, in evaluation order.
+pub const SCENARIO_NAMES: [&str; 5] = [
+    "calm",
+    "charger-outage",
+    "demand-shock",
+    "comms-degraded",
+    "combined",
+];
+
+/// Compiles the named scenario for a fleet of `shape`, or `None` for an
+/// unknown name. `"calm"` is the empty plan (the degradation baseline).
+pub fn scenario(name: &str, seed: u64, shape: &FleetShape) -> Option<FaultPlan> {
+    match name {
+        "calm" => Some(FaultPlan::new(seed)),
+        "charger-outage" => Some(charger_outage(seed, shape)),
+        "demand-shock" => Some(demand_shock(seed, shape)),
+        "comms-degraded" => Some(comms_degraded(seed, shape)),
+        "combined" => Some(combined(seed, shape)),
+        _ => None,
+    }
+}
+
+/// The full battery as `(name, plan)` pairs.
+pub fn scenario_battery(seed: u64, shape: &FleetShape) -> Vec<(&'static str, FaultPlan)> {
+    SCENARIO_NAMES
+        .iter()
+        .map(|name| {
+            (
+                *name,
+                scenario(name, seed, shape).expect("battery names are known"),
+            )
+        })
+        .collect()
+}
+
+/// A third of stations lose power for the middle quarter of the run —
+/// the e-taxi version of a feeder failure taking out a charging district.
+fn charger_outage(seed: u64, shape: &FleetShape) -> FaultPlan {
+    let h = shape.horizon_slots;
+    let window = SlotWindow::new(h / 4, h / 2);
+    let mut plan = FaultPlan::new(seed);
+    for station in (0..shape.n_stations).step_by(3) {
+        plan.push(FaultSpec::StationOutage { station, window });
+    }
+    plan
+}
+
+/// Demand surges 2.5× in the first quarter of regions while the last eighth
+/// blacks out, for a sixth of the run — a stadium event plus a road closure.
+fn demand_shock(seed: u64, shape: &FleetShape) -> FaultPlan {
+    let h = shape.horizon_slots;
+    let n = shape.n_regions;
+    let window = SlotWindow::new(h / 3, h / 3 + (h / 6).max(1));
+    let mut plan = FaultPlan::new(seed);
+    for region in 0..(n / 4).max(1) {
+        plan.push(FaultSpec::DemandSurge {
+            region,
+            factor: 2.5,
+            window,
+        });
+    }
+    for region in (n - (n / 8).max(1))..n {
+        plan.push(FaultSpec::DemandBlackout { region, window });
+    }
+    plan
+}
+
+/// Telemetry backhaul congestion: the global view lags 2 slots and every
+/// fifth region's feed drops for the middle half of the run, while 15% of
+/// dispatch commands are lost for the whole run.
+fn comms_degraded(seed: u64, shape: &FleetShape) -> FaultPlan {
+    let h = shape.horizon_slots;
+    let mid = SlotWindow::new(h / 4, (3 * h) / 4);
+    let mut plan = FaultPlan::new(seed)
+        .with(FaultSpec::ObservationStaleness {
+            lag_slots: 2,
+            window: mid,
+        })
+        .with(FaultSpec::CommandLoss {
+            probability: 0.15,
+            window: SlotWindow::new(0, h),
+        });
+    for region in (0..shape.n_regions).step_by(5) {
+        plan.push(FaultSpec::ObservationDropout {
+            region,
+            window: mid,
+        });
+    }
+    plan
+}
+
+/// Everything at once, plus every tenth taxi breaking down for the middle
+/// third — the stress scenario the ROADMAP's "as many scenarios as you can
+/// imagine" line asks for.
+fn combined(seed: u64, shape: &FleetShape) -> FaultPlan {
+    let h = shape.horizon_slots;
+    let mut plan = FaultPlan::new(seed);
+    for spec in charger_outage(seed, shape).specs() {
+        plan.push(spec.clone());
+    }
+    for spec in demand_shock(seed, shape).specs() {
+        plan.push(spec.clone());
+    }
+    for spec in comms_degraded(seed, shape).specs() {
+        plan.push(spec.clone());
+    }
+    let breakdown = SlotWindow::new(h / 3, (2 * h) / 3);
+    for taxi in (0..shape.fleet_size).step_by(10) {
+        plan.push(FaultSpec::TaxiBreakdown {
+            taxi,
+            window: breakdown,
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> FleetShape {
+        FleetShape {
+            n_regions: 40,
+            n_stations: 8,
+            fleet_size: 60,
+            horizon_slots: 144,
+        }
+    }
+
+    #[test]
+    fn battery_covers_all_names_and_calm_is_empty() {
+        let battery = scenario_battery(5, &shape());
+        assert_eq!(battery.len(), SCENARIO_NAMES.len());
+        for (name, plan) in &battery {
+            if *name == "calm" {
+                assert!(plan.is_empty(), "calm must inject nothing");
+            } else {
+                assert!(!plan.is_empty(), "{name} must inject something");
+            }
+        }
+        assert!(scenario("no-such-scenario", 0, &shape()).is_none());
+    }
+
+    #[test]
+    fn charger_outage_hits_a_third_of_stations() {
+        let plan = scenario("charger-outage", 0, &shape()).unwrap();
+        let set = plan.faults_at(144 / 4);
+        assert_eq!(set.stations_out.len(), 3); // ceil(8 / 3)
+        assert!(plan.faults_at(0).is_empty());
+        assert!(plan.faults_at(144 / 2).is_empty());
+    }
+
+    #[test]
+    fn demand_shock_surges_and_blacks_out() {
+        let plan = scenario("demand-shock", 0, &shape()).unwrap();
+        let set = plan.faults_at(48);
+        assert!((set.demand_factor(0) - 2.5).abs() < 1e-12);
+        assert_eq!(set.demand_factor(39), 0.0);
+        assert_eq!(set.demand_factor(20), 1.0);
+    }
+
+    #[test]
+    fn comms_degraded_lags_drops_and_loses_commands() {
+        let plan = scenario("comms-degraded", 0, &shape()).unwrap();
+        let mid = plan.faults_at(72);
+        assert_eq!(mid.obs_lag_slots, 2);
+        assert!(mid.region_dropped(0));
+        assert!(mid.region_dropped(5));
+        assert!(!mid.region_dropped(1));
+        assert!((mid.command_loss_prob - 0.15).abs() < 1e-12);
+        let early = plan.faults_at(0);
+        assert_eq!(early.obs_lag_slots, 0);
+        assert!((early.command_loss_prob - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_includes_every_category() {
+        let plan = scenario("combined", 0, &shape()).unwrap();
+        let mid = plan.faults_at(60); // inside [48, 96) breakdowns and [36, 72) outage
+        assert!(!mid.taxis_out.is_empty());
+        assert!(mid.command_loss_prob > 0.0);
+        assert!(mid.obs_lag_slots > 0);
+        let outage = plan.faults_at(40);
+        assert!(!outage.stations_out.is_empty());
+        let shock = plan.faults_at(50);
+        assert!(shock.demand_factors.iter().any(|&(_, f)| f > 1.0));
+        assert!(shock.demand_factors.iter().any(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn scenarios_scale_to_tiny_shapes() {
+        let tiny = FleetShape {
+            n_regions: 2,
+            n_stations: 1,
+            fleet_size: 3,
+            horizon_slots: 12,
+        };
+        for (name, plan) in scenario_battery(1, &tiny) {
+            for spec in plan.specs() {
+                assert!(spec.window().end <= tiny.horizon_slots, "{name}");
+            }
+        }
+    }
+}

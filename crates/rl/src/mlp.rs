@@ -285,6 +285,15 @@ impl Mlp {
         }
     }
 
+    /// Whether every weight and bias is finite. A single NaN/Inf parameter
+    /// poisons all future forward passes, so policies expose this as their
+    /// health check for the watchdog / resilience layer.
+    pub fn params_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.w.data().iter().all(|v| v.is_finite()) && l.b.iter().all(|v| v.is_finite()))
+    }
+
     /// The layer shapes `(out, in)` for building optimizer state.
     pub fn layer_shapes(&self) -> Vec<(usize, usize)> {
         self.layers
@@ -468,6 +477,16 @@ mod tests {
         let mut grads = net.backward(&y);
         grads.clip_global_norm(1.0);
         assert!(grads.global_norm() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn params_finite_detects_poisoned_weights() {
+        let mut net = Mlp::new(&[3, 4, 2], Activation::Relu, Activation::Linear, 1);
+        assert!(net.params_finite());
+        let mut params = net.export_params();
+        *params[0].0.data_mut().first_mut().unwrap() = f64::NAN;
+        net.import_params(&params).unwrap();
+        assert!(!net.params_finite());
     }
 
     #[test]

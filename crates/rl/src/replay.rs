@@ -64,7 +64,9 @@ impl<T: Clone> ReplayBuffer<T> {
     }
 
     /// Samples `n` transitions uniformly with replacement. Returns fewer
-    /// only if the buffer is empty (then returns none).
+    /// only if the buffer is empty (then returns none). The empty case
+    /// consumes no RNG draws, so an early training step that finds nothing
+    /// to learn from cannot shift later sampling streams.
     pub fn sample(&self, rng: &mut StdRng, n: usize) -> Vec<&T> {
         if self.items.is_empty() {
             return Vec::new();
@@ -119,6 +121,27 @@ mod tests {
         let b: ReplayBuffer<i32> = ReplayBuffer::new(10);
         let mut rng = StdRng::seed_from_u64(1);
         assert!(b.sample(&mut rng, 8).is_empty());
+    }
+
+    #[test]
+    fn sample_from_empty_consumes_no_randomness() {
+        let b: ReplayBuffer<i32> = ReplayBuffer::new(10);
+        let mut sampled = StdRng::seed_from_u64(7);
+        let mut untouched = StdRng::seed_from_u64(7);
+        let _ = b.sample(&mut sampled, 64);
+        assert_eq!(
+            sampled.gen::<u64>(),
+            untouched.gen::<u64>(),
+            "empty sample must leave the RNG stream unchanged"
+        );
+    }
+
+    #[test]
+    fn sample_zero_requests_is_empty() {
+        let mut b = ReplayBuffer::new(4);
+        b.push(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(b.sample(&mut rng, 0).is_empty());
     }
 
     #[test]

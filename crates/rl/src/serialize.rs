@@ -127,6 +127,15 @@ pub fn load_mlp(r: &mut impl BufRead) -> Result<Mlp, LoadError> {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| fmt_err("bad in dim"))?;
         let values: Vec<f64> = it.map(parse_hex_f64).collect::<Result<_, _>>()?;
+        // A checkpoint with NaN/Inf weights is corrupt — a network restored
+        // from it would only reproduce the divergence the watchdog is trying
+        // to recover from. Reject at parse time with a precise location.
+        if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+            return Err(fmt_err(format!(
+                "layer {out_dim}x{in_dim}: non-finite parameter {} at index {pos}",
+                values[pos]
+            )));
+        }
         if values.len() != out_dim * in_dim + out_dim {
             return Err(fmt_err(format!(
                 "layer {out_dim}x{in_dim}: expected {} values, got {}",
@@ -208,6 +217,40 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
         assert!(load_mlp(&mut truncated.as_bytes()).is_err());
+    }
+
+    /// Saves a small net, then replaces the first weight value with the
+    /// given raw hex payload.
+    fn corrupt_first_weight(payload: &str) -> String {
+        let net = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Linear, 9);
+        let mut buf = Vec::new();
+        save_mlp(&net, Activation::Relu, Activation::Linear, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let mut fields: Vec<String> = lines[1].split_whitespace().map(String::from).collect();
+        fields[3] = payload.to_string(); // first weight after "layer o i"
+        lines[1] = fields.join(" ");
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn rejects_nan_weights() {
+        let text = corrupt_first_weight("7ff8000000000000"); // quiet NaN
+        let err = load_mlp(&mut text.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("non-finite"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn rejects_infinite_weights() {
+        for payload in ["7ff0000000000000", "fff0000000000000"] {
+            let text = corrupt_first_weight(payload); // ±Inf
+            let err = load_mlp(&mut text.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, LoadError::Format(_)),
+                "expected format error, got {err}"
+            );
+        }
     }
 
     #[test]

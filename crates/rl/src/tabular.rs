@@ -97,6 +97,13 @@ impl QTable {
         }
     }
 
+    /// Whether every stored Q-value is finite. A diverging learning rate or
+    /// non-finite reward poisons the table through the TD update; health
+    /// checks use this to detect it.
+    pub fn values_finite(&self) -> bool {
+        self.q.values().all(|row| row.iter().all(|v| v.is_finite()))
+    }
+
     /// The Watkins update:
     /// `Q(s,a) ← Q(s,a) + α (r + γ max_a' Q(s',a') − Q(s,a))`.
     ///
@@ -237,5 +244,14 @@ mod tests {
     #[should_panic(expected = "gamma out of range")]
     fn rejects_gamma_one() {
         let _ = QTable::new(0.1, 1.0, 0.0);
+    }
+
+    #[test]
+    fn values_finite_detects_poisoned_rows() {
+        let mut q = QTable::new(1.0, 0.9, 0.0);
+        assert!(q.values_finite());
+        let _ = q.values_mut(0, 1);
+        q.update(0, 0, f64::NAN, 1, 0);
+        assert!(!q.values_finite());
     }
 }

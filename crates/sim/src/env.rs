@@ -17,6 +17,7 @@
 use crate::action::Action;
 use crate::action::ActionSet;
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::ledger::{ChargeEvent, FleetLedger, TimeBucket, TripEvent};
 use crate::observation::{DecisionContext, SlotObservation};
 use crate::passenger::PassengerPool;
@@ -25,11 +26,12 @@ use crate::station::StationState;
 use crate::taxi::{Taxi, TaxiId, TaxiState};
 use fairmove_city::{City, RegionId, SimTime, StationId, MINUTES_PER_DAY, SLOT_MINUTES};
 use fairmove_data::{DemandModel, PassengerRequest, TripGenerator};
+use fairmove_faults::{FaultPlan, FaultSet};
 use fairmove_telemetry::{buckets, Counter, Gauge, Histogram, Span, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A trip in progress (matched, not yet completed).
 #[derive(Debug, Clone)]
@@ -121,6 +123,22 @@ struct SimMetrics {
     charge_queue: Histogram,
     /// Vacant taxis at the end of the latest slot.
     vacant_taxis: Gauge,
+    /// Internal invariant violations recovered from (release builds).
+    invariants: Counter,
+    /// Slots in which at least one fault was active.
+    fault_active_slots: Counter,
+    /// Station-slots spent in outage.
+    fault_station_outage: Counter,
+    /// Region-slots with scaled (surged or blacked-out) demand.
+    fault_demand_regions: Counter,
+    /// Taxi-slots spent out of service.
+    fault_taxi_out: Counter,
+    /// Slots in which the dispatcher saw a stale global view.
+    fault_obs_stale: Counter,
+    /// Region-slots with a dropped observation feed.
+    fault_obs_dropped: Counter,
+    /// Dispatch commands lost in transit.
+    fault_commands_lost: Counter,
 }
 
 impl SimMetrics {
@@ -137,8 +155,37 @@ impl SimMetrics {
             charge_queue_depth: telemetry.gauge("sim.charge_queue_depth"),
             charge_queue: telemetry.histogram("sim.charge_queue_depth_per_slot", buckets::COUNTS),
             vacant_taxis: telemetry.gauge("sim.vacant_taxis"),
+            invariants: telemetry.counter("sim.invariant_violations"),
+            fault_active_slots: telemetry.counter("faults.active_slots"),
+            fault_station_outage: telemetry.counter("faults.station_outage_slots"),
+            fault_demand_regions: telemetry.counter("faults.demand_scaled_regions"),
+            fault_taxi_out: telemetry.counter("faults.taxi_out_slots"),
+            fault_obs_stale: telemetry.counter("faults.obs_stale_slots"),
+            fault_obs_dropped: telemetry.counter("faults.obs_dropped_regions"),
+            fault_commands_lost: telemetry.counter("faults.commands_lost"),
         })
     }
+}
+
+/// Always-on plain counters of fault injections and recovered invariant
+/// violations, mirrored into telemetry when it is enabled. Kept as plain
+/// integers so tests and benches can read them without a registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Slots in which at least one fault was active.
+    pub active_slots: u64,
+    /// Station-slots spent in outage.
+    pub station_outage_slots: u64,
+    /// Region-slots with scaled demand.
+    pub demand_scaled_regions: u64,
+    /// Taxi-slots spent out of service.
+    pub taxi_out_slots: u64,
+    /// Slots with a stale global view.
+    pub obs_stale_slots: u64,
+    /// Region-slots with a dropped feed.
+    pub obs_dropped_regions: u64,
+    /// Dispatch commands lost in transit.
+    pub commands_lost: u64,
 }
 
 /// The simulated world.
@@ -167,6 +214,18 @@ pub struct Environment {
     slot_matches: u64,
     /// Station redirects during the current slot.
     slot_redirects: u64,
+    /// Fault scenario to inject, if any.
+    fault_plan: Option<FaultPlan>,
+    /// Faults active during the slot currently being stepped (empty when no
+    /// plan is attached or nothing is scheduled).
+    active_faults: FaultSet,
+    /// Recent true observations, kept only when the plan can introduce
+    /// staleness; newest at the back.
+    obs_history: VecDeque<SlotObservation>,
+    /// Injection tallies (always on; mirrored to telemetry when enabled).
+    fault_counters: FaultCounters,
+    /// Invariant violations recovered from (see [`SimError`]).
+    invariant_violations: u64,
 }
 
 impl Environment {
@@ -224,6 +283,11 @@ impl Environment {
             metrics: None,
             slot_matches: 0,
             slot_redirects: 0,
+            fault_plan: None,
+            active_faults: FaultSet::default(),
+            obs_history: VecDeque::new(),
+            fault_counters: FaultCounters::default(),
+            invariant_violations: 0,
             config,
         }
     }
@@ -283,6 +347,43 @@ impl Environment {
         &self.taxis
     }
 
+    /// All stations, id order.
+    #[inline]
+    pub fn stations(&self) -> &[StationState] {
+        &self.stations
+    }
+
+    /// Attaches a fault plan to inject from the next slot on. Set before
+    /// stepping: mid-run attachment works but the plan's slot windows are
+    /// absolute, so slots already stepped are simply never injected.
+    ///
+    /// Determinism: the same config seed and the same plan produce
+    /// bit-identical ledgers, and an empty (or never-active) plan is
+    /// bit-identical to running with no plan at all — fault bookkeeping
+    /// never touches the environment RNG.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Injection tallies so far (all zero when no plan is attached).
+    #[inline]
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.fault_counters
+    }
+
+    /// How many internal invariant violations were recovered from (always 0
+    /// in a healthy run; debug builds assert instead).
+    #[inline]
+    pub fn invariant_violations(&self) -> u64 {
+        self.invariant_violations
+    }
+
     /// Whether the configured horizon has been reached.
     pub fn done(&self) -> bool {
         self.now.minutes() >= self.config.days * MINUTES_PER_DAY
@@ -328,7 +429,11 @@ impl Environment {
     }
 
     /// Builds the decision contexts for all currently vacant taxis
-    /// (ascending taxi id).
+    /// (ascending taxi id). Taxis broken down under the active fault set
+    /// are skipped — an out-of-service vehicle takes no dispatch — and
+    /// stations in outage are dropped from charge candidates unless every
+    /// nearby station is out (then drivers head for the nearest anyway and
+    /// queue for power, as they would in reality).
     pub fn decision_contexts(&self) -> Vec<DecisionContext> {
         let mut ids: Vec<TaxiId> = self
             .vacant_by_region
@@ -337,11 +442,27 @@ impl Environment {
             .collect();
         ids.sort_unstable();
         ids.iter()
+            .filter(|id| !self.active_faults.taxi_out(id.0))
             .map(|&id| {
                 let taxi = &self.taxis[id.index()];
                 let region = taxi.state.region().expect("vacant taxi has a region");
                 let must_charge = self.config.energy.must_charge(taxi.soc);
-                let stations = self.city.nearest_stations().nearest(region);
+                let all_stations = self.city.nearest_stations().nearest(region);
+                let in_service: Vec<StationId>;
+                let stations: &[StationId] = if self.active_faults.stations_out.is_empty() {
+                    all_stations
+                } else {
+                    in_service = all_stations
+                        .iter()
+                        .copied()
+                        .filter(|s| !self.active_faults.station_out(s.0))
+                        .collect();
+                    if in_service.is_empty() {
+                        all_stations
+                    } else {
+                        &in_service
+                    }
+                };
                 // The paper gates charging on the energy level ("the
                 // charging action is decided by the energy level of each
                 // e-taxi"): below η charging is forced; below the
@@ -382,20 +503,59 @@ impl Environment {
             .as_ref()
             .map(|m| Span::new(m.slot_seconds.clone()));
 
-        // 1. Decisions for vacant taxis.
-        let obs = self.observation();
+        // 0. Refresh the fault set for this slot (no-op without a plan).
+        self.refresh_faults(slot_start);
+
+        // 1. Decisions for vacant taxis. The policy sees the (possibly
+        // degraded) dispatcher view; the environment itself always works on
+        // true state.
+        let obs = self.policy_observation();
         let decisions = self.decision_contexts();
         let actions = policy.decide(&obs, &decisions);
         debug_assert_eq!(actions.len(), decisions.len());
+        let slot_idx = slot_start.absolute_slot();
+        let loss_prob = self.active_faults.command_loss_prob;
         for (ctx, &action) in decisions.iter().zip(actions.iter()) {
-            let action = self.sanitize(ctx, action);
+            let mut action = self.sanitize(ctx, action);
+            // Dispatch-command loss: the displacement silently degrades to
+            // the taxi's default behavior. Sampled by hashing
+            // (seed, slot, taxi) so the draw never touches `self.rng`.
+            if loss_prob > 0.0
+                && self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.command_lost(slot_idx, ctx.taxi.0, loss_prob))
+            {
+                action = if ctx.must_charge {
+                    ctx.actions.charge_actions()[0]
+                } else {
+                    Action::Stay
+                };
+                self.fault_counters.commands_lost += 1;
+                if let Some(m) = &self.metrics {
+                    m.fault_commands_lost.inc();
+                }
+            }
             self.apply_action(ctx.taxi, action);
         }
 
-        // 2. Demand for this slot, bucketed by arrival minute.
+        // 2. Demand for this slot, bucketed by arrival minute. Demand
+        // faults scale per-region rates; with no demand faults active the
+        // unscaled path is taken and the request stream is bit-identical.
         let mut arrivals: Vec<Vec<PassengerRequest>> =
             (0..SLOT_MINUTES).map(|_| Vec::new()).collect();
-        for req in self.trip_gen.generate_slot(slot_start) {
+        let requests = if self.active_faults.demand_factors.is_empty() {
+            self.trip_gen.generate_slot(slot_start)
+        } else {
+            let mut scale = vec![1.0f64; self.city.n_regions()];
+            for &(region, factor) in &self.active_faults.demand_factors {
+                if let Some(s) = scale.get_mut(usize::from(region)) {
+                    *s = factor;
+                }
+            }
+            self.trip_gen.generate_slot_scaled(slot_start, Some(&scale))
+        };
+        for req in requests {
             let offset = (req.requested_at - slot_start).min(SLOT_MINUTES - 1);
             arrivals[offset as usize].push(req);
         }
@@ -491,6 +651,113 @@ impl Environment {
     // Internals
     // ------------------------------------------------------------------
 
+    /// Compiles the fault set for the slot starting at `slot_start` and
+    /// handles outage recovery. No-op (and allocation-free) without a plan.
+    fn refresh_faults(&mut self, slot_start: SimTime) {
+        let Some(plan) = &self.fault_plan else {
+            return;
+        };
+        let previous = std::mem::take(&mut self.active_faults);
+        self.active_faults = plan.faults_at(slot_start.absolute_slot());
+
+        // Stations whose outage just ended regain power: queued taxis plug
+        // into whatever points freed up during the blackout, FIFO.
+        for &s in &previous.stations_out {
+            if !self.active_faults.station_out(s) {
+                self.recover_station(StationId(s), slot_start);
+            }
+        }
+
+        let fs = &self.active_faults;
+        if fs.is_empty() {
+            return;
+        }
+        let c = &mut self.fault_counters;
+        c.active_slots += 1;
+        c.station_outage_slots += fs.stations_out.len() as u64;
+        c.demand_scaled_regions += fs.demand_factors.len() as u64;
+        c.taxi_out_slots += fs.taxis_out.len() as u64;
+        c.obs_stale_slots += u64::from(fs.obs_lag_slots > 0);
+        c.obs_dropped_regions += fs.obs_dropped_regions.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.fault_active_slots.inc();
+            m.fault_station_outage.add(fs.stations_out.len() as u64);
+            m.fault_demand_regions.add(fs.demand_factors.len() as u64);
+            m.fault_taxi_out.add(fs.taxis_out.len() as u64);
+            if fs.obs_lag_slots > 0 {
+                m.fault_obs_stale.inc();
+            }
+            m.fault_obs_dropped.add(fs.obs_dropped_regions.len() as u64);
+        }
+    }
+
+    /// Plugs queued taxis into free points at a station that just regained
+    /// power.
+    fn recover_station(&mut self, station: StationId, now: SimTime) {
+        while let Some(next) = self.stations[station.index()].plug_from_queue() {
+            self.plug_in(next, station, now);
+        }
+    }
+
+    /// The observation handed to the *policy*: the true global view, passed
+    /// through the active observation faults (staleness, dropped regions,
+    /// stations reporting no free points during an outage). Without a fault
+    /// plan this is exactly [`Self::observation`].
+    fn policy_observation(&mut self) -> SlotObservation {
+        let obs = self.observation();
+        let Some(plan) = &self.fault_plan else {
+            return obs;
+        };
+        // Maintain the history ring only when staleness can occur at all.
+        let max_lag = plan.max_staleness_lag() as usize;
+        if max_lag > 0 {
+            self.obs_history.push_back(obs.clone());
+            while self.obs_history.len() > max_lag + 1 {
+                self.obs_history.pop_front();
+            }
+        }
+
+        let lag = self.active_faults.obs_lag_slots as usize;
+        let mut degraded = obs;
+        if lag > 0 && self.obs_history.len() > 1 {
+            // Newest is at the back; fall back to the oldest retained view
+            // when the run is younger than the lag.
+            let idx = self.obs_history.len().saturating_sub(1 + lag);
+            let stale = &self.obs_history[idx];
+            degraded.vacant_per_region = stale.vacant_per_region.clone();
+            degraded.free_points_per_station = stale.free_points_per_station.clone();
+            degraded.queue_per_station = stale.queue_per_station.clone();
+            degraded.inbound_per_station = stale.inbound_per_station.clone();
+            degraded.waiting_per_region = stale.waiting_per_region.clone();
+            degraded.mean_pe = stale.mean_pe;
+            degraded.pf = stale.pf;
+        }
+        for &r in &self.active_faults.obs_dropped_regions {
+            if let Some(v) = degraded.vacant_per_region.get_mut(usize::from(r)) {
+                *v = 0;
+            }
+            if let Some(v) = degraded.waiting_per_region.get_mut(usize::from(r)) {
+                *v = 0;
+            }
+        }
+        for &s in &self.active_faults.stations_out {
+            if let Some(v) = degraded.free_points_per_station.get_mut(usize::from(s)) {
+                *v = 0;
+            }
+        }
+        degraded
+    }
+
+    /// Records an internal invariant violation: fail fast in debug builds,
+    /// count and recover in release builds.
+    fn report_invariant(&mut self, err: SimError) {
+        debug_assert!(false, "sim invariant violated: {err}");
+        self.invariant_violations += 1;
+        if let Some(m) = &self.metrics {
+            m.invariants.inc();
+        }
+    }
+
     /// Replaces inadmissible actions with a safe default.
     fn sanitize(&self, ctx: &DecisionContext, action: Action) -> Action {
         if ctx.actions.contains(action) {
@@ -503,10 +770,13 @@ impl Environment {
     }
 
     fn apply_action(&mut self, id: TaxiId, action: Action) {
-        let region = self.taxis[id.index()]
-            .state
-            .region()
-            .expect("decision taxi is vacant");
+        let Some(region) = self.taxis[id.index()].state.region() else {
+            self.report_invariant(SimError::NotVacant {
+                taxi: id,
+                at: self.now,
+            });
+            return;
+        };
         match action {
             Action::Stay => {}
             Action::MoveTo(dest) => {
@@ -576,10 +846,21 @@ impl Environment {
         }
     }
 
-    fn begin_service(&mut self, id: TaxiId, _region: RegionId, now: SimTime) {
+    fn begin_service(&mut self, id: TaxiId, region: RegionId, now: SimTime) {
+        if self.pending_trip[id.index()].is_none() {
+            self.report_invariant(SimError::MissingPendingTrip {
+                taxi: id,
+                at: now,
+                phase: "pickup",
+            });
+            // Recover: the taxi goes back to seeking where it stands.
+            self.taxis[id.index()].free_since = now;
+            self.set_state(id, TaxiState::Vacant { region });
+            return;
+        }
         let pending = self.pending_trip[id.index()]
             .as_ref()
-            .expect("pickup without pending trip");
+            .expect("checked above");
         let trip_minutes = self
             .city
             .travel()
@@ -597,9 +878,17 @@ impl Environment {
     }
 
     fn finish_service(&mut self, id: TaxiId, dest: RegionId, now: SimTime) {
-        let pending = self.pending_trip[id.index()]
-            .take()
-            .expect("dropoff without pending trip");
+        let Some(pending) = self.pending_trip[id.index()].take() else {
+            self.report_invariant(SimError::MissingPendingTrip {
+                taxi: id,
+                at: now,
+                phase: "dropoff",
+            });
+            // Recover: no trip to account; the taxi frees where it stands.
+            self.taxis[id.index()].free_since = now;
+            self.set_state(id, TaxiState::Vacant { region: dest });
+            return;
+        };
         let total_km = pending.approach_km + pending.request.distance_km;
         self.drain(id, total_km);
         self.slot_profit[id.index()] += pending.request.fare_cny;
@@ -632,10 +921,13 @@ impl Environment {
         // Balking: a driver facing a visibly hopeless queue drives on to a
         // nearby alternative instead (bounded times per excursion). This is
         // what keeps real idle-time tails at tens of minutes rather than
-        // hours even when a policy herds.
+        // hours even when a policy herds. A station in outage is hopeless
+        // by definition — drivers try elsewhere if anywhere nearby has
+        // power, otherwise they queue and wait for it to come back.
+        let out = self.active_faults.station_out(station.0);
         let st = &self.stations[station.index()];
         let hopeless =
-            st.queue_len() as f64 >= Self::BALK_QUEUE_FACTOR * f64::from(st.points).max(1.0);
+            out || st.queue_len() as f64 >= Self::BALK_QUEUE_FACTOR * f64::from(st.points).max(1.0);
         let redirects = self.charge_ctx[id.index()]
             .as_ref()
             .map(|c| c.redirects)
@@ -665,6 +957,13 @@ impl Environment {
             }
         }
 
+        if out {
+            // No power: join the queue without taking a point; recovery
+            // plugs the backlog in FIFO order.
+            self.stations[station.index()].join_queue(id);
+            self.set_state(id, TaxiState::Queued { station });
+            return;
+        }
         let plugged = self.stations[station.index()].arrive(id);
         if plugged {
             self.plug_in(id, station, now);
@@ -673,8 +972,9 @@ impl Environment {
         }
     }
 
-    /// The least-backlogged station near `station` (other than itself),
-    /// judged from the host region's nearest-station list.
+    /// The least-backlogged station near `station` (other than itself and
+    /// any station currently in outage), judged from the host region's
+    /// nearest-station list.
     fn pick_alternative_station(&self, station: StationId) -> Option<StationId> {
         let region = self.city.station(station).region;
         self.city
@@ -682,7 +982,7 @@ impl Environment {
             .nearest(region)
             .iter()
             .copied()
-            .filter(|&s| s != station)
+            .filter(|&s| s != station && !self.active_faults.station_out(s.0))
             .min_by(|&a, &b| {
                 let load = |s: StationId| {
                     let st = &self.stations[s.index()];
@@ -703,9 +1003,17 @@ impl Environment {
         let target = (0.62 + self.rng.gen::<f64>() * (max_target - 0.58))
             .clamp((soc + 0.1).min(max_target), max_target);
         let minutes = self.config.energy.charge_minutes(soc, target).max(1);
-        let ctx = self.charge_ctx[id.index()]
-            .as_mut()
-            .expect("plug-in without charge context");
+        if self.charge_ctx[id.index()].is_none() {
+            self.report_invariant(SimError::MissingChargeContext { taxi: id, at: now });
+        }
+        // Recovery synthesizes a context decided right now, so the charge
+        // event still books with sane (zero-idle) timings.
+        let ctx = self.charge_ctx[id.index()].get_or_insert(ChargeContext {
+            decided_at: now,
+            plugged_at: None,
+            plug_soc: soc,
+            redirects: 0,
+        });
         ctx.plugged_at = Some(now);
         ctx.plug_soc = soc;
         self.set_state(
@@ -719,10 +1027,26 @@ impl Environment {
     }
 
     fn finish_charge(&mut self, id: TaxiId, station: StationId, now: SimTime) -> RegionId {
-        let ctx = self.charge_ctx[id.index()]
-            .take()
-            .expect("charge finish without context");
-        let plugged_at = ctx.plugged_at.expect("charging taxi was plugged");
+        let ctx = match self.charge_ctx[id.index()].take() {
+            Some(ctx) => ctx,
+            None => {
+                self.report_invariant(SimError::MissingChargeContext { taxi: id, at: now });
+                // Recover with a zero-duration excursion: no energy, no cost.
+                ChargeContext {
+                    decided_at: now,
+                    plugged_at: Some(now),
+                    plug_soc: self.taxis[id.index()].soc,
+                    redirects: 0,
+                }
+            }
+        };
+        let plugged_at = match ctx.plugged_at {
+            Some(at) => at,
+            None => {
+                self.report_invariant(SimError::NeverPlugged { taxi: id, at: now });
+                now
+            }
+        };
         let minutes = now - plugged_at;
         let energy = self.config.energy.energy_for_minutes(ctx.plug_soc, minutes);
         let cost =
@@ -749,8 +1073,12 @@ impl Environment {
         let region = self.city.station(station).region;
         self.set_state(id, TaxiState::Vacant { region });
 
-        // Hand the freed point to the next queued taxi, if any.
-        if let Some(next) = self.stations[station.index()].release() {
+        // Hand the freed point to the next queued taxi, if any. During an
+        // outage nobody may plug in: the point frees silently and the queue
+        // keeps waiting for power (recovery drains it).
+        if self.active_faults.station_out(station.0) {
+            self.stations[station.index()].release_no_handoff();
+        } else if let Some(next) = self.stations[station.index()].release() {
             self.plug_in(next, station, now);
         }
         region
@@ -758,19 +1086,21 @@ impl Environment {
 
     fn match_region(&mut self, region: RegionId, now: SimTime) {
         loop {
-            if self.vacant_by_region[region.index()].is_empty() {
-                return;
-            }
-            let Some(request) = self.pool.pop(region, now) else {
-                return;
-            };
             // FIFO by vacancy: the longest-waiting taxi gets the fare, as
             // at a real taxi rank. (LIFO would systematically starve taxis
             // at the bottom of big vacant pools — an artificial unfairness.)
-            let taxi = self.vacant_by_region[region.index()]
-                .first()
+            // Broken-down taxis are passed over — they cannot take fares —
+            // but keep their place in the rank for when they recover.
+            let Some(taxi) = self.vacant_by_region[region.index()]
+                .iter()
                 .copied()
-                .expect("checked non-empty");
+                .find(|t| !self.active_faults.taxi_out(t.0))
+            else {
+                return;
+            };
+            let Some(request) = self.pool.pop(region, now) else {
+                return;
+            };
             // Approach: a short intra-region hop to the passenger.
             let intra = (self.city.region(region).area_km2.sqrt() * 0.6).max(0.3);
             let approach_km = self.rng.gen_range(0.2..(intra + 0.2));
@@ -884,6 +1214,18 @@ mod tests {
         assert_eq!(fb.slot_start, SimTime::ZERO);
         assert_eq!(env.now(), SimTime(SLOT_MINUTES));
         assert_eq!(fb.slot_profit.len(), 60);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "sim invariant violated"))]
+    fn invariant_reports_fail_fast_in_debug_and_count_in_release() {
+        let mut env = small_env();
+        env.report_invariant(SimError::NeverPlugged {
+            taxi: TaxiId(0),
+            at: SimTime::ZERO,
+        });
+        // Release builds reach here: the violation is counted, not fatal.
+        assert_eq!(env.invariant_violations(), 1);
     }
 
     #[test]

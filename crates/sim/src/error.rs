@@ -1,0 +1,80 @@
+//! Structured simulator invariant violations.
+//!
+//! The environment maintains internal invariants (a taxi arriving at a
+//! station has a charge context; a pickup completion has a pending trip).
+//! Historically these were `.expect()`s — correct while the invariants
+//! hold, but a centralized dispatcher must not abort a production run over
+//! one corrupted vehicle record. Violations are now reported as a
+//! [`SimError`] through a debug-assert path: debug builds still fail fast,
+//! release builds recover to a safe state and count the event in the
+//! `sim.invariant_violations` telemetry counter.
+
+use crate::taxi::TaxiId;
+use fairmove_city::SimTime;
+
+/// An internal invariant violation, carrying enough context to localize the
+/// corruption in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A pickup or drop-off completed for a taxi with no pending trip.
+    MissingPendingTrip {
+        taxi: TaxiId,
+        at: SimTime,
+        /// `"pickup"` or `"dropoff"`.
+        phase: &'static str,
+    },
+    /// A taxi reached the plug-in or charge-finish path with no charge
+    /// context recording the excursion.
+    MissingChargeContext { taxi: TaxiId, at: SimTime },
+    /// A charge finished for a taxi whose context never recorded a plug-in
+    /// time.
+    NeverPlugged { taxi: TaxiId, at: SimTime },
+    /// A displacement action targeted a taxi that is not vacant.
+    NotVacant { taxi: TaxiId, at: SimTime },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::MissingPendingTrip { taxi, at, phase } => {
+                write!(f, "taxi {taxi}: {phase} at {at} without a pending trip")
+            }
+            SimError::MissingChargeContext { taxi, at } => {
+                write!(
+                    f,
+                    "taxi {taxi}: charge event at {at} without a charge context"
+                )
+            }
+            SimError::NeverPlugged { taxi, at } => {
+                write!(
+                    f,
+                    "taxi {taxi}: charge finished at {at} but was never plugged in"
+                )
+            }
+            SimError::NotVacant { taxi, at } => {
+                write!(
+                    f,
+                    "taxi {taxi}: displacement action at {at} while not vacant"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_taxi_and_time() {
+        let e = SimError::MissingChargeContext {
+            taxi: TaxiId(7),
+            at: SimTime(130),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7'), "{msg}");
+        assert!(msg.contains("charge context"), "{msg}");
+    }
+}

@@ -26,10 +26,12 @@
 pub mod action;
 pub mod config;
 pub mod env;
+pub mod error;
 pub mod ledger;
 pub mod observation;
 pub mod passenger;
 pub mod policy;
+pub mod resilient;
 pub mod snapshot;
 pub mod station;
 pub mod taxi;
@@ -37,13 +39,19 @@ pub mod trace;
 
 pub use action::{Action, ActionSet};
 pub use config::SimConfig;
-pub use env::{Environment, SlotFeedback};
+pub use env::{Environment, FaultCounters, SlotFeedback};
+pub use error::SimError;
 pub use ledger::{ChargeEvent, FleetLedger, TaxiLedger, TripEvent};
 pub use observation::{DecisionContext, SlotObservation};
-pub use policy::DisplacementPolicy;
+pub use policy::{DisplacementPolicy, StayPolicy};
+pub use resilient::{ResilienceStats, ResilientPolicy};
 pub use snapshot::FleetSnapshot;
 pub use taxi::{Taxi, TaxiId, TaxiState};
 pub use trace::{TraceEvent, TraceLog};
+
+// The fault-injection vocabulary is re-exported so downstream crates can
+// build plans without a direct `fairmove-faults` dependency.
+pub use fairmove_faults::{FaultPlan, FaultSet, FaultSpec, FleetShape, SlotWindow};
 
 // Telemetry is part of the simulator's public vocabulary: environments and
 // policies both accept a handle via `set_telemetry`.

@@ -36,6 +36,77 @@ pub trait DisplacementPolicy {
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         let _ = telemetry;
     }
+
+    /// Whether the policy is in a usable state. Learned policies report
+    /// `false` once their parameters go non-finite (a diverged update);
+    /// the resilience layer then stops consulting them and the training
+    /// watchdog restores a checkpoint. Default: always healthy.
+    fn is_healthy(&self) -> bool {
+        true
+    }
+
+    /// Re-seeds the policy's exploration randomness. Called by the training
+    /// watchdog after restoring a checkpoint so the restored policy does
+    /// not replay the exact exploration trajectory that diverged. Default:
+    /// no-op (static policies carry no RNG).
+    fn reseed_exploration(&mut self, seed: u64) {
+        let _ = seed;
+    }
+}
+
+/// Forwarding impl so wrappers like [`crate::ResilientPolicy`] can hold a
+/// borrowed policy without taking ownership.
+impl<P: DisplacementPolicy + ?Sized> DisplacementPolicy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        (**self).decide(obs, decisions)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback) {
+        (**self).observe(feedback)
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        (**self).set_telemetry(telemetry)
+    }
+
+    fn is_healthy(&self) -> bool {
+        (**self).is_healthy()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        (**self).reseed_exploration(seed)
+    }
+}
+
+/// Forwarding impl for boxed policies.
+impl<P: DisplacementPolicy + ?Sized> DisplacementPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        (**self).decide(obs, decisions)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback) {
+        (**self).observe(feedback)
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        (**self).set_telemetry(telemetry)
+    }
+
+    fn is_healthy(&self) -> bool {
+        (**self).is_healthy()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        (**self).reseed_exploration(seed)
+    }
 }
 
 /// The trivial policy: every taxi stays put. Useful as a floor baseline and

@@ -88,6 +88,35 @@ impl StationState {
         }
     }
 
+    /// Adds a taxi to the back of the queue without touching occupancy —
+    /// an arrival during a power outage, when nobody may plug in.
+    pub fn join_queue(&mut self, taxi: TaxiId) {
+        self.queue.push_back(taxi);
+    }
+
+    /// Frees a point *without* handing it to the queue — a charge finishing
+    /// during an outage, when the queue must keep waiting for power.
+    ///
+    /// # Panics
+    /// Panics if no point was occupied.
+    pub fn release_no_handoff(&mut self) {
+        assert!(self.occupied > 0, "release on empty station {}", self.id);
+        self.occupied -= 1;
+    }
+
+    /// Plugs the queue head into a free point, if both exist — used when a
+    /// station recovers from an outage holding free points and a backlog.
+    /// Returns the taxi that got the point.
+    pub fn plug_from_queue(&mut self) -> Option<TaxiId> {
+        if self.occupied < self.points {
+            if let Some(taxi) = self.queue.pop_front() {
+                self.occupied += 1;
+                return Some(taxi);
+            }
+        }
+        None
+    }
+
     /// Removes a taxi from the queue (e.g. a policy reroutes it).
     /// Returns whether it was present.
     pub fn abandon_queue(&mut self, taxi: TaxiId) -> bool {
@@ -148,6 +177,26 @@ mod tests {
         assert!(s.abandon_queue(TaxiId(2)));
         assert!(!s.abandon_queue(TaxiId(2)));
         assert_eq!(s.release(), Some(TaxiId(3)));
+    }
+
+    #[test]
+    fn outage_paths_queue_without_occupancy() {
+        let mut s = station(2);
+        // Outage arrival: queue grows, no point taken.
+        s.join_queue(TaxiId(1));
+        s.join_queue(TaxiId(2));
+        assert_eq!(s.occupied, 0);
+        assert_eq!(s.queue_len(), 2);
+        // Recovery: queue head plugs into a free point, FIFO.
+        assert_eq!(s.plug_from_queue(), Some(TaxiId(1)));
+        assert_eq!(s.plug_from_queue(), Some(TaxiId(2)));
+        assert_eq!(s.occupied, 2);
+        assert_eq!(s.plug_from_queue(), None, "no free point left");
+        // A charge finishing during an outage frees the point silently.
+        s.join_queue(TaxiId(3));
+        s.release_no_handoff();
+        assert_eq!(s.occupied, 1);
+        assert_eq!(s.queue_len(), 1, "queue must keep waiting for power");
     }
 
     #[test]

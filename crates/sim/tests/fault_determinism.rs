@@ -1,0 +1,363 @@
+//! The fault engine's determinism contract and per-fault semantics.
+//!
+//! Faults are part of the *scenario*, not the randomness: the same seed and
+//! the same [`FaultPlan`] must reproduce the same [`FleetLedger`] bit for
+//! bit, and a plan with no faults must be indistinguishable from no plan at
+//! all. The per-fault tests pin down what each [`FaultSpec`] actually does
+//! to the world.
+
+use fairmove_city::{RegionId, MINUTES_PER_DAY, SLOT_MINUTES};
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, Environment, FaultPlan, FaultSpec, FleetLedger,
+    SimConfig, SlotObservation, SlotWindow, StayPolicy, Telemetry,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HORIZON_SLOTS: u32 = MINUTES_PER_DAY / SLOT_MINUTES; // 1 test-scale day
+
+fn full_window() -> SlotWindow {
+    SlotWindow::new(0, HORIZON_SLOTS)
+}
+
+/// Picks a uniformly random admissible action each slot — maximally
+/// sensitive to any perturbation of the decision stream.
+struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DisplacementPolicy for RandomPolicy {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn decide(&mut self, _obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        decisions
+            .iter()
+            .map(|d| d.actions.action(self.rng.gen_range(0..d.actions.len())))
+            .collect()
+    }
+}
+
+fn run_with_plan(
+    seed: u64,
+    plan: Option<FaultPlan>,
+    policy: &mut dyn DisplacementPolicy,
+) -> Environment {
+    let mut config = SimConfig::test_scale();
+    config.seed = seed;
+    let mut env = Environment::new(config);
+    if let Some(plan) = plan {
+        env.set_fault_plan(plan);
+    }
+    env.run(policy);
+    env
+}
+
+fn ledger_with_plan(seed: u64, plan: Option<FaultPlan>) -> FleetLedger {
+    let mut policy = RandomPolicy::new(seed ^ 0xABCD);
+    run_with_plan(seed, plan, &mut policy).ledger().clone()
+}
+
+fn eventful_plan() -> FaultPlan {
+    FaultPlan::new(99)
+        .with(FaultSpec::StationOutage {
+            station: 1,
+            window: SlotWindow::new(20, 80),
+        })
+        .with(FaultSpec::DemandSurge {
+            region: 3,
+            factor: 2.0,
+            window: SlotWindow::new(10, 60),
+        })
+        .with(FaultSpec::TaxiBreakdown {
+            taxi: 7,
+            window: SlotWindow::new(0, 100),
+        })
+        .with(FaultSpec::ObservationStaleness {
+            lag_slots: 2,
+            window: full_window(),
+        })
+        .with(FaultSpec::CommandLoss {
+            probability: 0.25,
+            window: SlotWindow::new(30, 90),
+        })
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_the_ledger_bit_for_bit() {
+    let a = ledger_with_plan(11, Some(eventful_plan()));
+    let b = ledger_with_plan(11, Some(eventful_plan()));
+    assert_eq!(a, b, "identical seed + plan diverged");
+}
+
+#[test]
+fn zero_fault_plan_is_indistinguishable_from_no_plan() {
+    let with_empty = ledger_with_plan(13, Some(FaultPlan::new(42)));
+    let without = ledger_with_plan(13, None);
+    assert_eq!(with_empty, without, "an empty plan perturbed the sim");
+}
+
+#[test]
+fn unit_demand_factor_is_bit_identical_to_no_surge() {
+    // λ × 1.0 == λ in IEEE arithmetic, so a surge with factor 1.0 must not
+    // change a single sampled arrival.
+    let plan = FaultPlan::new(7).with(FaultSpec::DemandSurge {
+        region: 0,
+        factor: 1.0,
+        window: full_window(),
+    });
+    assert_eq!(ledger_with_plan(17, Some(plan)), ledger_with_plan(17, None));
+}
+
+#[test]
+fn telemetry_is_inert_under_faults() {
+    let run = |telemetry: &Telemetry| {
+        let mut config = SimConfig::test_scale();
+        config.seed = 29;
+        let mut env = Environment::new(config);
+        env.set_telemetry(telemetry);
+        env.set_fault_plan(eventful_plan());
+        let mut policy = RandomPolicy::new(5);
+        env.run(&mut policy);
+        env.ledger().clone()
+    };
+    let enabled = Telemetry::enabled();
+    assert_eq!(run(&enabled), run(&Telemetry::disabled()));
+    let snap = enabled.snapshot();
+    assert!(snap.counter("faults.active_slots").unwrap_or(0) > 0);
+}
+
+#[test]
+fn fault_counters_match_telemetry() {
+    let tel = Telemetry::enabled();
+    let mut config = SimConfig::test_scale();
+    config.seed = 31;
+    let mut env = Environment::new(config);
+    env.set_telemetry(&tel);
+    env.set_fault_plan(eventful_plan());
+    let mut policy = RandomPolicy::new(9);
+    env.run(&mut policy);
+    let c = *env.fault_counters();
+    let snap = tel.snapshot();
+    assert!(c.active_slots > 0);
+    assert_eq!(snap.counter("faults.active_slots"), Some(c.active_slots));
+    assert_eq!(
+        snap.counter("faults.station_outage_slots"),
+        Some(c.station_outage_slots)
+    );
+    assert_eq!(
+        snap.counter("faults.taxi_out_slots"),
+        Some(c.taxi_out_slots)
+    );
+    assert_eq!(snap.counter("faults.commands_lost"), Some(c.commands_lost));
+}
+
+#[test]
+fn total_demand_blackout_serves_zero_trips() {
+    let mut plan = FaultPlan::new(1);
+    for region in 0..40u16 {
+        plan.push(FaultSpec::DemandBlackout {
+            region,
+            window: full_window(),
+        });
+    }
+    let ledger = ledger_with_plan(37, Some(plan));
+    assert_eq!(ledger.trips().len(), 0, "blackout still produced trips");
+}
+
+#[test]
+fn whole_fleet_breakdown_serves_zero_trips() {
+    let mut plan = FaultPlan::new(2);
+    for taxi in 0..60u32 {
+        plan.push(FaultSpec::TaxiBreakdown {
+            taxi,
+            window: full_window(),
+        });
+    }
+    let mut policy = StayPolicy;
+    let env = run_with_plan(41, Some(plan), &mut policy);
+    assert_eq!(env.ledger().trips().len(), 0);
+    assert!(env.fault_counters().taxi_out_slots > 0);
+}
+
+#[test]
+fn station_outage_blocks_plug_ins_during_the_window() {
+    // Knock out every station in a mid-day window; no charge may *start*
+    // inside it (charges already plugged before the window may finish).
+    let window = SlotWindow::new(40, 90);
+    let mut plan = FaultPlan::new(3);
+    for station in 0..8u16 {
+        plan.push(FaultSpec::StationOutage { station, window });
+    }
+    let mut policy = RandomPolicy::new(43);
+    let env = run_with_plan(43, Some(plan), &mut policy);
+    assert!(env.fault_counters().station_outage_slots > 0);
+    let (start_min, end_min) = (window.start * SLOT_MINUTES, window.end * SLOT_MINUTES);
+    for c in env.ledger().charges() {
+        let plugged = c.plugged_at.minutes();
+        assert!(
+            !(start_min..end_min).contains(&plugged),
+            "taxi {:?} plugged in at minute {plugged} during a full outage",
+            c.taxi
+        );
+    }
+}
+
+#[test]
+fn demand_surge_increases_served_trips() {
+    let mut plan = FaultPlan::new(4);
+    for region in 0..40u16 {
+        plan.push(FaultSpec::DemandSurge {
+            region,
+            factor: 2.5,
+            window: full_window(),
+        });
+    }
+    let surged = ledger_with_plan(47, Some(plan));
+    let baseline = ledger_with_plan(47, None);
+    assert!(
+        surged.trips().len() > baseline.trips().len(),
+        "surge {} vs baseline {}",
+        surged.trips().len(),
+        baseline.trips().len()
+    );
+}
+
+#[test]
+fn certain_command_loss_degrades_to_stay_policy() {
+    // With every dispatch command lost, the environment substitutes the same
+    // safe default StayPolicy emits — so a move-happy policy's ledger must
+    // collapse onto the stay ledger exactly.
+    let plan = FaultPlan::new(5).with(FaultSpec::CommandLoss {
+        probability: 1.0,
+        window: full_window(),
+    });
+    let mut random = RandomPolicy::new(51);
+    let lost = run_with_plan(53, Some(plan), &mut random);
+    let mut stay = StayPolicy;
+    let stayed = run_with_plan(53, None, &mut stay);
+    assert!(lost.fault_counters().commands_lost > 0);
+    assert_eq!(lost.ledger().clone(), stayed.ledger().clone());
+}
+
+/// Records the observation stream a policy actually sees.
+struct ObsRecorder {
+    seen: Vec<SlotObservation>,
+}
+
+impl DisplacementPolicy for ObsRecorder {
+    fn name(&self) -> &str {
+        "ObsRecorder"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        self.seen.push(obs.clone());
+        // Behave exactly like StayPolicy so trajectories stay comparable.
+        decisions
+            .iter()
+            .map(|d| {
+                if d.must_charge {
+                    d.actions.charge_actions()[0]
+                } else {
+                    Action::Stay
+                }
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn observation_staleness_lags_the_policy_view_without_touching_state() {
+    let lag = 3u32;
+    let plan = FaultPlan::new(6).with(FaultSpec::ObservationStaleness {
+        lag_slots: lag,
+        window: full_window(),
+    });
+    let mut stale_rec = ObsRecorder { seen: Vec::new() };
+    let stale_env = run_with_plan(59, Some(plan), &mut stale_rec);
+    let mut clean_rec = ObsRecorder { seen: Vec::new() };
+    let clean_env = run_with_plan(59, None, &mut clean_rec);
+
+    // Degradation is view-only: the world itself evolved identically.
+    assert_eq!(stale_env.ledger().clone(), clean_env.ledger().clone());
+    assert!(stale_env.fault_counters().obs_stale_slots > 0);
+
+    // And the degraded view at slot t is the clean view of slot t - lag
+    // (global fields; a StayPolicy trajectory makes the two runs align).
+    let lag = lag as usize;
+    for t in lag..stale_rec.seen.len() {
+        let stale = &stale_rec.seen[t];
+        let old = &clean_rec.seen[t - lag];
+        assert_eq!(stale.vacant_per_region, old.vacant_per_region, "slot {t}");
+        assert_eq!(stale.waiting_per_region, old.waiting_per_region);
+        assert_eq!(stale.free_points_per_station, old.free_points_per_station);
+        // Time and price fields stay current even when counts are stale.
+        assert_eq!(stale.now, clean_rec.seen[t].now);
+    }
+}
+
+#[test]
+fn observation_dropout_zeroes_the_region_in_the_policy_view() {
+    let dropped = RegionId(2);
+    let plan = FaultPlan::new(8).with(FaultSpec::ObservationDropout {
+        region: 2,
+        window: full_window(),
+    });
+    let mut rec = ObsRecorder { seen: Vec::new() };
+    let env = run_with_plan(61, Some(plan), &mut rec);
+    assert!(env.fault_counters().obs_dropped_regions > 0);
+    for obs in &rec.seen {
+        assert_eq!(obs.vacant_per_region[dropped.index()], 0);
+        assert_eq!(obs.waiting_per_region[dropped.index()], 0);
+    }
+    // View-only again: the ledger matches the undegraded run.
+    let mut clean = ObsRecorder { seen: Vec::new() };
+    let clean_env = run_with_plan(61, None, &mut clean);
+    assert_eq!(env.ledger().clone(), clean_env.ledger().clone());
+}
+
+#[test]
+fn broken_taxis_receive_no_decisions() {
+    let plan = FaultPlan::new(9).with(FaultSpec::TaxiBreakdown {
+        taxi: 0,
+        window: full_window(),
+    });
+    struct AssertNoTaxiZero;
+    impl DisplacementPolicy for AssertNoTaxiZero {
+        fn name(&self) -> &str {
+            "AssertNoTaxiZero"
+        }
+        fn decide(&mut self, _: &SlotObservation, ds: &[DecisionContext]) -> Vec<Action> {
+            assert!(
+                ds.iter().all(|d| d.taxi.0 != 0),
+                "broken taxi offered a decision"
+            );
+            ds.iter()
+                .map(|d| {
+                    if d.must_charge {
+                        d.actions.charge_actions()[0]
+                    } else {
+                        Action::Stay
+                    }
+                })
+                .collect()
+        }
+    }
+    let mut policy = AssertNoTaxiZero;
+    let env = run_with_plan(67, Some(plan), &mut policy);
+    // The broken taxi still has its whole day accounted for.
+    let horizon = u64::from(env.config().days * MINUTES_PER_DAY);
+    assert_eq!(
+        env.ledger().taxi(fairmove_sim::TaxiId(0)).on_duty_minutes(),
+        horizon
+    );
+}
