@@ -25,7 +25,10 @@ use crate::features::{FeatureExtractor, SA_DIM, STATE_DIM};
 use crate::transition::TransitionTracker;
 use fairmove_rl::loss::{policy_gradient_logits, softmax};
 use fairmove_rl::{Activation, Adam, Matrix, Mlp, Optimizer, ReplayBuffer};
-use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation};
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, ObservationView, SlotFeedback, SlotObservation,
+    WorkingObservation,
+};
 use fairmove_telemetry::{Counter, Gauge, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +97,13 @@ pub struct Cma2cConfig {
     /// charge actions are admissible; the prior encodes "charging is the
     /// exception" while remaining fully overridable by the learned logits.
     pub charge_logit_prior: f64,
+    /// Maximum number of queued decisions featurized and scored in one
+    /// stacked actor forward pass. Batching amortizes per-call matmul
+    /// overhead; commits still apply sequentially, and any decision whose
+    /// features were touched by an earlier commit in the same wave is
+    /// re-scored in the next wave, so results are bit-identical to
+    /// `max_wave: 1` (the fully serial dispatcher).
+    pub max_wave: usize,
     /// RNG seed.
     pub seed: u64,
     /// Ablation: zero out the global-view state features (the taxi sees
@@ -123,12 +133,21 @@ impl Default for Cma2cConfig {
             entropy_coef: 0.01,
             train_iters: 6,
             charge_logit_prior: 2.5,
+            max_wave: 1_024,
             seed: 31,
             ablate_global_view: false,
             ablate_fairness_features: false,
         }
     }
 }
+
+/// First-wave size for the batched dispatcher: big enough to amortize the
+/// stacked forward, small enough that a herding-heavy first slot wastes
+/// little featurization work.
+const INITIAL_WAVE: usize = 16;
+/// Floor for the adaptive wave size — below this the stacked forward no
+/// longer pays for its setup.
+const MIN_WAVE: usize = 8;
 
 #[derive(Debug, Clone)]
 struct Payload {
@@ -168,26 +187,36 @@ pub struct Cma2cPolicy {
 }
 
 /// Reflects an assignment in the working observation so subsequent
-/// decisions in the same slot see it.
-pub(crate) fn apply_assignment(obs: &mut SlotObservation, ctx: &DecisionContext, action: Action) {
+/// decisions in the same slot see it. Only the vacancy and inbound vectors
+/// are touched, so a [`WorkingObservation`] copies at most those two.
+pub(crate) fn apply_assignment(
+    obs: &mut WorkingObservation<'_>,
+    ctx: &DecisionContext,
+    action: Action,
+) {
     match action {
         Action::Stay => {}
         Action::MoveTo(dest) => {
             let o = ctx.region.index();
-            obs.vacant_per_region[o] = obs.vacant_per_region[o].saturating_sub(1);
-            obs.vacant_per_region[dest.index()] += 1;
+            let vacant = obs.vacant_per_region_mut();
+            vacant[o] = vacant[o].saturating_sub(1);
+            vacant[dest.index()] += 1;
         }
         Action::Charge(station) => {
             let o = ctx.region.index();
-            obs.vacant_per_region[o] = obs.vacant_per_region[o].saturating_sub(1);
-            obs.inbound_per_station[station.index()] += 1;
+            let vacant = obs.vacant_per_region_mut();
+            vacant[o] = vacant[o].saturating_sub(1);
+            obs.inbound_per_station_mut()[station.index()] += 1;
         }
     }
 }
 
-fn stack(rows: &[Vec<f64>]) -> Matrix {
-    let cols = rows.first().map(Vec::len).unwrap_or(0);
-    let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+pub(crate) fn stack<R: AsRef<[f64]>>(rows: &[R]) -> Matrix {
+    let cols = rows.first().map(|r| r.as_ref().len()).unwrap_or(0);
+    let data: Vec<f64> = rows
+        .iter()
+        .flat_map(|r| r.as_ref().iter().copied())
+        .collect();
     Matrix::from_vec(rows.len(), cols, data)
 }
 
@@ -349,33 +378,32 @@ impl Cma2cPolicy {
     }
 
     fn train_once(&mut self) {
-        let batch: Vec<Transition> = self
-            .buffer
-            .sample(&mut self.rng, self.config.batch_size)
-            .into_iter()
-            .cloned()
-            .collect();
+        // The sampled references borrow `self.buffer` for the rest of the
+        // step — every stack below reads the stored vectors in place
+        // instead of cloning the whole minibatch out of the buffer.
+        let batch = self.buffer.sample(&mut self.rng, self.config.batch_size);
         if batch.is_empty() {
             // min_buffer == 0 with an empty buffer: nothing to learn from,
             // and the n-normalized gradients below would divide by zero.
             return;
         }
         let n = batch.len();
+        let gamma = self.config.gamma;
 
         // --- Critic: minimize (V(s) − (r + β V̂(s')))² (Eq. 6–7). ---
         let next_states = stack(
             &batch
                 .iter()
-                .map(|t| t.next_state.clone())
+                .map(|t| t.next_state.as_slice())
                 .collect::<Vec<_>>(),
         );
         let v_next = self.target_critic.forward(&next_states);
         let targets: Vec<f64> = batch
             .iter()
             .enumerate()
-            .map(|(i, t)| t.reward + self.config.gamma.powi(t.slots as i32) * v_next.get(i, 0))
+            .map(|(i, t)| t.reward + gamma.powi(t.slots as i32) * v_next.get(i, 0))
             .collect();
-        let states = stack(&batch.iter().map(|t| t.state.clone()).collect::<Vec<_>>());
+        let states = stack(&batch.iter().map(|t| t.state.as_slice()).collect::<Vec<_>>());
         let v_pred = self.critic.forward_train(&states);
         let mut d = Matrix::zeros(n, 1);
         for (i, &target) in targets.iter().enumerate() {
@@ -405,11 +433,11 @@ impl Cma2cPolicy {
 
         // --- Actor: policy gradient on the shared scoring network (Eq. 8).
         // All candidate sets are flattened into one forward/backward pass.
-        let mut flat: Vec<Vec<f64>> = Vec::new();
+        let mut flat: Vec<&[f64]> = Vec::new();
         let mut segments = Vec::with_capacity(n);
         for t in &batch {
             segments.push((flat.len(), t.candidates.len()));
-            flat.extend(t.candidates.iter().cloned());
+            flat.extend(t.candidates.iter().map(Vec::as_slice));
         }
         let logits = self.actor.forward_train(&stack(&flat));
         let mut d_logits = Matrix::zeros(flat.len(), 1);
@@ -456,52 +484,129 @@ impl DisplacementPolicy for Cma2cPolicy {
         // already made this slot, so later taxis see station inbound counts
         // and regional supply updated by earlier assignments. Without this,
         // every co-located taxi would see the same stale snapshot and herd.
-        let mut obs = obs.clone();
+        //
+        // Featurizing and scoring one taxi at a time makes that sequential
+        // semantics trivially correct but spends the whole slot in tiny
+        // actor forwards. Instead we score decisions in *waves*: featurize
+        // up to `max_wave` queued decisions against the current working
+        // view, run one stacked forward pass, then commit sequentially —
+        // stopping the wave early at the first decision whose features
+        // were touched by an earlier commit (its region's vacancy changed,
+        // a move dirtied one of its candidate destinations, or a charge
+        // commit shifted the global supply/inbound counts). Uncommitted
+        // decisions are re-featurized in the next wave, so every sampled
+        // action sees exactly the view the serial dispatcher would have
+        // shown it, and the RNG is consumed in the same order: outputs are
+        // bit-identical to `max_wave: 1`.
+        let mut view = WorkingObservation::new(obs);
         let mut out = Vec::with_capacity(decisions.len());
-        for ctx in decisions {
-            let mut state = self.fx.state(&obs, ctx);
-            let mut candidates = self.fx.all_state_actions(&obs, ctx);
-            self.apply_ablations(&mut state, &mut candidates);
-            let logits_m = self.actor.forward(&stack(&candidates));
-            let n_movement = ctx.actions.len() - ctx.actions.charge_actions().len();
-            let logits: Vec<f64> = (0..candidates.len())
-                .map(|i| {
-                    let prior = if i >= n_movement && !ctx.actions.charge_forced() {
-                        self.config.charge_logit_prior
-                    } else {
-                        0.0
-                    };
-                    logits_m.get(i, 0) - prior
-                })
-                .collect();
-            // Algorithm 1 samples from π both in training and execution —
-            // a stochastic policy is what spreads co-located taxis across
-            // stations instead of herding them (deterministic argmax would
-            // send every taxi in a region to the same charger).
-            let idx = self.sample_action(&logits);
-
-            if let Some(done) = self.tracker.begin(
-                ctx.taxi,
-                Payload {
-                    state: state.clone(),
-                    candidates: candidates.clone(),
-                    action: idx,
-                },
-            ) {
-                if self.learning {
-                    self.buffer.push(Transition {
-                        state: done.payload.state,
-                        candidates: done.payload.candidates,
-                        action: done.payload.action,
-                        reward: done.reward,
-                        next_state: state.clone(),
-                        slots: done.slots,
-                    });
-                }
+        let mut dirty_region = vec![false; obs.vacant_per_region.len()];
+        let mut wave_cap = INITIAL_WAVE.clamp(1, self.config.max_wave.max(1));
+        let mut i = 0;
+        while i < decisions.len() {
+            let end = (i + wave_cap).min(decisions.len());
+            let mut wave: Vec<(Vec<f64>, Vec<Vec<f64>>)> = Vec::with_capacity(end - i);
+            for ctx in &decisions[i..end] {
+                let mut state = self.fx.state(&view, ctx);
+                let mut candidates = self.fx.all_state_actions(&view, ctx);
+                self.apply_ablations(&mut state, &mut candidates);
+                wave.push((state, candidates));
             }
-            let action = ctx.actions.action(idx);
-            apply_assignment(&mut obs, ctx, action);
-            out.push(action);
+            // One stacked forward over every candidate row in the wave
+            // (rows are independent dot products, so the stacked scores are
+            // bitwise those of the per-taxi forwards).
+            let logits_m = {
+                let rows: Vec<&[f64]> = wave
+                    .iter()
+                    .flat_map(|(_, cands)| cands.iter().map(Vec::as_slice))
+                    .collect();
+                self.actor.forward(&stack(&rows))
+            };
+            for d in dirty_region.iter_mut() {
+                *d = false;
+            }
+            // Charge commits change total vacancy and station inbound
+            // counts, which feed every remaining entry's features; a move
+            // out of an emptied region (clamped decrement) changes total
+            // vacancy too. Either ends the wave at the next entry.
+            let mut global_dirty = false;
+            let mut row0 = 0;
+            let mut committed = 0;
+            for (w, ctx) in decisions[i..end].iter().enumerate() {
+                if w > 0 {
+                    let stale = global_dirty
+                        || dirty_region[ctx.region.index()]
+                        || ctx
+                            .actions
+                            .actions()
+                            .iter()
+                            .any(|a| matches!(a, Action::MoveTo(d) if dirty_region[d.index()]));
+                    if stale {
+                        break;
+                    }
+                }
+                let n_candidates = ctx.actions.len();
+                let n_movement = n_candidates - ctx.actions.charge_actions().len();
+                let logits: Vec<f64> = (0..n_candidates)
+                    .map(|j| {
+                        let prior = if j >= n_movement && !ctx.actions.charge_forced() {
+                            self.config.charge_logit_prior
+                        } else {
+                            0.0
+                        };
+                        logits_m.get(row0 + j, 0) - prior
+                    })
+                    .collect();
+                // Algorithm 1 samples from π both in training and execution
+                // — a stochastic policy is what spreads co-located taxis
+                // across stations instead of herding them (deterministic
+                // argmax would send every taxi in a region to the same
+                // charger).
+                let idx = self.sample_action(&logits);
+
+                let (state, candidates) = std::mem::take(&mut wave[w]);
+                if let Some(done) = self.tracker.begin(
+                    ctx.taxi,
+                    Payload {
+                        state: state.clone(),
+                        candidates,
+                        action: idx,
+                    },
+                ) {
+                    if self.learning {
+                        self.buffer.push(Transition {
+                            state: done.payload.state,
+                            candidates: done.payload.candidates,
+                            action: done.payload.action,
+                            reward: done.reward,
+                            next_state: state,
+                            slots: done.slots,
+                        });
+                    }
+                }
+                let action = ctx.actions.action(idx);
+                match action {
+                    Action::Stay => {}
+                    Action::MoveTo(dest) => {
+                        if view.vacant_per_region()[ctx.region.index()] == 0 {
+                            global_dirty = true;
+                        }
+                        dirty_region[ctx.region.index()] = true;
+                        dirty_region[dest.index()] = true;
+                    }
+                    Action::Charge(_) => global_dirty = true,
+                }
+                apply_assignment(&mut view, ctx, action);
+                out.push(action);
+                row0 += n_candidates;
+                committed += 1;
+            }
+            i += committed;
+            // Adapt the wave to the observed commit run length: herding
+            // pressure (many same-region taxis) shrinks waves toward
+            // MIN_WAVE, quiet slots grow them toward max_wave.
+            let cap = self.config.max_wave.max(1);
+            wave_cap = (committed.max(1) * 2).clamp(MIN_WAVE.min(cap), cap);
         }
         if self.learning {
             self.train();
@@ -738,6 +843,70 @@ mod tests {
         }
         // Time features survive.
         assert_ne!(state[1], 0.0);
+    }
+
+    fn ctx_in(city: &City, taxi: u32, region: usize) -> DecisionContext {
+        let region = RegionId(region as u16);
+        DecisionContext {
+            taxi: TaxiId(taxi),
+            region,
+            soc: 0.7,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: ActionSet::full(
+                &city.region(region).neighbors,
+                city.nearest_stations().nearest(region),
+            ),
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_matches_serial_dispatch() {
+        // `max_wave: 1` is the pre-batching dispatcher (featurize, score,
+        // commit one taxi at a time). The default wave-batched dispatcher
+        // must be indistinguishable from it: same actions, same RNG
+        // consumption, and — because identical transitions enter the buffer
+        // in identical order — identical learned parameters.
+        let city = small_city();
+        let train_cfg = Cma2cConfig {
+            min_buffer: 16,
+            batch_size: 16,
+            train_iters: 2,
+            ..Cma2cConfig::default()
+        };
+        let mut serial = Cma2cPolicy::new(
+            &city,
+            Cma2cConfig {
+                max_wave: 1,
+                ..train_cfg.clone()
+            },
+        );
+        let mut batched = Cma2cPolicy::new(&city, train_cfg);
+        let n_regions = city.n_regions();
+        let mut o = obs(&city);
+        for step in 0..40 {
+            // Mix herding (several taxis sharing a region) with spread-out
+            // taxis, and vary the observation so waves break mid-stream.
+            o.waiting_per_region[step % n_regions] = (step % 3) as u32;
+            o.price_now = if step % 4 == 0 { 0.9 } else { 1.2 };
+            let cs: Vec<DecisionContext> = (0..12)
+                .map(|i| ctx_in(&city, i, (i as usize % 4) * 3 % n_regions))
+                .collect();
+            let a = serial.decide(&o, &cs);
+            let b = batched.decide(&o, &cs);
+            assert_eq!(a, b, "actions diverged at step {step}");
+            serial.observe(&feedback(12, 1.5));
+            batched.observe(&feedback(12, 1.5));
+        }
+        assert!(serial.train_steps() > 0, "training never started");
+        assert_eq!(serial.train_steps(), batched.train_steps());
+        let c = ctx(&city, 0);
+        let state = serial.fx.state(&obs(&city), &c);
+        assert_eq!(
+            serial.value(&state),
+            batched.value(&state),
+            "learned critics diverged"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::features::{FeatureExtractor, SA_DIM};
 use crate::transition::TransitionTracker;
 use fairmove_city::City;
 use fairmove_rl::{Activation, Adam, EpsilonSchedule, Matrix, Mlp, Optimizer, ReplayBuffer};
-use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation};
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, SlotFeedback, SlotObservation, WorkingObservation,
+};
 use fairmove_telemetry::{Counter, Gauge, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -130,12 +132,7 @@ pub struct DqnPolicy {
     pub learning: bool,
 }
 
-/// Stacks equal-length feature vectors into a matrix.
-fn stack(rows: &[Vec<f64>]) -> Matrix {
-    let cols = rows.first().map(Vec::len).unwrap_or(0);
-    let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
-    Matrix::from_vec(rows.len(), cols, data)
-}
+use crate::cma2c::stack;
 
 impl DqnPolicy {
     /// A fresh DQN policy over `city`.
@@ -192,12 +189,10 @@ impl DqnPolicy {
         if self.replay.len() < self.config.min_replay {
             return;
         }
-        let batch: Vec<Transition> = self
-            .replay
-            .sample(&mut self.rng, self.config.batch_size)
-            .into_iter()
-            .cloned()
-            .collect();
+        // Sampled references borrow `self.replay` for the rest of the step;
+        // the stacks below read stored vectors in place instead of cloning
+        // the minibatch out of the buffer.
+        let batch = self.replay.sample(&mut self.rng, self.config.batch_size);
         if batch.is_empty() {
             // min_replay == 0 with an empty buffer: nothing to learn from.
             return;
@@ -205,12 +200,13 @@ impl DqnPolicy {
 
         // Bootstrap targets: flatten all next-candidates into one forward
         // pass through the target network, then segment-max.
-        let mut flat: Vec<Vec<f64>> = Vec::new();
+        let mut flat: Vec<&[f64]> = Vec::new();
         let mut segments = Vec::with_capacity(batch.len());
         for t in &batch {
             segments.push((flat.len(), t.next_candidates.len()));
-            flat.extend(t.next_candidates.iter().cloned());
+            flat.extend(t.next_candidates.iter().map(Vec::as_slice));
         }
+        let gamma = self.config.gamma;
         let next_q = self.target.forward(&stack(&flat));
         let targets: Vec<f64> = batch
             .iter()
@@ -219,12 +215,12 @@ impl DqnPolicy {
                 let max_next = (start..start + len)
                     .map(|i| next_q.get(i, 0))
                     .fold(f64::NEG_INFINITY, f64::max);
-                t.reward + self.config.gamma.powi(t.slots as i32) * max_next
+                t.reward + gamma.powi(t.slots as i32) * max_next
             })
             .collect();
 
         // Huber step on the online network (robust to TD-target outliers).
-        let xs = stack(&batch.iter().map(|t| t.sa.clone()).collect::<Vec<_>>());
+        let xs = stack(&batch.iter().map(|t| t.sa.as_slice()).collect::<Vec<_>>());
         let preds = self.q.forward_train(&xs);
         let pred_vec: Vec<f64> = (0..batch.len()).map(|i| preds.get(i, 0)).collect();
         let (loss, grad) = fairmove_rl::huber_loss(&pred_vec, &targets, 5.0);
@@ -260,11 +256,11 @@ impl DisplacementPolicy for DqnPolicy {
 
     fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
         // Centralized dispatch: fold this slot's own assignments back into
-        // the working observation (see cma2c.rs for the rationale).
-        let mut obs = obs.clone();
+        // a copy-on-write working view (see cma2c.rs for the rationale).
+        let mut view = WorkingObservation::new(obs);
         let mut out = Vec::with_capacity(decisions.len());
         for ctx in decisions {
-            let candidates = self.fx.all_state_actions(&obs, ctx);
+            let candidates = self.fx.all_state_actions(&view, ctx);
             // Frozen evaluation keeps a small ε so co-located taxis don't
             // all pick the identical station (greedy herding).
             let eps = if self.learning {
@@ -279,8 +275,11 @@ impl DisplacementPolicy for DqnPolicy {
                 self.rng.gen_range(0..candidates.len())
             } else {
                 let qs = self.q.forward(&stack(&candidates));
+                // On exact Q ties, take the lowest candidate index: `max_by`
+                // alone returns the *last* maximal element, which would make
+                // the greedy pick depend on candidate order quirks.
                 (0..candidates.len())
-                    .max_by(|&a, &b| qs.get(a, 0).total_cmp(&qs.get(b, 0)))
+                    .max_by(|&a, &b| qs.get(a, 0).total_cmp(&qs.get(b, 0)).then(b.cmp(&a)))
                     .expect("non-empty action set")
             };
 
@@ -294,13 +293,13 @@ impl DisplacementPolicy for DqnPolicy {
                     self.replay.push(Transition {
                         sa: done.payload.sa,
                         reward: done.reward,
-                        next_candidates: candidates.clone(),
+                        next_candidates: candidates,
                         slots: done.slots,
                     });
                 }
             }
             let action = ctx.actions.action(idx);
-            crate::cma2c::apply_assignment(&mut obs, ctx, action);
+            crate::cma2c::apply_assignment(&mut view, ctx, action);
             out.push(action);
         }
         if self.learning {

@@ -12,7 +12,7 @@
 //! without per-feature normalization layers.
 
 use fairmove_city::{City, RegionId, StationId};
-use fairmove_sim::{Action, DecisionContext, SlotObservation};
+use fairmove_sim::{Action, DecisionContext, ObservationView};
 
 /// Width of the state-feature vector.
 pub const STATE_DIM: usize = 14;
@@ -42,36 +42,41 @@ impl FeatureExtractor {
 
     /// The full state vector for one deciding taxi (paper: local + global
     /// view).
-    pub fn state(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Vec<f64> {
-        let day_frac = obs.now.day_fraction();
+    pub fn state(&self, obs: &impl ObservationView, ctx: &DecisionContext) -> Vec<f64> {
+        let day_frac = obs.now().day_fraction();
         let angle = std::f64::consts::TAU * day_frac;
         let r = ctx.region.index();
-        let total_waiting: u32 = obs.waiting_per_region.iter().sum();
-        let total_vacant: u32 = obs.vacant_per_region.iter().sum();
+        let total_waiting: u32 = obs.waiting_per_region().iter().sum();
+        let total_vacant: u32 = obs.vacant_per_region().iter().sum();
         vec![
             angle.sin(),
             angle.cos(),
             ctx.soc,
             if ctx.must_charge { 1.0 } else { 0.0 },
-            obs.predicted_demand[r] / 10.0,
-            f64::from(obs.vacant_per_region[r]) / 10.0,
-            f64::from(obs.waiting_per_region[r]) / 10.0,
+            obs.predicted_demand()[r] / 10.0,
+            f64::from(obs.vacant_per_region()[r]) / 10.0,
+            f64::from(obs.waiting_per_region()[r]) / 10.0,
             obs.supply_gap(ctx.region) / 10.0,
-            obs.price_now / 1.6,
-            obs.price_next_hour / 1.6,
+            obs.price_now() / 1.6,
+            obs.price_next_hour() / 1.6,
             (f64::from(total_waiting) / f64::from(total_vacant.max(1))).min(3.0),
             // Fairness standing: how far this taxi's earnings run above or
             // below the fleet mean — the input a shared policy needs to act
             // fairness-aware (push under-earners toward profit, let
             // over-earners yield).
-            ((ctx.pe_standing - obs.mean_pe) / 10.0).clamp(-2.0, 2.0),
-            (obs.pf / 50.0).min(2.0),
+            ((ctx.pe_standing - obs.mean_pe()) / 10.0).clamp(-2.0, 2.0),
+            (obs.pf() / 50.0).min(2.0),
             1.0,
         ]
     }
 
     /// Action features for one admissible action of `ctx`.
-    pub fn action(&self, obs: &SlotObservation, ctx: &DecisionContext, action: Action) -> Vec<f64> {
+    pub fn action(
+        &self,
+        obs: &impl ObservationView,
+        ctx: &DecisionContext,
+        action: Action,
+    ) -> Vec<f64> {
         match action {
             Action::Stay => {
                 let mut f = self.region_target_features(obs, ctx.region, 0.0);
@@ -88,15 +93,20 @@ impl FeatureExtractor {
         }
     }
 
-    fn region_target_features(&self, obs: &SlotObservation, dest: RegionId, km: f64) -> Vec<f64> {
+    fn region_target_features(
+        &self,
+        obs: &impl ObservationView,
+        dest: RegionId,
+        km: f64,
+    ) -> Vec<f64> {
         let d = dest.index();
         vec![
             0.0, // is_stay (caller sets)
             0.0, // is_move (caller sets)
             0.0, // is_charge
-            obs.predicted_demand[d] / 10.0,
-            f64::from(obs.vacant_per_region[d]) / 10.0,
-            f64::from(obs.waiting_per_region[d]) / 10.0,
+            obs.predicted_demand()[d] / 10.0,
+            f64::from(obs.vacant_per_region()[d]) / 10.0,
+            f64::from(obs.waiting_per_region()[d]) / 10.0,
             obs.supply_gap(dest) / 10.0,
             km / 10.0,
             0.0, // free points
@@ -106,7 +116,7 @@ impl FeatureExtractor {
 
     fn station_target_features(
         &self,
-        obs: &SlotObservation,
+        obs: &impl ObservationView,
         from: RegionId,
         station: StationId,
     ) -> Vec<f64> {
@@ -117,10 +127,11 @@ impl FeatureExtractor {
             .city
             .station(station)
             .charging_points
-            .saturating_sub(obs.free_points_per_station[s]);
-        let load = (f64::from(obs.queue_per_station[s] + obs.inbound_per_station[s] + occupied)
-            / points)
-            .min(3.0);
+            .saturating_sub(obs.free_points_per_station()[s]);
+        let load =
+            (f64::from(obs.queue_per_station()[s] + obs.inbound_per_station()[s] + occupied)
+                / points)
+                .min(3.0);
         vec![
             0.0,
             0.0,
@@ -130,7 +141,7 @@ impl FeatureExtractor {
             0.0,
             0.0,
             km / 10.0,
-            f64::from(obs.free_points_per_station[s]) / 10.0,
+            f64::from(obs.free_points_per_station()[s]) / 10.0,
             load / 3.0,
         ]
     }
@@ -138,7 +149,7 @@ impl FeatureExtractor {
     /// Concatenated state ⊕ action vector.
     pub fn state_action(
         &self,
-        obs: &SlotObservation,
+        obs: &impl ObservationView,
         ctx: &DecisionContext,
         action: Action,
     ) -> Vec<f64> {
@@ -148,7 +159,11 @@ impl FeatureExtractor {
     }
 
     /// State–action vectors for every admissible action, canonical order.
-    pub fn all_state_actions(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Vec<Vec<f64>> {
+    pub fn all_state_actions(
+        &self,
+        obs: &impl ObservationView,
+        ctx: &DecisionContext,
+    ) -> Vec<Vec<f64>> {
         let state = self.state(obs, ctx);
         ctx.actions
             .actions()
@@ -163,14 +178,14 @@ impl FeatureExtractor {
 
     /// TBA's local-only state: the competitive agents see their own (time,
     /// location, battery) but no fleet-wide supply/demand.
-    pub fn local_state(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Vec<f64> {
-        let angle = std::f64::consts::TAU * obs.now.day_fraction();
+    pub fn local_state(&self, obs: &impl ObservationView, ctx: &DecisionContext) -> Vec<f64> {
+        let angle = std::f64::consts::TAU * obs.now().day_fraction();
         vec![
             angle.sin(),
             angle.cos(),
             ctx.soc,
             if ctx.must_charge { 1.0 } else { 0.0 },
-            f64::from(obs.waiting_per_region[ctx.region.index()]) / 10.0,
+            f64::from(obs.waiting_per_region()[ctx.region.index()]) / 10.0,
             1.0,
         ]
     }
@@ -193,7 +208,7 @@ impl FeatureExtractor {
     /// TBA's local state–action vectors for every admissible action.
     pub fn all_local_state_actions(
         &self,
-        obs: &SlotObservation,
+        obs: &impl ObservationView,
         ctx: &DecisionContext,
     ) -> Vec<Vec<f64>> {
         let state = self.local_state(obs, ctx);
@@ -218,7 +233,7 @@ impl FeatureExtractor {
 mod tests {
     use super::*;
     use fairmove_city::{CityConfig, SimTime, TimeSlot};
-    use fairmove_sim::{ActionSet, TaxiId};
+    use fairmove_sim::{ActionSet, SlotObservation, TaxiId};
 
     fn setup() -> (City, SlotObservation, DecisionContext, FeatureExtractor) {
         let city = City::generate(CityConfig {

@@ -15,7 +15,10 @@
 //!   unless forced.
 
 use crate::cma2c::apply_assignment;
-use fairmove_sim::{Action, DecisionContext, DisplacementPolicy, SlotObservation};
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, ObservationView, SlotObservation,
+    WorkingObservation,
+};
 
 /// The model-based oracle heuristic.
 #[derive(Debug, Clone, Default)]
@@ -30,9 +33,10 @@ impl OraclePolicy {
         OraclePolicy { speed_kmh: 30.0 }
     }
 
-    fn station_score(&self, obs: &SlotObservation, station: usize, km: f64) -> f64 {
-        let free = f64::from(obs.free_points_per_station[station]);
-        let backlog = f64::from(obs.queue_per_station[station] + obs.inbound_per_station[station]);
+    fn station_score(&self, obs: &impl ObservationView, station: usize, km: f64) -> f64 {
+        let free = f64::from(obs.free_points_per_station()[station]);
+        let backlog =
+            f64::from(obs.queue_per_station()[station] + obs.inbound_per_station()[station]);
         // Expected wait: each backlogged taxi ahead of us ties up a point
         // for ~80 minutes spread over the station's points.
         let capacity = (free + backlog).max(1.0);
@@ -40,36 +44,38 @@ impl OraclePolicy {
         km / self.speed_kmh * 60.0 + expected_wait
     }
 
-    fn best_station(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Option<Action> {
+    fn best_station(&self, obs: &impl ObservationView, ctx: &DecisionContext) -> Option<Action> {
+        // Distance proxy: we don't carry the city here, so rank by
+        // congestion only. Exact score ties break toward the lowest station
+        // id — a bare `min_by` returns the *last* minimal element, which
+        // would silently prefer the farther of two equally-loaded stations.
         ctx.actions
             .charge_actions()
             .iter()
             .copied()
             .min_by(|&a, &b| {
-                let score = |act: Action| match act {
-                    Action::Charge(s) => {
-                        // Distance proxy: we don't carry the city here, so
-                        // rank by congestion only, nearest-first order as
-                        // the tiebreaker (charge_actions is nearest-first).
-                        self.station_score(obs, s.index(), 0.0)
-                    }
-                    _ => f64::INFINITY,
+                let key = |act: Action| match act {
+                    Action::Charge(s) => (self.station_score(obs, s.index(), 0.0), s.index()),
+                    _ => (f64::INFINITY, usize::MAX),
                 };
-                score(a).total_cmp(&score(b))
+                let (sa, ia) = key(a);
+                let (sb, ib) = key(b);
+                sa.total_cmp(&sb).then(ia.cmp(&ib))
             })
     }
 
-    fn decide_one(&self, obs: &SlotObservation, ctx: &DecisionContext) -> Action {
+    fn decide_one(&self, obs: &impl ObservationView, ctx: &DecisionContext) -> Action {
         if ctx.must_charge {
             return self
                 .best_station(obs, ctx)
                 .expect("forced charge has stations");
         }
         // Voluntary charging only when cheap and a station has headroom.
-        if obs.price_now <= 0.95 && ctx.soc < 0.45 {
+        if obs.price_now() <= 0.95 && ctx.soc < 0.45 {
             if let Some(Action::Charge(s)) = self.best_station(obs, ctx) {
-                let free = obs.free_points_per_station[s.index()];
-                let backlog = obs.queue_per_station[s.index()] + obs.inbound_per_station[s.index()];
+                let free = obs.free_points_per_station()[s.index()];
+                let backlog =
+                    obs.queue_per_station()[s.index()] + obs.inbound_per_station()[s.index()];
                 if backlog < free {
                     return Action::Charge(s);
                 }
@@ -85,8 +91,8 @@ impl OraclePolicy {
                 Action::Charge(_) => continue,
             };
             let i = region.index();
-            let demand = obs.predicted_demand[i] + f64::from(obs.waiting_per_region[i]);
-            let supply = f64::from(obs.vacant_per_region[i]) + 1.0;
+            let demand = obs.predicted_demand()[i] + f64::from(obs.waiting_per_region()[i]);
+            let supply = f64::from(obs.vacant_per_region()[i]) + 1.0;
             let score = demand / supply - penalty;
             if score > best_score {
                 best_score = score;
@@ -103,12 +109,13 @@ impl DisplacementPolicy for OraclePolicy {
     }
 
     fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
-        // Centralized: fold committed assignments into the working view.
-        let mut obs = obs.clone();
+        // Centralized: fold committed assignments into a copy-on-write
+        // working view of the broadcast observation.
+        let mut view = WorkingObservation::new(obs);
         let mut out = Vec::with_capacity(decisions.len());
         for ctx in decisions {
-            let action = self.decide_one(&obs, ctx);
-            apply_assignment(&mut obs, ctx, action);
+            let action = self.decide_one(&view, ctx);
+            apply_assignment(&mut view, ctx, action);
             out.push(action);
         }
         out
@@ -182,6 +189,20 @@ mod tests {
         // Region 1: demand 8/(0+1) = 8 − 0.5; region 0: 1/6 ≈ 0.17.
         let a = p.decide(&obs(), &[ctx(0.9, false)]);
         assert_eq!(a, vec![Action::MoveTo(RegionId(1))]);
+    }
+
+    #[test]
+    fn equally_loaded_stations_tie_break_to_lowest_id() {
+        let mut p = OraclePolicy::new();
+        let mut o = obs();
+        // Both stations identical: the score comparison is an exact tie,
+        // and the winner must be the lowest station id, not whichever
+        // happens to sort last.
+        o.free_points_per_station = vec![4, 4];
+        o.queue_per_station = vec![0, 0];
+        o.inbound_per_station = vec![0, 0];
+        let a = p.decide(&o, &[ctx(0.1, true)]);
+        assert_eq!(a, vec![Action::Charge(StationId(0))]);
     }
 
     #[test]

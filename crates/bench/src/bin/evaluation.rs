@@ -368,7 +368,9 @@ fn ablation_state(scale: fairmove_bench::Scale) {
     let runner = Runner::new(sim.clone(), scale.train_episodes(), 0.6);
     let mut gt = Method::build(MethodKind::Gt, &city, &sim, 0.6);
     let (_, gt_out) = runner.train_and_evaluate(&mut gt);
-    for (label, no_global, no_fair) in variants {
+    // The three variants are independent training runs against the shared
+    // GT reference; fan them out, keeping table rows in variant order.
+    let rows = fairmove_parallel::ordered_map(variants.to_vec(), |(label, no_global, no_fair)| {
         let mut method = Method::fairmove_with(
             &city,
             Cma2cConfig {
@@ -380,12 +382,15 @@ fn ablation_state(scale: fairmove_bench::Scale) {
         );
         let (_, out) = runner.train_and_evaluate(&mut method);
         let report = fairmove_metrics::MethodReport::compute(label, &gt_out.ledger, &out.ledger);
-        t.row(&[
-            label.into(),
+        [
+            label.to_string(),
             pct(report.pipe),
             pct(report.pipf),
             pct(report.prct),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!(
@@ -400,7 +405,9 @@ sampling noise (the feature weights start random and small); run at\n\
 fn ablation_k(scale: fairmove_bench::Scale) {
     println!("--- Ablation: nearest-station action count k ---");
     let mut t = Table::new(&["k", "PIPE", "PIPF", "PRIT"]);
-    for k in [1usize, 3, 5, 8] {
+    // Fan over the k sweep; each comparison runs its own GT + FairMove pair
+    // with inner threads pinned to 1 so the sweep is the only fan-out level.
+    let rows = fairmove_parallel::ordered_map(vec![1usize, 3, 5, 8], |k| {
         let mut sim = scale.sim();
         sim.city.nearest_stations_k = k;
         let config = ComparisonConfig {
@@ -410,14 +417,17 @@ fn ablation_k(scale: fairmove_bench::Scale) {
             methods: vec![MethodKind::FairMove],
             eval_seeds: scale.eval_seeds(),
         };
-        let results = ComparisonResults::run(&config);
+        let results = ComparisonResults::run_with_threads(&config, 1);
         let m = &results.methods[0];
-        t.row(&[
+        [
             k.to_string(),
             pct(m.report.pipe),
             pct(m.report.pipf),
             pct(m.report.prit),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!("k = 1 collapses to nearest-station (SD2-style herding); larger k\nwidens choice at the cost of action-space size. Paper uses k = 5.\n");

@@ -36,27 +36,39 @@ fn main() {
         scale.name()
     );
 
-    if want("fig2") {
-        fig2();
-    }
-    if want("table1") {
-        table1(scale);
-    }
-
+    let needs_table1 = want("table1");
     let needs_sim = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8"]
         .iter()
         .any(|f| want(f));
+
+    // Table I's sample run (always at test scale) and the main ground-truth
+    // simulation are independent; fan them out and print in the original
+    // order once both are back. Only the main run carries telemetry.
+    let telemetry = Telemetry::enabled();
+    let mut envs = fairmove_parallel::ordered_map(
+        vec![
+            (Scale::Test.sim(), false, needs_table1),
+            (scale.sim(), true, needs_sim),
+        ],
+        |(sim, with_telemetry, needed)| {
+            needed.then(|| run_gt_sim(&sim, with_telemetry.then_some(&telemetry)))
+        },
+    );
+    let main_env = envs.pop().expect("two sim jobs");
+    let table1_env = envs.pop().expect("two sim jobs");
+
+    if want("fig2") {
+        fig2();
+    }
+    if let Some(env) = &table1_env {
+        table1(env);
+    }
     if !needs_sim {
         return;
     }
 
     println!("running ground-truth simulation …\n");
-    let sim = scale.sim();
-    let telemetry = Telemetry::enabled();
-    let mut env = Environment::new(sim.clone());
-    env.set_telemetry(&telemetry);
-    let mut gt = GroundTruthPolicy::for_city(env.city(), sim.fleet_size, sim.seed);
-    env.run(&mut gt);
+    let env = main_env.expect("main simulation ran");
     export_run_report(&env, &telemetry, scale);
 
     if want("fig3") {
@@ -77,6 +89,18 @@ fn main() {
     if want("fig8") {
         fig8(&env);
     }
+}
+
+/// Runs one ground-truth (no displacement) simulation to completion and
+/// returns the finished environment for slicing.
+fn run_gt_sim(sim: &fairmove_sim::SimConfig, telemetry: Option<&Telemetry>) -> Environment {
+    let mut env = Environment::new(sim.clone());
+    if let Some(t) = telemetry {
+        env.set_telemetry(t);
+    }
+    let mut gt = GroundTruthPolicy::for_city(env.city(), sim.fleet_size, sim.seed);
+    env.run(&mut gt);
+    env
 }
 
 /// Serializes the ground-truth run's telemetry as a one-line JSONL run
@@ -127,15 +151,10 @@ fn fig2() {
     println!("paper rates: off-peak 0.9, flat 1.2, peak 1.6 CNY/kWh\n");
 }
 
-/// Table I: example records of each dataset.
-fn table1(scale: Scale) {
+/// Table I: example records of each dataset (from the test-scale sample
+/// simulation run in `main`).
+fn table1(env: &Environment) {
     println!("--- Table I: dataset record samples ---");
-    let sim = Scale::Test.sim();
-    let _ = scale;
-    let mut env = Environment::new(sim.clone());
-    let mut gt = GroundTruthPolicy::for_city(env.city(), sim.fleet_size, sim.seed);
-    env.run(&mut gt);
-
     let trip = &env.ledger().trips()[0];
     let gps = GpsRecord {
         vehicle_id: trip.taxi.0,

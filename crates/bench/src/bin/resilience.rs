@@ -64,9 +64,15 @@ fn main() {
     );
 
     let city = fairmove_city::City::generate(sim.city.clone());
-    let mut reports: Vec<RunReport> = Vec::new();
 
-    for &kind in methods {
+    // One job per method: guarded fault-free training, then the frozen
+    // policy against every fault scenario. Jobs are independent (own
+    // environments, RNG streams, telemetry registries), so they fan out
+    // over worker threads; blocks and reports are collected in method
+    // order, keeping stdout and the JSONL byte-identical to a serial run.
+    let per_method = fairmove_parallel::ordered_map(methods.to_vec(), |kind| {
+        let mut block = String::new();
+        let mut method_reports: Vec<RunReport> = Vec::new();
         let mut method = Method::build(kind, &city, &sim, 0.6);
         // Fault-free training under the watchdog (the paper's protocol:
         // evaluation faults are never seen during training).
@@ -78,12 +84,12 @@ fn main() {
         };
         method.freeze();
         if watchdog.bad_episodes() > 0 {
-            println!(
-                "{}: watchdog intervened during training ({} restores, {} unrecovered)",
+            block.push_str(&format!(
+                "{}: watchdog intervened during training ({} restores, {} unrecovered)\n",
                 kind.name(),
                 watchdog.restores,
                 watchdog.unrecovered
-            );
+            ));
         }
 
         let mut calm_pe = f64::NAN;
@@ -128,11 +134,18 @@ fn main() {
                     stats.health_trips
                 ),
             ]);
-            reports.push(runner.run_report(kind.name(), name, &curve, &outcome));
+            method_reports.push(runner.run_report(kind.name(), name, &curve, &outcome));
         }
-        println!("--- {} under fault scenarios ---", kind.name());
-        table.print();
-        println!();
+        block.push_str(&format!("--- {} under fault scenarios ---\n", kind.name()));
+        block.push_str(&table.render());
+        block.push('\n');
+        (block, method_reports)
+    });
+
+    let mut reports: Vec<RunReport> = Vec::new();
+    for (block, mut method_reports) in per_method {
+        print!("{block}");
+        reports.append(&mut method_reports);
     }
 
     let path = "run_reports_resilience.jsonl";

@@ -76,6 +76,11 @@ impl RegionRouter {
                 for &v in &partition.regions()[u].neighbors {
                     let vi = v.index();
                     let w = partition.centroid_distance(RegionId(u as u16), v);
+                    // The heap's `total_cmp` ordering tolerates NaN, but a
+                    // NaN weight would silently poison every distance it
+                    // touches (NaN fails the `nd < row[vi]` relaxation, so
+                    // whole rows stay infinite). Catch it at the source.
+                    debug_assert!(w.is_finite(), "non-finite edge weight {w} on {u} -> {v}",);
                     let nd = d + w;
                     if nd < row[vi] {
                         row[vi] = nd;
@@ -240,6 +245,21 @@ mod tests {
             .map(|w| p.centroid_distance(w[0], w[1]))
             .sum();
         assert!((total - r.distance(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_entry_orders_nan_without_panicking() {
+        // Regression: the heap once compared distances with
+        // `partial_cmp().unwrap()`, which panics on NaN mid-Dijkstra. The
+        // `total_cmp` ordering must instead sort NaN after every finite
+        // distance and +inf, so a poisoned entry pops last and deterministic
+        // runs stay deterministic.
+        let mut heap = BinaryHeap::new();
+        for (d, i) in [(f64::NAN, 0), (2.0, 1), (f64::INFINITY, 2), (1.0, 3)] {
+            heap.push(QueueEntry(d, i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop()).map(|e| e.1).collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
     }
 
     #[test]

@@ -72,6 +72,15 @@ pub struct ComparisonResults {
     pub methods: Vec<MethodResult>,
 }
 
+/// Everything one (method × seeds) job produces before the cross-method
+/// report averaging, which needs the ground-truth ledgers.
+struct MethodRuns {
+    kind: MethodKind,
+    training_curve: Vec<f64>,
+    runs: Vec<RunOutcome>,
+    run_report: RunReport,
+}
+
 impl ComparisonResults {
     /// Runs the whole comparison. This is the expensive entry point — at
     /// the default scale expect minutes, at paper scale hours.
@@ -80,7 +89,19 @@ impl ComparisonResults {
     /// several independent demand realizations; the reported metrics are
     /// the per-seed averages, while the stored ledgers/outcomes are those
     /// of the first seed (for distribution plots).
+    ///
+    /// Training and evaluation of GT and every requested method fan out
+    /// over [`fairmove_parallel::thread_count`] worker threads. Each job
+    /// owns its environments, policy RNG streams, and telemetry registry,
+    /// and results are collected in submission order, so the output is
+    /// bit-identical for every thread count (including 1).
     pub fn run(config: &ComparisonConfig) -> ComparisonResults {
+        Self::run_with_threads(config, fairmove_parallel::thread_count())
+    }
+
+    /// [`Self::run`] with an explicit worker-thread count (tests pin 1/2/4
+    /// without touching `FAIRMOVE_THREADS`).
+    pub fn run_with_threads(config: &ComparisonConfig, threads: usize) -> ComparisonResults {
         let runner = Runner::new(config.sim.clone(), config.train_episodes, config.alpha);
         let city = City::generate(config.sim.city.clone());
         let reps = config.eval_seeds.max(1);
@@ -90,31 +111,44 @@ impl ComparisonResults {
             config.sim.seed, reps, config.train_episodes, config.alpha
         );
 
-        // GT per evaluation seed. Every method records into its own
-        // telemetry registry so run reports stay per-method.
-        let gt_telemetry = Telemetry::enabled();
-        let gt_runner = runner.clone().with_telemetry(&gt_telemetry);
-        let mut gt_method = Method::build(MethodKind::Gt, &city, &config.sim, config.alpha);
-        let gt_runs: Vec<_> = (0..reps)
-            .map(|rep| gt_runner.run_once(gt_method.as_policy(), eval_seed(rep)))
-            .collect();
-        let gt = gt_runs[0].clone();
-        let gt_report = gt_runner.run_report(MethodKind::Gt.name(), &context, &[], &gt);
+        // One job per method, GT first. Every job trains (if applicable)
+        // and evaluates one method with its own telemetry registry and its
+        // own environments; the evaluation repetitions inside a job share
+        // the frozen policy's RNG stream sequentially, so they must stay on
+        // one thread.
+        let mut kinds = vec![MethodKind::Gt];
+        kinds.extend(config.methods.iter().copied());
+        let mut all_runs = fairmove_parallel::ordered_map_threads(threads, kinds, |kind| {
+            let telemetry = Telemetry::enabled();
+            let method_runner = runner.clone().with_telemetry(&telemetry);
+            let mut method = Method::build(kind, &city, &config.sim, config.alpha);
+            let training_curve = method_runner.train(&mut method);
+            method.freeze();
+            let runs: Vec<RunOutcome> = (0..reps)
+                .map(|rep| method_runner.run_once(method.as_policy(), eval_seed(rep)))
+                .collect();
+            let run_report =
+                method_runner.run_report(kind.name(), &context, &training_curve, &runs[0]);
+            MethodRuns {
+                kind,
+                training_curve,
+                runs,
+                run_report,
+            }
+        });
 
-        let methods = config
-            .methods
-            .iter()
-            .map(|&kind| {
-                let telemetry = Telemetry::enabled();
-                let method_runner = runner.clone().with_telemetry(&telemetry);
-                let mut method = Method::build(kind, &city, &config.sim, config.alpha);
-                let training_curve = method_runner.train(&mut method);
-                method.freeze();
-                let runs: Vec<_> = (0..reps)
-                    .map(|rep| method_runner.run_once(method.as_policy(), eval_seed(rep)))
-                    .collect();
-                // Average the paired per-seed reports.
-                let per_seed: Vec<MethodReport> = runs
+        let gt_job = all_runs.remove(0);
+        let gt_runs = gt_job.runs;
+        let gt = gt_runs[0].clone();
+        let gt_report = gt_job.run_report;
+
+        let methods = all_runs
+            .into_iter()
+            .map(|job| {
+                let kind = job.kind;
+                // Average the paired per-seed reports against ground truth.
+                let per_seed: Vec<MethodReport> = job
+                    .runs
                     .iter()
                     .zip(&gt_runs)
                     .map(|(run, gt_run)| {
@@ -132,15 +166,13 @@ impl ComparisonResults {
                     median_cruise_minutes: mean(|r| r.median_cruise_minutes),
                     median_pe: mean(|r| r.median_pe),
                 };
-                let outcome = runs.into_iter().next().expect("reps >= 1");
-                let run_report =
-                    method_runner.run_report(kind.name(), &context, &training_curve, &outcome);
+                let outcome = job.runs.into_iter().next().expect("reps >= 1");
                 MethodResult {
                     kind,
-                    training_curve,
+                    training_curve: job.training_curve,
                     outcome,
                     report,
-                    run_report,
+                    run_report: job.run_report,
                 }
             })
             .collect();
@@ -183,7 +215,9 @@ pub fn alpha_sweep(sim: &SimConfig, train_episodes: u32, alphas: &[f64]) -> Vec<
     alpha_sweep_at(sim, train_episodes, alphas, 0.6)
 }
 
-/// [`alpha_sweep`] with an explicit operating α.
+/// [`alpha_sweep`] with an explicit operating α. Each α trains its own
+/// CMA2C instance with its own seeds and environments, so the sweep points
+/// fan out over worker threads; results come back in `alphas` order.
 pub fn alpha_sweep_at(
     sim: &SimConfig,
     train_episodes: u32,
@@ -191,17 +225,29 @@ pub fn alpha_sweep_at(
     eval_alpha: f64,
 ) -> Vec<(f64, f64)> {
     let city = City::generate(sim.city.clone());
-    alphas
-        .iter()
-        .map(|&alpha| {
-            // The runner's α only sets the *measurement* weighting; the
-            // policy trains on its own configured α.
-            let runner = Runner::new(sim.clone(), train_episodes, eval_alpha);
-            let mut method = Method::build(MethodKind::FairMove, &city, sim, alpha);
-            let (_, outcome) = runner.train_and_evaluate(&mut method);
-            (alpha, outcome.average_reward)
+    fairmove_parallel::ordered_map(alphas.to_vec(), |alpha| {
+        // The runner's α only sets the *measurement* weighting; the
+        // policy trains on its own configured α.
+        let runner = Runner::new(sim.clone(), train_episodes, eval_alpha);
+        let mut method = Method::build(MethodKind::FairMove, &city, sim, alpha);
+        let (_, outcome) = runner.train_and_evaluate(&mut method);
+        (alpha, outcome.average_reward)
+    })
+}
+
+impl Runner {
+    /// Convenience wrapper: the full multi-method comparison at this
+    /// runner's settings (see [`ComparisonResults::run`]; method jobs fan
+    /// out over worker threads deterministically).
+    pub fn compare(&self, methods: Vec<MethodKind>, eval_seeds: u32) -> ComparisonResults {
+        ComparisonResults::run(&ComparisonConfig {
+            sim: self.sim.clone(),
+            train_episodes: self.train_episodes,
+            alpha: self.alpha,
+            methods,
+            eval_seeds,
         })
-        .collect()
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +322,43 @@ mod tests {
         // Learning method reports carry their curve; GT's is empty.
         assert!(reports[0].training_curve.is_empty());
         assert_eq!(reports[2].training_curve.len(), 1);
+    }
+
+    #[test]
+    fn parallel_comparison_is_bit_identical_to_serial() {
+        let config = tiny_config();
+        let serial = ComparisonResults::run_with_threads(&config, 1);
+        for threads in [2, 4] {
+            let par = ComparisonResults::run_with_threads(&config, threads);
+            assert_eq!(serial.gt.ledger, par.gt.ledger, "threads={threads}");
+            assert_eq!(serial.gt.average_reward, par.gt.average_reward);
+            assert_eq!(serial.methods.len(), par.methods.len());
+            for (a, b) in serial.methods.iter().zip(&par.methods) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.training_curve, b.training_curve, "{:?}", a.kind);
+                assert_eq!(a.outcome.ledger, b.outcome.ledger, "{:?}", a.kind);
+                assert_eq!(a.outcome.average_reward, b.outcome.average_reward);
+                assert_eq!(a.outcome.mean_pe, b.outcome.mean_pe);
+                assert_eq!(a.outcome.pf, b.outcome.pf);
+                assert_eq!(a.report.prct, b.report.prct);
+                assert_eq!(a.report.prit, b.report.prit);
+                assert_eq!(a.report.pipe, b.report.pipe);
+                assert_eq!(a.report.pipf, b.report.pipf);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_compare_matches_comparison_run() {
+        let config = tiny_config();
+        let runner = Runner::new(config.sim.clone(), config.train_episodes, config.alpha);
+        let a = runner.compare(config.methods.clone(), config.eval_seeds);
+        let b = ComparisonResults::run(&config);
+        assert_eq!(a.gt.ledger, b.gt.ledger);
+        assert_eq!(a.methods.len(), b.methods.len());
+        for (x, y) in a.methods.iter().zip(&b.methods) {
+            assert_eq!(x.outcome.ledger, y.outcome.ledger);
+        }
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property test: the parallel comparison harness is a pure optimization.
+//!
+//! For any demand seed, running [`ComparisonResults`] with 1, 2, or 4
+//! worker threads must produce identical results — same ledgers, same
+//! training curves, and byte-identical canonicalized run-report JSONL.
+//! "Canonicalized" strips only the wall-clock `*_seconds` histograms
+//! (via [`fairmove_telemetry::Snapshot::without_timings`]): elapsed time
+//! legitimately varies with the thread count; nothing else may.
+
+use fairmove_core::experiments::{ComparisonConfig, ComparisonResults};
+use fairmove_core::method::MethodKind;
+use fairmove_sim::SimConfig;
+use proptest::prelude::*;
+
+/// Canonical JSONL for a finished comparison: every run report (GT first),
+/// timings stripped, one JSON object per line.
+fn canonical_jsonl(results: &ComparisonResults) -> String {
+    let mut out = String::new();
+    for report in results.run_reports() {
+        let mut canon = report.clone();
+        canon.snapshot = canon.snapshot.without_timings();
+        out.push_str(&canon.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn config_for_seed(seed: u64) -> ComparisonConfig {
+    let mut sim = SimConfig::test_scale();
+    sim.seed = seed;
+    ComparisonConfig {
+        sim,
+        train_episodes: 1,
+        alpha: 0.6,
+        methods: vec![MethodKind::Sd2, MethodKind::FairMove],
+        eval_seeds: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn thread_count_never_changes_results(seed in 0u64..1_000_000) {
+        let config = config_for_seed(seed);
+        let serial = ComparisonResults::run_with_threads(&config, 1);
+        let serial_jsonl = canonical_jsonl(&serial);
+        for threads in [2usize, 4] {
+            let par = ComparisonResults::run_with_threads(&config, threads);
+            prop_assert_eq!(
+                &serial.gt.ledger,
+                &par.gt.ledger,
+                "GT ledger diverged at threads={}",
+                threads
+            );
+            for (a, b) in serial.methods.iter().zip(&par.methods) {
+                prop_assert_eq!(a.kind, b.kind);
+                prop_assert_eq!(&a.training_curve, &b.training_curve);
+                prop_assert_eq!(&a.outcome.ledger, &b.outcome.ledger);
+            }
+            prop_assert_eq!(
+                &serial_jsonl,
+                &canonical_jsonl(&par),
+                "canonicalized run-report JSONL diverged at threads={}",
+                threads
+            );
+        }
+    }
+}

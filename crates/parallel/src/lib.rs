@@ -1,0 +1,288 @@
+//! Deterministic fan-out over OS threads, with no dependencies.
+//!
+//! The FairMove workloads that dominate walltime — (method × seed ×
+//! fault-scenario) training/evaluation runs, and the row loops of the dense
+//! matmuls inside them — are embarrassingly parallel *and* must stay
+//! bit-identical to the serial path: every result file, ledger, and
+//! run-report line is compared byte-for-byte in tests. This crate provides
+//! the two primitives that make that combination easy:
+//!
+//! * [`ordered_map`] — fan a batch of independent jobs across worker
+//!   threads, collecting results **in submission order**. Workers race for
+//!   *which* job to run next, never for *where* its result lands, so output
+//!   order is a function of the input alone.
+//! * [`par_chunks_mut`] — split a mutable slice into fixed-size chunks and
+//!   hand disjoint chunks to workers. Used for row-partitioned matmul where
+//!   each output row is written by exactly one thread.
+//!
+//! Neither primitive imposes an ordering on *observable side effects* of
+//! the jobs themselves; jobs that must compose deterministically have to be
+//! independent (own RNG, own telemetry registry, no shared mutable state).
+//! That contract is what `Runner::compare` and the bench binaries uphold.
+//!
+//! Thread count comes from the `FAIRMOVE_THREADS` environment variable
+//! (default: all available cores), read once per process. The `*_threads`
+//! variants take an explicit count so tests and benches can pin 1/2/4
+//! without touching the environment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Effective worker count: `FAIRMOVE_THREADS` if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`]. Cached for the process
+/// lifetime; `FAIRMOVE_THREADS=1` forces the serial path everywhere.
+pub fn thread_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        match std::env::var("FAIRMOVE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// [`ordered_map_threads`] with the process-wide [`thread_count`].
+pub fn ordered_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    ordered_map_threads(thread_count(), items, f)
+}
+
+/// Applies `f` to every item, using up to `threads` OS threads, and returns
+/// the results **in the order the items were submitted**.
+///
+/// Jobs are claimed from a shared atomic cursor (dynamic load balancing:
+/// a slow job does not stall the queue behind it), but each result is
+/// written into the slot of its input index, so the returned `Vec` is
+/// indistinguishable from `items.into_iter().map(f).collect()` as long as
+/// `f` itself is deterministic and the jobs are independent.
+///
+/// With `threads <= 1` (or fewer than two items) no threads are spawned and
+/// the jobs run inline, in order, on the caller's stack.
+///
+/// # Panics
+/// Propagates the first panic raised by `f` on any worker thread.
+pub fn ordered_map_threads<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = jobs[idx]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let result = f(item);
+                    *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// [`par_chunks_mut_threads`] with the process-wide [`thread_count`].
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut_threads(thread_count(), data, chunk_len, f);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// chunk may be shorter) and calls `f(chunk_index, chunk)` for each, using
+/// up to `threads` OS threads.
+///
+/// Chunks are disjoint, so each element is written by exactly one thread;
+/// as long as `f`'s output for a chunk depends only on `(chunk_index,
+/// chunk)` and shared read-only state, the final contents of `data` are
+/// bit-identical for every thread count.
+///
+/// With `threads <= 1` (or a single chunk) the chunks are processed inline,
+/// in order.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`; propagates the first panic raised by `f`.
+pub fn par_chunks_mut_threads<T, F>(threads: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if threads <= 1 || n_chunks <= 1 {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    let workers = threads.min(n_chunks);
+    // One claimable slot per chunk: a worker takes the (index, chunk) pair
+    // exactly once under the slot's own mutex.
+    type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let jobs: Vec<ChunkSlot<'_, T>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|j| Mutex::new(Some(j)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let at = cursor.fetch_add(1, Ordering::Relaxed);
+                    if at >= n_chunks {
+                        break;
+                    }
+                    let (idx, chunk) = jobs[at]
+                        .lock()
+                        .expect("chunk slot poisoned")
+                        .take()
+                        .expect("chunk claimed twice");
+                    f(idx, chunk);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn ordered_map_preserves_submission_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = ordered_map_threads(threads, (0..100u64).collect(), |x| x * x);
+            let expected: Vec<u64> = (0..100).map(|x| x * x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ordered_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = ordered_map_threads(4, Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(ordered_map_threads(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn ordered_map_actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        // Jobs park briefly so slow claiming cannot let one worker drain
+        // the whole queue before the others start.
+        let _ = ordered_map_threads(4, (0..16).collect::<Vec<u32>>(), |x| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            seen.lock().unwrap().insert(std::thread::current().id());
+            x
+        });
+        // At least one spawned worker ran (the scope spawns workers even on
+        // a single-core host; we only assert >= 1 to stay host-agnostic).
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn ordered_map_moves_non_clone_items() {
+        struct NoClone(u32);
+        let items = vec![NoClone(1), NoClone(2), NoClone(3)];
+        let out = ordered_map_threads(2, items, |x| x.0 * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 panicked")]
+    fn ordered_map_propagates_worker_panics() {
+        let _ = ordered_map_threads(2, (0..8u32).collect(), |x| {
+            if x == 3 {
+                panic!("job 3 panicked");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk_once() {
+        for threads in [1, 2, 4] {
+            let mut data = vec![0u32; 103];
+            let calls = AtomicUsize::new(0);
+            par_chunks_mut_threads(threads, &mut data, 10, |idx, chunk| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = (idx * 10 + off) as u32;
+                }
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 11, "threads={threads}");
+            let expected: Vec<u32> = (0..103).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_last_chunk_may_be_short() {
+        let mut data = vec![0u8; 7];
+        par_chunks_mut_threads(4, &mut data, 3, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = idx as u8 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn par_chunks_mut_rejects_zero_chunk() {
+        let mut data = [0u8; 4];
+        par_chunks_mut_threads(2, &mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

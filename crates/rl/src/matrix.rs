@@ -1,11 +1,42 @@
 //! Row-major dense matrices.
 //!
 //! Sized for this workload: layer widths of tens to a few hundred, batch
-//! sizes in the low thousands. Naive triple-loop matmul with the inner loop
-//! over contiguous memory is plenty at that scale and keeps the code
-//! auditable.
+//! sizes in the low thousands. The three matmul orientations are
+//! row-partitioned across threads (via [`fairmove_parallel`]) and blocked
+//! over the shared operand for cache reuse, but every output element is
+//! still accumulated in ascending-`k` order by exactly one thread — so the
+//! result is **bit-identical** for every thread count, not merely close.
+//! Small products stay on the caller's stack: spawning scoped threads costs
+//! more than a sub-millisecond multiply, so the auto entry points only fan
+//! out above [`PAR_MIN_FLOPS`] multiply-adds.
 
 use serde::{Deserialize, Serialize};
+
+/// Minimum multiply-add count before the auto entry points (`matmul` & co.)
+/// fan rows out across threads. Below this, thread spawn/join overhead
+/// (tens of microseconds per worker) exceeds the arithmetic saved.
+const PAR_MIN_FLOPS: usize = 1 << 22;
+
+/// Rows of the shared right-hand operand processed per cache block. 64 rows
+/// of up to a few hundred `f64` columns keep the block within L1/L2 while
+/// it is reused across every output row of a chunk.
+const BLOCK_K: usize = 64;
+
+/// Picks the worker count for an auto entry point: all configured threads
+/// when the product is large enough to amortize spawning, else serial.
+fn auto_threads(flops: usize) -> usize {
+    if flops >= PAR_MIN_FLOPS {
+        fairmove_parallel::thread_count()
+    } else {
+        1
+    }
+}
+
+/// Rows per parallel chunk: a few chunks per worker for load balancing
+/// without fragmenting the cache blocks.
+fn chunk_rows(rows: usize, threads: usize) -> usize {
+    rows.div_ceil(threads.max(1) * 4).max(1)
+}
 
 /// A dense row-major `rows × cols` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,75 +132,157 @@ impl Matrix {
 
     /// `self · other` (`m×k · k×n → m×n`).
     ///
+    /// Fans rows across threads above [`PAR_MIN_FLOPS`]; bit-identical to
+    /// the serial product either way.
+    ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_threads(other, auto_threads(self.rows * self.cols * other.cols))
+    }
+
+    /// [`Self::matmul`] with an explicit worker count (benches and the
+    /// determinism tests pin 1/2/4).
+    ///
+    /// Each output row is owned by exactly one thread and accumulated in
+    /// ascending-`k` order (cache blocks walk `k` in ascending runs), so
+    /// the result is bit-identical for every `threads` value.
+    pub fn matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
-            }
+        if out.data.is_empty() || self.cols == 0 {
+            return out;
         }
+        let n_cols = other.cols;
+        let rows_per_chunk = chunk_rows(self.rows, threads);
+        fairmove_parallel::par_chunks_mut_threads(
+            threads,
+            &mut out.data,
+            rows_per_chunk * n_cols,
+            |chunk_idx, out_chunk| {
+                let row0 = chunk_idx * rows_per_chunk;
+                for kb in (0..self.cols).step_by(BLOCK_K) {
+                    let kend = (kb + BLOCK_K).min(self.cols);
+                    for (local_i, out_row) in out_chunk.chunks_mut(n_cols).enumerate() {
+                        let i = row0 + local_i;
+                        for k in kb..kend {
+                            let a = self.data[i * self.cols + k];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let other_row = &other.data[k * n_cols..(k + 1) * n_cols];
+                            for (o, &b) in out_row.iter_mut().zip(other_row) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }
+            },
+        );
         out
     }
 
     /// `self · otherᵀ` (`m×k · n×k → m×n`), without materializing the
     /// transpose. This is the hot orientation in backprop.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        self.matmul_transpose_b_threads(other, auto_threads(self.rows * self.cols * other.rows))
+    }
+
+    /// [`Self::matmul_transpose_b`] with an explicit worker count.
+    ///
+    /// Every output element is a single left-to-right dot product computed
+    /// by one thread, so the result is bit-identical for every `threads`
+    /// value.
+    pub fn matmul_transpose_b_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_tb {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        if out.data.is_empty() {
+            return out;
         }
+        let n_cols = other.rows;
+        let rows_per_chunk = chunk_rows(self.rows, threads);
+        fairmove_parallel::par_chunks_mut_threads(
+            threads,
+            &mut out.data,
+            rows_per_chunk * n_cols,
+            |chunk_idx, out_chunk| {
+                let row0 = chunk_idx * rows_per_chunk;
+                // Block over `other`'s rows so a block stays cached while
+                // it is dotted against every row of this chunk.
+                for jb in (0..n_cols).step_by(BLOCK_K) {
+                    let jend = (jb + BLOCK_K).min(n_cols);
+                    for (local_i, out_row) in out_chunk.chunks_mut(n_cols).enumerate() {
+                        let a_row = self.row(row0 + local_i);
+                        for (j, o) in out_row[jb..jend].iter_mut().enumerate() {
+                            let b_row = other.row(jb + j);
+                            let mut acc = 0.0;
+                            for (&a, &b) in a_row.iter().zip(b_row) {
+                                acc += a * b;
+                            }
+                            *o = acc;
+                        }
+                    }
+                }
+            },
+        );
         out
     }
 
     /// `selfᵀ · other` (`k×m ᵀ· k×n → m×n`).
     pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        self.transpose_a_matmul_threads(other, auto_threads(self.rows * self.cols * other.cols))
+    }
+
+    /// [`Self::transpose_a_matmul`] with an explicit worker count.
+    ///
+    /// Output rows (columns of `self`) are partitioned across threads; each
+    /// element accumulates over `k` in ascending order exactly as the
+    /// serial loop does, so the result is bit-identical for every
+    /// `threads` value.
+    pub fn transpose_a_matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_ta ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if out.data.is_empty() || self.rows == 0 {
+            return out;
         }
+        let n_cols = other.cols;
+        let rows_per_chunk = chunk_rows(self.cols, threads);
+        fairmove_parallel::par_chunks_mut_threads(
+            threads,
+            &mut out.data,
+            rows_per_chunk * n_cols,
+            |chunk_idx, out_chunk| {
+                let i0 = chunk_idx * rows_per_chunk;
+                for kb in (0..self.rows).step_by(BLOCK_K) {
+                    let kend = (kb + BLOCK_K).min(self.rows);
+                    for (local_i, out_row) in out_chunk.chunks_mut(n_cols).enumerate() {
+                        let i = i0 + local_i;
+                        for k in kb..kend {
+                            let a = self.data[k * self.cols + i];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let b_row = &other.data[k * n_cols..(k + 1) * n_cols];
+                            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }
+            },
+        );
         out
     }
 
@@ -338,7 +451,161 @@ mod tests {
         let _ = Matrix::from_vec(2, 2, vec![1.0]);
     }
 
+    /// The pre-parallel triple loop: `i,k,j` with the zero skip, `k`
+    /// strictly ascending per element. The blocked/threaded kernels must
+    /// reproduce this bit-for-bit.
+    fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let v = a.get(i, k);
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + v * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn reference_matmul_tb(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(j, k);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn reference_matmul_ta(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for k in 0..a.rows() {
+            for i in 0..a.cols() {
+                let v = a.get(k, i);
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + v * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random fill (no RNG dependency): awkward values
+    /// whose sums are order-sensitive in the last ulp, plus ~10% zeros to
+    /// exercise the sparsity skip.
+    fn scrambled(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut state = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 33) as u32;
+                if u % 10 == 0 {
+                    0.0
+                } else {
+                    (u as f64 / u32::MAX as f64 - 0.5) * 3.7
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        // 70 > BLOCK_K exercises multi-block accumulation; odd row counts
+        // exercise the short final chunk.
+        let a = scrambled(37, 70, 1);
+        let b = scrambled(70, 29, 2);
+        let reference = reference_matmul(&a, &b);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                a.matmul_threads(&b, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(a.matmul(&b), reference);
+    }
+
+    #[test]
+    fn matmul_transpose_b_bit_identical_across_thread_counts() {
+        let a = scrambled(33, 70, 3);
+        let b = scrambled(81, 70, 4);
+        let reference = reference_matmul_tb(&a, &b);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                a.matmul_transpose_b_threads(&b, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(a.matmul_transpose_b(&b), reference);
+    }
+
+    #[test]
+    fn transpose_a_matmul_bit_identical_across_thread_counts() {
+        let a = scrambled(70, 37, 5);
+        let b = scrambled(70, 23, 6);
+        let reference = reference_matmul_ta(&a, &b);
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                a.transpose_a_matmul_threads(&b, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(a.transpose_a_matmul(&b), reference);
+    }
+
+    #[test]
+    fn threaded_matmul_handles_degenerate_shapes() {
+        let empty_rows = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(empty_rows.matmul_threads(&b, 4), Matrix::zeros(0, 3));
+        let a = Matrix::zeros(3, 0);
+        let b0 = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul_threads(&b0, 4), Matrix::zeros(3, 4));
+        let c = Matrix::zeros(4, 0);
+        assert_eq!(a.matmul_transpose_b_threads(&c, 4), Matrix::zeros(3, 4));
+        assert_eq!(
+            Matrix::zeros(0, 3).transpose_a_matmul_threads(&Matrix::zeros(0, 2), 4),
+            Matrix::zeros(3, 2)
+        );
+    }
+
     proptest! {
+        #[test]
+        fn matmul_threads_matches_reference(
+            m in 1usize..12, k in 1usize..12, n in 1usize..12,
+            salt in 0u64..1000,
+            threads in 1usize..5,
+        ) {
+            let a = scrambled(m, k, salt);
+            let b = scrambled(k, n, salt.wrapping_add(77));
+            prop_assert_eq!(a.matmul_threads(&b, threads), reference_matmul(&a, &b));
+            prop_assert_eq!(
+                a.matmul_transpose_b_threads(&b.transpose(), threads),
+                reference_matmul_tb(&a, &b.transpose())
+            );
+            prop_assert_eq!(
+                a.transpose_a_matmul_threads(&scrambled(m, n, salt ^ 5), threads),
+                reference_matmul_ta(&a, &scrambled(m, n, salt ^ 5))
+            );
+        }
+
         #[test]
         fn matmul_is_associative_with_vectors(
             a in proptest::collection::vec(-5.0..5.0f64, 6),

@@ -989,7 +989,11 @@ impl Environment {
                     (f64::from(st.occupied + st.inbound) + st.queue_len() as f64)
                         / f64::from(st.points).max(1.0)
                 };
-                load(a).total_cmp(&load(b))
+                // Exact load ties break to the lowest station id: a bare
+                // `min_by` returns the *last* minimal element, which would
+                // pick whichever equally-loaded station happens to sort
+                // later in the nearest-station list.
+                load(a).total_cmp(&load(b)).then(a.0.cmp(&b.0))
             })
     }
 
@@ -1226,6 +1230,31 @@ mod tests {
         });
         // Release builds reach here: the violation is counted, not fatal.
         assert_eq!(env.invariant_violations(), 1);
+    }
+
+    #[test]
+    fn alternative_station_ties_break_to_lowest_id() {
+        // A fresh fleet has every station at load 0, so every candidate in
+        // the host region's nearest-station list ties exactly. The redirect
+        // target must then be the lowest station id — not whichever
+        // equally-loaded station sorts last in the proximity list.
+        let env = small_env();
+        for st in env.city().stations() {
+            let expected = env
+                .city
+                .nearest_stations()
+                .nearest(env.city.station(st.id).region)
+                .iter()
+                .copied()
+                .filter(|&s| s != st.id)
+                .min_by_key(|s| s.0);
+            assert_eq!(
+                env.pick_alternative_station(st.id),
+                expected,
+                "redirect from {} is not the lowest-id tied alternative",
+                st.id
+            );
+        }
     }
 
     #[test]

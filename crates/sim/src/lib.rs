@@ -42,7 +42,7 @@ pub use config::SimConfig;
 pub use env::{Environment, FaultCounters, SlotFeedback};
 pub use error::SimError;
 pub use ledger::{ChargeEvent, FleetLedger, TaxiLedger, TripEvent};
-pub use observation::{DecisionContext, SlotObservation};
+pub use observation::{DecisionContext, ObservationView, SlotObservation, WorkingObservation};
 pub use policy::{DisplacementPolicy, StayPolicy};
 pub use resilient::{ResilienceStats, ResilientPolicy};
 pub use snapshot::FleetSnapshot;

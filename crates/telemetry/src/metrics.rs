@@ -401,6 +401,67 @@ impl Snapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }
+
+    /// The snapshot minus wall-clock timing histograms (span names end in
+    /// `_seconds` by convention). Elapsed time legitimately varies between
+    /// runs and thread counts; everything else must be bit-identical, so
+    /// determinism diffs compare this canonical form.
+    pub fn without_timings(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| !h.name.ends_with("_seconds"))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Folds `other` into `self`: counters and histogram buckets/sums/counts
+    /// add, gauges take `other`'s value (last-writer-wins, matching the live
+    /// registry), and metrics present only in `other` are inserted. Name
+    /// ordering stays sorted, so merging per-worker snapshots yields the
+    /// same layout a shared registry would have produced.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(i) => self.counters[i].1 += *v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.gauges[i].1 = *v,
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|s| s.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => {
+                    let s = &mut self.histograms[i];
+                    debug_assert_eq!(
+                        s.bounds, h.bounds,
+                        "histogram {} merged across bucket layouts",
+                        h.name
+                    );
+                    for (a, b) in s.counts.iter_mut().zip(&h.counts) {
+                        *a += *b;
+                    }
+                    s.sum += h.sum;
+                    s.count += h.count;
+                }
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -559,5 +620,53 @@ mod tests {
         let clone = tel.clone();
         clone.counter("via_clone").add(7);
         assert_eq!(tel.snapshot().counter("via_clone"), Some(7));
+    }
+
+    #[test]
+    fn without_timings_strips_only_seconds_histograms() {
+        let tel = Telemetry::enabled();
+        tel.counter("sim.trips").inc();
+        tel.gauge("dqn.epsilon").set(0.5);
+        tel.histogram("sim.step_slot_seconds", &[1.0]).observe(0.2);
+        tel.histogram("sim.queue_depth", &[1.0]).observe(3.0);
+        let canon = tel.snapshot().without_timings();
+        assert_eq!(canon.counter("sim.trips"), Some(1));
+        assert_eq!(canon.gauge("dqn.epsilon"), Some(0.5));
+        assert!(canon.histogram("sim.step_slot_seconds").is_none());
+        assert!(canon.histogram("sim.queue_depth").is_some());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_inserts_missing_metrics_sorted() {
+        let a = Telemetry::enabled();
+        a.counter("shared").add(2);
+        a.counter("only_a").inc();
+        a.gauge("g").set(1.0);
+        a.histogram("h", &[1.0, 2.0]).observe(0.5);
+        let b = Telemetry::enabled();
+        b.counter("shared").add(3);
+        b.counter("a_before").inc();
+        b.gauge("g").set(9.0);
+        b.histogram("h", &[1.0, 2.0]).observe(1.5);
+        b.histogram("b_only", &[1.0]).observe(0.1);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("shared"), Some(5));
+        assert_eq!(merged.counter("only_a"), Some(1));
+        assert_eq!(merged.counter("a_before"), Some(1));
+        // Gauges are last-writer-wins, like the live registry.
+        assert_eq!(merged.gauge("g"), Some(9.0));
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 2.0).abs() < 1e-12);
+        assert!(merged.histogram("b_only").is_some());
+        // Sections stay name-sorted after inserts, matching what one shared
+        // registry would have snapshotted.
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a_before", "only_a", "shared"]);
+        let hist_names: Vec<&str> = merged.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(hist_names, vec!["b_only", "h"]);
     }
 }
