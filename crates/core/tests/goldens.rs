@@ -1,0 +1,99 @@
+//! Golden-snapshot tests for the experiment pipeline, replacing the old
+//! hand-pasted `results_*.txt` console dumps.
+//!
+//! The blessed files live in `tests/goldens/`. On mismatch the harness
+//! reports the first diverging line — and, for event streams, the first
+//! diverging simulation slot. After an *intended* behavior change,
+//! re-bless and review:
+//!
+//! ```text
+//! FAIRMOVE_BLESS=1 cargo test -q -p fairmove-core --test goldens
+//! git diff crates/core/tests/goldens/
+//! ```
+
+use fairmove_core::experiments::{ComparisonConfig, ComparisonResults};
+use fairmove_core::method::MethodKind;
+use fairmove_sim::SimConfig;
+use fairmove_testkit::{canon, golden, PolicyKind, Scenario};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// The full event stream of a small ground-truth run is pinned exactly:
+/// every trip, every charge, every per-taxi total, bit-for-bit.
+#[test]
+fn gt_ledger_golden() {
+    let scenario = Scenario {
+        seed: 0x90_1d_e4,
+        n_regions: 12,
+        n_stations: 3,
+        charging_points: 6,
+        fleet_size: 16,
+        slots: 24,
+        daily_trips_per_taxi: 36.0,
+        alpha: 0.6,
+        policy: PolicyKind::GroundTruth,
+        fault_plan: None,
+    };
+    let artifacts = scenario.run();
+    assert!(artifacts.violation.is_none(), "audit must be clean");
+    golden::assert_golden(
+        &golden_path("gt_ledger.golden"),
+        &canon::canon_ledger(&artifacts.ledger),
+    );
+}
+
+fn tiny_comparison() -> ComparisonConfig {
+    let mut sim = SimConfig::test_scale();
+    sim.fleet_size = 24;
+    sim.seed = 0xC0_FF_EE;
+    ComparisonConfig {
+        sim,
+        train_episodes: 1,
+        alpha: 0.6,
+        methods: vec![MethodKind::Sd2, MethodKind::FairMove],
+        eval_seeds: 1,
+    }
+}
+
+/// A tiny end-to-end comparison (GT + SD2 + FairMove, one training
+/// episode) is pinned as headline numbers, training curves, and per-slot
+/// ledger digests. This is the successor to `results_*.txt`: the same
+/// information, machine-checked on every test run instead of pasted once.
+#[test]
+fn tiny_comparison_golden() {
+    let results = ComparisonResults::run_with_threads(&tiny_comparison(), 1);
+    golden::assert_golden(
+        &golden_path("tiny_comparison.golden"),
+        &canon::canon_comparison(&results),
+    );
+}
+
+/// The same comparison run on worker threads must reproduce the serial
+/// golden byte-for-byte — parallelism is a pure optimization.
+#[test]
+fn tiny_comparison_golden_is_thread_invariant() {
+    for threads in [2usize, 4] {
+        let results = ComparisonResults::run_with_threads(&tiny_comparison(), threads);
+        golden::assert_golden(
+            &golden_path("tiny_comparison.golden"),
+            &canon::canon_comparison(&results),
+        );
+    }
+}
+
+/// The canonical (timing-stripped) telemetry snapshot of the GT comparison
+/// leg is pinned too, so counter drift — a new event double-counted, a
+/// missed decrement — fails loudly with the counter name in the diff.
+#[test]
+fn gt_run_report_snapshot_golden() {
+    let results = ComparisonResults::run_with_threads(&tiny_comparison(), 1);
+    golden::assert_golden(
+        &golden_path("gt_snapshot.golden"),
+        &canon::canon_snapshot(&results.gt_report.snapshot),
+    );
+}

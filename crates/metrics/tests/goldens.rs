@@ -1,0 +1,149 @@
+//! Golden-pinned metric values: bootstrap CIs, the Eq. 3 fairness
+//! variance, and the Eq. 12–15 comparison metrics on real simulated
+//! ledgers.
+//!
+//! These pin *numbers*, not properties: any change to a resampling loop,
+//! a variance denominator, or a normalization shows up as an exact diff
+//! against `tests/goldens/`. Re-bless intended changes with
+//! `FAIRMOVE_BLESS=1 cargo test -q -p fairmove-metrics --test goldens`.
+
+use fairmove_metrics::{
+    bootstrap_mean_ci, gini, jain_index, pipe, pipf, prct, prit, profit_fairness, MethodReport,
+};
+use fairmove_sim::FleetLedger;
+use fairmove_testkit::{canon, golden, PolicyKind, Scenario};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// A deterministic, unevenly distributed sample set (no RNG involved).
+fn samples(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            10.0 + (x * 0.37).sin() * 3.0 + (i % 7) as f64 * 0.5
+        })
+        .collect()
+}
+
+/// Percentile-bootstrap CIs are pinned across sample sizes, confidence
+/// levels, and seeds. Catches off-by-one percentile indexing, resample
+/// count drift, and RNG stream changes.
+#[test]
+fn bootstrap_ci_golden() {
+    let mut out = String::from("fairmove-bootstrap v1\n");
+    for n in [5usize, 30, 200] {
+        let xs = samples(n);
+        for confidence in [0.5, 0.9, 0.95, 0.99] {
+            for seed in [1u64, 42] {
+                let ci = bootstrap_mean_ci(&xs, confidence, 400, seed);
+                let _ = writeln!(
+                    out,
+                    "n={n} confidence={confidence} seed={seed} mean={} lo={} hi={}",
+                    canon::f(ci.mean),
+                    canon::f(ci.lo),
+                    canon::f(ci.hi),
+                );
+            }
+        }
+    }
+    // Degenerate inputs stay degenerate.
+    let empty = bootstrap_mean_ci(&[], 0.95, 100, 7);
+    let _ = writeln!(
+        out,
+        "empty mean={} lo={} hi={}",
+        canon::f(empty.mean),
+        canon::f(empty.lo),
+        canon::f(empty.hi)
+    );
+    golden::assert_golden(&golden_path("bootstrap_ci.golden"), &out);
+}
+
+/// The Eq. 3 profit-fairness variance and the auxiliary inequality
+/// indices, pinned on fixed vectors. Catches population-vs-sample variance
+/// flips and normalization changes.
+#[test]
+fn fairness_variance_golden() {
+    let mut out = String::from("fairmove-fairness v1\n");
+    let cases: [(&str, Vec<f64>); 5] = [
+        ("uniform", vec![2.5; 8]),
+        ("two-point", vec![1.0, 3.0]),
+        ("skewed", vec![0.5, 0.5, 0.5, 0.5, 8.0]),
+        ("ramp", (0..12).map(f64::from).collect()),
+        ("waves", samples(25)),
+    ];
+    for (name, xs) in &cases {
+        let _ = writeln!(
+            out,
+            "{name} pf={} gini={} jain={}",
+            canon::f(profit_fairness(xs)),
+            canon::f(gini(xs)),
+            canon::f(jain_index(xs)),
+        );
+    }
+    golden::assert_golden(&golden_path("fairness_variance.golden"), &out);
+}
+
+/// Two deterministic ledgers from the same demand seed: the ground-truth
+/// displacement policy versus staying put.
+fn ledger_pair() -> (FleetLedger, FleetLedger) {
+    let scenario = Scenario {
+        seed: 0x5EED_CAFE,
+        n_regions: 12,
+        n_stations: 3,
+        charging_points: 6,
+        fleet_size: 20,
+        slots: 36,
+        daily_trips_per_taxi: 36.0,
+        alpha: 0.6,
+        policy: PolicyKind::GroundTruth,
+        fault_plan: None,
+    };
+    let gt = scenario.run();
+    let mut stay = scenario.clone();
+    stay.policy = PolicyKind::Stay;
+    let d = stay.run();
+    (gt.ledger, d.ledger)
+}
+
+/// Eq. 12–15 on real simulated ledgers, pinned with the full win/loss
+/// ordering of every pairing (G vs D, D vs G, and each against itself —
+/// the self-comparisons must be exactly zero or sign-flip consistently).
+#[test]
+fn comparison_metrics_golden() {
+    let (g, d) = ledger_pair();
+    let mut out = String::from("fairmove-comparison-metrics v1\n");
+    let pairs: [(&str, &FleetLedger, &FleetLedger); 3] = [
+        ("gt-vs-stay", &g, &d),
+        ("stay-vs-gt", &d, &g),
+        ("gt-vs-gt", &g, &g),
+    ];
+    for (name, a, b) in pairs {
+        let _ = writeln!(
+            out,
+            "{name} prct={} prit={} pipe={} pipf={}",
+            canon::f(prct(a, b)),
+            canon::f(prit(a, b)),
+            canon::f(pipe(a, b)),
+            canon::f(pipf(a, b)),
+        );
+    }
+    let report = MethodReport::compute("Stay", &g, &d);
+    let _ = writeln!(
+        out,
+        "report name={} prct={} prit={} pipe={} pipf={} median_cruise={} median_pe={}",
+        report.name,
+        canon::f(report.prct),
+        canon::f(report.prit),
+        canon::f(report.pipe),
+        canon::f(report.pipf),
+        canon::f(report.median_cruise_minutes),
+        canon::f(report.median_pe),
+    );
+    golden::assert_golden(&golden_path("comparison_metrics.golden"), &out);
+}

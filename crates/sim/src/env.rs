@@ -14,6 +14,9 @@
 //! practice); passenger pickup approach distance is sampled rather than
 //! routed.
 
+#[path = "audit.rs"]
+pub mod audit;
+
 use crate::action::Action;
 use crate::action::ActionSet;
 use crate::config::SimConfig;
@@ -226,6 +229,9 @@ pub struct Environment {
     fault_counters: FaultCounters,
     /// Invariant violations recovered from (see [`SimError`]).
     invariant_violations: u64,
+    /// Per-slot invariant audit (see [`audit::InvariantAuditor`]): installed
+    /// by default in debug builds, opt-in in release.
+    auditor: Option<audit::InvariantAuditor>,
 }
 
 impl Environment {
@@ -288,6 +294,7 @@ impl Environment {
             obs_history: VecDeque::new(),
             fault_counters: FaultCounters::default(),
             invariant_violations: 0,
+            auditor: cfg!(debug_assertions).then(audit::InvariantAuditor::new),
             config,
         }
     }
@@ -382,6 +389,27 @@ impl Environment {
     #[inline]
     pub fn invariant_violations(&self) -> u64 {
         self.invariant_violations
+    }
+
+    /// Installs (or replaces) the per-slot invariant auditor. Debug builds
+    /// install a fail-fast [`audit::InvariantAuditor::new`] automatically;
+    /// call this with [`audit::InvariantAuditor::recording`] to collect
+    /// violations without panicking (what the property driver does), or in
+    /// release builds to opt the audit in.
+    pub fn set_auditor(&mut self, auditor: audit::InvariantAuditor) {
+        self.auditor = Some(auditor);
+    }
+
+    /// Removes the invariant auditor (audits stop; already-counted
+    /// violations remain in [`Self::invariant_violations`]).
+    pub fn disable_audit(&mut self) {
+        self.auditor = None;
+    }
+
+    /// The installed invariant auditor, if any.
+    #[inline]
+    pub fn auditor(&self) -> Option<&audit::InvariantAuditor> {
+        self.auditor.as_ref()
     }
 
     /// Whether the configured horizon has been reached.
@@ -620,6 +648,20 @@ impl Environment {
         }
         if let Some(span) = slot_span {
             span.finish();
+        }
+
+        // 5. Invariant audit: re-derive the redundant bookkeeping from first
+        // principles. Purely observational (no RNG, no state mutation), so
+        // audited and unaudited runs are bit-identical.
+        if let Some(mut auditor) = self.auditor.take() {
+            let new_violations = auditor.audit_slot(self);
+            self.auditor = Some(auditor);
+            if new_violations > 0 {
+                self.invariant_violations += new_violations;
+                if let Some(m) = &self.metrics {
+                    m.invariants.add(new_violations);
+                }
+            }
         }
 
         SlotFeedback {

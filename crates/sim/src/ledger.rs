@@ -187,6 +187,16 @@ impl FleetLedger {
     /// Records a completed trip (also updates the taxi's revenue/counters).
     pub fn record_trip(&mut self, event: TripEvent) {
         let ledger = &mut self.taxis[event.taxi.index()];
+        // Deliberately seeded bug for the testkit's mutation smoke check:
+        // the very first trip's fare is never credited, breaking money
+        // conservation. Only compiled under the `seeded-bug` feature, which
+        // nothing enables by default.
+        #[cfg(feature = "seeded-bug")]
+        if self.trips.is_empty() {
+            ledger.n_trips += 1;
+            self.trips.push(event);
+            return;
+        }
         ledger.revenue_cny += event.fare_cny;
         ledger.n_trips += 1;
         self.trips.push(event);

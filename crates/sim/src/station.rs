@@ -52,6 +52,14 @@ impl StationState {
         self.queue.len()
     }
 
+    /// The waiting taxis in FIFO order (front of the queue first). Used by
+    /// the invariant auditor to cross-check queue membership against the
+    /// taxi state machine.
+    #[inline]
+    pub fn queued_taxis(&self) -> impl Iterator<Item = &TaxiId> {
+        self.queue.iter()
+    }
+
     /// Expected load counting occupied + queued + inbound, as a multiple of
     /// capacity. Policies use this to avoid herding.
     pub fn expected_load(&self) -> f64 {

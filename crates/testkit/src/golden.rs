@@ -1,0 +1,159 @@
+//! Golden-snapshot comparison with a bless workflow.
+//!
+//! A golden file is the blessed canonical form (see [`crate::canon`]) of
+//! some deterministic output. [`assert_golden`] compares the actual text
+//! against the file and, on mismatch, reports the **first diverging line**
+//! — and, when the line carries a `slot=N` token, the first diverging
+//! simulation slot. Setting `FAIRMOVE_BLESS=1` rewrites the files instead,
+//! which is the sanctioned way to update them after an intended behavior
+//! change:
+//!
+//! ```text
+//! FAIRMOVE_BLESS=1 cargo test -q
+//! git diff   # review every blessed change before committing
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A golden comparison failure: where the texts first diverge.
+#[derive(Debug, Clone)]
+pub struct GoldenMismatch {
+    /// The golden file compared against.
+    pub path: PathBuf,
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// Simulation slot parsed from the first differing line, if present.
+    pub slot: Option<u32>,
+    /// The blessed line (`None` when the actual text has extra lines).
+    pub expected: Option<String>,
+    /// The actual line (`None` when the actual text is truncated).
+    pub actual: Option<String>,
+}
+
+impl fmt::Display for GoldenMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "golden mismatch against {} at line {}{}",
+            self.path.display(),
+            self.line,
+            self.slot
+                .map(|s| format!(" (first diverging slot: {s})"))
+                .unwrap_or_default()
+        )?;
+        writeln!(
+            f,
+            "  expected: {}",
+            self.expected.as_deref().unwrap_or("<end of golden>")
+        )?;
+        writeln!(
+            f,
+            "  actual  : {}",
+            self.actual.as_deref().unwrap_or("<end of output>")
+        )?;
+        write!(
+            f,
+            "re-bless with FAIRMOVE_BLESS=1 if this change is intended"
+        )
+    }
+}
+
+/// Whether the bless workflow is active (`FAIRMOVE_BLESS=1`).
+pub fn blessing() -> bool {
+    std::env::var("FAIRMOVE_BLESS").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Parses a `slot=N` token out of a line.
+fn slot_of(line: &str) -> Option<u32> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("slot="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Finds the first diverging line between `expected` and `actual`.
+fn first_divergence(path: &Path, expected: &str, actual: &str) -> Option<GoldenMismatch> {
+    let mut exp = expected.lines();
+    let mut act = actual.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (exp.next(), act.next()) {
+            (None, None) => return None,
+            (e, a) if e == a => {}
+            (e, a) => {
+                let slot = a.and_then(slot_of).or_else(|| e.and_then(slot_of));
+                return Some(GoldenMismatch {
+                    path: path.to_path_buf(),
+                    line,
+                    slot,
+                    expected: e.map(str::to_string),
+                    actual: a.map(str::to_string),
+                });
+            }
+        }
+    }
+}
+
+/// Compares `actual` against the golden file at `path`.
+///
+/// * Match → `Ok(false)`.
+/// * Mismatch or missing file with `FAIRMOVE_BLESS=1` → file is written,
+///   `Ok(true)`.
+/// * Mismatch otherwise → `Err` with the first divergence.
+pub fn check(path: &Path, actual: &str) -> Result<bool, Box<GoldenMismatch>> {
+    match std::fs::read_to_string(path) {
+        Ok(expected) if expected == actual => Ok(false),
+        Ok(expected) => {
+            if blessing() {
+                bless(path, actual);
+                return Ok(true);
+            }
+            Err(Box::new(
+                first_divergence(path, &expected, actual).unwrap_or(GoldenMismatch {
+                    // Same lines but different trailing bytes (e.g. final
+                    // newline): report the end of the shorter text.
+                    path: path.to_path_buf(),
+                    line: expected.lines().count() + 1,
+                    slot: None,
+                    expected: None,
+                    actual: None,
+                }),
+            ))
+        }
+        Err(_) => {
+            if blessing() {
+                bless(path, actual);
+                return Ok(true);
+            }
+            Err(Box::new(GoldenMismatch {
+                path: path.to_path_buf(),
+                line: 0,
+                slot: None,
+                expected: None,
+                actual: Some("<golden file missing>".to_string()),
+            }))
+        }
+    }
+}
+
+fn bless(path: &Path, actual: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create golden directory");
+    }
+    std::fs::write(path, actual).expect("write golden file");
+}
+
+/// Asserts `actual` matches the golden file at `path`, panicking with the
+/// first-divergence report otherwise. With `FAIRMOVE_BLESS=1` the file is
+/// (re)written and the assertion passes.
+pub fn assert_golden(path: &Path, actual: &str) {
+    match check(path, actual) {
+        Ok(blessed) => {
+            if blessed {
+                eprintln!("blessed golden {}", path.display());
+            }
+        }
+        Err(m) => panic!("{m}"),
+    }
+}

@@ -1,0 +1,277 @@
+//! The oracle catalog: differential and metamorphic checks that define
+//! "correct" for a system whose only ground truth is itself.
+//!
+//! Each oracle takes a [`Scenario`], runs it (reusing one base run where
+//! possible), and returns the first failure. The catalog:
+//!
+//! | oracle | guards |
+//! |---|---|
+//! | `invariant-audit` | every per-slot simulator invariant (money conservation, battery bounds, charger occupancy, state machine, fault counters) |
+//! | `telemetry-inert` | telemetry-on ≡ telemetry-off bit-identical ledgers |
+//! | `empty-plan-identity` | an attached empty [`FaultPlan`] ≡ no plan at all |
+//! | `serial-parallel` | `ordered_map` over worker threads ≡ the serial map |
+//! | `permutation-invariance` | fleet metrics are taxi-id-order invariant |
+//! | `alpha-objective` | Eq. 4 reward is affine in α; α = 1 ignores fairness, α = 0 ignores profit |
+
+use crate::canon::fnv64;
+use crate::scenario::{PlanMode, RunArtifacts, Scenario, TestRng};
+use fairmove_metrics::{gini, profit_fairness};
+use fairmove_sim::{TaxiId, Telemetry};
+use std::fmt;
+
+/// One failed oracle: which check, and what it saw.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Stable oracle name (see the module table).
+    pub oracle: &'static str,
+    /// What diverged.
+    pub message: String,
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oracle `{}` failed: {}", self.oracle, self.message)
+    }
+}
+
+fn fail(oracle: &'static str, message: String) -> Result<(), OracleFailure> {
+    Err(OracleFailure { oracle, message })
+}
+
+/// Names of every oracle in catalog order.
+pub const ORACLE_NAMES: [&str; 6] = [
+    "invariant-audit",
+    "telemetry-inert",
+    "empty-plan-identity",
+    "serial-parallel",
+    "permutation-invariance",
+    "alpha-objective",
+];
+
+/// Runs the full oracle catalog against one scenario. Returns the first
+/// failure (catalog order), or `Ok` when every check passes.
+pub fn check_all(scenario: &Scenario) -> Result<(), OracleFailure> {
+    let base = scenario.run();
+    invariant_audit(&base)?;
+    telemetry_inert(scenario, &base)?;
+    empty_plan_identity(scenario, &base)?;
+    serial_parallel(&base)?;
+    permutation_invariance(scenario, &base)?;
+    alpha_objective(scenario, &base)?;
+    Ok(())
+}
+
+/// The per-slot invariant audit found nothing.
+fn invariant_audit(base: &RunArtifacts) -> Result<(), OracleFailure> {
+    if let Some(v) = &base.violation {
+        return fail(
+            "invariant-audit",
+            format!("{v} ({} total violations)", base.audit_violations),
+        );
+    }
+    if base.invariant_violations > 0 {
+        return fail(
+            "invariant-audit",
+            format!(
+                "environment recovered from {} invariant violations",
+                base.invariant_violations
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Attaching telemetry must not change the simulation by one bit.
+fn telemetry_inert(scenario: &Scenario, base: &RunArtifacts) -> Result<(), OracleFailure> {
+    let telemetry = Telemetry::enabled();
+    let instrumented = scenario.run_with(Some(&telemetry), PlanMode::AsIs);
+    if instrumented.ledger != base.ledger {
+        return fail(
+            "telemetry-inert",
+            format!(
+                "telemetry-on ledger diverged from telemetry-off (first diff: {})",
+                first_ledger_diff(base, &instrumented)
+            ),
+        );
+    }
+    if instrumented.fault_counters != base.fault_counters {
+        return fail(
+            "telemetry-inert",
+            "fault counters diverged under telemetry".to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// An attached-but-empty fault plan must be indistinguishable from none.
+/// Only meaningful when the scenario itself carries no plan (otherwise the
+/// base run already includes fault effects).
+fn empty_plan_identity(scenario: &Scenario, base: &RunArtifacts) -> Result<(), OracleFailure> {
+    if scenario.fault_plan.is_some() {
+        return Ok(());
+    }
+    let with_empty = scenario.run_with(None, PlanMode::Empty);
+    if with_empty.ledger != base.ledger {
+        return fail(
+            "empty-plan-identity",
+            format!(
+                "empty fault plan changed the run (first diff: {})",
+                first_ledger_diff(base, &with_empty)
+            ),
+        );
+    }
+    if with_empty.fault_counters != Default::default() {
+        return fail(
+            "empty-plan-identity",
+            format!(
+                "empty fault plan booked injections: {:?}",
+                with_empty.fault_counters
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Fanning a pure per-slot digest over worker threads must return exactly
+/// the serial result, in submission order, at every thread count.
+fn serial_parallel(base: &RunArtifacts) -> Result<(), OracleFailure> {
+    let digest = |profits: &Vec<f64>| {
+        let mut bytes = Vec::with_capacity(profits.len() * 8);
+        for p in profits {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        fnv64(&bytes)
+    };
+    let items: Vec<Vec<f64>> = base
+        .feedbacks
+        .iter()
+        .map(|f| f.slot_profit.clone())
+        .collect();
+    let serial: Vec<u64> = items.iter().map(digest).collect();
+    for threads in [1usize, 2, 4] {
+        let parallel =
+            fairmove_parallel::ordered_map_threads(threads, items.clone(), |p| digest(&p));
+        if parallel != serial {
+            let slot = serial
+                .iter()
+                .zip(&parallel)
+                .position(|(a, b)| a != b)
+                .unwrap_or(serial.len());
+            return fail(
+                "serial-parallel",
+                format!("ordered_map with {threads} threads diverged at slot {slot}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Fleet-level fairness metrics must not depend on taxi-id order.
+fn permutation_invariance(scenario: &Scenario, base: &RunArtifacts) -> Result<(), OracleFailure> {
+    let pes = base.ledger.profit_efficiencies();
+    if pes.len() < 2 {
+        return Ok(());
+    }
+    // Deterministic Fisher–Yates shuffle from the scenario seed.
+    let mut permuted = pes.clone();
+    let mut rng = TestRng::new(scenario.seed ^ 0x9e37);
+    for i in (1..permuted.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        permuted.swap(i, j);
+    }
+    let tol = 1e-9;
+    let close = |a: f64, b: f64| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()));
+    type Metric = fn(&[f64]) -> f64;
+    let checks: [(&str, Metric); 2] = [
+        ("profit_fairness", |v| profit_fairness(v)),
+        ("gini", |v| gini(v)),
+    ];
+    for (name, metric) in checks {
+        let original = metric(&pes);
+        let shuffled = metric(&permuted);
+        if !close(original, shuffled) {
+            return fail(
+                "permutation-invariance",
+                format!("{name} changed under taxi permutation: {original:?} -> {shuffled:?}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Eq. 4's reward must be affine in α, reduce to the pure profit objective
+/// at α = 1 (fairness ignored), and to the pure fairness objective at α = 0
+/// (profit ignored). Checked on real slot feedback from the base run.
+fn alpha_objective(scenario: &Scenario, base: &RunArtifacts) -> Result<(), OracleFailure> {
+    let tol = 1e-9;
+    for feedback in base.feedbacks.iter().take(8) {
+        let taxis = feedback.slot_profit.len().min(4);
+        for t in 0..taxis {
+            let taxi = TaxiId(t as u32);
+            let r0 = feedback.reward(0.0, taxi);
+            let r1 = feedback.reward(1.0, taxi);
+            let alpha = scenario.alpha;
+            let blended = feedback.reward(alpha, taxi);
+            let affine = alpha * r1 + (1.0 - alpha) * r0;
+            if (blended - affine).abs() > tol * (1.0 + affine.abs()) {
+                return fail(
+                    "alpha-objective",
+                    format!(
+                        "reward(α={alpha}) for {taxi} is not affine in α: got {blended:?}, expected {affine:?}"
+                    ),
+                );
+            }
+
+            // α = 1: pure efficiency — perturbing fairness must not move it.
+            let mut unfair = feedback.clone();
+            unfair.pf += 123.456;
+            unfair.cumulative_pe[t] += 7.0;
+            if (unfair.reward(1.0, taxi) - r1).abs() > tol {
+                return fail(
+                    "alpha-objective",
+                    format!("α=1 reward for {taxi} depends on the fairness term"),
+                );
+            }
+
+            // α = 0: pure fairness — perturbing slot profit must not move it.
+            let mut richer = feedback.clone();
+            richer.slot_profit[t] += 50.0;
+            if (richer.reward(0.0, taxi) - r0).abs() > tol {
+                return fail(
+                    "alpha-objective",
+                    format!("α=0 reward for {taxi} depends on slot profit"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Short description of the first difference between two runs' ledgers,
+/// for oracle messages.
+fn first_ledger_diff(a: &RunArtifacts, b: &RunArtifacts) -> String {
+    let (at, bt) = (a.ledger.trips(), b.ledger.trips());
+    if at.len() != bt.len() {
+        return format!("trip counts {} vs {}", at.len(), bt.len());
+    }
+    for (x, y) in at.iter().zip(bt) {
+        if x != y {
+            return format!(
+                "trip at slot {} (taxi T{} vs T{})",
+                x.dropoff_at.absolute_slot(),
+                x.taxi.0,
+                y.taxi.0
+            );
+        }
+    }
+    let (ac, bc) = (a.ledger.charges(), b.ledger.charges());
+    if ac.len() != bc.len() {
+        return format!("charge counts {} vs {}", ac.len(), bc.len());
+    }
+    for (x, y) in ac.iter().zip(bc) {
+        if x != y {
+            return format!("charge at slot {}", x.finished_at.absolute_slot());
+        }
+    }
+    "per-taxi totals".to_string()
+}

@@ -1,0 +1,100 @@
+//! Self-tests for the golden harness and the canonical serializers.
+
+use fairmove_sim::{Environment, InvariantAuditor, SimConfig, StayPolicy, Telemetry};
+use fairmove_testkit::{canon, golden};
+use std::path::PathBuf;
+
+fn tmp_golden(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fairmove_testkit_{name}_{}.golden",
+        std::process::id()
+    ));
+    p
+}
+
+fn tiny_ledger() -> fairmove_sim::FleetLedger {
+    let mut config = SimConfig::test_scale();
+    config.fleet_size = 12;
+    let mut env = Environment::new(config);
+    env.set_auditor(InvariantAuditor::recording());
+    let mut policy = StayPolicy;
+    for _ in 0..6 {
+        env.step_slot(&mut policy);
+    }
+    env.flush_accounting();
+    assert_eq!(env.auditor().unwrap().violations(), 0);
+    env.ledger().clone()
+}
+
+/// Canonical serialization is deterministic and exact.
+#[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded bug trips the auditor")]
+fn canon_ledger_is_deterministic() {
+    let ledger = tiny_ledger();
+    assert_eq!(canon::canon_ledger(&ledger), canon::canon_ledger(&ledger));
+    let digests = canon::slot_digests(&ledger);
+    assert!(digests.starts_with("totals "));
+    // A perturbed ledger produces different text.
+    let mut other = ledger.clone();
+    other.taxi_mut(fairmove_sim::TaxiId(0)).revenue_cny += 1.0;
+    assert_ne!(canon::canon_ledger(&ledger), canon::canon_ledger(&other));
+}
+
+/// The bless workflow: a missing golden fails, blessing writes it, and the
+/// blessed file then matches; a mismatch reports the first diverging line.
+#[test]
+fn golden_check_bless_and_diff_cycle() {
+    let path = tmp_golden("cycle");
+    let _ = std::fs::remove_file(&path);
+
+    // Missing golden (not blessing): an error telling you to bless.
+    let err = golden::check(&path, "line one\nslot=3 x=1\n").expect_err("must miss");
+    assert!(
+        err.actual.as_deref() == Some("<golden file missing>"),
+        "{err}"
+    );
+
+    // Bless it directly, then it matches.
+    std::fs::write(&path, "line one\nslot=3 x=1\n").unwrap();
+    assert!(!golden::check(&path, "line one\nslot=3 x=1\n").unwrap());
+
+    // A divergence on a slot-tagged line reports the slot.
+    let err = golden::check(&path, "line one\nslot=3 x=2\n").expect_err("must diverge");
+    assert_eq!(err.line, 2);
+    assert_eq!(err.slot, Some(3));
+    assert_eq!(err.expected.as_deref(), Some("slot=3 x=1"));
+    assert_eq!(err.actual.as_deref(), Some("slot=3 x=2"));
+    let report = err.to_string();
+    assert!(report.contains("first diverging slot: 3"), "{report}");
+    assert!(report.contains("FAIRMOVE_BLESS=1"), "{report}");
+
+    // Truncated output reports the end-of-output divergence.
+    let err = golden::check(&path, "line one\n").expect_err("must diverge");
+    assert_eq!(err.line, 2);
+    assert!(err.actual.is_none());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Telemetry canon strips wall-clock timings so snapshots compare across
+/// machines.
+#[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded bug trips the auditor")]
+fn canon_snapshot_strips_timings() {
+    let mut config = SimConfig::test_scale();
+    config.fleet_size = 12;
+    let telemetry = Telemetry::enabled();
+    let mut env = Environment::new(config);
+    env.set_telemetry(&telemetry);
+    let mut policy = StayPolicy;
+    for _ in 0..3 {
+        env.step_slot(&mut policy);
+    }
+    let text = canon::canon_snapshot(&telemetry.snapshot());
+    assert!(text.contains("counter sim.slots 3"), "{text}");
+    assert!(
+        !text.contains("_seconds"),
+        "timing histograms must be stripped:\n{text}"
+    );
+}

@@ -1,0 +1,75 @@
+//! The property driver's own contract tests, including the mutation smoke
+//! check (run with `--features seeded-bug` to arm the planted ledger bug).
+
+use fairmove_testkit::{driver, DriverConfig, Scenario};
+
+/// Without the seeded bug, a default driver run must come back clean.
+/// `FAIRMOVE_PROP_ITERS` / `FAIRMOVE_PROP_SEED` scale this up in the
+/// scheduled CI job.
+#[test]
+#[cfg_attr(
+    feature = "seeded-bug",
+    ignore = "seeded bug makes every scenario fail"
+)]
+fn driver_passes_clean() {
+    let config = DriverConfig::from_env();
+    let report = driver::run(&config).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.iterations, config.iterations);
+}
+
+/// Scenario generation is a pure function of the seed.
+#[test]
+fn scenarios_are_reproducible() {
+    let a = Scenario::generate(42);
+    let b = Scenario::generate(42);
+    assert_eq!(a.to_code(), b.to_code());
+    assert_eq!(format!("{a}"), format!("{b}"));
+    // Different seeds explore different scenarios.
+    let c = Scenario::generate(43);
+    assert_ne!(a.to_code(), c.to_code());
+}
+
+/// Scenario runs themselves are deterministic: same scenario, same ledger.
+#[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded bug trips the auditor")]
+fn scenario_runs_are_deterministic() {
+    let scenario = Scenario::generate(7);
+    let x = scenario.run();
+    let y = scenario.run();
+    assert_eq!(x.ledger, y.ledger);
+    assert_eq!(x.fault_counters, y.fault_counters);
+    assert_eq!(x.audit_violations, 0, "clean scenario must audit clean");
+}
+
+/// Mutation smoke check (ISSUE 4 acceptance): with the deliberately seeded
+/// ledger bug compiled in, the driver must catch it via the money
+/// conservation audit and shrink the repro to ≤ 32 slots and ≤ 8 taxis.
+#[cfg(feature = "seeded-bug")]
+#[test]
+fn seeded_bug_is_caught_and_shrunk() {
+    let config = DriverConfig {
+        iterations: 20,
+        ..DriverConfig::default()
+    };
+    let failure = driver::run(&config).expect_err("seeded bug must be caught");
+    assert_eq!(failure.oracle, "invariant-audit", "{failure}");
+    assert!(
+        failure.message.contains("money-conservation"),
+        "wrong check caught the bug: {}",
+        failure.message
+    );
+    assert!(
+        failure.shrunk.slots <= 32,
+        "shrunk repro still has {} slots:\n{failure}",
+        failure.shrunk.slots
+    );
+    assert!(
+        failure.shrunk.fleet_size <= 8,
+        "shrunk repro still has {} taxis:\n{failure}",
+        failure.shrunk.fleet_size
+    );
+    // The repro must be ready to paste: it names the scenario literal.
+    let repro = failure.repro();
+    assert!(repro.contains("#[test]"), "{repro}");
+    assert!(repro.contains("Scenario {"), "{repro}");
+}

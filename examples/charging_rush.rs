@@ -10,6 +10,8 @@
 //! ```text
 //! cargo run --release --example charging_rush
 //! ```
+//!
+//! Pass `--smoke` for the seconds-scale CI configuration.
 
 use fairmove_core::agents::GroundTruthPolicy;
 use fairmove_core::city::HourOfDay;
@@ -26,9 +28,16 @@ fn band_label(band: PriceBand) -> &'static str {
 }
 
 fn main() {
-    let mut config = SimConfig::default();
-    config.fleet_size = 400;
-    config.days = 1;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        SimConfig::test_scale()
+    } else {
+        SimConfig::default()
+    };
+    if !smoke {
+        config.fleet_size = 400;
+        config.days = 1;
+    }
 
     let mut env = Environment::new(config.clone());
     let mut gt = GroundTruthPolicy::for_city(env.city(), config.fleet_size, config.seed);

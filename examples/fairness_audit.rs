@@ -8,6 +8,8 @@
 //! ```text
 //! cargo run --release --example fairness_audit
 //! ```
+//!
+//! Pass `--smoke` for the seconds-scale CI configuration.
 
 use fairmove_core::city::City;
 use fairmove_core::method::{Method, MethodKind};
@@ -34,10 +36,17 @@ fn describe(name: &str, pes: &[f64]) {
 }
 
 fn main() {
-    let mut sim = SimConfig::default();
-    sim.fleet_size = 300;
-    sim.days = 1;
-    let runner = Runner::new(sim.clone(), 2, 0.6);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut sim = if smoke {
+        SimConfig::test_scale()
+    } else {
+        SimConfig::default()
+    };
+    if !smoke {
+        sim.fleet_size = 300;
+        sim.days = 1;
+    }
+    let runner = Runner::new(sim.clone(), if smoke { 1 } else { 2 }, 0.6);
     let city = City::generate(sim.city.clone());
 
     println!("running ground truth …");

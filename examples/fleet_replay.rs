@@ -7,15 +7,24 @@
 //! ```text
 //! cargo run --release --example fleet_replay
 //! ```
+//!
+//! Pass `--smoke` for the seconds-scale CI configuration.
 
 use fairmove_core::agents::GroundTruthPolicy;
 use fairmove_core::data::schema::{PartitionRecord, StationRecord, TransactionRecord};
 use fairmove_core::sim::{Environment, SimConfig};
 
 fn main() {
-    let mut config = SimConfig::default();
-    config.fleet_size = 150;
-    config.days = 1;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        SimConfig::test_scale()
+    } else {
+        SimConfig::default()
+    };
+    if !smoke {
+        config.fleet_size = 150;
+        config.days = 1;
+    }
 
     let mut env = Environment::new(config.clone());
     let mut gt = GroundTruthPolicy::for_city(env.city(), config.fleet_size, config.seed);

@@ -10,6 +10,8 @@
 //! ```text
 //! cargo run --release --example ops_dashboard
 //! ```
+//!
+//! Pass `--smoke` for the seconds-scale CI configuration.
 
 use fairmove_core::agents::{Cma2cConfig, Cma2cPolicy};
 use fairmove_core::city::SimTime;
@@ -17,10 +19,17 @@ use fairmove_core::sim::{DisplacementPolicy, Environment, SimConfig, TraceLog};
 use fairmove_core::telemetry::{export, Telemetry};
 
 fn main() {
-    let mut config = SimConfig::default();
-    config.fleet_size = 200;
-    config.days = 1;
-    config.city.total_charging_points = 50;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        SimConfig::test_scale()
+    } else {
+        SimConfig::default()
+    };
+    if !smoke {
+        config.fleet_size = 200;
+        config.days = 1;
+        config.city.total_charging_points = 50;
+    }
 
     // One registry for the whole run: the environment records slot-level
     // operational metrics, the policy its training diagnostics.

@@ -9,6 +9,8 @@
 //! ```text
 //! cargo run --release --example oracle_headroom
 //! ```
+//!
+//! Pass `--smoke` for the seconds-scale CI configuration.
 
 use fairmove_core::agents::OraclePolicy;
 use fairmove_core::city::City;
@@ -18,11 +20,18 @@ use fairmove_core::runner::Runner;
 use fairmove_core::sim::SimConfig;
 
 fn main() {
-    let mut sim = SimConfig::default();
-    sim.fleet_size = 300;
-    sim.days = 1;
-    sim.city.total_charging_points = 75;
-    let runner = Runner::new(sim.clone(), 6, 0.6);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut sim = if smoke {
+        SimConfig::test_scale()
+    } else {
+        SimConfig::default()
+    };
+    if !smoke {
+        sim.fleet_size = 300;
+        sim.days = 1;
+        sim.city.total_charging_points = 75;
+    }
+    let runner = Runner::new(sim.clone(), if smoke { 1 } else { 6 }, 0.6);
     let city = City::generate(sim.city.clone());
 
     println!("running ground truth …");

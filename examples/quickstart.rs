@@ -5,19 +5,29 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--smoke` for a seconds-scale run (tiny fleet, one training
+//! episode) — the configuration CI uses to keep every example honest.
 
 use fairmove_core::{FairMove, FairMoveConfig};
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // A small-but-realistic scale: a few minutes in release mode. RL needs
     // the training episodes — with fewer than ~6 the policy loses to the
     // ground-truth drivers. Paper-scale parameters are in
     // `SimConfig::shenzhen_scale()`.
-    let mut config = FairMoveConfig::default();
-    config.sim.fleet_size = 300;
-    config.sim.days = 1;
-    config.sim.city.total_charging_points = 75; // Shenzhen's ~4:1 ratio
-    config.train_episodes = 8;
+    let mut config = if smoke {
+        FairMoveConfig::test_scale()
+    } else {
+        FairMoveConfig::default()
+    };
+    if !smoke {
+        config.sim.fleet_size = 300;
+        config.sim.days = 1;
+        config.sim.city.total_charging_points = 75; // Shenzhen's ~4:1 ratio
+        config.train_episodes = 8;
+    }
 
     println!(
         "city: {} regions, {} charging stations, fleet of {} e-taxis",
