@@ -43,31 +43,67 @@ impl FeatureExtractor {
     /// The full state vector for one deciding taxi (paper: local + global
     /// view).
     pub fn state(&self, obs: &impl ObservationView, ctx: &DecisionContext) -> Vec<f64> {
+        let mut out = vec![0.0; STATE_DIM];
+        self.write_state(obs, ctx, &mut out);
+        out
+    }
+
+    /// Writes the state vector into a caller-owned `STATE_DIM` slice — the
+    /// allocation-free variant of [`state`](Self::state); [`state`] delegates
+    /// here, so the two are identical by construction.
+    pub fn write_state(&self, obs: &impl ObservationView, ctx: &DecisionContext, out: &mut [f64]) {
         let day_frac = obs.now().day_fraction();
         let angle = std::f64::consts::TAU * day_frac;
         let r = ctx.region.index();
         let total_waiting: u32 = obs.waiting_per_region().iter().sum();
         let total_vacant: u32 = obs.vacant_per_region().iter().sum();
-        vec![
-            angle.sin(),
-            angle.cos(),
-            ctx.soc,
-            if ctx.must_charge { 1.0 } else { 0.0 },
-            obs.predicted_demand()[r] / 10.0,
-            f64::from(obs.vacant_per_region()[r]) / 10.0,
-            f64::from(obs.waiting_per_region()[r]) / 10.0,
-            obs.supply_gap(ctx.region) / 10.0,
-            obs.price_now() / 1.6,
-            obs.price_next_hour() / 1.6,
-            (f64::from(total_waiting) / f64::from(total_vacant.max(1))).min(3.0),
-            // Fairness standing: how far this taxi's earnings run above or
-            // below the fleet mean — the input a shared policy needs to act
-            // fairness-aware (push under-earners toward profit, let
-            // over-earners yield).
-            ((ctx.pe_standing - obs.mean_pe()) / 10.0).clamp(-2.0, 2.0),
-            (obs.pf() / 50.0).min(2.0),
-            1.0,
-        ]
+        out[0] = angle.sin();
+        out[1] = angle.cos();
+        out[2] = ctx.soc;
+        out[3] = if ctx.must_charge { 1.0 } else { 0.0 };
+        out[4] = obs.predicted_demand()[r] / 10.0;
+        out[5] = f64::from(obs.vacant_per_region()[r]) / 10.0;
+        out[6] = f64::from(obs.waiting_per_region()[r]) / 10.0;
+        out[7] = obs.supply_gap(ctx.region) / 10.0;
+        out[8] = obs.price_now() / 1.6;
+        out[9] = obs.price_next_hour() / 1.6;
+        out[10] = (f64::from(total_waiting) / f64::from(total_vacant.max(1))).min(3.0);
+        // Fairness standing: how far this taxi's earnings run above or
+        // below the fleet mean — the input a shared policy needs to act
+        // fairness-aware (push under-earners toward profit, let
+        // over-earners yield).
+        out[11] = ((ctx.pe_standing - obs.mean_pe()) / 10.0).clamp(-2.0, 2.0);
+        out[12] = (obs.pf() / 50.0).min(2.0);
+        out[13] = 1.0;
+    }
+
+    /// Writes the state vector from a refreshed [`RegionFeatureCache`]. The
+    /// cache stores exactly the values [`write_state`](Self::write_state)
+    /// would compute against the view it was refreshed from, so the output
+    /// is bitwise identical as long as the view has not changed since the
+    /// refresh (the wave-batched dispatcher refreshes once per wave and
+    /// never mutates its view mid-wave).
+    pub fn write_state_cached(
+        &self,
+        cache: &RegionFeatureCache,
+        ctx: &DecisionContext,
+        out: &mut [f64],
+    ) {
+        let reg = &cache.region[ctx.region.index()];
+        out[0] = cache.sin_t;
+        out[1] = cache.cos_t;
+        out[2] = ctx.soc;
+        out[3] = if ctx.must_charge { 1.0 } else { 0.0 };
+        out[4] = reg[0];
+        out[5] = reg[1];
+        out[6] = reg[2];
+        out[7] = reg[3];
+        out[8] = cache.price_now;
+        out[9] = cache.price_next;
+        out[10] = cache.pressure;
+        out[11] = ((ctx.pe_standing - cache.mean_pe) / 10.0).clamp(-2.0, 2.0);
+        out[12] = cache.pf_term;
+        out[13] = 1.0;
     }
 
     /// Action features for one admissible action of `ctx`.
@@ -77,49 +113,119 @@ impl FeatureExtractor {
         ctx: &DecisionContext,
         action: Action,
     ) -> Vec<f64> {
+        let mut out = vec![0.0; ACTION_DIM];
+        self.write_action(obs, ctx, action, &mut out);
+        out
+    }
+
+    /// Writes the action features into a caller-owned `ACTION_DIM` slice —
+    /// the allocation-free variant of [`action`](Self::action), which
+    /// delegates here.
+    pub fn write_action(
+        &self,
+        obs: &impl ObservationView,
+        ctx: &DecisionContext,
+        action: Action,
+        out: &mut [f64],
+    ) {
         match action {
             Action::Stay => {
-                let mut f = self.region_target_features(obs, ctx.region, 0.0);
-                f[0] = 1.0;
-                f
+                self.write_region_target(obs, ctx.region, 0.0, out);
+                out[0] = 1.0;
             }
             Action::MoveTo(dest) => {
                 let km = self.city.region_driving_distance(ctx.region, dest);
-                let mut f = self.region_target_features(obs, dest, km);
-                f[1] = 1.0;
-                f
+                self.write_region_target(obs, dest, km, out);
+                out[1] = 1.0;
             }
-            Action::Charge(station) => self.station_target_features(obs, ctx.region, station),
+            Action::Charge(station) => self.write_station_target(obs, ctx.region, station, out),
         }
     }
 
-    fn region_target_features(
+    /// Cache-backed variant of [`write_action`](Self::write_action);
+    /// bitwise identical under the same refreshed-view condition as
+    /// [`write_state_cached`](Self::write_state_cached).
+    pub fn write_action_cached(
+        &self,
+        cache: &RegionFeatureCache,
+        ctx: &DecisionContext,
+        action: Action,
+        out: &mut [f64],
+    ) {
+        match action {
+            Action::Stay => {
+                Self::write_region_target_cached(cache, ctx.region, 0.0, out);
+                out[0] = 1.0;
+            }
+            Action::MoveTo(dest) => {
+                let km = self.city.region_driving_distance(ctx.region, dest);
+                Self::write_region_target_cached(cache, dest, km, out);
+                out[1] = 1.0;
+            }
+            Action::Charge(station) => {
+                let s = station.index();
+                let km = self.city.region_to_station_distance(ctx.region, station);
+                let st = &cache.station[s];
+                out[0] = 0.0;
+                out[1] = 0.0;
+                out[2] = 1.0; // is_charge
+                out[3] = 0.0;
+                out[4] = 0.0;
+                out[5] = 0.0;
+                out[6] = 0.0;
+                out[7] = km / 10.0;
+                out[8] = st[0];
+                out[9] = st[1];
+            }
+        }
+    }
+
+    fn write_region_target(
         &self,
         obs: &impl ObservationView,
         dest: RegionId,
         km: f64,
-    ) -> Vec<f64> {
+        out: &mut [f64],
+    ) {
         let d = dest.index();
-        vec![
-            0.0, // is_stay (caller sets)
-            0.0, // is_move (caller sets)
-            0.0, // is_charge
-            obs.predicted_demand()[d] / 10.0,
-            f64::from(obs.vacant_per_region()[d]) / 10.0,
-            f64::from(obs.waiting_per_region()[d]) / 10.0,
-            obs.supply_gap(dest) / 10.0,
-            km / 10.0,
-            0.0, // free points
-            0.0, // station load
-        ]
+        out[0] = 0.0; // is_stay (caller sets)
+        out[1] = 0.0; // is_move (caller sets)
+        out[2] = 0.0; // is_charge
+        out[3] = obs.predicted_demand()[d] / 10.0;
+        out[4] = f64::from(obs.vacant_per_region()[d]) / 10.0;
+        out[5] = f64::from(obs.waiting_per_region()[d]) / 10.0;
+        out[6] = obs.supply_gap(dest) / 10.0;
+        out[7] = km / 10.0;
+        out[8] = 0.0; // free points
+        out[9] = 0.0; // station load
     }
 
-    fn station_target_features(
+    fn write_region_target_cached(
+        cache: &RegionFeatureCache,
+        dest: RegionId,
+        km: f64,
+        out: &mut [f64],
+    ) {
+        let reg = &cache.region[dest.index()];
+        out[0] = 0.0;
+        out[1] = 0.0;
+        out[2] = 0.0;
+        out[3] = reg[0];
+        out[4] = reg[1];
+        out[5] = reg[2];
+        out[6] = reg[3];
+        out[7] = km / 10.0;
+        out[8] = 0.0;
+        out[9] = 0.0;
+    }
+
+    fn write_station_target(
         &self,
         obs: &impl ObservationView,
         from: RegionId,
         station: StationId,
-    ) -> Vec<f64> {
+        out: &mut [f64],
+    ) {
         let s = station.index();
         let km = self.city.region_to_station_distance(from, station);
         let points = f64::from(self.city.station(station).charging_points).max(1.0);
@@ -132,18 +238,16 @@ impl FeatureExtractor {
             (f64::from(obs.queue_per_station()[s] + obs.inbound_per_station()[s] + occupied)
                 / points)
                 .min(3.0);
-        vec![
-            0.0,
-            0.0,
-            1.0, // is_charge
-            0.0,
-            0.0,
-            0.0,
-            0.0,
-            km / 10.0,
-            f64::from(obs.free_points_per_station()[s]) / 10.0,
-            load / 3.0,
-        ]
+        out[0] = 0.0;
+        out[1] = 0.0;
+        out[2] = 1.0; // is_charge
+        out[3] = 0.0;
+        out[4] = 0.0;
+        out[5] = 0.0;
+        out[6] = 0.0;
+        out[7] = km / 10.0;
+        out[8] = f64::from(obs.free_points_per_station()[s]) / 10.0;
+        out[9] = load / 3.0;
     }
 
     /// Concatenated state ⊕ action vector.
@@ -226,6 +330,87 @@ impl FeatureExtractor {
     /// The city the extractor was built over.
     pub fn city(&self) -> &City {
         &self.city
+    }
+}
+
+/// Per-wave cache of the observation-dependent feature terms.
+///
+/// Within one dispatch wave the working view is immutable, yet the serial
+/// featurizer recomputes the same global aggregates (fleet pressure, scaled
+/// prices, per-region supply/demand, per-station load) once per *candidate
+/// row*. Refreshing this cache once per wave and reading it back hoists that
+/// work out of the O(taxis × actions) inner loop. Every cached value is the
+/// verbatim expression the uncached writers evaluate, so cached and uncached
+/// featurization are bitwise identical against the same view (see the
+/// `cached_featurization_is_bitwise_identical` test).
+#[derive(Debug, Clone, Default)]
+pub struct RegionFeatureCache {
+    sin_t: f64,
+    cos_t: f64,
+    /// `price_now / 1.6`.
+    price_now: f64,
+    /// `price_next_hour / 1.6`.
+    price_next: f64,
+    /// `(total_waiting / max(total_vacant, 1)).min(3.0)`.
+    pressure: f64,
+    mean_pe: f64,
+    /// `(pf / 50).min(2.0)`.
+    pf_term: f64,
+    /// Per region: `[demand/10, vacant/10, waiting/10, supply_gap/10]`.
+    region: Vec<[f64; 4]>,
+    /// Per station: `[free_points/10, load/3]`.
+    station: Vec<[f64; 2]>,
+}
+
+impl RegionFeatureCache {
+    /// An empty cache; buffers grow on the first refresh and are reused
+    /// (no steady-state allocation) afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes every cached term against `obs`. Call once per wave,
+    /// before any `*_cached` featurization against that wave's view.
+    pub fn refresh(&mut self, city: &City, obs: &impl ObservationView) {
+        let angle = std::f64::consts::TAU * obs.now().day_fraction();
+        self.sin_t = angle.sin();
+        self.cos_t = angle.cos();
+        self.price_now = obs.price_now() / 1.6;
+        self.price_next = obs.price_next_hour() / 1.6;
+        let total_waiting: u32 = obs.waiting_per_region().iter().sum();
+        let total_vacant: u32 = obs.vacant_per_region().iter().sum();
+        self.pressure = (f64::from(total_waiting) / f64::from(total_vacant.max(1))).min(3.0);
+        self.mean_pe = obs.mean_pe();
+        self.pf_term = (obs.pf() / 50.0).min(2.0);
+        self.region.clear();
+        self.region
+            .extend((0..obs.vacant_per_region().len()).map(|r| {
+                let region = RegionId(r as u16);
+                [
+                    obs.predicted_demand()[r] / 10.0,
+                    f64::from(obs.vacant_per_region()[r]) / 10.0,
+                    f64::from(obs.waiting_per_region()[r]) / 10.0,
+                    obs.supply_gap(region) / 10.0,
+                ]
+            }));
+        self.station.clear();
+        self.station
+            .extend((0..obs.free_points_per_station().len()).map(|s| {
+                let station = StationId(s as u16);
+                let points = f64::from(city.station(station).charging_points).max(1.0);
+                let occupied = city
+                    .station(station)
+                    .charging_points
+                    .saturating_sub(obs.free_points_per_station()[s]);
+                let load = (f64::from(
+                    obs.queue_per_station()[s] + obs.inbound_per_station()[s] + occupied,
+                ) / points)
+                    .min(3.0);
+                [
+                    f64::from(obs.free_points_per_station()[s]) / 10.0,
+                    load / 3.0,
+                ]
+            }));
     }
 }
 
@@ -347,6 +532,41 @@ mod tests {
         let b = fx.state(&obs, &ctx);
         assert!((a[0] - b[0]).abs() < 1e-9);
         assert!((a[1] - b[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_featurization_is_bitwise_identical() {
+        let (city, mut obs, ctx, fx) = setup();
+        // Make the observation non-uniform so shared subexpressions can't
+        // mask an indexing bug.
+        for (i, d) in obs.predicted_demand.iter_mut().enumerate() {
+            *d = 0.3 * i as f64;
+        }
+        for (i, w) in obs.waiting_per_region.iter_mut().enumerate() {
+            *w = (i % 4) as u32;
+        }
+        obs.queue_per_station[1] = 3;
+        obs.inbound_per_station[2] = 2;
+        obs.free_points_per_station[0] = 1;
+        obs.price_now = 0.9;
+        obs.pf = 23.7;
+        let mut cache = RegionFeatureCache::new();
+        cache.refresh(&city, &obs);
+
+        let mut got = [0.0; STATE_DIM];
+        fx.write_state_cached(&cache, &ctx, &mut got);
+        let want = fx.state(&obs, &ctx);
+        for i in 0..STATE_DIM {
+            assert_eq!(got[i].to_bits(), want[i].to_bits(), "state[{i}]");
+        }
+        for &a in ctx.actions.actions() {
+            let mut got = [0.0; ACTION_DIM];
+            fx.write_action_cached(&cache, &ctx, a, &mut got);
+            let want = fx.action(&obs, &ctx, a);
+            for i in 0..ACTION_DIM {
+                assert_eq!(got[i].to_bits(), want[i].to_bits(), "{a:?} action[{i}]");
+            }
+        }
     }
 
     #[test]

@@ -103,6 +103,15 @@ impl<P> TransitionTracker<P> {
         }
     }
 
+    /// Discards every pending decision without completing it. Used when a
+    /// policy is frozen for evaluation: the frozen dispatcher stops feeding
+    /// the tracker, so half-built transitions from the training phase must
+    /// not linger (they would pair a training-time decision with an
+    /// evaluation-time outcome if learning were ever resumed).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+
     /// Drains all pending decisions as completed transitions (end of an
     /// episode).
     pub fn drain(&mut self) -> Vec<(TaxiId, Completed<P>)> {
@@ -177,6 +186,19 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[0].1.payload, 'a');
         assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn clear_discards_pendings() {
+        let mut t = TransitionTracker::new();
+        t.begin(TaxiId(0), 0);
+        t.begin(TaxiId(1), 1);
+        t.clear();
+        assert_eq!(t.pending_count(), 0);
+        assert!(
+            t.begin(TaxiId(0), 2).is_none(),
+            "cleared pending resurfaced"
+        );
     }
 
     #[test]

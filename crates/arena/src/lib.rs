@@ -1,0 +1,367 @@
+//! Reusable slot-scoped buffers for the per-slot hot path.
+//!
+//! The simulator and the learned policies both run the same loop shape: a
+//! burst of scratch data is built up during one decision slot (candidate
+//! features, per-minute arrival buckets, stacked activation matrices) and
+//! is dead the moment the slot ends. Allocating that scratch from the
+//! global heap every slot costs more than the arithmetic it feeds at paper
+//! scale, so this crate provides the three buffer disciplines the hot path
+//! uses instead, all dependency-free:
+//!
+//! * [`Bump`] — a bump-style scratch arena: monotone append during the
+//!   slot, one O(1) reset between slots, capacity retained forever.
+//! * [`VecPool`] — a pool of reusable `Vec<T>` buffers for scratch whose
+//!   count varies (per-minute arrival buckets): `take` hands out a cleared
+//!   buffer, `put` returns it, and the outstanding count makes leaks
+//!   auditable.
+//! * [`Poison`] — debug-build sentinel values ([`poison_fill`]) so a buffer
+//!   that is supposed to be fully rewritten each slot cannot silently leak
+//!   last slot's values: stale reads see NaN / `u32::MAX` and the
+//!   simulator's invariant auditor checks the fill between slots.
+//!
+//! Every container tracks a byte high-water mark so the embedding layer
+//! (sim, agents) can mirror steady-state scratch footprint into telemetry
+//! gauges without this crate depending on the telemetry crate.
+//!
+//! None of these types allocate after their high-water capacity is reached:
+//! that is the property the `fairmove-testkit` counting-allocator tests pin
+//! for `Environment::step_slot` and the batched CMA2C `decide()`.
+
+/// Usage counters shared by every arena container, for telemetry mirrors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Largest backing capacity ever held, in bytes.
+    pub high_water_bytes: usize,
+    /// Buffers currently handed out (pools) or live elements (bump).
+    pub outstanding: usize,
+    /// Total take/append operations served.
+    pub takes: u64,
+    /// Operations that had to grow or allocate (cold path).
+    pub misses: u64,
+}
+
+/// A bump-style scratch arena over `Vec<T>`: values are appended during a
+/// slot and thrown away all at once between slots. `clear` is O(1) and
+/// never releases capacity, so after warmup every append lands in already
+/// owned memory.
+#[derive(Debug, Clone)]
+pub struct Bump<T> {
+    data: Vec<T>,
+    takes: u64,
+    misses: u64,
+}
+
+impl<T> Default for Bump<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Bump<T> {
+    /// An empty arena (no backing storage until first use).
+    pub fn new() -> Self {
+        Bump {
+            data: Vec::new(),
+            takes: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops all live values, keeping capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends one value.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        self.takes += 1;
+        if self.data.len() == self.data.capacity() {
+            self.misses += 1;
+        }
+        self.data.push(value);
+    }
+
+    /// Live values appended since the last [`clear`](Self::clear).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the live values.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Number of live values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no values are live (the between-slots state).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Usage counters for telemetry mirrors.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            high_water_bytes: self.data.capacity() * std::mem::size_of::<T>(),
+            outstanding: self.data.len(),
+            takes: self.takes,
+            misses: self.misses,
+        }
+    }
+}
+
+impl<T: Clone> Bump<T> {
+    /// Appends a whole slice.
+    #[inline]
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.takes += values.len() as u64;
+        if self.data.len() + values.len() > self.data.capacity() {
+            self.misses += 1;
+        }
+        self.data.extend_from_slice(values);
+    }
+}
+
+/// A pool of reusable `Vec<T>` buffers for scratch whose *count* varies per
+/// slot. [`take`](Self::take) returns a cleared buffer (reusing a pooled
+/// one when available), [`put`](Self::put) returns it to the pool. The
+/// [`outstanding`](Self::outstanding) count is the leak detector: between
+/// slots it must be zero, and the simulator's invariant auditor checks it.
+#[derive(Debug, Clone)]
+pub struct VecPool<T> {
+    free: Vec<Vec<T>>,
+    outstanding: usize,
+    takes: u64,
+    misses: u64,
+    high_water_bytes: usize,
+}
+
+impl<T> Default for VecPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> VecPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        VecPool {
+            free: Vec::new(),
+            outstanding: 0,
+            takes: 0,
+            misses: 0,
+            high_water_bytes: 0,
+        }
+    }
+
+    /// Hands out a cleared buffer, reusing pooled capacity when available.
+    pub fn take(&mut self) -> Vec<T> {
+        self.takes += 1;
+        self.outstanding += 1;
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool. The contents are dropped; the
+    /// capacity is kept for the next [`take`](Self::take).
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        assert!(self.outstanding > 0, "put without a matching take");
+        buf.clear();
+        self.outstanding -= 1;
+        let bytes = buf.capacity() * std::mem::size_of::<T>();
+        let pooled: usize = self
+            .free
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<T>())
+            .sum();
+        self.high_water_bytes = self.high_water_bytes.max(pooled + bytes);
+        self.free.push(buf);
+    }
+
+    /// Buffers currently handed out. Zero between slots, or something is
+    /// leaking scratch.
+    #[inline]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// True when every taken buffer has been returned.
+    #[inline]
+    pub fn quiescent(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Usage counters for telemetry mirrors.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            high_water_bytes: self.high_water_bytes,
+            outstanding: self.outstanding,
+            takes: self.takes,
+            misses: self.misses,
+        }
+    }
+}
+
+/// Sentinel values for debug poison-fill: a buffer that is contractually
+/// *fully rewritten* every slot is filled with poison between slots, so a
+/// stale read cannot masquerade as live data.
+pub trait Poison: Copy + PartialEq {
+    /// The sentinel. Chosen to be loud: NaN for floats (propagates through
+    /// any arithmetic), `MAX` for counters (fails range checks).
+    const POISON: Self;
+
+    /// Whether `self` is the sentinel. Separate from `==` because
+    /// `f64::NAN != f64::NAN`.
+    fn is_poison(&self) -> bool;
+}
+
+impl Poison for f64 {
+    const POISON: Self = f64::NAN;
+    #[inline]
+    fn is_poison(&self) -> bool {
+        self.is_nan()
+    }
+}
+
+impl Poison for u32 {
+    const POISON: Self = u32::MAX;
+    #[inline]
+    fn is_poison(&self) -> bool {
+        *self == u32::MAX
+    }
+}
+
+/// Overwrites every element with the poison sentinel (debug builds use
+/// this between slots; release builds skip the write).
+pub fn poison_fill<T: Poison>(slice: &mut [T]) {
+    for v in slice.iter_mut() {
+        *v = T::POISON;
+    }
+}
+
+/// True when every element is still the poison sentinel — i.e. the buffer
+/// is in its freshly-reset between-slots state.
+pub fn is_poisoned<T: Poison>(slice: &[T]) -> bool {
+    slice.iter().all(Poison::is_poison)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_retains_capacity_across_clears() {
+        let mut b: Bump<f64> = Bump::new();
+        for i in 0..100 {
+            b.push(i as f64);
+        }
+        let cap_bytes = b.stats().high_water_bytes;
+        assert!(cap_bytes >= 100 * 8);
+        b.clear();
+        assert!(b.is_empty());
+        // Refill within capacity: no new misses.
+        let misses = b.stats().misses;
+        for i in 0..100 {
+            b.push(i as f64);
+        }
+        assert_eq!(b.stats().misses, misses);
+        assert_eq!(b.stats().high_water_bytes, cap_bytes);
+        assert_eq!(b.len(), 100);
+    }
+
+    #[test]
+    fn bump_extend_matches_push() {
+        let mut a: Bump<u32> = Bump::new();
+        let mut b: Bump<u32> = Bump::new();
+        a.extend_from_slice(&[1, 2, 3]);
+        for v in [1, 2, 3] {
+            b.push(v);
+        }
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn pool_reuses_returned_buffers() {
+        let mut pool: VecPool<u64> = VecPool::new();
+        let mut v = pool.take();
+        v.extend(0..1000);
+        let cap = v.capacity();
+        pool.put(v);
+        assert!(pool.quiescent());
+        let v2 = pool.take();
+        assert_eq!(v2.capacity(), cap, "capacity must be retained");
+        assert!(v2.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(pool.stats().misses, 1, "only the first take allocates");
+        pool.put(v2);
+    }
+
+    #[test]
+    fn pool_outstanding_tracks_leaks() {
+        let mut pool: VecPool<u8> = VecPool::new();
+        let a = pool.take();
+        let _leaked = pool.take();
+        assert_eq!(pool.outstanding(), 2);
+        pool.put(a);
+        assert_eq!(pool.outstanding(), 1);
+        assert!(!pool.quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "put without a matching take")]
+    fn pool_rejects_unmatched_put() {
+        let mut pool: VecPool<u8> = VecPool::new();
+        pool.put(Vec::new());
+    }
+
+    #[test]
+    fn pool_high_water_counts_all_buffers() {
+        let mut pool: VecPool<u64> = VecPool::new();
+        let mut a = pool.take();
+        let mut b = pool.take();
+        a.extend(0..100);
+        b.extend(0..100);
+        a.shrink_to_fit();
+        b.shrink_to_fit();
+        pool.put(a);
+        pool.put(b);
+        assert!(pool.stats().high_water_bytes >= 2 * 100 * 8);
+    }
+
+    #[test]
+    fn poison_roundtrip_f64() {
+        let mut v = vec![1.0f64, 2.0, 3.0];
+        assert!(!is_poisoned(&v));
+        poison_fill(&mut v);
+        assert!(is_poisoned(&v));
+        v[1] = 0.5;
+        assert!(!is_poisoned(&v), "a live value breaks the poison pattern");
+    }
+
+    #[test]
+    fn poison_roundtrip_u32() {
+        let mut v = vec![0u32; 4];
+        poison_fill(&mut v);
+        assert!(v.iter().all(|&x| x == u32::MAX));
+        assert!(is_poisoned(&v));
+    }
+
+    #[test]
+    fn empty_slices_count_as_poisoned() {
+        // Vacuous truth keeps the auditor check simple for zero-length
+        // scratch (e.g. before the first slot).
+        assert!(is_poisoned::<f64>(&[]));
+    }
+}

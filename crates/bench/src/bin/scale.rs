@@ -1,0 +1,130 @@
+//! Paper-scale throughput bench: steady-state stepping at each scale preset,
+//! written to `BENCH_scale.json`.
+//!
+//! For every (scale, policy) pair this measures median-of-rounds slots/s and
+//! decisions/s over a contiguous steady-state window (warmup first, so
+//! pooled buffers reach their high-water sizes), plus heap allocations per
+//! measured slot — this binary installs the testkit's counting allocator,
+//! so a non-zero `allocs_per_slot` on the hot path is visible right in the
+//! report — and the process peak RSS.
+//!
+//! Flags:
+//! - `--smoke`: Test scale only, one measured round. The CI bench-smoke job
+//!   runs this to keep the report schema and the zero-alloc steady state
+//!   exercised on every push.
+//! - `--full`: additionally run the paper-scale preset (20,130 taxis, 491
+//!   regions — minutes per round). Off by default.
+//! - `--out <path>`: where to write the report (default `BENCH_scale.json`).
+//!
+//! Policies: `stay` (environment-dominated floor) and `cma2c-frozen` (the
+//! deployed inference path: wave-batched actor forward passes, no learning).
+//! The throughput-regression test in `crates/bench/tests/` compares the
+//! default-scale `cma2c-frozen` row against the checked-in baseline.
+
+use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
+use fairmove_bench::{measure, Scale, ScaleReport, ScaleResult};
+use fairmove_city::City;
+use fairmove_sim::StayPolicy;
+use fairmove_testkit::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Measured rounds per (scale, policy) pair; the report keeps the median.
+const ROUNDS: usize = 3;
+/// Unmeasured slots stepped first so pooled buffers reach steady state.
+const WARMUP: usize = 12;
+
+fn run_scale(scale: Scale, rounds: usize, warmup: usize) -> Vec<ScaleResult> {
+    // Test's 1-day horizon only fits 3 rounds at 36 slots; the longer
+    // horizons take 48-slot rounds for a steadier median.
+    let slots_per_round = match scale {
+        Scale::Test => 36,
+        _ => 48,
+    };
+    let mut results = Vec::new();
+
+    let mut stay = StayPolicy;
+    eprintln!("measuring {}/stay ...", scale.name());
+    results.push(measure(
+        scale,
+        &mut stay,
+        "stay",
+        warmup,
+        rounds,
+        slots_per_round,
+    ));
+
+    let city = City::generate(scale.sim().city.clone());
+    let mut cma2c = Cma2cPolicy::new(&city, Cma2cConfig::default());
+    cma2c.freeze();
+    eprintln!("measuring {}/cma2c-frozen ...", scale.name());
+    results.push(measure(
+        scale,
+        &mut cma2c,
+        "cma2c-frozen",
+        warmup,
+        rounds,
+        slots_per_round,
+    ));
+
+    results
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let full = args.iter().any(|a| a == "--full");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_scale.json");
+
+    let (scales, rounds, warmup): (&[Scale], usize, usize) = if smoke {
+        (&[Scale::Test], 1, 6)
+    } else if full {
+        (
+            &[Scale::Test, Scale::Small, Scale::Default, Scale::Full],
+            ROUNDS,
+            WARMUP,
+        )
+    } else {
+        (&[Scale::Test, Scale::Small, Scale::Default], ROUNDS, WARMUP)
+    };
+
+    let mut report = ScaleReport {
+        threads: fairmove_parallel::thread_count(),
+        rounds,
+        results: Vec::new(),
+    };
+    for &scale in scales {
+        // The paper-scale preset gets one round: a single round is already
+        // minutes of wall clock, and the medians at smaller scales cover
+        // run-to-run noise.
+        let scale_rounds = if scale == Scale::Full { 1 } else { rounds };
+        report
+            .results
+            .extend(run_scale(scale, scale_rounds, warmup));
+    }
+
+    for r in &report.results {
+        println!(
+            "{}/{}: {:.2} slots/s, {:.0} decisions/s, {:.3} allocs/slot, peak RSS {:.1} MiB",
+            r.scale,
+            r.policy,
+            r.slots_per_sec,
+            r.decisions_per_sec,
+            r.allocs_per_slot,
+            r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

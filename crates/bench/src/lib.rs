@@ -7,6 +7,10 @@
 
 pub mod report;
 pub mod scale;
+pub mod scale_bench;
+pub mod scale_report;
 
 pub use report::Table;
 pub use scale::{parse_scale, Scale};
+pub use scale_bench::{measure, peak_rss_bytes, CountingPolicy};
+pub use scale_report::{ScaleReport, ScaleResult};

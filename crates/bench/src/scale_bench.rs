@@ -1,0 +1,240 @@
+//! Measurement machinery for the `scale` throughput bench.
+//!
+//! One [`measure`] call steps a fresh [`Environment`] at a given
+//! [`Scale`]: warmup slots to reach the pooled-buffer steady state, then
+//! `rounds` timed blocks of `slots_per_round` slots each, reporting the
+//! median round as one [`ScaleResult`]. Heap allocations are sampled with
+//! [`fairmove_testkit::allocs_in`], which only observes anything when the
+//! calling binary installs [`fairmove_testkit::CountingAlloc`] as its
+//! global allocator — without it `allocs_per_slot` reads 0.0 and the
+//! throughput numbers are unaffected.
+
+use crate::scale::Scale;
+use crate::scale_report::ScaleResult;
+use fairmove_sim::{
+    Action, DecisionContext, DisplacementPolicy, Environment, SlotFeedback, SlotObservation,
+};
+use fairmove_telemetry::Telemetry;
+use std::time::Instant;
+
+/// Wraps a policy and counts how many decision contexts it is asked to
+/// resolve, so the bench can report decisions/s without touching the
+/// environment's internals. Delegates every trait method; the count is
+/// bumped in both `decide` and `decide_into`, which never call each other
+/// through the wrapper, so each context is counted exactly once.
+pub struct CountingPolicy<'a> {
+    inner: &'a mut dyn DisplacementPolicy,
+    decisions: u64,
+}
+
+impl<'a> CountingPolicy<'a> {
+    /// Wraps `inner` with a zeroed decision counter.
+    pub fn new(inner: &'a mut dyn DisplacementPolicy) -> Self {
+        CountingPolicy {
+            inner,
+            decisions: 0,
+        }
+    }
+
+    /// Decision contexts resolved since construction (or the last reset).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Resets the decision counter (e.g. after warmup).
+    pub fn reset(&mut self) {
+        self.decisions = 0;
+    }
+}
+
+impl DisplacementPolicy for CountingPolicy<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        self.decisions += decisions.len() as u64;
+        self.inner.decide(obs, decisions)
+    }
+
+    fn decide_into(
+        &mut self,
+        obs: &SlotObservation,
+        decisions: &[DecisionContext],
+        out: &mut Vec<Action>,
+    ) {
+        self.decisions += decisions.len() as u64;
+        self.inner.decide_into(obs, decisions, out)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback) {
+        self.inner.observe(feedback)
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.inner.set_telemetry(telemetry)
+    }
+
+    fn is_healthy(&self) -> bool {
+        self.inner.is_healthy()
+    }
+
+    fn reseed_exploration(&mut self, seed: u64) {
+        self.inner.reseed_exploration(seed)
+    }
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. Returns 0 where that file does not exist (non-Linux)
+/// or cannot be parsed.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
+/// Steps one environment at `scale` under `policy` and measures steady-state
+/// throughput: `warmup` unmeasured slots, then `rounds` timed blocks of
+/// `slots_per_round` slots. Reports the median round's slots/s and
+/// decisions/s, total slots/decisions across the measured rounds, mean heap
+/// allocations per measured slot, and the process peak RSS.
+///
+/// The caller must ensure `warmup + rounds * slots_per_round` fits inside
+/// the scale's horizon (`days * 144` slots) — stepping past the horizon
+/// would measure end-of-run drain behaviour instead of steady state.
+pub fn measure(
+    scale: Scale,
+    policy: &mut dyn DisplacementPolicy,
+    policy_name: &str,
+    warmup: usize,
+    rounds: usize,
+    slots_per_round: usize,
+) -> ScaleResult {
+    let config = scale.sim();
+    let horizon = config.days as usize * 144;
+    assert!(
+        warmup + rounds * slots_per_round <= horizon,
+        "measurement window exceeds the {}-slot horizon at scale {}",
+        horizon,
+        scale.name()
+    );
+
+    let mut env = Environment::new(config);
+    env.disable_audit();
+    env.prepare_steady_state();
+    let mut counting = CountingPolicy::new(policy);
+
+    for _ in 0..warmup {
+        let feedback = env.step_slot(&mut counting);
+        counting.observe(feedback);
+    }
+    counting.reset();
+
+    let mut slots_per_sec = Vec::with_capacity(rounds);
+    let mut decisions_per_sec = Vec::with_capacity(rounds);
+    let mut total_decisions = 0u64;
+    let mut total_allocs = 0u64;
+    for _ in 0..rounds {
+        let before = counting.decisions();
+        let start = Instant::now();
+        let (allocs, ()) = fairmove_testkit::allocs_in(|| {
+            for _ in 0..slots_per_round {
+                let feedback = env.step_slot(&mut counting);
+                counting.observe(feedback);
+            }
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let round_decisions = counting.decisions() - before;
+        total_decisions += round_decisions;
+        total_allocs += allocs;
+        slots_per_sec.push(slots_per_round as f64 / secs);
+        decisions_per_sec.push(round_decisions as f64 / secs);
+    }
+
+    let total_slots = (rounds * slots_per_round) as u64;
+    ScaleResult {
+        scale: scale.name().to_string(),
+        policy: policy_name.to_string(),
+        slots: total_slots,
+        decisions: total_decisions,
+        slots_per_sec: median(&mut slots_per_sec),
+        decisions_per_sec: median(&mut decisions_per_sec),
+        allocs_per_slot: total_allocs as f64 / total_slots as f64,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of no rounds");
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_sim::StayPolicy;
+
+    #[test]
+    fn counting_policy_counts_each_context_once() {
+        let mut env = Environment::new(fairmove_sim::SimConfig::test_scale());
+        let mut stay = StayPolicy;
+        let mut counting = CountingPolicy::new(&mut stay);
+        for _ in 0..4 {
+            let feedback = env.step_slot(&mut counting);
+            counting.observe(feedback);
+        }
+        // A 60-taxi fleet has vacant taxis every slot; the counter must
+        // track them (exact value depends on demand realization).
+        assert!(counting.decisions() > 0);
+        counting.reset();
+        assert_eq!(counting.decisions(), 0);
+    }
+
+    #[test]
+    fn peak_rss_reports_something_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+    }
+
+    #[test]
+    fn measure_produces_a_consistent_result() {
+        let mut stay = StayPolicy;
+        let result = measure(Scale::Test, &mut stay, "stay", 4, 2, 8);
+        assert_eq!(result.scale, "test");
+        assert_eq!(result.policy, "stay");
+        assert_eq!(result.slots, 16);
+        assert!(result.slots_per_sec > 0.0);
+        assert!(result.decisions >= 1);
+        assert!(result.decisions_per_sec > 0.0);
+        // No counting allocator installed in the test harness → 0.0.
+        assert_eq!(result.allocs_per_slot, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement window exceeds")]
+    fn measure_rejects_windows_past_the_horizon() {
+        let mut stay = StayPolicy;
+        let _ = measure(Scale::Test, &mut stay, "stay", 100, 3, 20);
+    }
+
+    #[test]
+    fn median_picks_the_middle_round() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [5.0]), 5.0);
+    }
+}

@@ -73,6 +73,11 @@ impl MethodKind {
 }
 
 /// A constructed method instance.
+///
+/// Variant sizes differ by a few hundred bytes (CMA2C carries its reusable
+/// decide scratch inline); a handful of `Method`s exist per comparison, so
+/// boxing the large variant would only add a pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 pub enum Method {
     /// Ground-truth driver behaviour.
     Gt(GroundTruthPolicy),

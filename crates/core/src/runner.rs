@@ -113,7 +113,7 @@ impl Runner {
             }
             last_mean_pe = feedback.mean_pe;
             last_pf = feedback.pf;
-            policy.observe(&feedback);
+            policy.observe(feedback);
         }
         env.flush_accounting();
         RunOutcome {

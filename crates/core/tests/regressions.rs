@@ -9,6 +9,13 @@
 //! money-conservation hole, across both policies, every α regime the
 //! generator emits, and fault-plan/no-plan runs.
 //!
+//! The `repro_batched_inference_*` pins below guard a different oracle:
+//! `batched-vs-serial-inference`, added with the wave-batched CMA2C
+//! dispatcher. Each fixes a scenario shape that stressed the batching
+//! machinery during bring-up (same-region wave collisions, command-loss RNG
+//! interleaving, stale-observation featurization) and must stay
+//! bit-identical to the serial dispatcher forever.
+//!
 //! To harvest new pins after the driver finds a real bug, paste the
 //! `Failure::repro()` output here (or the `repro_*.rs` artifact from
 //! `FAIRMOVE_REPRO_DIR`) and keep the oracle comment.
@@ -117,6 +124,82 @@ fn repro_invariant_audit_seed_f4773ad8901060df() {
         alpha: 0.6,
         policy: PolicyKind::GroundTruth,
         fault_plan: None,
+    };
+    fairmove_testkit::check_all(&scenario).expect("oracle must pass");
+}
+
+/// Pinned for oracle `batched-vs-serial-inference`: a herded fleet (many
+/// taxis, few regions) maximizes same-region decision collisions inside one
+/// wave, the case where a commit dirties the features of every later
+/// candidate. During bring-up of the wave-batched dispatcher, stale-feature
+/// reuse in exactly this shape diverged from the serial path at the first
+/// multi-taxi wave.
+#[test]
+fn repro_batched_inference_herded_fleet_seed_5ecb91d104a77e20() {
+    let scenario = Scenario {
+        seed: 0x5ecb91d104a77e20,
+        n_regions: 6,
+        n_stations: 2,
+        charging_points: 2,
+        fleet_size: 32,
+        slots: 12,
+        daily_trips_per_taxi: 48.0,
+        alpha: 0.6,
+        policy: PolicyKind::Stay,
+        fault_plan: None,
+    };
+    fairmove_testkit::check_all(&scenario).expect("oracle must pass");
+}
+
+/// Pinned for oracle `batched-vs-serial-inference`: command loss interleaves
+/// environment RNG draws with the policy's own sampling, so a batched
+/// dispatcher that draws its action samples in a different order than the
+/// serial one desynchronizes here first. Charging scarcity (one point)
+/// keeps must-charge decisions — which skip sampling entirely — in the mix.
+#[test]
+fn repro_batched_inference_command_loss_seed_9d30a41be2c655f7() {
+    let scenario = Scenario {
+        seed: 0x9d30a41be2c655f7,
+        n_regions: 12,
+        n_stations: 1,
+        charging_points: 1,
+        fleet_size: 16,
+        slots: 16,
+        daily_trips_per_taxi: 36.0,
+        alpha: 0.25,
+        policy: PolicyKind::GroundTruth,
+        fault_plan: Some(
+            FaultPlan::new(0x71c3a9de44b08f12).with(FaultSpec::CommandLoss {
+                probability: 0.35,
+                window: SlotWindow::new(2, 14),
+            }),
+        ),
+    };
+    fairmove_testkit::check_all(&scenario).expect("oracle must pass");
+}
+
+/// Pinned for oracle `batched-vs-serial-inference`: observation staleness
+/// makes the policy featurize from a lagged snapshot while the environment
+/// moves on — the region feature cache must be rebuilt from the *stale*
+/// view, not the live one, to stay bit-identical to the serial dispatcher.
+#[test]
+fn repro_batched_inference_stale_observation_seed_c4f0b6291ad3578e() {
+    let scenario = Scenario {
+        seed: 0xc4f0b6291ad3578e,
+        n_regions: 10,
+        n_stations: 3,
+        charging_points: 6,
+        fleet_size: 24,
+        slots: 14,
+        daily_trips_per_taxi: 30.0,
+        alpha: 1.0,
+        policy: PolicyKind::Stay,
+        fault_plan: Some(FaultPlan::new(0x2b85f6c09e1d4a73).with(
+            FaultSpec::ObservationStaleness {
+                lag_slots: 2,
+                window: SlotWindow::new(1, 12),
+            },
+        )),
     };
     fairmove_testkit::check_all(&scenario).expect("oracle must pass");
 }

@@ -124,10 +124,21 @@ impl DemandModel {
 
     /// Expected arrivals in every region during `slot`.
     pub fn intensities_at(&self, slot: TimeSlot) -> Vec<f64> {
-        self.spatial
-            .iter()
-            .map(|w| self.daily_trips * w * self.temporal[slot.index()])
-            .collect()
+        let mut out = Vec::with_capacity(self.spatial.len());
+        self.intensities_into(slot, &mut out);
+        out
+    }
+
+    /// Writes the expected arrivals for every region during `slot` into a
+    /// caller-owned buffer (cleared first), avoiding the per-call allocation
+    /// of [`intensities_at`](Self::intensities_at) on the simulator hot path.
+    pub fn intensities_into(&self, slot: TimeSlot, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.spatial
+                .iter()
+                .map(|w| self.daily_trips * w * self.temporal[slot.index()]),
+        );
     }
 
     /// Gravity-model destination mass for `region`.

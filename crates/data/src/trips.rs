@@ -137,13 +137,28 @@ impl TripGenerator {
         slot_start: SimTime,
         scale: Option<&[f64]>,
     ) -> Vec<PassengerRequest> {
+        // Expected count is small per region; reserve for the common case.
+        let mut out = Vec::with_capacity(16);
+        self.generate_slot_scaled_into(slot_start, scale, &mut out);
+        out
+    }
+
+    /// Like [`generate_slot_scaled`](Self::generate_slot_scaled), but
+    /// appends into a caller-owned buffer (cleared first) so the simulator's
+    /// hot path can reuse one allocation across slots. The RNG draw order is
+    /// identical to the allocating variant: same requests, same ids.
+    pub fn generate_slot_scaled_into(
+        &mut self,
+        slot_start: SimTime,
+        scale: Option<&[f64]>,
+        out: &mut Vec<PassengerRequest>,
+    ) {
         let slot: TimeSlot = slot_start.slot_of_day();
         let n = self.cum_weights.len();
         if let Some(s) = scale {
             assert_eq!(s.len(), n, "demand scale must cover every region");
         }
-        // Expected count is small per region; reserve for the common case.
-        let mut out = Vec::with_capacity(16);
+        out.clear();
         for o in 0..n {
             let origin = RegionId(o as u16);
             let mut lambda = self.demand.intensity(origin, slot);
@@ -155,7 +170,6 @@ impl TripGenerator {
                 out.push(self.make_request(origin, slot_start));
             }
         }
-        out
     }
 
     fn make_request(&mut self, origin: RegionId, slot_start: SimTime) -> PassengerRequest {

@@ -30,7 +30,7 @@ pub mod tabular;
 
 pub use loss::{huber_loss, log_softmax, mse_loss, policy_gradient_logits, softmax};
 pub use matrix::Matrix;
-pub use mlp::{Activation, Gradients, Mlp};
+pub use mlp::{Activation, Gradients, Mlp, MlpWorkspace};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use replay::ReplayBuffer;
 pub use schedule::EpsilonSchedule;

@@ -22,6 +22,37 @@ const PAR_MIN_FLOPS: usize = 1 << 22;
 /// it is reused across every output row of a chunk.
 const BLOCK_K: usize = 64;
 
+/// Output columns walked at once in the `matmul_transpose_b` kernel. Eight
+/// independent accumulator chains hide the FP-add latency (~4 cycles) that
+/// a single dot-product chain is bound by; per chain the summation order is
+/// unchanged, so the unroll is invisible in the result bits.
+const TB_UNROLL: usize = 8;
+
+/// Row threshold above which `matmul_transpose_b*` first copies `other`
+/// into a k-major scratch and runs the broadcast-accumulate kernel (the
+/// same inner loop as [`Matrix::matmul`]): one element of the left operand
+/// is broadcast against a *contiguous* scratch row, which the compiler
+/// vectorizes, and an exactly-zero left element (common with ReLU
+/// activations) skips its whole row of multiply-adds. Below the threshold
+/// the O(k·n) transposition would cost as much as the product itself, so
+/// small batches keep the dot-product path.
+///
+/// Both paths accumulate every output element from `+0.0` in ascending-`k`
+/// order with one chain per element, and for finite operands skipping an
+/// `a == 0.0` term only drops a `±0.0` addend, which can never flip any
+/// partial sum that started at `+0.0` — so the two paths (and every thread
+/// count) produce bit-identical results, as `transpose_b_paths_agree_bitwise`
+/// pins.
+const TB_TRANSPOSE_MIN_ROWS: usize = 4;
+
+thread_local! {
+    /// Reusable k-major scratch for the transposed-operand fast path. One
+    /// buffer per thread: it grows to the largest `k × n` operand seen and
+    /// is reused thereafter, so steady-state inference stays allocation-free.
+    static TB_SCRATCH: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Picks the worker count for an auto entry point: all configured threads
 /// when the product is large enough to amortize spawning, else serial.
 fn auto_threads(flops: usize) -> usize {
@@ -130,6 +161,17 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes to `rows × cols` reusing the backing storage, zero-filling
+    /// every element. After the backing `Vec` has grown to its high-water
+    /// capacity this never allocates — the resize discipline behind the
+    /// `_into` matmul variants and the pooled [`crate::MlpWorkspace`].
+    pub fn resize_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self · other` (`m×k · k×n → m×n`).
     ///
     /// Fans rows across threads above [`PAR_MIN_FLOPS`]; bit-identical to
@@ -143,19 +185,29 @@ impl Matrix {
 
     /// [`Self::matmul`] with an explicit worker count (benches and the
     /// determinism tests pin 1/2/4).
+    pub fn matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_threads_into(other, threads, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] writing into a caller-owned output matrix, which is
+    /// resized in place (no allocation once `out` has reached its
+    /// high-water capacity). Same kernel as the allocating entry points, so
+    /// the result is bit-identical to them at every thread count.
     ///
     /// Each output row is owned by exactly one thread and accumulated in
     /// ascending-`k` order (cache blocks walk `k` in ascending runs), so
     /// the result is bit-identical for every `threads` value.
-    pub fn matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
+    pub fn matmul_threads_into(&self, other: &Matrix, threads: usize, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize_in_place(self.rows, other.cols);
         if out.data.is_empty() || self.cols == 0 {
-            return out;
+            return;
         }
         let n_cols = other.cols;
         let rows_per_chunk = chunk_rows(self.rows, threads);
@@ -183,32 +235,102 @@ impl Matrix {
                 }
             },
         );
-        out
     }
 
     /// `self · otherᵀ` (`m×k · n×k → m×n`), without materializing the
-    /// transpose. This is the hot orientation in backprop.
+    /// transpose. This is the hot orientation in backprop *and* the only
+    /// orientation in the inference forward pass.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
         self.matmul_transpose_b_threads(other, auto_threads(self.rows * self.cols * other.rows))
     }
 
     /// [`Self::matmul_transpose_b`] with an explicit worker count.
+    pub fn matmul_transpose_b_threads(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transpose_b_threads_into(other, threads, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transpose_b`] with the auto worker count, writing into
+    /// a caller-owned output matrix (no allocation after warmup).
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transpose_b_threads_into(
+            other,
+            auto_threads(self.rows * self.cols * other.rows),
+            out,
+        );
+    }
+
+    /// Backing-store capacity in bytes (telemetry high-water mirrors).
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// [`Self::matmul_transpose_b`] writing into a caller-owned output
+    /// matrix (resized in place, no allocation after warmup).
     ///
     /// Every output element is a single left-to-right dot product computed
-    /// by one thread, so the result is bit-identical for every `threads`
-    /// value.
-    pub fn matmul_transpose_b_threads(&self, other: &Matrix, threads: usize) -> Matrix {
+    /// by one thread. The kernel walks [`TB_UNROLL`] output columns at once
+    /// — independent accumulator chains that break the FP-add latency
+    /// dependency — but each chain still sums its own dot product in
+    /// ascending-`k` order, so the result is bit-identical to the naive
+    /// triple loop for every `threads` value and every unroll width.
+    pub fn matmul_transpose_b_threads_into(
+        &self,
+        other: &Matrix,
+        threads: usize,
+        out: &mut Matrix,
+    ) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_tb {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.resize_in_place(self.rows, other.rows);
         if out.data.is_empty() {
-            return out;
+            return;
         }
         let n_cols = other.rows;
+        let width = self.cols;
         let rows_per_chunk = chunk_rows(self.rows, threads);
+        if self.rows >= TB_TRANSPOSE_MIN_ROWS {
+            TB_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                scratch.clear();
+                scratch.resize(width * n_cols, 0.0);
+                for (j, other_row) in other.data.chunks_exact(width).enumerate() {
+                    for (k, &v) in other_row.iter().enumerate() {
+                        scratch[k * n_cols + j] = v;
+                    }
+                }
+                let bt: &[f64] = &scratch;
+                fairmove_parallel::par_chunks_mut_threads(
+                    threads,
+                    &mut out.data,
+                    rows_per_chunk * n_cols,
+                    |chunk_idx, out_chunk| {
+                        let row0 = chunk_idx * rows_per_chunk;
+                        for kb in (0..width).step_by(BLOCK_K) {
+                            let kend = (kb + BLOCK_K).min(width);
+                            for (local_i, out_row) in out_chunk.chunks_mut(n_cols).enumerate() {
+                                let a_row = self.row(row0 + local_i);
+                                for (k, &a) in a_row[kb..kend].iter().enumerate() {
+                                    if a == 0.0 {
+                                        continue;
+                                    }
+                                    let b_row = &bt[(kb + k) * n_cols..(kb + k + 1) * n_cols];
+                                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                        *o += a * b;
+                                    }
+                                }
+                            }
+                        }
+                    },
+                );
+            });
+            return;
+        }
         fairmove_parallel::par_chunks_mut_threads(
             threads,
             &mut out.data,
@@ -221,8 +343,23 @@ impl Matrix {
                     let jend = (jb + BLOCK_K).min(n_cols);
                     for (local_i, out_row) in out_chunk.chunks_mut(n_cols).enumerate() {
                         let a_row = self.row(row0 + local_i);
-                        for (j, o) in out_row[jb..jend].iter_mut().enumerate() {
-                            let b_row = other.row(jb + j);
+                        let mut j = jb;
+                        while j + TB_UNROLL <= jend {
+                            let mut acc = [0.0f64; TB_UNROLL];
+                            let mut b_rows = [&other.data[..0]; TB_UNROLL];
+                            for (n, b_row) in b_rows.iter_mut().enumerate() {
+                                *b_row = &other.data[(j + n) * width..(j + n + 1) * width];
+                            }
+                            for (k, &a) in a_row.iter().enumerate() {
+                                for n in 0..TB_UNROLL {
+                                    acc[n] += a * b_rows[n][k];
+                                }
+                            }
+                            out_row[j..j + TB_UNROLL].copy_from_slice(&acc);
+                            j += TB_UNROLL;
+                        }
+                        for (jj, o) in out_row[j..jend].iter_mut().enumerate() {
+                            let b_row = other.row(j + jj);
                             let mut acc = 0.0;
                             for (&a, &b) in a_row.iter().zip(b_row) {
                                 acc += a * b;
@@ -233,7 +370,6 @@ impl Matrix {
                 }
             },
         );
-        out
     }
 
     /// `selfᵀ · other` (`k×m ᵀ· k×n → m×n`).
@@ -242,20 +378,33 @@ impl Matrix {
     }
 
     /// [`Self::transpose_a_matmul`] with an explicit worker count.
+    pub fn transpose_a_matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_a_matmul_threads_into(other, threads, &mut out);
+        out
+    }
+
+    /// [`Self::transpose_a_matmul`] writing into a caller-owned output
+    /// matrix (resized in place, no allocation after warmup).
     ///
     /// Output rows (columns of `self`) are partitioned across threads; each
     /// element accumulates over `k` in ascending order exactly as the
     /// serial loop does, so the result is bit-identical for every
     /// `threads` value.
-    pub fn transpose_a_matmul_threads(&self, other: &Matrix, threads: usize) -> Matrix {
+    pub fn transpose_a_matmul_threads_into(
+        &self,
+        other: &Matrix,
+        threads: usize,
+        out: &mut Matrix,
+    ) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_ta ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.resize_in_place(self.cols, other.cols);
         if out.data.is_empty() || self.rows == 0 {
-            return out;
+            return;
         }
         let n_cols = other.cols;
         let rows_per_chunk = chunk_rows(self.cols, threads);
@@ -283,7 +432,6 @@ impl Matrix {
                 }
             },
         );
-        out
     }
 
     /// The transpose.
@@ -556,6 +704,51 @@ mod tests {
     }
 
     #[test]
+    fn transpose_b_paths_agree_bitwise() {
+        // ReLU-like left operand: clamp negatives to zero so roughly half
+        // the activations are exactly 0.0, exercising the fast path's
+        // zero-skip against full accumulation.
+        let mut a = scrambled(37, 70, 11);
+        for v in a.data.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let b = scrambled(29, 70, 12);
+        let reference = reference_matmul_tb(&a, &b);
+        // 37 rows takes the transposed-scratch kernel at every thread count.
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                a.matmul_transpose_b_threads(&b, threads),
+                reference,
+                "threads={threads}"
+            );
+        }
+        // Row i of the product depends only on row i of `a`, and a one-row
+        // left operand takes the dot-product fallback: compare the two
+        // kernels bitwise, row by row.
+        for i in 0..a.rows() {
+            let row = Matrix::from_vec(1, a.cols(), a.row(i).to_vec());
+            let fallback = row.matmul_transpose_b_threads(&b, 1);
+            assert_eq!(
+                fallback.data(),
+                &reference.data()[i * b.rows()..(i + 1) * b.rows()],
+                "row {i}"
+            );
+        }
+        // Shapes straddling the threshold agree with the naive loop too.
+        for rows in [TB_TRANSPOSE_MIN_ROWS - 1, TB_TRANSPOSE_MIN_ROWS] {
+            let small_a = scrambled(rows, 24, 13);
+            let small_b = scrambled(7, 24, 14);
+            assert_eq!(
+                small_a.matmul_transpose_b_threads(&small_b, 2),
+                reference_matmul_tb(&small_a, &small_b),
+                "rows={rows}"
+            );
+        }
+    }
+
+    #[test]
     fn transpose_a_matmul_bit_identical_across_thread_counts() {
         let a = scrambled(70, 37, 5);
         let b = scrambled(70, 23, 6);
@@ -584,6 +777,49 @@ mod tests {
             Matrix::zeros(0, 3).transpose_a_matmul_threads(&Matrix::zeros(0, 2), 4),
             Matrix::zeros(3, 2)
         );
+    }
+
+    #[test]
+    fn resize_in_place_zeroes_and_keeps_capacity() {
+        let mut a = scrambled(8, 8, 9);
+        let ptr = a.data().as_ptr();
+        a.resize_in_place(4, 4);
+        assert_eq!((a.rows(), a.cols()), (4, 4));
+        assert!(a.data().iter().all(|&v| v == 0.0));
+        assert_eq!(a.data().as_ptr(), ptr, "shrinking must reuse the buffer");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_entry_points_and_reuse_storage() {
+        let a = scrambled(13, 70, 7);
+        let b = scrambled(70, 11, 8);
+        let bt = b.transpose();
+        // Seed the output with stale garbage bigger than any result below:
+        // the `_into` kernels must fully overwrite it.
+        let mut out = scrambled(40, 40, 10);
+        let ptr = out.data().as_ptr();
+        a.matmul_threads_into(&b, 2, &mut out);
+        assert_eq!(out, a.matmul_threads(&b, 2));
+        a.matmul_transpose_b_threads_into(&bt, 2, &mut out);
+        assert_eq!(out, a.matmul_transpose_b_threads(&bt, 2));
+        a.transpose_a_matmul_threads_into(&scrambled(13, 9, 11), 2, &mut out);
+        assert_eq!(out, a.transpose_a_matmul_threads(&scrambled(13, 9, 11), 2));
+        assert_eq!(out.data().as_ptr(), ptr, "no reallocation within capacity");
+    }
+
+    #[test]
+    fn tb_unroll_edges_match_reference() {
+        // Column counts straddling the unroll width (and the BLOCK_K edge)
+        // exercise both the unrolled body and the scalar tail.
+        for n_out in [1, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+            let a = scrambled(5, 33, n_out as u64);
+            let b = scrambled(n_out, 33, n_out as u64 + 100);
+            assert_eq!(
+                a.matmul_transpose_b_threads(&b, 1),
+                reference_matmul_tb(&a, &b),
+                "n_out={n_out}"
+            );
+        }
     }
 
     proptest! {

@@ -89,6 +89,15 @@ impl Dense {
         z
     }
 
+    /// [`Self::forward`] into a caller-owned matrix: same kernel with the
+    /// same auto thread count, so the output bits match exactly — only the
+    /// allocation is gone.
+    fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_transpose_b_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+        out.map_inplace(|v| self.activation.apply(v));
+    }
+
     fn forward_train(&mut self, x: &Matrix) -> Matrix {
         let mut z = x.matmul_transpose_b(&self.w);
         z.add_row_broadcast(&self.b);
@@ -117,6 +126,38 @@ impl Dense {
         // dX = dZ · W  (batch × in)
         let dx = dz.matmul(&self.w);
         (dw, db, dx)
+    }
+}
+
+/// Two reusable activation matrices for allocation-free MLP inference:
+/// layer `i` writes into one while reading the other (ping-pong), so any
+/// network depth needs exactly two buffers. One workspace serves any number
+/// of MLPs and batch sizes — buffers are resized in place and only ever
+/// grow to the largest activation seen.
+#[derive(Debug, Clone)]
+pub struct MlpWorkspace {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl Default for MlpWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MlpWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        MlpWorkspace {
+            ping: Matrix::zeros(0, 0),
+            pong: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// High-water footprint of both buffers, for telemetry gauges.
+    pub fn high_water_bytes(&self) -> usize {
+        self.ping.capacity_bytes() + self.pong.capacity_bytes()
     }
 }
 
@@ -203,6 +244,30 @@ impl Mlp {
             h = layer.forward(&h);
         }
         h
+    }
+
+    /// Inference forward pass through a reusable [`MlpWorkspace`]:
+    /// bit-identical to [`Self::forward`] (same kernels, same thread
+    /// selection) but the per-layer activation matrices live in the
+    /// workspace's two ping-pong buffers, so steady-state inference
+    /// performs zero heap allocations. The returned reference points into
+    /// the workspace and is valid until its next use.
+    pub fn forward_scratch<'w>(&self, x: &Matrix, ws: &'w mut MlpWorkspace) -> &'w Matrix {
+        self.layers[0].forward_into(x, &mut ws.ping);
+        let mut in_ping = true;
+        for layer in &self.layers[1..] {
+            if in_ping {
+                layer.forward_into(&ws.ping, &mut ws.pong);
+            } else {
+                layer.forward_into(&ws.pong, &mut ws.ping);
+            }
+            in_ping = !in_ping;
+        }
+        if in_ping {
+            &ws.ping
+        } else {
+            &ws.pong
+        }
     }
 
     /// Convenience: forward a single input vector.
@@ -429,6 +494,43 @@ mod tests {
         let y = net.forward(&x);
         assert_eq!((y.rows(), y.cols()), (5, 3));
         assert_eq!(net.forward_one(&[0.0; 4]).len(), 3);
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_bitwise() {
+        let mut ws = MlpWorkspace::new();
+        // Odd and even depths land the result in different ping-pong
+        // buffers; both must match the allocating pass exactly.
+        for sizes in [
+            vec![4, 3],
+            vec![4, 8, 3],
+            vec![4, 8, 8, 3],
+            vec![4, 16, 8, 4, 2],
+        ] {
+            let net = Mlp::new(&sizes, Activation::Relu, Activation::Linear, 42);
+            let x = Matrix::from_vec(
+                3,
+                4,
+                (0..12).map(|i| (i as f64) * 0.37 - 1.9).collect::<Vec<_>>(),
+            );
+            let expected = net.forward(&x);
+            let got = net.forward_scratch(&x, &mut ws);
+            assert_eq!(got, &expected, "sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn forward_scratch_reuses_buffers_across_calls() {
+        let net = Mlp::new(&[4, 8, 8, 3], Activation::Relu, Activation::Linear, 1);
+        let x = Matrix::zeros(5, 4);
+        let mut ws = MlpWorkspace::new();
+        let _ = net.forward_scratch(&x, &mut ws);
+        let bytes = ws.high_water_bytes();
+        assert!(bytes > 0);
+        for _ in 0..10 {
+            let _ = net.forward_scratch(&x, &mut ws);
+        }
+        assert_eq!(ws.high_water_bytes(), bytes, "buffers must not regrow");
     }
 
     #[test]

@@ -55,6 +55,39 @@ impl ActionSet {
         }
     }
 
+    /// Ensures the backing buffer can hold at least `n` actions without
+    /// growing. The simulator reserves every pooled set to the city-wide
+    /// maximum action count up front, so rebuilding a set for a
+    /// better-connected region never reallocates mid-run.
+    pub fn reserve(&mut self, n: usize) {
+        self.actions.reserve(n.saturating_sub(self.actions.len()));
+    }
+
+    /// Rebuilds `self` in place as the full action set, reusing the backing
+    /// allocation. Equivalent to `*self = ActionSet::full(..)` but
+    /// allocation-free once the buffer has grown to its steady-state size
+    /// (the hot path reuses pooled [`crate::observation::DecisionContext`]s
+    /// across slots).
+    pub fn rebuild_full(&mut self, neighbors: &[RegionId], stations: &[StationId]) {
+        self.actions.clear();
+        self.actions.push(Action::Stay);
+        self.actions
+            .extend(neighbors.iter().map(|&r| Action::MoveTo(r)));
+        self.n_movement = self.actions.len();
+        self.actions
+            .extend(stations.iter().map(|&s| Action::Charge(s)));
+    }
+
+    /// Rebuilds `self` in place as the must-charge set, reusing the backing
+    /// allocation. Equivalent to `*self = ActionSet::charge_only(..)`.
+    pub fn rebuild_charge_only(&mut self, stations: &[StationId]) {
+        assert!(!stations.is_empty(), "must-charge taxi needs stations");
+        self.actions.clear();
+        self.actions
+            .extend(stations.iter().map(|&s| Action::Charge(s)));
+        self.n_movement = 0;
+    }
+
     /// All admissible actions in canonical order.
     #[inline]
     pub fn actions(&self) -> &[Action] {
@@ -170,6 +203,28 @@ mod tests {
         );
         let c = ActionSet::charge_only(&stations());
         assert_eq!(c.charge_actions().len(), 2);
+    }
+
+    #[test]
+    fn rebuild_matches_constructors() {
+        // Start from the "wrong" shape each time to prove rebuild fully
+        // overwrites prior state.
+        let mut s = ActionSet::charge_only(&stations());
+        s.rebuild_full(&neighbors(), &stations());
+        assert_eq!(s, ActionSet::full(&neighbors(), &stations()));
+
+        s.rebuild_charge_only(&stations());
+        assert_eq!(s, ActionSet::charge_only(&stations()));
+
+        s.rebuild_full(&[], &[]);
+        assert_eq!(s, ActionSet::full(&[], &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must-charge taxi needs stations")]
+    fn rebuild_charge_only_requires_stations() {
+        let mut s = ActionSet::full(&neighbors(), &stations());
+        s.rebuild_charge_only(&[]);
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct InvariantAuditor {
     expected_charges: Vec<u32>,
     /// Fault counters observed at the previous audit (for monotonicity).
     last_fault_counters: crate::env::FaultCounters,
+    /// Reused per-slot tally of vacant-index appearances per taxi.
+    scratch_listed: Vec<u32>,
+    /// Reused per-slot tallies of charging/queued/inbound taxis per station.
+    scratch_charging: Vec<u32>,
+    scratch_queued: Vec<u32>,
+    scratch_inbound: Vec<u32>,
 }
 
 /// Relative + absolute tolerance for comparing incrementally-summed CNY
@@ -115,6 +121,10 @@ impl InvariantAuditor {
             expected_cost: Vec::new(),
             expected_charges: Vec::new(),
             last_fault_counters: crate::env::FaultCounters::default(),
+            scratch_listed: Vec::new(),
+            scratch_charging: Vec::new(),
+            scratch_queued: Vec::new(),
+            scratch_inbound: Vec::new(),
         }
     }
 
@@ -168,8 +178,54 @@ impl InvariantAuditor {
         self.check_schedule(env, slot, at);
         self.check_money_conservation(env, slot, at);
         self.check_fault_counters(env, slot, at);
+        self.check_scratch_reset(env, slot, at);
 
         self.violations - before
+    }
+
+    /// The environment's reusable scratch arenas must be back in their
+    /// between-slots reset state: every pooled arrival bucket returned,
+    /// transient worklists empty, and (debug builds) the observation
+    /// buffers poison-filled. Catches pooled-buffer reuse bugs that would
+    /// silently leak one slot's state into the next.
+    fn check_scratch_reset(&mut self, env: &Environment, slot: u32, at: SimTime) {
+        let scratch = &env.scratch;
+        if !scratch.arrival_pool.quiescent() || !scratch.arrivals.is_empty() {
+            self.report(
+                slot,
+                at,
+                "arena-reset",
+                format!(
+                    "arrival buckets not returned between slots: {} outstanding, {} held",
+                    scratch.arrival_pool.outstanding(),
+                    scratch.arrivals.len()
+                ),
+            );
+        }
+        if !scratch.dirty.is_empty() || !scratch.requests.is_empty() {
+            self.report(
+                slot,
+                at,
+                "arena-reset",
+                format!(
+                    "slot-transient scratch not cleared: {} dirty regions, {} requests",
+                    scratch.dirty.len(),
+                    scratch.requests.len()
+                ),
+            );
+        }
+        if cfg!(debug_assertions)
+            && !(fairmove_arena::is_poisoned(&scratch.obs.predicted_demand)
+                && fairmove_arena::is_poisoned(&scratch.obs.vacant_per_region)
+                && fairmove_arena::is_poisoned(&scratch.obs.waiting_per_region))
+        {
+            self.report(
+                slot,
+                at,
+                "arena-reset",
+                "observation scratch not poison-filled between slots".to_string(),
+            );
+        }
     }
 
     /// Battery bounds plus the pending-trip / charge-context lifecycles:
@@ -258,10 +314,11 @@ impl InvariantAuditor {
     /// The vacant-by-region matching index lists exactly the vacant taxis,
     /// each exactly once, under its current region.
     fn check_vacant_index(&mut self, env: &Environment, slot: u32, at: SimTime) {
-        let mut listed = vec![0u32; env.taxis.len()];
+        self.scratch_listed.clear();
+        self.scratch_listed.resize(env.taxis.len(), 0);
         for (r, list) in env.vacant_by_region.iter().enumerate() {
             for &id in list {
-                listed[id.index()] += 1;
+                self.scratch_listed[id.index()] += 1;
                 match env.taxis[id.index()].state {
                     TaxiState::Vacant { region } if region.index() == r => {}
                     ref state => self.report(
@@ -275,17 +332,15 @@ impl InvariantAuditor {
         }
         for taxi in &env.taxis {
             let expect = u32::from(taxi.state.is_vacant());
-            if listed[taxi.id.index()] != expect {
+            let seen = self.scratch_listed[taxi.id.index()];
+            if seen != expect {
                 self.report(
                     slot,
                     at,
                     "vacant-index",
                     format!(
                         "{} in {:?} appears {} times in the vacant index (expected {})",
-                        taxi.id,
-                        taxi.state,
-                        listed[taxi.id.index()],
-                        expect
+                        taxi.id, taxi.state, seen, expect
                     ),
                 );
             }
@@ -296,18 +351,24 @@ impl InvariantAuditor {
     /// and inbound tallies each agree with the taxi state machine.
     fn check_stations(&mut self, env: &Environment, slot: u32, at: SimTime) {
         let n = env.stations.len();
-        let mut charging = vec![0u32; n];
-        let mut queued = vec![0u32; n];
-        let mut inbound = vec![0u32; n];
+        self.scratch_charging.clear();
+        self.scratch_charging.resize(n, 0);
+        self.scratch_queued.clear();
+        self.scratch_queued.resize(n, 0);
+        self.scratch_inbound.clear();
+        self.scratch_inbound.resize(n, 0);
         for taxi in &env.taxis {
             match taxi.state {
-                TaxiState::Charging { station, .. } => charging[station.index()] += 1,
-                TaxiState::Queued { station } => queued[station.index()] += 1,
-                TaxiState::ToStation { station, .. } => inbound[station.index()] += 1,
+                TaxiState::Charging { station, .. } => self.scratch_charging[station.index()] += 1,
+                TaxiState::Queued { station } => self.scratch_queued[station.index()] += 1,
+                TaxiState::ToStation { station, .. } => self.scratch_inbound[station.index()] += 1,
                 _ => {}
             }
         }
         for (i, st) in env.stations.iter().enumerate() {
+            let charging = self.scratch_charging[i];
+            let queued = self.scratch_queued[i];
+            let inbound = self.scratch_inbound[i];
             if st.occupied > st.points {
                 self.report(
                     slot,
@@ -319,18 +380,18 @@ impl InvariantAuditor {
                     ),
                 );
             }
-            if st.occupied != charging[i] {
+            if st.occupied != charging {
                 self.report(
                     slot,
                     at,
                     "charger-occupancy",
                     format!(
                         "{} books {} occupied points but {} taxis are charging there",
-                        st.id, st.occupied, charging[i]
+                        st.id, st.occupied, charging
                     ),
                 );
             }
-            if st.queue_len() as u32 != queued[i] {
+            if st.queue_len() as u32 != queued {
                 self.report(
                     slot,
                     at,
@@ -339,7 +400,7 @@ impl InvariantAuditor {
                         "{} queue holds {} taxis but {} taxis are in Queued state there",
                         st.id,
                         st.queue_len(),
-                        queued[i]
+                        queued
                     ),
                 );
             }
@@ -357,14 +418,14 @@ impl InvariantAuditor {
                     );
                 }
             }
-            if st.inbound != inbound[i] {
+            if st.inbound != inbound {
                 self.report(
                     slot,
                     at,
                     "charger-inbound",
                     format!(
                         "{} expects {} inbound taxis but {} are en route",
-                        st.id, st.inbound, inbound[i]
+                        st.id, st.inbound, inbound
                     ),
                 );
             }

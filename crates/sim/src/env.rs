@@ -27,6 +27,7 @@ use crate::passenger::PassengerPool;
 use crate::policy::DisplacementPolicy;
 use crate::station::StationState;
 use crate::taxi::{Taxi, TaxiId, TaxiState};
+use fairmove_arena::{poison_fill, VecPool};
 use fairmove_city::{City, RegionId, SimTime, StationId, MINUTES_PER_DAY, SLOT_MINUTES};
 use fairmove_data::{DemandModel, PassengerRequest, TripGenerator};
 use fairmove_faults::{FaultPlan, FaultSet};
@@ -142,6 +143,8 @@ struct SimMetrics {
     fault_obs_dropped: Counter,
     /// Dispatch commands lost in transit.
     fault_commands_lost: Counter,
+    /// Retained per-slot scratch capacity, bytes (arena high-water mark).
+    arena_scratch_bytes: Gauge,
 }
 
 impl SimMetrics {
@@ -166,6 +169,7 @@ impl SimMetrics {
             fault_obs_stale: telemetry.counter("faults.obs_stale_slots"),
             fault_obs_dropped: telemetry.counter("faults.obs_dropped_regions"),
             fault_commands_lost: telemetry.counter("faults.commands_lost"),
+            arena_scratch_bytes: telemetry.gauge("sim.arena_scratch_bytes"),
         })
     }
 }
@@ -189,6 +193,96 @@ pub struct FaultCounters {
     pub obs_dropped_regions: u64,
     /// Dispatch commands lost in transit.
     pub commands_lost: u64,
+}
+
+/// Reusable per-slot scratch (see `fairmove-arena`): every transient buffer
+/// [`Environment::step_slot`] needs, retained across slots so steady-state
+/// stepping performs zero heap allocations after warmup.
+///
+/// Lifecycle: buffers are rebuilt in place during the slot and reset by
+/// [`StepScratch::end_slot`] between slots (arrival buckets returned to the
+/// pool, transients cleared, observation buffers poison-filled in debug
+/// builds). The invariant auditor's `arena-reset` check asserts the
+/// between-slots state every slot.
+struct StepScratch {
+    /// Policy-facing observation, fully rewritten in place each slot.
+    obs: SlotObservation,
+    /// Decision contexts, element-wise reused (action sets rebuilt in
+    /// place, reusing their backing allocation).
+    decisions: Vec<DecisionContext>,
+    /// Contexts parked when a slot has fewer vacancies than the last —
+    /// handed back out before anything fresh is allocated, so the pooled
+    /// buffers survive vacancy-count fluctuations.
+    spares: Vec<DecisionContext>,
+    /// Actions returned by the policy via `decide_into`.
+    actions: Vec<Action>,
+    /// Sorted vacant taxi ids (context-build scratch).
+    ids: Vec<TaxiId>,
+    /// Requests generated for the slot, before bucketing by minute.
+    requests: Vec<PassengerRequest>,
+    /// Pool backing the per-minute arrival buckets.
+    arrival_pool: VecPool<PassengerRequest>,
+    /// Buckets taken from the pool for the current slot. Empty between
+    /// slots: `end_slot` returns every bucket.
+    arrivals: Vec<Vec<PassengerRequest>>,
+    /// Regions touched in the current minute (match-making worklist).
+    dirty: Vec<RegionId>,
+    /// Test hook: when set, `end_slot` does nothing — simulates a dirty
+    /// scratch-reuse bug so the auditor's catch can itself be tested.
+    skip_reset: bool,
+}
+
+impl StepScratch {
+    fn new() -> Self {
+        StepScratch {
+            obs: SlotObservation::default(),
+            decisions: Vec::new(),
+            spares: Vec::new(),
+            actions: Vec::new(),
+            ids: Vec::new(),
+            requests: Vec::new(),
+            arrival_pool: VecPool::new(),
+            arrivals: Vec::new(),
+            dirty: Vec::new(),
+            skip_reset: false,
+        }
+    }
+
+    /// Between-slots reset: arrival buckets go back to the pool, transient
+    /// worklists are cleared, and (debug builds) the observation buffers are
+    /// poison-filled so a stale read cannot masquerade as live data.
+    fn end_slot(&mut self) {
+        if self.skip_reset {
+            return;
+        }
+        for buf in self.arrivals.drain(..) {
+            self.arrival_pool.put(buf);
+        }
+        self.dirty.clear();
+        self.requests.clear();
+        if cfg!(debug_assertions) {
+            poison_fill(&mut self.obs.predicted_demand);
+            poison_fill(&mut self.obs.vacant_per_region);
+            poison_fill(&mut self.obs.waiting_per_region);
+        }
+    }
+
+    /// Bytes of retained scratch capacity (mirrored into the
+    /// `sim.arena_scratch_bytes` telemetry gauge).
+    fn high_water_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.arrival_pool.stats().high_water_bytes
+            + self.requests.capacity() * size_of::<PassengerRequest>()
+            + self.dirty.capacity() * size_of::<RegionId>()
+            + self.ids.capacity() * size_of::<TaxiId>()
+            + self.actions.capacity() * size_of::<Action>()
+            + self.obs.vacant_per_region.capacity() * size_of::<u32>()
+            + self.obs.free_points_per_station.capacity() * size_of::<u32>()
+            + self.obs.queue_per_station.capacity() * size_of::<u32>()
+            + self.obs.inbound_per_station.capacity() * size_of::<u32>()
+            + self.obs.waiting_per_region.capacity() * size_of::<u32>()
+            + self.obs.predicted_demand.capacity() * size_of::<f64>()
+    }
 }
 
 /// The simulated world.
@@ -232,6 +326,16 @@ pub struct Environment {
     /// Per-slot invariant audit (see [`audit::InvariantAuditor`]): installed
     /// by default in debug builds, opt-in in release.
     auditor: Option<audit::InvariantAuditor>,
+    /// Reusable per-slot scratch buffers (zero steady-state allocation).
+    scratch: StepScratch,
+    /// City-wide upper bound on one taxi's admissible-action count
+    /// (`1 + max neighbors + max candidate stations`). Pooled action-set
+    /// buffers are reserved to this up front so rebuilding one for a
+    /// larger region never reallocates mid-run.
+    max_actions: usize,
+    /// The feedback for the most recent slot, rebuilt in place each slot
+    /// and returned by reference from [`Self::step_slot`].
+    feedback: SlotFeedback,
 }
 
 impl Environment {
@@ -269,6 +373,13 @@ impl Environment {
 
         let fleet_size = config.fleet_size;
         let n_regions = city.n_regions();
+        let max_actions = (0..n_regions)
+            .map(|r| {
+                let r = RegionId(r as u16);
+                1 + city.region(r).neighbors.len() + city.nearest_stations().nearest(r).len()
+            })
+            .max()
+            .unwrap_or(1);
         Environment {
             city,
             demand,
@@ -295,6 +406,15 @@ impl Environment {
             fault_counters: FaultCounters::default(),
             invariant_violations: 0,
             auditor: cfg!(debug_assertions).then(audit::InvariantAuditor::new),
+            scratch: StepScratch::new(),
+            max_actions,
+            feedback: SlotFeedback {
+                slot_start: SimTime::ZERO,
+                slot_profit: Vec::new(),
+                cumulative_pe: Vec::new(),
+                mean_pe: 0.0,
+                pf: 0.0,
+            },
             config,
         }
     }
@@ -421,39 +541,80 @@ impl Environment {
     pub fn run(&mut self, policy: &mut dyn DisplacementPolicy) {
         while !self.done() {
             let feedback = self.step_slot(policy);
-            policy.observe(&feedback);
+            policy.observe(feedback);
         }
         self.flush_accounting();
     }
 
+    /// Pre-sizes growth-prone long-lived containers (append-only ledger
+    /// event logs, the completion schedule, per-region worklists) for the
+    /// remainder of the configured horizon, so a steady-state measurement
+    /// window never hits a `Vec` doubling. Optional — skipping it only
+    /// means the first slots after warmup may still grow buffers.
+    pub fn prepare_steady_state(&mut self) {
+        let days = self.config.days as usize;
+        let trips = (self.config.daily_trips() * days as f64 * 1.25) as usize;
+        let charges = self.config.fleet_size * days.max(1) * 6;
+        self.ledger.reserve_events(trips, charges);
+        self.schedule.reserve(self.config.fleet_size);
+        self.pool.reserve(self.config.fleet_size);
+        self.scratch.decisions.reserve(self.config.fleet_size);
+        self.scratch.spares.reserve(self.config.fleet_size);
+        for list in &mut self.vacant_by_region {
+            list.reserve(self.config.fleet_size.saturating_sub(list.len()));
+        }
+        for station in &mut self.stations {
+            station.reserve_queue(self.config.fleet_size);
+        }
+    }
+
+    /// Test hook: disables the between-slots scratch reset, simulating a
+    /// pooled-buffer reuse bug so the auditor's `arena-reset` check can be
+    /// exercised. Never set outside tests.
+    #[doc(hidden)]
+    pub fn debug_skip_scratch_reset(&mut self, skip: bool) {
+        self.scratch.skip_reset = skip;
+    }
+
     /// Builds the current global-view observation.
     pub fn observation(&self) -> SlotObservation {
+        let mut obs = SlotObservation::default();
+        self.observation_into(&mut obs);
+        obs
+    }
+
+    /// Rebuilds the global-view observation in place — the allocation-free
+    /// variant of [`Self::observation`] the hot path uses with a reused
+    /// buffer. Every field is fully rewritten; the fleet aggregates are
+    /// computed by streaming over the ledger (same summation order as the
+    /// materialized path, so the results are bit-identical).
+    pub fn observation_into(&self, out: &mut SlotObservation) {
         let next_slot = (self.now + SLOT_MINUTES).slot_of_day();
-        let mut vacant = vec![0u32; self.city.n_regions()];
-        for (r, list) in self.vacant_by_region.iter().enumerate() {
-            vacant[r] = list.len() as u32;
-        }
-        let pes = self.ledger.profit_efficiencies();
-        let mean_pe = pes.iter().sum::<f64>() / pes.len().max(1) as f64;
-        let pf = pes.iter().map(|pe| (pe - mean_pe).powi(2)).sum::<f64>() / pes.len().max(1) as f64;
-        SlotObservation {
-            now: self.now,
-            slot: self.now.slot_of_day(),
-            vacant_per_region: vacant,
-            free_points_per_station: self
-                .stations
-                .iter()
-                .map(StationState::free_points)
-                .collect(),
-            queue_per_station: self.stations.iter().map(|s| s.queue_len() as u32).collect(),
-            inbound_per_station: self.stations.iter().map(|s| s.inbound).collect(),
-            predicted_demand: self.demand.intensities_at(next_slot),
-            waiting_per_region: self.pool.waiting_counts(self.now),
-            price_now: self.config.pricing.rate_at_time(self.now),
-            price_next_hour: self.config.pricing.rate_at_time(self.now + 60),
-            mean_pe,
-            pf,
-        }
+        out.now = self.now;
+        out.slot = self.now.slot_of_day();
+        out.vacant_per_region.clear();
+        out.vacant_per_region
+            .extend(self.vacant_by_region.iter().map(|list| list.len() as u32));
+        out.free_points_per_station.clear();
+        out.free_points_per_station
+            .extend(self.stations.iter().map(StationState::free_points));
+        out.queue_per_station.clear();
+        out.queue_per_station
+            .extend(self.stations.iter().map(|s| s.queue_len() as u32));
+        out.inbound_per_station.clear();
+        out.inbound_per_station
+            .extend(self.stations.iter().map(|s| s.inbound));
+        self.demand
+            .intensities_into(next_slot, &mut out.predicted_demand);
+        self.pool
+            .waiting_counts_into(self.now, &mut out.waiting_per_region);
+        out.price_now = self.config.pricing.rate_at_time(self.now);
+        out.price_next_hour = self.config.pricing.rate_at_time(self.now + 60);
+        let n = self.ledger.profit_efficiencies_len().max(1) as f64;
+        let mean_pe = self.ledger.profit_efficiency_sum() / n;
+        let pf = self.ledger.profit_efficiency_sq_dev_sum(mean_pe) / n;
+        out.mean_pe = mean_pe;
+        out.pf = pf;
     }
 
     /// Builds the decision contexts for all currently vacant taxis
@@ -463,60 +624,109 @@ impl Environment {
     /// nearby station is out (then drivers head for the nearest anyway and
     /// queue for power, as they would in reality).
     pub fn decision_contexts(&self) -> Vec<DecisionContext> {
-        let mut ids: Vec<TaxiId> = self
-            .vacant_by_region
-            .iter()
-            .flat_map(|l| l.iter().copied())
-            .collect();
+        let mut ids = Vec::new();
+        let mut out = Vec::new();
+        let mut spares = Vec::new();
+        self.build_decision_contexts(&mut ids, &mut out, &mut spares);
+        out
+    }
+
+    /// In-place variant of [`Self::decision_contexts`]: contexts already in
+    /// `out` are overwritten field by field (their action sets rebuilt in
+    /// place), so with reused buffers the hot path builds all contexts
+    /// without allocating. `ids` is the sorted-vacant-ids scratch; `spares`
+    /// parks surplus contexts when the vacancy count shrinks and hands them
+    /// back before anything fresh is allocated.
+    fn build_decision_contexts(
+        &self,
+        ids: &mut Vec<TaxiId>,
+        out: &mut Vec<DecisionContext>,
+        spares: &mut Vec<DecisionContext>,
+    ) {
+        ids.clear();
+        for list in &self.vacant_by_region {
+            ids.extend_from_slice(list);
+        }
         ids.sort_unstable();
-        ids.iter()
-            .filter(|id| !self.active_faults.taxi_out(id.0))
-            .map(|&id| {
-                let taxi = &self.taxis[id.index()];
-                let region = taxi.state.region().expect("vacant taxi has a region");
-                let must_charge = self.config.energy.must_charge(taxi.soc);
-                let all_stations = self.city.nearest_stations().nearest(region);
-                let in_service: Vec<StationId>;
-                let stations: &[StationId] = if self.active_faults.stations_out.is_empty() {
+        let mut n = 0usize;
+        for &id in ids.iter() {
+            if self.active_faults.taxi_out(id.0) {
+                continue;
+            }
+            let taxi = &self.taxis[id.index()];
+            let region = taxi.state.region().expect("vacant taxi has a region");
+            let must_charge = self.config.energy.must_charge(taxi.soc);
+            let all_stations = self.city.nearest_stations().nearest(region);
+            let in_service: Vec<StationId>;
+            let stations: &[StationId] = if self.active_faults.stations_out.is_empty() {
+                all_stations
+            } else {
+                // Station-outage fault path: allocates a filtered list, and
+                // is excluded from the zero-alloc envelope (faulted slots
+                // are not steady state).
+                in_service = all_stations
+                    .iter()
+                    .copied()
+                    .filter(|s| !self.active_faults.station_out(s.0))
+                    .collect();
+                if in_service.is_empty() {
                     all_stations
                 } else {
-                    in_service = all_stations
-                        .iter()
-                        .copied()
-                        .filter(|s| !self.active_faults.station_out(s.0))
-                        .collect();
-                    if in_service.is_empty() {
-                        all_stations
-                    } else {
-                        &in_service
-                    }
-                };
-                // The paper gates charging on the energy level ("the
-                // charging action is decided by the energy level of each
-                // e-taxi"): below η charging is forced; below the
-                // opportunistic threshold the *station choice and timing*
-                // are learnable; above it only movement actions exist.
-                let actions = if must_charge {
-                    ActionSet::charge_only(stations)
-                } else if taxi.soc < self.config.opportunistic_charge_soc {
-                    ActionSet::full(&self.city.region(region).neighbors, stations)
-                } else {
-                    ActionSet::full(&self.city.region(region).neighbors, &[])
-                };
-                DecisionContext {
+                    &in_service
+                }
+            };
+            // The paper gates charging on the energy level ("the
+            // charging action is decided by the energy level of each
+            // e-taxi"): below η charging is forced; below the
+            // opportunistic threshold the *station choice and timing*
+            // are learnable; above it only movement actions exist.
+            let neighbors: &[RegionId] = &self.city.region(region).neighbors;
+            let pe_standing = self.ledger.taxi(id).profit_efficiency();
+            let ctx = if n < out.len() {
+                &mut out[n]
+            } else {
+                // Prefer a parked context over a fresh one — its action-set
+                // buffer is already grown.
+                out.push(spares.pop().unwrap_or_else(|| DecisionContext {
                     taxi: id,
                     region,
                     soc: taxi.soc,
                     must_charge,
-                    pe_standing: self.ledger.taxi(id).profit_efficiency(),
-                    actions,
-                }
-            })
-            .collect()
+                    pe_standing,
+                    actions: ActionSet::full(&[], &[]),
+                }));
+                out.last_mut().expect("just pushed")
+            };
+            ctx.taxi = id;
+            ctx.region = region;
+            ctx.soc = taxi.soc;
+            ctx.must_charge = must_charge;
+            ctx.pe_standing = pe_standing;
+            // Reserving to the city-wide bound up front means no later
+            // rebuild for a better-connected region can reallocate.
+            ctx.actions.reserve(self.max_actions);
+            if must_charge {
+                ctx.actions.rebuild_charge_only(stations);
+            } else if taxi.soc < self.config.opportunistic_charge_soc {
+                ctx.actions.rebuild_full(neighbors, stations);
+            } else {
+                ctx.actions.rebuild_full(neighbors, &[]);
+            }
+            n += 1;
+        }
+        // Surplus pooled contexts are parked, not dropped: a low-vacancy
+        // slot must not forfeit buffers the fleet will need again.
+        spares.extend(out.drain(n..));
     }
 
     /// Advances one slot under `policy` and returns the realized feedback.
-    pub fn step_slot(&mut self, policy: &mut dyn DisplacementPolicy) -> SlotFeedback {
+    ///
+    /// The feedback is rebuilt in place each slot and returned by reference
+    /// (clone it to keep it past the next step) — together with the
+    /// [`StepScratch`] buffer reuse this makes steady-state stepping
+    /// allocation-free, a property pinned by the counting-allocator tests
+    /// in `fairmove-testkit`.
+    pub fn step_slot(&mut self, policy: &mut dyn DisplacementPolicy) -> &SlotFeedback {
         let slot_start = self.now;
         self.slot_profit.iter_mut().for_each(|p| *p = 0.0);
         self.slot_matches = 0;
@@ -536,11 +746,19 @@ impl Environment {
 
         // 1. Decisions for vacant taxis. The policy sees the (possibly
         // degraded) dispatcher view; the environment itself always works on
-        // true state.
-        let obs = self.policy_observation();
-        let decisions = self.decision_contexts();
-        let actions = policy.decide(&obs, &decisions);
+        // true state. Scratch buffers are moved out of `self` for the
+        // phases that need `&mut self` (a `Vec` move is allocation-free)
+        // and moved back when the phase ends.
+        let mut obs = std::mem::take(&mut self.scratch.obs);
+        self.policy_observation_into(&mut obs);
+        let mut decisions = std::mem::take(&mut self.scratch.decisions);
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        let mut spares = std::mem::take(&mut self.scratch.spares);
+        self.build_decision_contexts(&mut ids, &mut decisions, &mut spares);
+        let mut actions = std::mem::take(&mut self.scratch.actions);
+        policy.decide_into(&obs, &decisions, &mut actions);
         debug_assert_eq!(actions.len(), decisions.len());
+        let n_decisions = decisions.len() as u64;
         let slot_idx = slot_start.absolute_slot();
         let loss_prob = self.active_faults.command_loss_prob;
         for (ctx, &action) in decisions.iter().zip(actions.iter()) {
@@ -566,33 +784,48 @@ impl Environment {
             }
             self.apply_action(ctx.taxi, action);
         }
+        self.scratch.obs = obs;
+        self.scratch.decisions = decisions;
+        self.scratch.ids = ids;
+        self.scratch.spares = spares;
+        self.scratch.actions = actions;
 
         // 2. Demand for this slot, bucketed by arrival minute. Demand
         // faults scale per-region rates; with no demand faults active the
         // unscaled path is taken and the request stream is bit-identical.
-        let mut arrivals: Vec<Vec<PassengerRequest>> =
-            (0..SLOT_MINUTES).map(|_| Vec::new()).collect();
-        let requests = if self.active_faults.demand_factors.is_empty() {
-            self.trip_gen.generate_slot(slot_start)
+        let mut requests = std::mem::take(&mut self.scratch.requests);
+        if self.active_faults.demand_factors.is_empty() {
+            self.trip_gen
+                .generate_slot_scaled_into(slot_start, None, &mut requests);
         } else {
+            // Demand-fault path: the scale table is built fresh (faulted
+            // slots are excluded from the zero-alloc envelope).
             let mut scale = vec![1.0f64; self.city.n_regions()];
             for &(region, factor) in &self.active_faults.demand_factors {
                 if let Some(s) = scale.get_mut(usize::from(region)) {
                     *s = factor;
                 }
             }
-            self.trip_gen.generate_slot_scaled(slot_start, Some(&scale))
-        };
-        for req in requests {
+            self.trip_gen
+                .generate_slot_scaled_into(slot_start, Some(&scale), &mut requests);
+        }
+        let mut arrivals = std::mem::take(&mut self.scratch.arrivals);
+        debug_assert!(arrivals.is_empty(), "arrival buckets leaked a slot");
+        for _ in 0..SLOT_MINUTES {
+            arrivals.push(self.scratch.arrival_pool.take());
+        }
+        for req in requests.drain(..) {
             let offset = (req.requested_at - slot_start).min(SLOT_MINUTES - 1);
             arrivals[offset as usize].push(req);
         }
+        self.scratch.requests = requests;
 
         // 3. Minute loop.
+        let mut dirty = std::mem::take(&mut self.scratch.dirty);
         for m in 0..SLOT_MINUTES {
             let now = slot_start + m;
             self.now = now;
-            let mut dirty: Vec<RegionId> = Vec::new();
+            dirty.clear();
 
             for req in arrivals[m as usize].drain(..) {
                 dirty.push(req.origin);
@@ -611,29 +844,39 @@ impl Environment {
 
             dirty.sort_unstable();
             dirty.dedup();
-            for region in dirty {
+            for &region in dirty.iter() {
                 self.match_region(region, now);
             }
         }
+        self.scratch.dirty = dirty;
+        self.scratch.arrivals = arrivals;
 
-        // 4. Slot wrap-up.
+        // 4. Slot wrap-up. The feedback is assembled into the reused
+        // env-owned buffer (same summation order as the materialized path,
+        // so mean/pf are bit-identical).
         self.now = slot_start + SLOT_MINUTES;
         self.pool.sweep_expired(self.now);
         self.ledger.expired_requests = self.pool.expired;
         self.drain_vacant_cruisers();
 
-        let cumulative_pe = self.ledger.profit_efficiencies();
+        self.feedback.slot_start = slot_start;
+        self.feedback.slot_profit.clone_from(&self.slot_profit);
+        self.ledger
+            .profit_efficiencies_into(&mut self.feedback.cumulative_pe);
+        let cumulative_pe = &self.feedback.cumulative_pe;
         let mean_pe = cumulative_pe.iter().sum::<f64>() / cumulative_pe.len().max(1) as f64;
         let pf = cumulative_pe
             .iter()
             .map(|pe| (pe - mean_pe).powi(2))
             .sum::<f64>()
             / cumulative_pe.len().max(1) as f64;
+        self.feedback.mean_pe = mean_pe;
+        self.feedback.pf = pf;
 
         // Telemetry wrap-up: pure observation of state computed above.
         if let Some(m) = &self.metrics {
             m.slots.inc();
-            m.decisions.add(decisions.len() as u64);
+            m.decisions.add(n_decisions);
             m.matches.add(self.slot_matches);
             m.redirects.add(self.slot_redirects);
             m.trips.add(self.ledger.trips().len() as u64 - trips_before);
@@ -645,10 +888,17 @@ impl Environment {
             m.charge_queue.observe(queued as f64);
             let vacant: usize = self.vacant_by_region.iter().map(Vec::len).sum();
             m.vacant_taxis.set(vacant as f64);
+            m.arena_scratch_bytes
+                .set(self.scratch.high_water_bytes() as f64);
         }
         if let Some(span) = slot_span {
             span.finish();
         }
+
+        // Scratch reset between slots (arrival buckets back to the pool,
+        // debug poison over the observation buffers) — must precede the
+        // audit, whose `arena-reset` check asserts the reset state.
+        self.scratch.end_slot();
 
         // 5. Invariant audit: re-derive the redundant bookkeeping from first
         // principles. Purely observational (no RNG, no state mutation), so
@@ -664,13 +914,7 @@ impl Environment {
             }
         }
 
-        SlotFeedback {
-            slot_start,
-            slot_profit: self.slot_profit.clone(),
-            cumulative_pe,
-            mean_pe,
-            pf,
-        }
+        &self.feedback
     }
 
     /// Flushes in-progress time accounting into the ledger (call at end of
@@ -744,50 +988,54 @@ impl Environment {
     /// The observation handed to the *policy*: the true global view, passed
     /// through the active observation faults (staleness, dropped regions,
     /// stations reporting no free points during an outage). Without a fault
-    /// plan this is exactly [`Self::observation`].
-    fn policy_observation(&mut self) -> SlotObservation {
-        let obs = self.observation();
+    /// plan this is exactly [`Self::observation_into`] — and allocation-free
+    /// with a warmed buffer; the fault paths (history ring, staleness
+    /// copies) are excluded from the zero-alloc envelope.
+    fn policy_observation_into(&mut self, out: &mut SlotObservation) {
+        self.observation_into(out);
         let Some(plan) = &self.fault_plan else {
-            return obs;
+            return;
         };
         // Maintain the history ring only when staleness can occur at all.
+        // The ring stores the *true* view, so the push happens before any
+        // degradation of `out`.
         let max_lag = plan.max_staleness_lag() as usize;
         if max_lag > 0 {
-            self.obs_history.push_back(obs.clone());
+            self.obs_history.push_back(out.clone());
             while self.obs_history.len() > max_lag + 1 {
                 self.obs_history.pop_front();
             }
         }
 
         let lag = self.active_faults.obs_lag_slots as usize;
-        let mut degraded = obs;
         if lag > 0 && self.obs_history.len() > 1 {
             // Newest is at the back; fall back to the oldest retained view
             // when the run is younger than the lag.
             let idx = self.obs_history.len().saturating_sub(1 + lag);
             let stale = &self.obs_history[idx];
-            degraded.vacant_per_region = stale.vacant_per_region.clone();
-            degraded.free_points_per_station = stale.free_points_per_station.clone();
-            degraded.queue_per_station = stale.queue_per_station.clone();
-            degraded.inbound_per_station = stale.inbound_per_station.clone();
-            degraded.waiting_per_region = stale.waiting_per_region.clone();
-            degraded.mean_pe = stale.mean_pe;
-            degraded.pf = stale.pf;
+            out.vacant_per_region.clone_from(&stale.vacant_per_region);
+            out.free_points_per_station
+                .clone_from(&stale.free_points_per_station);
+            out.queue_per_station.clone_from(&stale.queue_per_station);
+            out.inbound_per_station
+                .clone_from(&stale.inbound_per_station);
+            out.waiting_per_region.clone_from(&stale.waiting_per_region);
+            out.mean_pe = stale.mean_pe;
+            out.pf = stale.pf;
         }
         for &r in &self.active_faults.obs_dropped_regions {
-            if let Some(v) = degraded.vacant_per_region.get_mut(usize::from(r)) {
+            if let Some(v) = out.vacant_per_region.get_mut(usize::from(r)) {
                 *v = 0;
             }
-            if let Some(v) = degraded.waiting_per_region.get_mut(usize::from(r)) {
+            if let Some(v) = out.waiting_per_region.get_mut(usize::from(r)) {
                 *v = 0;
             }
         }
         for &s in &self.active_faults.stations_out {
-            if let Some(v) = degraded.free_points_per_station.get_mut(usize::from(s)) {
+            if let Some(v) = out.free_points_per_station.get_mut(usize::from(s)) {
                 *v = 0;
             }
         }
-        degraded
     }
 
     /// Records an internal invariant violation: fail fast in debug builds,
@@ -1256,10 +1504,13 @@ mod tests {
     fn one_slot_advances_time() {
         let mut env = small_env();
         let mut p = StayPolicy;
-        let fb = env.step_slot(&mut p);
-        assert_eq!(fb.slot_start, SimTime::ZERO);
+        let (slot_start, n_taxis) = {
+            let fb = env.step_slot(&mut p);
+            (fb.slot_start, fb.slot_profit.len())
+        };
+        assert_eq!(slot_start, SimTime::ZERO);
         assert_eq!(env.now(), SimTime(SLOT_MINUTES));
-        assert_eq!(fb.slot_profit.len(), 60);
+        assert_eq!(n_taxis, 60);
     }
 
     #[test]
@@ -1437,6 +1688,78 @@ mod tests {
     }
 
     #[test]
+    fn auditor_catches_dirty_scratch_reuse() {
+        // Simulate a pooled-buffer reuse bug (the between-slots reset is
+        // skipped); the auditor's arena-reset check must flag it.
+        let mut env = small_env();
+        env.set_auditor(audit::InvariantAuditor::recording());
+        env.debug_skip_scratch_reset(true);
+        let mut p = StayPolicy;
+        env.step_slot(&mut p);
+        let auditor = env.auditor().expect("auditor installed");
+        assert!(auditor.violations() > 0, "dirty scratch reuse not caught");
+        assert_eq!(auditor.first_violation().unwrap().check, "arena-reset");
+    }
+
+    #[test]
+    fn scratch_reset_state_is_clean_after_healthy_slots() {
+        let mut env = small_env();
+        env.set_auditor(audit::InvariantAuditor::recording());
+        let mut p = StayPolicy;
+        for _ in 0..5 {
+            env.step_slot(&mut p);
+        }
+        assert_eq!(env.auditor().unwrap().violations(), 0);
+        assert!(env.scratch.arrival_pool.quiescent());
+        assert!(env.scratch.arrivals.is_empty());
+    }
+
+    #[test]
+    fn observation_into_reuse_matches_fresh() {
+        let mut env = small_env();
+        let mut p = StayPolicy;
+        for _ in 0..8 {
+            env.step_slot(&mut p);
+        }
+        let fresh = env.observation();
+        // A dirty, differently-shaped buffer must come out identical.
+        let mut reused = SlotObservation {
+            vacant_per_region: vec![99; 3],
+            predicted_demand: vec![f64::NAN; 1],
+            mean_pe: -1.0,
+            ..SlotObservation::default()
+        };
+        env.observation_into(&mut reused);
+        assert_eq!(reused.vacant_per_region, fresh.vacant_per_region);
+        assert_eq!(
+            reused.free_points_per_station,
+            fresh.free_points_per_station
+        );
+        assert_eq!(reused.queue_per_station, fresh.queue_per_station);
+        assert_eq!(reused.inbound_per_station, fresh.inbound_per_station);
+        assert_eq!(reused.predicted_demand, fresh.predicted_demand);
+        assert_eq!(reused.waiting_per_region, fresh.waiting_per_region);
+        assert_eq!(reused.mean_pe.to_bits(), fresh.mean_pe.to_bits());
+        assert_eq!(reused.pf.to_bits(), fresh.pf.to_bits());
+        assert_eq!(reused.price_now, fresh.price_now);
+        assert_eq!(reused.price_next_hour, fresh.price_next_hour);
+    }
+
+    #[test]
+    fn prepare_steady_state_changes_nothing_observable() {
+        let run = |prepare: bool| {
+            let mut env = Environment::new(SimConfig::test_scale());
+            if prepare {
+                env.prepare_steady_state();
+            }
+            let mut p = StayPolicy;
+            env.run(&mut p);
+            (env.ledger().trips().len(), env.ledger().totals())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn first_trip_after_charge_is_tagged() {
         let mut env = small_env();
         let mut p = StayPolicy;
@@ -1475,10 +1798,10 @@ mod tests {
     fn feedback_pf_is_variance_of_pe() {
         let mut env = small_env();
         let mut p = StayPolicy;
-        let mut fb = env.step_slot(&mut p);
         for _ in 0..50 {
-            fb = env.step_slot(&mut p);
+            env.step_slot(&mut p);
         }
+        let fb = env.step_slot(&mut p);
         let mean = fb.cumulative_pe.iter().sum::<f64>() / fb.cumulative_pe.len() as f64;
         let var = fb
             .cumulative_pe

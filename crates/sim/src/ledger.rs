@@ -224,10 +224,48 @@ impl FleetLedger {
 
     /// Per-taxi profit efficiency (CNY/hour), in taxi-id order.
     pub fn profit_efficiencies(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.taxis.len());
+        self.profit_efficiencies_into(&mut out);
+        out
+    }
+
+    /// Writes per-taxi profit efficiencies into a caller-owned buffer
+    /// (cleared first) — the allocation-free variant of
+    /// [`profit_efficiencies`](Self::profit_efficiencies).
+    pub fn profit_efficiencies_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.taxis.iter().map(TaxiLedger::profit_efficiency));
+    }
+
+    /// Number of per-taxi ledger entries (the fleet size).
+    #[inline]
+    pub fn profit_efficiencies_len(&self) -> usize {
+        self.taxis.len()
+    }
+
+    /// Sum of per-taxi profit efficiencies in taxi-id order — the same
+    /// summation order as `profit_efficiencies().iter().sum()`, so the hot
+    /// path gets a bit-identical mean without materializing the vector.
+    pub fn profit_efficiency_sum(&self) -> f64 {
+        self.taxis.iter().map(TaxiLedger::profit_efficiency).sum()
+    }
+
+    /// Sum of squared deviations of per-taxi profit efficiency from `mean`
+    /// (the fairness-variance numerator, Eq. 3), in taxi-id order.
+    pub fn profit_efficiency_sq_dev_sum(&self, mean: f64) -> f64 {
         self.taxis
             .iter()
-            .map(TaxiLedger::profit_efficiency)
-            .collect()
+            .map(|t| (t.profit_efficiency() - mean).powi(2))
+            .sum()
+    }
+
+    /// Pre-reserves capacity in the append-only event logs so a measured
+    /// steady-state window never hits a `Vec` doubling. Called by
+    /// [`crate::Environment::prepare_steady_state`] with an estimate of the
+    /// remaining trip/charge volume.
+    pub fn reserve_events(&mut self, trips: usize, charges: usize) {
+        self.trips.reserve(trips);
+        self.charges.reserve(charges);
     }
 
     /// Fleet totals: (revenue, cost) in CNY.

@@ -46,6 +46,28 @@ pub struct SlotObservation {
     pub pf: f64,
 }
 
+impl Default for SlotObservation {
+    /// An empty observation shell for buffer reuse: every vector is empty
+    /// (no allocation) and scalars are zero. [`crate::Environment`] fills it
+    /// in place each slot via `observation_into`.
+    fn default() -> Self {
+        SlotObservation {
+            now: SimTime::ZERO,
+            slot: TimeSlot(0),
+            vacant_per_region: Vec::new(),
+            free_points_per_station: Vec::new(),
+            queue_per_station: Vec::new(),
+            inbound_per_station: Vec::new(),
+            predicted_demand: Vec::new(),
+            waiting_per_region: Vec::new(),
+            price_now: 0.0,
+            price_next_hour: 0.0,
+            mean_pe: 0.0,
+            pf: 0.0,
+        }
+    }
+}
+
 impl SlotObservation {
     /// Demand minus committed supply for `region`: expected passengers next
     /// slot minus vacant taxis already there. Positive means undersupplied.

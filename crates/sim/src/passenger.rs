@@ -25,6 +25,14 @@ impl PassengerPool {
         }
     }
 
+    /// Pre-reserves `per_region` slots in every region queue so a measured
+    /// steady-state window never hits a ring-buffer doubling.
+    pub fn reserve(&mut self, per_region: usize) {
+        for q in &mut self.queues {
+            q.reserve(per_region.saturating_sub(q.len()));
+        }
+    }
+
     /// Adds a request to its origin queue.
     pub fn push(&mut self, request: PassengerRequest) {
         self.queues[request.origin.index()].push_back(request);
@@ -56,10 +64,21 @@ impl PassengerPool {
     /// Unexpired waiting counts for every region (the supply/demand
     /// imbalance input to observations).
     pub fn waiting_counts(&self, now: SimTime) -> Vec<u32> {
-        self.queues
-            .iter()
-            .map(|q| q.iter().filter(|r| !is_expired(r, now)).count() as u32)
-            .collect()
+        let mut out = Vec::with_capacity(self.queues.len());
+        self.waiting_counts_into(now, &mut out);
+        out
+    }
+
+    /// Writes the unexpired waiting count for every region into a
+    /// caller-owned buffer (cleared first) — the allocation-free variant of
+    /// [`waiting_counts`](Self::waiting_counts) for the per-slot hot path.
+    pub fn waiting_counts_into(&self, now: SimTime, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.queues
+                .iter()
+                .map(|q| q.iter().filter(|r| !is_expired(r, now)).count() as u32),
+        );
     }
 
     /// Drops every expired request across all regions. Called once per slot

@@ -23,6 +23,23 @@ pub trait DisplacementPolicy {
     /// (stay, or nearest-station charge when charging is forced).
     fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action>;
 
+    /// Allocation-aware variant of [`decide`](Self::decide): writes the
+    /// chosen actions into `out` (cleared first) instead of returning a
+    /// fresh `Vec`. The environment's hot path calls this with a reused
+    /// buffer so steady-state stepping performs no per-slot allocation.
+    ///
+    /// The default delegates to `decide`, so existing policies keep working
+    /// unchanged; policies on the hot path (Stay, frozen CMA2C) override it
+    /// to fill `out` without allocating.
+    fn decide_into(
+        &mut self,
+        obs: &SlotObservation,
+        decisions: &[DecisionContext],
+        out: &mut Vec<Action>,
+    ) {
+        *out = self.decide(obs, decisions);
+    }
+
     /// Receives the realized outcome of the previous slot. Default: ignore.
     fn observe(&mut self, feedback: &SlotFeedback) {
         let _ = feedback;
@@ -65,6 +82,15 @@ impl<P: DisplacementPolicy + ?Sized> DisplacementPolicy for &mut P {
         (**self).decide(obs, decisions)
     }
 
+    fn decide_into(
+        &mut self,
+        obs: &SlotObservation,
+        decisions: &[DecisionContext],
+        out: &mut Vec<Action>,
+    ) {
+        (**self).decide_into(obs, decisions, out)
+    }
+
     fn observe(&mut self, feedback: &SlotFeedback) {
         (**self).observe(feedback)
     }
@@ -90,6 +116,15 @@ impl<P: DisplacementPolicy + ?Sized> DisplacementPolicy for Box<P> {
 
     fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
         (**self).decide(obs, decisions)
+    }
+
+    fn decide_into(
+        &mut self,
+        obs: &SlotObservation,
+        decisions: &[DecisionContext],
+        out: &mut Vec<Action>,
+    ) {
+        (**self).decide_into(obs, decisions, out)
     }
 
     fn observe(&mut self, feedback: &SlotFeedback) {
@@ -119,18 +154,27 @@ impl DisplacementPolicy for StayPolicy {
         "Stay"
     }
 
-    fn decide(&mut self, _obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
-        decisions
-            .iter()
-            .map(|d| {
-                if d.must_charge {
-                    // Nearest station is the first charge action.
-                    d.actions.charge_actions()[0]
-                } else {
-                    Action::Stay
-                }
-            })
-            .collect()
+    fn decide(&mut self, obs: &SlotObservation, decisions: &[DecisionContext]) -> Vec<Action> {
+        let mut out = Vec::with_capacity(decisions.len());
+        self.decide_into(obs, decisions, &mut out);
+        out
+    }
+
+    fn decide_into(
+        &mut self,
+        _obs: &SlotObservation,
+        decisions: &[DecisionContext],
+        out: &mut Vec<Action>,
+    ) {
+        out.clear();
+        out.extend(decisions.iter().map(|d| {
+            if d.must_charge {
+                // Nearest station is the first charge action.
+                d.actions.charge_actions()[0]
+            } else {
+                Action::Stay
+            }
+        }));
     }
 }
 

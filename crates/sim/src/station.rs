@@ -46,6 +46,13 @@ impl StationState {
         self.points - self.occupied
     }
 
+    /// Pre-reserves queue capacity so a measured steady-state window never
+    /// hits a ring-buffer doubling.
+    pub fn reserve_queue(&mut self, capacity: usize) {
+        self.queue
+            .reserve(capacity.saturating_sub(self.queue.len()));
+    }
+
     /// Number of taxis waiting.
     #[inline]
     pub fn queue_len(&self) -> usize {

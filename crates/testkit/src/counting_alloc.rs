@@ -1,0 +1,111 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! [`CountingAlloc`] delegates every request to [`System`] and bumps a
+//! thread-local counter on each `alloc` / `alloc_zeroed` / `realloc`. The
+//! counter is thread-local on purpose: the libtest harness runs tests
+//! concurrently on separate threads, and per-thread counts keep one test's
+//! allocations from polluting another's measurement window. The flip side is
+//! that allocations made on worker threads (e.g. the parallel matmul above
+//! `PAR_MIN_FLOPS`) are invisible to the measuring thread — zero-alloc tests
+//! therefore keep their workloads below the parallel threshold so all work
+//! stays on the calling thread regardless of `FAIRMOVE_THREADS`.
+//!
+//! The allocator type lives in the library, but the `#[global_allocator]`
+//! static must be declared by the binary that wants counting — typically an
+//! integration-test file:
+//!
+//! ```ignore
+//! use fairmove_testkit::counting_alloc::{allocs_in, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//!
+//! let (n, _) = allocs_in(|| env.step_slot(&mut policy));
+//! assert_eq!(n, 0);
+//! ```
+//!
+//! Without that static installed, [`thread_allocations`] stays at zero and
+//! [`allocs_in`] reports `0` for everything — harmless, but meaningless, so
+//! zero-alloc assertions belong only in binaries that install the allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System-delegating allocator that counts allocation events on the current
+/// thread. Deallocations are not counted: a steady-state loop that frees
+/// memory it never allocated is already impossible, and counting frees would
+/// double-charge every transient.
+pub struct CountingAlloc;
+
+#[inline]
+fn bump() {
+    // `try_with` so allocations during thread teardown (after the TLS slot
+    // is destroyed) silently skip counting instead of aborting.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: pure delegation to `System`; the counter bump has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total allocation events observed on the current thread so far. Always `0`
+/// unless [`CountingAlloc`] is installed as the `#[global_allocator]`.
+#[inline]
+pub fn thread_allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// Runs `f` and returns `(allocation events on this thread during f, f())`.
+///
+/// The count includes allocations made by `f`'s temporaries even if they are
+/// freed before it returns — this measures allocator traffic, not net memory
+/// growth, which is exactly what a zero-steady-state-alloc test wants.
+pub fn allocs_in<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = thread_allocations();
+    let out = f();
+    (thread_allocations() - before, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The unit-test binary does NOT install CountingAlloc, so the counter
+    // must stay flat no matter what allocates. (The live-counting behavior
+    // is exercised by the `alloc` integration test, which does install it.)
+    #[test]
+    fn without_installation_counts_stay_zero() {
+        let (n, v) = allocs_in(|| vec![1u8; 4096]);
+        assert_eq!(n, 0);
+        assert_eq!(v.len(), 4096);
+    }
+
+    #[test]
+    fn allocs_in_returns_closure_output() {
+        let (_, out) = allocs_in(|| 7 * 6);
+        assert_eq!(out, 42);
+    }
+}

@@ -17,6 +17,10 @@
 //!   scenario; failures are greedily shrunk (halve slots, halve fleet, drop
 //!   fault events, halve regions) to a minimal repro printed as a
 //!   ready-to-paste regression test.
+//! * **Allocation counting** ([`counting_alloc`]) — a [`std::alloc::System`]
+//!   -delegating global allocator with thread-local event counters and an
+//!   [`allocs_in`] probe, so the hot path's zero-steady-state-allocation
+//!   contract is an assertable test, not a code-review convention.
 //!
 //! Environment knobs (all optional):
 //!
@@ -27,12 +31,14 @@
 //!   (what the scheduled CI job uploads as artifacts on failure).
 
 pub mod canon;
+pub mod counting_alloc;
 pub mod driver;
 pub mod golden;
 pub mod oracle;
 pub mod scenario;
 
 pub use canon::{canon_comparison, canon_ledger, canon_snapshot};
+pub use counting_alloc::{allocs_in, CountingAlloc};
 pub use driver::{DriverConfig, DriverReport, Failure};
 pub use golden::{assert_golden, GoldenMismatch};
 pub use oracle::{check_all, OracleFailure};

@@ -12,11 +12,17 @@
 //! | `serial-parallel` | `ordered_map` over worker threads ≡ the serial map |
 //! | `permutation-invariance` | fleet metrics are taxi-id-order invariant |
 //! | `alpha-objective` | Eq. 4 reward is affine in α; α = 1 ignores fairness, α = 0 ignores profit |
+//! | `batched-vs-serial-inference` | wave-batched CMA2C dispatch (`max_wave` > 1) ≡ the fully serial dispatcher, bit-identical ledgers; stacked actor forward ≡ per-row forwards at 1/2/4 matmul workers |
 
 use crate::canon::fnv64;
 use crate::scenario::{PlanMode, RunArtifacts, Scenario, TestRng};
+use fairmove_agents::features::SA_DIM;
+use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
 use fairmove_metrics::{gini, profit_fairness};
-use fairmove_sim::{TaxiId, Telemetry};
+use fairmove_rl::{Activation, Matrix, Mlp};
+use fairmove_sim::{
+    DisplacementPolicy, Environment, FleetLedger, InvariantAuditor, TaxiId, Telemetry,
+};
 use std::fmt;
 
 /// One failed oracle: which check, and what it saw.
@@ -39,13 +45,14 @@ fn fail(oracle: &'static str, message: String) -> Result<(), OracleFailure> {
 }
 
 /// Names of every oracle in catalog order.
-pub const ORACLE_NAMES: [&str; 6] = [
+pub const ORACLE_NAMES: [&str; 7] = [
     "invariant-audit",
     "telemetry-inert",
     "empty-plan-identity",
     "serial-parallel",
     "permutation-invariance",
     "alpha-objective",
+    "batched-vs-serial-inference",
 ];
 
 /// Runs the full oracle catalog against one scenario. Returns the first
@@ -58,6 +65,7 @@ pub fn check_all(scenario: &Scenario) -> Result<(), OracleFailure> {
     serial_parallel(&base)?;
     permutation_invariance(scenario, &base)?;
     alpha_objective(scenario, &base)?;
+    batched_vs_serial_inference(scenario)?;
     Ok(())
 }
 
@@ -90,7 +98,7 @@ fn telemetry_inert(scenario: &Scenario, base: &RunArtifacts) -> Result<(), Oracl
             "telemetry-inert",
             format!(
                 "telemetry-on ledger diverged from telemetry-off (first diff: {})",
-                first_ledger_diff(base, &instrumented)
+                first_ledger_diff(&base.ledger, &instrumented.ledger)
             ),
         );
     }
@@ -116,7 +124,7 @@ fn empty_plan_identity(scenario: &Scenario, base: &RunArtifacts) -> Result<(), O
             "empty-plan-identity",
             format!(
                 "empty fault plan changed the run (first diff: {})",
-                first_ledger_diff(base, &with_empty)
+                first_ledger_diff(&base.ledger, &with_empty.ledger)
             ),
         );
     }
@@ -247,10 +255,113 @@ fn alpha_objective(scenario: &Scenario, base: &RunArtifacts) -> Result<(), Oracl
     Ok(())
 }
 
+/// The wave-batched CMA2C dispatcher must be bit-identical to the fully
+/// serial one. Two frozen policies with the same weights and exploration
+/// seed drive the same environment, differing only in `max_wave` (1 vs the
+/// default); any divergence in featurization, forward-pass stacking, commit
+/// ordering, or RNG consumption shows up as a ledger diff. A second check
+/// pushes one stacked input through the actor-shaped MLP and compares it
+/// row-by-row against per-row forwards, and through the raw row-partitioned
+/// matmul kernel at 1, 2, and 4 explicit workers — the batched numerics
+/// must not depend on how many decisions share a forward pass or how many
+/// threads split it.
+fn batched_vs_serial_inference(scenario: &Scenario) -> Result<(), OracleFailure> {
+    let run = |max_wave: usize| -> (FleetLedger, u64) {
+        let mut env = Environment::new(scenario.sim_config());
+        env.set_auditor(InvariantAuditor::recording());
+        if let Some(p) = &scenario.fault_plan {
+            env.set_fault_plan(p.clone());
+        }
+        let city = env.city().clone();
+        let mut policy = Cma2cPolicy::new(
+            &city,
+            Cma2cConfig {
+                max_wave,
+                seed: scenario.seed,
+                ..Cma2cConfig::default()
+            },
+        );
+        policy.freeze();
+        for _ in 0..scenario.slots {
+            let feedback = env.step_slot(&mut policy);
+            policy.observe(feedback);
+        }
+        env.flush_accounting();
+        let violations = env.auditor().map_or(0, |a| a.violations());
+        (env.ledger().clone(), violations)
+    };
+    let (serial, serial_violations) = run(1);
+    let (batched, batched_violations) = run(Cma2cConfig::default().max_wave);
+    if serial != batched {
+        return fail(
+            "batched-vs-serial-inference",
+            format!(
+                "wave-batched dispatch diverged from serial (first diff: {})",
+                first_ledger_diff(&serial, &batched)
+            ),
+        );
+    }
+    if serial_violations != batched_violations {
+        return fail(
+            "batched-vs-serial-inference",
+            format!(
+                "audit violations diverged: serial {serial_violations} vs batched {batched_violations}"
+            ),
+        );
+    }
+
+    // Stacked forward ≡ per-row forward through an actor-shaped MLP. 600
+    // rows puts the 64→64 layer above the parallel matmul threshold, so
+    // with FAIRMOVE_THREADS > 1 (CI runs 1 and 4) this also crosses the
+    // threaded row-partitioned path.
+    let rows = 600;
+    let mlp = Mlp::new(
+        &[SA_DIM, 64, 64, 1],
+        Activation::Relu,
+        Activation::Linear,
+        scenario.seed,
+    );
+    let mut rng = TestRng::new(scenario.seed ^ 0xBA7C);
+    let data: Vec<f64> = (0..rows * SA_DIM).map(|_| rng.f64() * 2.0 - 1.0).collect();
+    let x = Matrix::from_vec(rows, SA_DIM, data);
+    let stacked = mlp.forward(&x);
+    for r in 0..rows {
+        let single = mlp.forward_one(x.row(r));
+        if single[0].to_bits() != stacked.get(r, 0).to_bits() {
+            return fail(
+                "batched-vs-serial-inference",
+                format!(
+                    "stacked forward row {r} diverged from per-row forward: {:?} vs {:?}",
+                    stacked.get(r, 0),
+                    single[0]
+                ),
+            );
+        }
+    }
+
+    // The raw kernel is bit-identical at every explicit worker count.
+    let w = {
+        let mut wrng = TestRng::new(scenario.seed ^ 0x3A7);
+        let data: Vec<f64> = (0..SA_DIM * 64).map(|_| wrng.f64() - 0.5).collect();
+        Matrix::from_vec(SA_DIM, 64, data)
+    };
+    let serial_product = x.matmul_threads(&w, 1);
+    for threads in [2usize, 4] {
+        let threaded = x.matmul_threads(&w, threads);
+        if threaded != serial_product {
+            return fail(
+                "batched-vs-serial-inference",
+                format!("matmul with {threads} workers diverged from 1 worker"),
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Short description of the first difference between two runs' ledgers,
 /// for oracle messages.
-fn first_ledger_diff(a: &RunArtifacts, b: &RunArtifacts) -> String {
-    let (at, bt) = (a.ledger.trips(), b.ledger.trips());
+fn first_ledger_diff(a: &FleetLedger, b: &FleetLedger) -> String {
+    let (at, bt) = (a.trips(), b.trips());
     if at.len() != bt.len() {
         return format!("trip counts {} vs {}", at.len(), bt.len());
     }
@@ -264,7 +375,7 @@ fn first_ledger_diff(a: &RunArtifacts, b: &RunArtifacts) -> String {
             );
         }
     }
-    let (ac, bc) = (a.ledger.charges(), b.ledger.charges());
+    let (ac, bc) = (a.charges(), b.charges());
     if ac.len() != bc.len() {
         return format!("charge counts {} vs {}", ac.len(), bc.len());
     }

@@ -223,8 +223,8 @@ impl Scenario {
         let mut feedbacks = Vec::with_capacity(self.slots as usize);
         for _ in 0..self.slots {
             let feedback = env.step_slot(policy);
-            policy.observe(&feedback);
-            feedbacks.push(feedback);
+            policy.observe(feedback);
+            feedbacks.push(feedback.clone());
         }
         env.flush_accounting();
 

@@ -1,0 +1,127 @@
+//! Zero steady-state allocation tests for the simulation hot path.
+//!
+//! This binary installs [`CountingAlloc`] as the global allocator and
+//! asserts that, after [`Environment::prepare_steady_state`] plus a warmup
+//! window has grown every reusable buffer to its high-water mark, stepping a
+//! slot — including the invariant audit that debug builds run every slot —
+//! performs **zero** heap allocations, for both the trivial [`StayPolicy`]
+//! and a frozen batched [`Cma2cPolicy`].
+//!
+//! The CMA2C configuration pins `max_wave: 16` so the stacked actor forward
+//! stays below the parallel matmul threshold (`PAR_MIN_FLOPS`) at any
+//! `FAIRMOVE_THREADS` setting: all work then happens on the calling thread,
+//! which is exactly where [`CountingAlloc`]'s thread-local counter looks.
+//! CI runs this suite under `FAIRMOVE_THREADS=1` and `=4` to prove the
+//! envelope is thread-count independent.
+//!
+//! Known, deliberate exclusions from the zero-alloc envelope (all inactive
+//! here): fault plans (the observation-staleness history ring clones per
+//! slot), learning mode (replay buffer and training matmuls), telemetry
+//! export, and waves large enough to cross the parallel threshold.
+
+use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
+use fairmove_sim::{DisplacementPolicy, Environment, SimConfig, StayPolicy};
+use fairmove_testkit::counting_alloc::{allocs_in, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Slots stepped before measurement starts. Long enough for trips, charges,
+/// station queues, and the decision scratch to reach their high-water marks
+/// at test scale.
+const WARMUP_SLOTS: usize = 30;
+/// Slots measured after warmup; every one must allocate exactly zero times.
+const MEASURED_SLOTS: usize = 8;
+
+/// Wave cap that keeps the stacked forward serial at any thread count:
+/// 16 decisions × 10 actions = 160 rows, and the widest layer then costs
+/// 160·64·64·2 ≈ 1.3 MFLOP, well under the 4.2 MFLOP parallel threshold.
+const SERIAL_SAFE_WAVE: usize = 16;
+
+fn assert_steady_state_is_alloc_free(policy: &mut dyn DisplacementPolicy, label: &str) {
+    let mut env = Environment::new(SimConfig::test_scale());
+    env.prepare_steady_state();
+    for _ in 0..WARMUP_SLOTS {
+        let feedback = env.step_slot(policy);
+        policy.observe(feedback);
+    }
+    for slot in 0..MEASURED_SLOTS {
+        let (allocs, ()) = allocs_in(|| {
+            let feedback = env.step_slot(policy);
+            policy.observe(feedback);
+        });
+        assert_eq!(
+            allocs, 0,
+            "{label}: measured slot {slot} performed {allocs} heap allocations"
+        );
+    }
+}
+
+#[test]
+fn step_slot_is_alloc_free_with_stay_policy() {
+    assert_steady_state_is_alloc_free(&mut StayPolicy, "stay");
+}
+
+#[test]
+fn step_slot_is_alloc_free_with_frozen_batched_cma2c() {
+    let city = Environment::new(SimConfig::test_scale()).city().clone();
+    let mut policy = Cma2cPolicy::new(
+        &city,
+        Cma2cConfig {
+            max_wave: SERIAL_SAFE_WAVE,
+            ..Cma2cConfig::default()
+        },
+    );
+    policy.freeze();
+    assert_steady_state_is_alloc_free(&mut policy, "frozen cma2c");
+}
+
+/// The batched dispatcher itself — outside the environment loop — must also
+/// be alloc-free once its scratch (feature cache, row matrix, forward
+/// workspace) has warmed up.
+#[test]
+fn batched_decide_into_is_alloc_free_when_frozen() {
+    let mut env = Environment::new(SimConfig::test_scale());
+    let city = env.city().clone();
+    let mut policy = Cma2cPolicy::new(
+        &city,
+        Cma2cConfig {
+            max_wave: SERIAL_SAFE_WAVE,
+            ..Cma2cConfig::default()
+        },
+    );
+    policy.freeze();
+
+    // Step into mid-morning under Stay so the decision set has realistic
+    // structure (mixed regions, some must-charge taxis).
+    let mut stay = StayPolicy;
+    for _ in 0..12 {
+        env.step_slot(&mut stay);
+    }
+    let obs = env.observation();
+    let decisions = env.decision_contexts();
+    assert!(!decisions.is_empty(), "test needs at least one vacant taxi");
+
+    let mut actions = Vec::with_capacity(decisions.len());
+    // Warmup calls grow the decision scratch to its high-water mark.
+    for _ in 0..3 {
+        policy.decide_into(&obs, &decisions, &mut actions);
+    }
+    let (allocs, ()) = allocs_in(|| {
+        policy.decide_into(&obs, &decisions, &mut actions);
+    });
+    assert_eq!(
+        allocs, 0,
+        "frozen batched decide_into performed {allocs} heap allocations"
+    );
+    assert_eq!(actions.len(), decisions.len());
+}
+
+/// Sanity-check the probe itself: a deliberate allocation inside the closure
+/// must be visible, or every zero above would be vacuous.
+#[test]
+fn counting_allocator_observes_allocations() {
+    let (allocs, v) = allocs_in(|| Vec::<u64>::with_capacity(32));
+    assert!(allocs >= 1, "probe missed a direct Vec allocation");
+    drop(v);
+}
