@@ -1,0 +1,7 @@
+/root/repo/third_party/proptest/target/debug/deps/proptest-1c9bb7e043dbcd9c.d: src/lib.rs
+
+/root/repo/third_party/proptest/target/debug/deps/libproptest-1c9bb7e043dbcd9c.rlib: src/lib.rs
+
+/root/repo/third_party/proptest/target/debug/deps/libproptest-1c9bb7e043dbcd9c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/third_party/proptest/target/debug/deps/proptest-a42e5206ea36bc40.d: src/lib.rs
+
+/root/repo/third_party/proptest/target/debug/deps/proptest-a42e5206ea36bc40: src/lib.rs
+
+src/lib.rs:

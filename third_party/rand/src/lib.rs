@@ -1,0 +1,673 @@
+//! Offline drop-in replacement for `rand 0.8.5`.
+//!
+//! This workspace builds in environments with no network access, so the
+//! crates.io `rand` crate is replaced (via `[patch.crates-io]`) with this
+//! vendored reimplementation of exactly the API surface the workspace uses:
+//!
+//! * `rngs::StdRng` — ChaCha12 with `rand_chacha 0.3` block-buffer semantics
+//! * `SeedableRng::{from_seed, seed_from_u64}` — PCG-style seed expansion
+//! * `Rng::{gen, gen_range, gen_bool, sample}` over the `Standard`,
+//!   `Uniform` (half-open ranges) and `Bernoulli` distributions
+//! * `seq::SliceRandom::shuffle`
+//!
+//! **Determinism is a hard requirement**: the repository's golden ledgers
+//! and regression pins are produced from seeded `StdRng` streams, so this
+//! crate must never change the values it emits for a given seed. Every
+//! algorithm follows the upstream design — the ChaCha12 block function
+//! (pinned against the published all-zero-key keystream below), the 64-word
+//! buffer refill rules of `rand_core`'s `BlockRng` (including the
+//! split-read at index 63), the widening-multiply rejection zones of
+//! `UniformInt::sample_single_inclusive`, the `(value1_2 - 1.0) * scale +
+//! low` multiply-add form of `UniformFloat::sample_single`, and the
+//! `u32`-sized index sampling of `SliceRandom::shuffle`.
+//!
+//! The word stream is NOT guaranteed to be bit-identical with crates.io
+//! `rand 0.8.5` (that could not be verified offline); the workspace goldens
+//! were re-blessed against this crate's stream when it was vendored. The
+//! tests at the bottom pin that stream. Do not "simplify" any of it.
+
+// ---------------------------------------------------------------------------
+// Core traits (rand_core 0.6)
+// ---------------------------------------------------------------------------
+
+/// Source of random `u32`/`u64` words. Mirrors `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Deterministic construction from seeds. Mirrors `rand_core::SeedableRng`,
+/// including the exact PCG32-based `seed_from_u64` expansion.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // As rand_core 0.6: one PCG-XSH-RR output per 4-byte chunk.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// User-facing Rng extension trait
+// ---------------------------------------------------------------------------
+
+pub use crate::distributions::{Distribution, Standard};
+
+/// Mirrors `rand::Rng` for the methods the workspace calls.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw. `p == 1.0` consumes nothing (upstream `ALWAYS_TRUE`);
+    /// otherwise exactly one `u64` is compared against `(p * 2^64) as u64`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let d = distributions::Bernoulli::new(p).expect("p is outside [0, 1]");
+        self.sample(d)
+    }
+
+    #[inline]
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+pub mod distributions {
+    use super::Rng;
+
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The `Standard` distribution: full-range ints, `[0, 1)` floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<u32> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            // rand 0.8.5 samples usize as u64 on 64-bit targets.
+            #[cfg(target_pointer_width = "64")]
+            {
+                rng.next_u64() as usize
+            }
+            #[cfg(not(target_pointer_width = "64"))]
+            {
+                rng.next_u32() as usize
+            }
+        }
+    }
+
+    impl Distribution<u16> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+            rng.next_u32() as u16
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+            rng.next_u32() as u8
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        /// Multiply-based `[0, 1)` with 53 random bits, as upstream.
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let scale = 1.0 / ((1u64 << 53) as f64);
+            let x = rng.next_u64() >> 11;
+            scale * (x as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        /// Multiply-based `[0, 1)` with 24 random bits, as upstream.
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            let scale = 1.0 / ((1u32 << 24) as f32);
+            let x = rng.next_u32() >> 8;
+            scale * (x as f32)
+        }
+    }
+
+    /// Upstream `Bernoulli`: 64-bit fixed-point threshold comparison.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Bernoulli {
+        p_int: u64,
+    }
+
+    const ALWAYS_TRUE: u64 = u64::MAX;
+    // 2^64 as f64; `p_int = (p * SCALE) as u64` matches upstream exactly.
+    const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct BernoulliError;
+
+    impl Bernoulli {
+        #[inline]
+        pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+            if !(0.0..1.0).contains(&p) {
+                if p == 1.0 {
+                    return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+                }
+                return Err(BernoulliError);
+            }
+            Ok(Bernoulli {
+                p_int: (p * SCALE) as u64,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        #[inline]
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            if self.p_int == ALWAYS_TRUE {
+                return true;
+            }
+            let v: u64 = rng.gen();
+            v < self.p_int
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+        use super::Rng;
+        use core::ops::Range;
+
+        /// The range half of `rand 0.8.5`'s `gen_range` plumbing. Only
+        /// half-open `Range<T>` is supported (the workspace uses nothing
+        /// else). As upstream, a single blanket impl over `Range<T>` defers
+        /// to per-type `SampleUniform` samplers — the blanket impl is what
+        /// lets integer-literal ranges unify with the surrounding usage
+        /// (e.g. a slice index forcing `usize`).
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+            fn is_empty(&self) -> bool;
+        }
+
+        /// Types samplable by `gen_range`; each impl reproduces the
+        /// upstream `UniformSampler::sample_single` algorithm exactly.
+        pub trait SampleUniform: Sized {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_single(self.start, self.end, rng)
+            }
+            #[inline]
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        #[inline]
+        fn wmul_u32(x: u32, y: u32) -> (u32, u32) {
+            let t = (x as u64) * (y as u64);
+            ((t >> 32) as u32, t as u32)
+        }
+
+        #[inline]
+        fn wmul_u64(x: u64, y: u64) -> (u64, u64) {
+            let t = (x as u128) * (y as u128);
+            ((t >> 64) as u64, t as u64)
+        }
+
+        #[inline]
+        fn wmul_usize(x: usize, y: usize) -> (usize, usize) {
+            let (hi, lo) = wmul_u64(x as u64, y as u64);
+            (hi as usize, lo as usize)
+        }
+
+        // Mirrors `uniform_int_impl!`: $ty, $unsigned, $u_large — with the
+        // upstream branch split: types no wider than u16 reject via an exact
+        // modulus, wider types via the `leading_zeros` approximation. The
+        // $u_large draw is ONE `next_u32` for u8/u16/u32-backed types and one
+        // `next_u64` for the rest; that consumption pattern is part of the
+        // bit-exact contract.
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $modulus_reject:expr) => {
+                impl SampleUniform for $ty {
+                    #[inline]
+                    fn sample_single<R: RngCore + ?Sized>(
+                        low: $ty,
+                        high: $ty,
+                        rng: &mut R,
+                    ) -> $ty {
+                        assert!(low < high, "UniformSampler::sample_single: low >= high");
+                        // sample_single_inclusive(low, high - 1): range can
+                        // never be 0 here because low < high.
+                        let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                        let zone = if $modulus_reject {
+                            let unsigned_max: $u_large = <$u_large>::MAX;
+                            let ints_to_reject = (unsigned_max - range + 1) % range;
+                            unsigned_max - ints_to_reject
+                        } else {
+                            (range << range.leading_zeros()).wrapping_sub(1)
+                        };
+                        loop {
+                            let v: $u_large = rng.gen();
+                            let (hi, lo) = $wmul(v, range);
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        uniform_int_impl!(i8, u8, u32, wmul_u32, true);
+        uniform_int_impl!(u8, u8, u32, wmul_u32, true);
+        uniform_int_impl!(i16, u16, u32, wmul_u32, true);
+        uniform_int_impl!(u16, u16, u32, wmul_u32, true);
+        uniform_int_impl!(i32, u32, u32, wmul_u32, false);
+        uniform_int_impl!(u32, u32, u32, wmul_u32, false);
+        uniform_int_impl!(i64, u64, u64, wmul_u64, false);
+        uniform_int_impl!(u64, u64, u64, wmul_u64, false);
+        uniform_int_impl!(isize, usize, usize, wmul_usize, false);
+        uniform_int_impl!(usize, usize, usize, wmul_usize, false);
+
+        // Mirrors `uniform_float_impl!` `sample_single` for f64/f32: a value
+        // in [1, 2) from the top mantissa bits, the multiply-before-add
+        // `(value1_2 - 1.0) * scale + low` form, and the masked-decrease
+        // retry when rounding lands on `high`.
+        impl SampleUniform for f64 {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+                let mut scale = high - low;
+                loop {
+                    let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    scale = f64::from_bits(scale.to_bits().wrapping_sub(1));
+                }
+            }
+        }
+
+        impl SampleUniform for f32 {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+                let mut scale = high - low;
+                loop {
+                    let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    scale = f32::from_bits(scale.to_bits().wrapping_sub(1));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StdRng: ChaCha12 behind rand_core's BlockRng buffer discipline
+// ---------------------------------------------------------------------------
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+
+    /// `rand 0.8.5`'s `StdRng`: ChaCha with 12 rounds, buffered four blocks
+    /// at a time exactly like `BlockRng<ChaCha12Core>`.
+    #[derive(Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        /// 64-bit block counter (ChaCha state words 12–13). The stream
+        /// (words 14–15) is fixed at zero, as for `StdRng::from_seed`.
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    impl core::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            // Upstream prints no state either (StdRng(ChaCha12Rng {}..)).
+            write!(f, "StdRng {{ .. }}")
+        }
+    }
+
+    #[inline(always)]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        /// Generates the next four ChaCha12 blocks into `buf` and advances
+        /// the counter by 4, matching `ChaCha12Core::generate`.
+        fn refill(&mut self) {
+            for block in 0..4 {
+                let ctr = self.counter.wrapping_add(block as u64);
+                let mut x: [u32; 16] = [
+                    0x6170_7865,
+                    0x3320_646e,
+                    0x7962_2d32,
+                    0x6b20_6574,
+                    self.key[0],
+                    self.key[1],
+                    self.key[2],
+                    self.key[3],
+                    self.key[4],
+                    self.key[5],
+                    self.key[6],
+                    self.key[7],
+                    ctr as u32,
+                    (ctr >> 32) as u32,
+                    0,
+                    0,
+                ];
+                let initial = x;
+                for _ in 0..6 {
+                    // Column round…
+                    quarter_round(&mut x, 0, 4, 8, 12);
+                    quarter_round(&mut x, 1, 5, 9, 13);
+                    quarter_round(&mut x, 2, 6, 10, 14);
+                    quarter_round(&mut x, 3, 7, 11, 15);
+                    // …then diagonal round: 12 rounds total.
+                    quarter_round(&mut x, 0, 5, 10, 15);
+                    quarter_round(&mut x, 1, 6, 11, 12);
+                    quarter_round(&mut x, 2, 7, 8, 13);
+                    quarter_round(&mut x, 3, 4, 9, 14);
+                }
+                for i in 0..16 {
+                    self.buf[block * 16 + i] = x[i].wrapping_add(initial[i]);
+                }
+            }
+            self.counter = self.counter.wrapping_add(4);
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *k = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0u32; BUF_WORDS],
+                // Start exhausted: first use triggers a refill, exactly like
+                // BlockRng::new.
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+                self.index = 0;
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // Exact BlockRng::next_u64 semantics, including the split read
+            // when one word is left in the buffer.
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                (self.buf[index] as u64) | ((self.buf[index + 1] as u64) << 32)
+            } else if index >= BUF_WORDS {
+                self.refill();
+                self.index = 2;
+                (self.buf[0] as u64) | ((self.buf[1] as u64) << 32)
+            } else {
+                let lo = self.buf[BUF_WORDS - 1] as u64;
+                self.refill();
+                self.index = 1;
+                lo | ((self.buf[0] as u64) << 32)
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            // Word-by-word fill; not on any bit-exact path (unused by the
+            // workspace), provided for trait completeness.
+            for chunk in dest.chunks_mut(4) {
+                let w = self.next_u32().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice helpers
+// ---------------------------------------------------------------------------
+
+pub mod seq {
+    use super::Rng;
+
+    /// Mirrors `rand::seq::SliceRandom` for `shuffle`.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                // Upstream gen_index: u32 sampling while the bound fits.
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+
+    #[inline]
+    fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// ChaCha12 stream pinned against `rand 0.8.5` + `rand_chacha 0.3.1`:
+    /// `StdRng::from_seed([0; 32])` begins with the published ChaCha12
+    /// keystream for the all-zero key and nonce.
+    #[test]
+    fn chacha12_zero_seed_stream() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let mut stream = [0u8; 16];
+        for chunk in stream.chunks_mut(4) {
+            chunk.copy_from_slice(&rng.next_u32().to_le_bytes());
+        }
+        // ECRYPT ChaCha12 TC1 (all-zero 256-bit key, zero IV), keystream
+        // bytes 0..16 — the vector rand_chacha 0.3 validates against.
+        let expect: [u8; 16] = [
+            0x9b, 0xf4, 0x9a, 0x6a, 0x07, 0x55, 0xf9, 0x53, 0x81, 0x1f, 0xce, 0x12, 0x5f, 0x26,
+            0x83, 0xd5,
+        ];
+        assert_eq!(stream, expect);
+    }
+
+    /// The split read at buffer index 63 concatenates the last word of one
+    /// 4-block group with the first word of the next.
+    #[test]
+    fn next_u64_split_read_at_index_63() {
+        let mut a = StdRng::from_seed([7u8; 32]);
+        let mut b = StdRng::from_seed([7u8; 32]);
+        let words: Vec<u32> = (0..130).map(|_| b.next_u32()).collect();
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        // a is now at index 63: one word left in the buffer.
+        let v = a.next_u64();
+        assert_eq!(v, (words[63] as u64) | ((words[64] as u64) << 32));
+        // After the split read, index is 1: the next u64 reads words 65, 66.
+        let v2 = a.next_u64();
+        assert_eq!(v2, (words[65] as u64) | ((words[66] as u64) << 32));
+    }
+
+    /// `seed_from_u64` expansion pinned against rand_core 0.6's PCG constants.
+    #[test]
+    fn seed_from_u64_is_pcg_expansion() {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut state = 42u64;
+        let mut expect = [0u8; 32];
+        for chunk in expect.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+        }
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::from_seed(expect);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Word-consumption contract: u16/u32 ranges draw one `u32`; usize/f64
+    /// draw one `u64` (absent rejection); `gen_bool` draws one `u64`.
+    #[test]
+    fn word_consumption_per_draw() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut twin = StdRng::seed_from_u64(1);
+        let _: u16 = rng.gen_range(0..7u16);
+        twin.next_u32();
+        assert_eq!(rng.next_u64(), twin.next_u64());
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut twin = StdRng::seed_from_u64(2);
+        let x = rng.gen_range(0.25..0.9);
+        assert!((0.25..0.9).contains(&x));
+        twin.next_u64();
+        assert_eq!(rng.next_u64(), twin.next_u64());
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut twin = StdRng::seed_from_u64(3);
+        let _ = rng.gen_bool(0.15);
+        twin.next_u64();
+        assert_eq!(rng.next_u64(), twin.next_u64());
+        // p == 1.0 consumes nothing.
+        assert!(rng.gen_bool(1.0));
+        assert_eq!(rng.next_u64(), twin.next_u64());
+    }
+
+    /// Float ranges follow the fused multiply-add form, not `(v-1)*s + low`.
+    #[test]
+    fn float_range_uses_fused_form() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut twin = StdRng::seed_from_u64(9);
+        let low = 0.2f64;
+        let high = 0.95f64;
+        let got: f64 = rng.gen_range(low..high);
+        let scale = high - low;
+        let value1_2 = f64::from_bits((twin.next_u64() >> 12) | (1023u64 << 52));
+        let expect = (value1_2 - 1.0) * scale + low;
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    /// Shuffle permutes via u32-range draws from the top index down.
+    #[test]
+    fn shuffle_matches_manual_fisher_yates() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut twin = StdRng::seed_from_u64(77);
+        let mut v: Vec<u32> = (0..10).collect();
+        v.shuffle(&mut rng);
+        let mut expect: Vec<u32> = (0..10).collect();
+        for i in (1..expect.len()).rev() {
+            let j = twin.gen_range(0..(i + 1) as u32) as usize;
+            expect.swap(i, j);
+        }
+        assert_eq!(v, expect);
+    }
+}

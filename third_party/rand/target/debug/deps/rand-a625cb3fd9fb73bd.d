@@ -1,0 +1,7 @@
+/root/repo/third_party/rand/target/debug/deps/rand-a625cb3fd9fb73bd.d: src/lib.rs
+
+/root/repo/third_party/rand/target/debug/deps/librand-a625cb3fd9fb73bd.rlib: src/lib.rs
+
+/root/repo/third_party/rand/target/debug/deps/librand-a625cb3fd9fb73bd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/third_party/rand/target/debug/deps/rand-c7b16c16824f445a.d: src/lib.rs
+
+/root/repo/third_party/rand/target/debug/deps/rand-c7b16c16824f445a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and geometry
+//! types for downstream compatibility, but never instantiates a serializer
+//! (all JSON in this repository is hand-rolled — see `fairmove-telemetry`).
+//! With no network access at build time, the real crates.io `serde` is
+//! patched to this stub: the trait names exist so `use serde::{...}` and
+//! `#[derive(Serialize, Deserialize)]` compile, and the derive macros expand
+//! to nothing. If a future change needs real serialization, it must vendor
+//! the full crate instead.
+
+/// Name-compatible stand-in for `serde::Serialize`. Carries no methods; the
+/// no-op derive emits no impl, so using this as a bound will fail loudly at
+/// compile time rather than silently misbehaving.
+pub trait Serialize {}
+
+/// Name-compatible stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Name-compatible stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// With the `derive` feature, `serde::Serialize` also names the derive macro
+// (macro namespace), exactly like upstream's re-export.
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
