@@ -532,6 +532,7 @@ impl Cma2cPolicy {
                     .write_action_cached(&s.cache, ctx, a, &mut row[STATE_DIM..]);
             }
         }
+        let _trace_matmul = fairmove_telemetry::trace_span!("matmul", chunk_rows as u64);
         let logits_m = self.actor.forward_scratch(&s.rows, &mut s.ws);
         s.wave_logits
             .extend((0..chunk_rows).map(|r| logits_m.get(r, 0)));
@@ -713,7 +714,10 @@ impl DisplacementPolicy for Cma2cPolicy {
         s.dirty_region.resize(obs.vacant_per_region.len(), false);
         let mut wave_cap = INITIAL_WAVE.clamp(1, self.config.max_wave.max(1));
         let mut i = 0;
+        let mut wave_index = 0u64;
         while i < decisions.len() {
+            let _trace_wave = fairmove_telemetry::trace_span!("wave", wave_index);
+            wave_index += 1;
             let end = (i + wave_cap).min(decisions.len());
             {
                 let view = ScratchView {

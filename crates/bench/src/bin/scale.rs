@@ -119,6 +119,12 @@ fn main() {
             r.allocs_per_slot,
             r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
         );
+        println!(
+            "  phases: observe {:.1} µs/slot, decide {:.1} µs/slot, commit {:.1} µs/slot",
+            r.observe_ns_per_slot / 1000.0,
+            r.decide_ns_per_slot / 1000.0,
+            r.commit_ns_per_slot / 1000.0,
+        );
     }
 
     let json = report.to_json();

@@ -14,7 +14,7 @@ use crate::scale_report::ScaleResult;
 use fairmove_sim::{
     Action, DecisionContext, DisplacementPolicy, Environment, SlotFeedback, SlotObservation,
 };
-use fairmove_telemetry::Telemetry;
+use fairmove_telemetry::{trace, Telemetry};
 use std::time::Instant;
 
 /// Wraps a policy and counts how many decision contexts it is asked to
@@ -109,7 +109,15 @@ pub fn peak_rss_bytes() -> u64 {
 /// throughput: `warmup` unmeasured slots, then `rounds` timed blocks of
 /// `slots_per_round` slots. Reports the median round's slots/s and
 /// decisions/s, total slots/decisions across the measured rounds, mean heap
-/// allocations per measured slot, and the process peak RSS.
+/// allocations per measured slot, the process peak RSS, and per-phase wall
+/// time (`observe`/`decide`/`commit` ns per slot, read from the span
+/// tracer's per-name aggregates).
+///
+/// Tracing is enabled for the whole measurement (the throughput-regression
+/// margin absorbs its ~1% overhead — and measuring the instrumented
+/// configuration is the point: that's what production profiling runs). The
+/// aggregates are reset after warmup so the phase attribution covers
+/// exactly the measured slots.
 ///
 /// The caller must ensure `warmup + rounds * slots_per_round` fits inside
 /// the scale's horizon (`days * 144` slots) — stepping past the horizon
@@ -136,11 +144,14 @@ pub fn measure(
     env.prepare_steady_state();
     let mut counting = CountingPolicy::new(policy);
 
+    let tracing_was_on = trace::is_enabled();
+    trace::set_enabled(true);
     for _ in 0..warmup {
         let feedback = env.step_slot(&mut counting);
         counting.observe(feedback);
     }
     counting.reset();
+    trace::reset_aggregates();
 
     let mut slots_per_sec = Vec::with_capacity(rounds);
     let mut decisions_per_sec = Vec::with_capacity(rounds);
@@ -162,8 +173,13 @@ pub fn measure(
         slots_per_sec.push(slots_per_round as f64 / secs);
         decisions_per_sec.push(round_decisions as f64 / secs);
     }
+    trace::set_enabled(tracing_was_on);
 
     let total_slots = (rounds * slots_per_round) as u64;
+    let phase_ns_per_slot = |name: &'static str| {
+        let (ns, _count) = trace::aggregate(trace::intern(name));
+        ns as f64 / total_slots as f64
+    };
     ScaleResult {
         scale: scale.name().to_string(),
         policy: policy_name.to_string(),
@@ -173,6 +189,9 @@ pub fn measure(
         decisions_per_sec: median(&mut decisions_per_sec),
         allocs_per_slot: total_allocs as f64 / total_slots as f64,
         peak_rss_bytes: peak_rss_bytes(),
+        observe_ns_per_slot: phase_ns_per_slot("observe"),
+        decide_ns_per_slot: phase_ns_per_slot("decide"),
+        commit_ns_per_slot: phase_ns_per_slot("commit"),
     }
 }
 
@@ -223,6 +242,12 @@ mod tests {
         assert!(result.decisions_per_sec > 0.0);
         // No counting allocator installed in the test harness → 0.0.
         assert_eq!(result.allocs_per_slot, 0.0);
+        // Phase attribution comes from the span tracer: every measured slot
+        // runs observe and commit (decide can round to ~0 for StayPolicy,
+        // but the span still fires and time is nonnegative).
+        assert!(result.observe_ns_per_slot > 0.0);
+        assert!(result.commit_ns_per_slot > 0.0);
+        assert!(result.decide_ns_per_slot >= 0.0);
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub struct ScaleResult {
     pub allocs_per_slot: f64,
     /// Peak resident set size after the run, bytes (`VmHWM`; 0 off Linux).
     pub peak_rss_bytes: u64,
+    /// Mean wall nanoseconds per slot inside the `observe` span (0.0 when
+    /// the producing binary did not trace phases; absent in old baselines).
+    pub observe_ns_per_slot: f64,
+    /// Mean wall nanoseconds per slot inside the `decide` span.
+    pub decide_ns_per_slot: f64,
+    /// Mean wall nanoseconds per slot inside the `commit` span.
+    pub commit_ns_per_slot: f64,
 }
 
 /// A full `BENCH_scale.json` document.
@@ -52,7 +59,9 @@ impl ScaleResult {
         format!(
             "{{\"scale\":{},\"policy\":{},\"slots\":{},\"decisions\":{},\
              \"slots_per_sec\":{},\"decisions_per_sec\":{},\
-             \"allocs_per_slot\":{},\"peak_rss_bytes\":{}}}",
+             \"allocs_per_slot\":{},\"peak_rss_bytes\":{},\
+             \"observe_ns_per_slot\":{},\"decide_ns_per_slot\":{},\
+             \"commit_ns_per_slot\":{}}}",
             json_string(&self.scale),
             json_string(&self.policy),
             self.slots,
@@ -61,6 +70,9 @@ impl ScaleResult {
             json_f64(self.decisions_per_sec),
             json_f64(self.allocs_per_slot),
             self.peak_rss_bytes,
+            json_f64(self.observe_ns_per_slot),
+            json_f64(self.decide_ns_per_slot),
+            json_f64(self.commit_ns_per_slot),
         )
     }
 
@@ -74,6 +86,11 @@ impl ScaleResult {
             decisions_per_sec: field_f64(obj, "decisions_per_sec")?,
             allocs_per_slot: field_f64(obj, "allocs_per_slot")?,
             peak_rss_bytes: field_f64(obj, "peak_rss_bytes")? as u64,
+            // Phase timings postdate the v1 schema; baselines written
+            // before them parse as 0.0 (the "not measured" value).
+            observe_ns_per_slot: field_f64(obj, "observe_ns_per_slot").unwrap_or(0.0),
+            decide_ns_per_slot: field_f64(obj, "decide_ns_per_slot").unwrap_or(0.0),
+            commit_ns_per_slot: field_f64(obj, "commit_ns_per_slot").unwrap_or(0.0),
         })
     }
 }
@@ -194,6 +211,9 @@ mod tests {
                     decisions_per_sec: 459193.5,
                     allocs_per_slot: 0.0,
                     peak_rss_bytes: 52_428_800,
+                    observe_ns_per_slot: 1250.5,
+                    decide_ns_per_slot: 80_000.0,
+                    commit_ns_per_slot: 20_500.25,
                 },
                 ScaleResult {
                     scale: "default".into(),
@@ -204,6 +224,9 @@ mod tests {
                     decisions_per_sec: 340138.0,
                     allocs_per_slot: 0.25,
                     peak_rss_bytes: 104_857_600,
+                    observe_ns_per_slot: 0.0,
+                    decide_ns_per_slot: 0.0,
+                    commit_ns_per_slot: 0.0,
                 },
             ],
         }
@@ -244,6 +267,10 @@ mod tests {
         let report = ScaleReport::from_json(json).expect("parses with extras");
         assert_eq!(report.results.len(), 1);
         assert!((report.results[0].slots_per_sec - 541.6).abs() < 1e-12);
+        // A pre-phase-timing baseline: the new fields default to 0.0.
+        assert_eq!(report.results[0].observe_ns_per_slot, 0.0);
+        assert_eq!(report.results[0].decide_ns_per_slot, 0.0);
+        assert_eq!(report.results[0].commit_ns_per_slot, 0.0);
     }
 
     #[test]

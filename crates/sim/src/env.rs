@@ -145,10 +145,27 @@ struct SimMetrics {
     fault_commands_lost: Counter,
     /// Retained per-slot scratch capacity, bytes (arena high-water mark).
     arena_scratch_bytes: Gauge,
+    /// The registry handle, kept for lazy per-method registration below.
+    telemetry: Telemetry,
+    /// Wall time of the policy `decide_into` call, one histogram per policy
+    /// method seen: `decide.latency_seconds{method="cma2c"}`. Registered on
+    /// first use (policies can be swapped mid-run); looked up by linear
+    /// scan, allocation-free once registered.
+    decide_latency: Vec<(String, Histogram)>,
+    /// Wall time of `match_region`, labeled by region group (regions are
+    /// binned into [`REGION_GROUPS`] contiguous groups so the label set
+    /// stays bounded on city-scale runs):
+    /// `sim.match_seconds{region_group="3"}`.
+    match_seconds: Vec<Histogram>,
+    /// Per-region group index into `match_seconds`.
+    region_group: Vec<usize>,
 }
 
+/// Region-group label cardinality for `sim.match_seconds`.
+const REGION_GROUPS: usize = 4;
+
 impl SimMetrics {
-    fn new(telemetry: &Telemetry) -> Option<SimMetrics> {
+    fn new(telemetry: &Telemetry, n_regions: usize) -> Option<SimMetrics> {
         telemetry.is_enabled().then(|| SimMetrics {
             slot_seconds: telemetry.histogram("sim.step_slot_seconds", buckets::LATENCY_SECONDS),
             slots: telemetry.counter("sim.slots"),
@@ -170,7 +187,45 @@ impl SimMetrics {
             fault_obs_dropped: telemetry.counter("faults.obs_dropped_regions"),
             fault_commands_lost: telemetry.counter("faults.commands_lost"),
             arena_scratch_bytes: telemetry.gauge("sim.arena_scratch_bytes"),
+            telemetry: telemetry.clone(),
+            decide_latency: Vec::new(),
+            match_seconds: {
+                let groups = REGION_GROUPS.min(n_regions.max(1));
+                (0..groups)
+                    .map(|g| {
+                        let label = [b'0' + g as u8];
+                        let label = std::str::from_utf8(&label).expect("single digit");
+                        telemetry.histogram_labeled(
+                            "sim.match_seconds",
+                            &[("region_group", label)],
+                            buckets::LATENCY_SECONDS,
+                        )
+                    })
+                    .collect()
+            },
+            region_group: {
+                let groups = REGION_GROUPS.min(n_regions.max(1));
+                (0..n_regions)
+                    .map(|r| r * groups / n_regions.max(1))
+                    .collect()
+            },
         })
+    }
+
+    /// The `decide.latency_seconds{method=…}` histogram for `method`,
+    /// registering it on first sight. Steady-state calls are a linear scan
+    /// over a handful of entries and an `Arc` clone — no allocation.
+    fn decide_histogram(&mut self, method: &str) -> Histogram {
+        if let Some(i) = self.decide_latency.iter().position(|(m, _)| m == method) {
+            return self.decide_latency[i].1.clone();
+        }
+        let h = self.telemetry.histogram_labeled(
+            "decide.latency_seconds",
+            &[("method", method)],
+            buckets::LATENCY_SECONDS,
+        );
+        self.decide_latency.push((method.to_string(), h.clone()));
+        h
     }
 }
 
@@ -427,7 +482,7 @@ impl Environment {
     /// environment RNG or control flow, so runs with it enabled and
     /// disabled produce bit-identical ledgers (asserted by test).
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        self.metrics = SimMetrics::new(telemetry);
+        self.metrics = SimMetrics::new(telemetry, self.city.n_regions());
         self.telemetry = telemetry.clone();
     }
 
@@ -740,6 +795,8 @@ impl Environment {
             .metrics
             .as_ref()
             .map(|m| Span::new(m.slot_seconds.clone()));
+        let _trace_slot =
+            fairmove_telemetry::trace_span!("step_slot", u64::from(slot_start.absolute_slot()));
 
         // 0. Refresh the fault set for this slot (no-op without a plan).
         self.refresh_faults(slot_start);
@@ -749,15 +806,28 @@ impl Environment {
         // true state. Scratch buffers are moved out of `self` for the
         // phases that need `&mut self` (a `Vec` move is allocation-free)
         // and moved back when the phase ends.
+        let trace_observe = fairmove_telemetry::trace_span!("observe");
         let mut obs = std::mem::take(&mut self.scratch.obs);
         self.policy_observation_into(&mut obs);
         let mut decisions = std::mem::take(&mut self.scratch.decisions);
         let mut ids = std::mem::take(&mut self.scratch.ids);
         let mut spares = std::mem::take(&mut self.scratch.spares);
         self.build_decision_contexts(&mut ids, &mut decisions, &mut spares);
+        drop(trace_observe);
         let mut actions = std::mem::take(&mut self.scratch.actions);
-        policy.decide_into(&obs, &decisions, &mut actions);
+        {
+            let _trace_decide = fairmove_telemetry::trace_span!("decide", decisions.len() as u64);
+            let decide_span: Option<Span> = self
+                .metrics
+                .as_mut()
+                .map(|m| Span::new(m.decide_histogram(policy.name())));
+            policy.decide_into(&obs, &decisions, &mut actions);
+            if let Some(span) = decide_span {
+                span.finish();
+            }
+        }
         debug_assert_eq!(actions.len(), decisions.len());
+        let trace_commit = fairmove_telemetry::trace_span!("commit");
         let n_decisions = decisions.len() as u64;
         let slot_idx = slot_start.absolute_slot();
         let loss_prob = self.active_faults.command_loss_prob;
@@ -872,6 +942,7 @@ impl Environment {
             / cumulative_pe.len().max(1) as f64;
         self.feedback.mean_pe = mean_pe;
         self.feedback.pf = pf;
+        drop(trace_commit);
 
         // Telemetry wrap-up: pure observation of state computed above.
         if let Some(m) = &self.metrics {
@@ -1379,6 +1450,10 @@ impl Environment {
     }
 
     fn match_region(&mut self, region: RegionId, now: SimTime) {
+        let _match_span: Option<Span> = self
+            .metrics
+            .as_ref()
+            .map(|m| Span::new(m.match_seconds[m.region_group[region.index()]].clone()));
         loop {
             // FIFO by vacancy: the longest-waiting taxi gets the fare, as
             // at a real taxi rank. (LIFO would systematically starve taxis

@@ -41,12 +41,13 @@ pub fn render_text(snapshot: &Snapshot) -> String {
         for h in &snapshot.histograms {
             let _ = writeln!(
                 out,
-                "  {}  count {}  mean {:.6}  p50 <= {}  p95 <= {}",
+                "  {}  count {}  mean {:.6}  p50 {}  p99 {}  p999 {}",
                 h.name,
                 h.count,
                 h.mean(),
-                bound_label(h.quantile(0.5)),
-                bound_label(h.quantile(0.95)),
+                quantile_label(h.quantile(0.5)),
+                quantile_label(h.quantile(0.99)),
+                quantile_label(h.quantile(0.999)),
             );
             let max = h.counts.iter().copied().max().unwrap_or(0).max(1) as f64;
             for (i, &count) in h.counts.iter().enumerate() {
@@ -75,6 +76,14 @@ fn bound_label(bound: f64) -> String {
         "+Inf".to_string()
     } else {
         format!("{bound}")
+    }
+}
+
+fn quantile_label(value: f64) -> String {
+    if value.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{value:.6}")
     }
 }
 
@@ -168,7 +177,10 @@ pub fn json_string(s: &str) -> String {
 /// Renders the snapshot in the Prometheus text-exposition format. Metric
 /// names are sanitized (`.` and any other invalid character become `_`);
 /// histogram buckets are emitted cumulatively with `le` labels plus the
-/// `+Inf` bucket, `_sum`, and `_count` series.
+/// `+Inf` bucket, `_sum`, and `_count` series. Labeled histograms carry
+/// their label pairs (key-sorted, values escaped) on every series line;
+/// the `# TYPE` header is emitted once per metric family, not once per
+/// label combination.
 pub fn render_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
@@ -181,9 +193,14 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", prometheus_f64(*value));
     }
+    let mut last_family: Option<String> = None;
     for h in &snapshot.histograms {
-        let name = prometheus_name(&h.name);
-        let _ = writeln!(out, "# TYPE {name} histogram");
+        let name = prometheus_name(h.base_name());
+        if last_family.as_deref() != Some(&name) {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            last_family = Some(name.clone());
+        }
+        let labels = prometheus_labels(&h.labels);
         let mut cumulative = 0u64;
         for (i, &count) in h.counts.iter().enumerate() {
             cumulative += count;
@@ -192,10 +209,82 @@ pub fn render_prometheus(snapshot: &Snapshot) -> String {
                 .get(i)
                 .map(|b| prometheus_f64(*b))
                 .unwrap_or_else(|| "+Inf".to_string());
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cumulative}");
+            }
         }
-        let _ = writeln!(out, "{name}_sum {}", prometheus_f64(h.sum));
-        let _ = writeln!(out, "{name}_count {}", h.count);
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", prometheus_f64(h.sum));
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {}", prometheus_f64(h.sum));
+            let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
+        }
+    }
+    out
+}
+
+/// Renders accurate percentile gauges for every non-empty histogram:
+/// `{name}_quantile{quantile="0.5|0.9|0.99|0.999"} value` lines (plus the
+/// histogram's own labels when present), backed by the log-linear storage.
+/// Served alongside [`render_prometheus`] by the `/metrics` endpoint so
+/// dashboards get tail latencies without PromQL `histogram_quantile`
+/// interpolation error.
+pub fn render_prometheus_percentiles(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<String> = None;
+    for h in &snapshot.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let name = prometheus_name(h.base_name());
+        if last_family.as_deref() != Some(&name) {
+            let _ = writeln!(out, "# TYPE {name}_quantile gauge");
+            last_family = Some(name.clone());
+        }
+        let labels = prometheus_labels(&h.labels);
+        for q in ["0.5", "0.9", "0.99", "0.999"] {
+            let value = prometheus_f64(h.quantile(q.parse().expect("literal quantile")));
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name}_quantile{{quantile=\"{q}\"}} {value}");
+            } else {
+                let _ = writeln!(out, "{name}_quantile{{{labels},quantile=\"{q}\"}} {value}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders sorted label pairs as `k="v",…` (no braces). Keys are sanitized
+/// like metric names; values get the Prometheus label-value escapes:
+/// backslash, double quote, and newline.
+pub fn prometheus_labels(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&prometheus_name(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out
+}
+
+/// Escapes a Prometheus label value: `\` → `\\`, `"` → `\"`, newline →
+/// `\n` (the three escapes the exposition format defines).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -463,6 +552,94 @@ mod tests {
         assert!(text.contains("lat"));
         assert!(text.contains("count 3"));
         assert!(text.contains("le +Inf"));
+        assert!(text.contains("p999"));
+    }
+
+    #[test]
+    fn prometheus_labeled_histogram_golden_output() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram_labeled(
+            "decide.latency_seconds",
+            &[("method", "cma2c"), ("region_group", "3")],
+            &[0.001, 0.01],
+        );
+        h.observe(0.0005);
+        h.observe(0.005);
+        let prom = render_prometheus(&tel.snapshot());
+        assert_eq!(
+            prom,
+            "# TYPE decide_latency_seconds histogram\n\
+             decide_latency_seconds_bucket{method=\"cma2c\",region_group=\"3\",le=\"0.001\"} 1\n\
+             decide_latency_seconds_bucket{method=\"cma2c\",region_group=\"3\",le=\"0.01\"} 2\n\
+             decide_latency_seconds_bucket{method=\"cma2c\",region_group=\"3\",le=\"+Inf\"} 2\n\
+             decide_latency_seconds_sum{method=\"cma2c\",region_group=\"3\"} 0.0055\n\
+             decide_latency_seconds_count{method=\"cma2c\",region_group=\"3\"} 2\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_type_header_appears_once_per_labeled_family() {
+        let tel = Telemetry::enabled();
+        tel.histogram_labeled("m_seconds", &[("g", "0")], &[1.0])
+            .observe(0.5);
+        tel.histogram_labeled("m_seconds", &[("g", "1")], &[1.0])
+            .observe(0.5);
+        let prom = render_prometheus(&tel.snapshot());
+        assert_eq!(prom.matches("# TYPE m_seconds histogram").count(), 1);
+        assert!(prom.contains("m_seconds_bucket{g=\"0\",le=\"1\"} 1"));
+        assert!(prom.contains("m_seconds_bucket{g=\"1\",le=\"1\"} 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_prometheus_output() {
+        let tel = Telemetry::enabled();
+        tel.histogram_labeled("esc", &[("k", "a\"b\\c\nd")], &[1.0])
+            .observe(0.5);
+        let prom = render_prometheus(&tel.snapshot());
+        assert!(
+            prom.contains("esc_bucket{k=\"a\\\"b\\\\c\\nd\",le=\"1\"} 1"),
+            "got:\n{prom}"
+        );
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label_value("plain"), "plain");
+    }
+
+    #[test]
+    fn labels_render_in_stable_key_order_regardless_of_registration() {
+        let tel = Telemetry::enabled();
+        tel.histogram_labeled("o", &[("zeta", "1"), ("alpha", "2")], &[1.0])
+            .observe(0.5);
+        let prom = render_prometheus(&tel.snapshot());
+        assert!(
+            prom.contains("o_bucket{alpha=\"2\",zeta=\"1\",le=\"1\"} 1"),
+            "got:\n{prom}"
+        );
+    }
+
+    #[test]
+    fn percentile_gauges_cover_labeled_and_plain_histograms() {
+        let tel = Telemetry::enabled();
+        let plain = tel.histogram("p_seconds", &[1.0]);
+        for i in 0..100 {
+            plain.observe(0.001 * (i + 1) as f64);
+        }
+        tel.histogram_labeled("q_seconds", &[("method", "gt")], &[1.0])
+            .observe(0.25);
+        tel.histogram("empty_seconds", &[1.0]); // no observations → omitted
+        let out = render_prometheus_percentiles(&tel.snapshot());
+        assert!(out.contains("# TYPE p_seconds_quantile gauge"));
+        for q in ["0.5", "0.9", "0.99", "0.999"] {
+            assert!(out.contains(&format!("p_seconds_quantile{{quantile=\"{q}\"}}")));
+        }
+        assert!(out.contains("q_seconds_quantile{method=\"gt\",quantile=\"0.5\"}"));
+        assert!(!out.contains("empty_seconds"));
+        // p50 of 0.001..=0.100 is 0.050 — accurate to <1%, not a bucket bound.
+        let p50_line = out
+            .lines()
+            .find(|l| l.starts_with("p_seconds_quantile{quantile=\"0.5\"}"))
+            .unwrap();
+        let p50: f64 = p50_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!((p50 - 0.05).abs() / 0.05 <= 0.01, "p50 {p50}");
     }
 
     #[test]

@@ -51,9 +51,12 @@
 //! ```
 
 pub mod export;
+pub mod hdr;
 pub mod metrics;
 pub mod report;
+pub mod server;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{buckets, Counter, Gauge, Histogram, HistogramSnapshot, Snapshot, Telemetry};
 pub use report::RunReport;
@@ -66,5 +69,30 @@ pub use span::Span;
 macro_rules! span {
     ($telemetry:expr, $name:expr) => {
         $telemetry.span($name)
+    };
+}
+
+/// Opens a hierarchical trace span (see [`trace`]), returning
+/// `Option<`[`trace::TraceSpan`]`>` — bind the guard:
+/// `let _t = trace_span!("decide");` or `trace_span!("wave", wave as u64)`
+/// to attach a `u64` argument. The global enabled flag is checked *first*,
+/// so when tracing is off the whole expression is a single relaxed atomic
+/// load and a `None`; the span name is interned once per call site.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {
+        $crate::trace_span!($name, 0u64)
+    };
+    ($name:expr, $arg:expr) => {
+        if $crate::trace::is_enabled() {
+            static __FAIRMOVE_SPAN_NAME: ::std::sync::OnceLock<$crate::trace::SpanName> =
+                ::std::sync::OnceLock::new();
+            Some($crate::trace::TraceSpan::with_arg(
+                *__FAIRMOVE_SPAN_NAME.get_or_init(|| $crate::trace::intern($name)),
+                $arg,
+            ))
+        } else {
+            None
+        }
     };
 }

@@ -1,10 +1,21 @@
-//! The typed metrics registry: counters, gauges, fixed-bucket histograms.
+//! The typed metrics registry: counters, gauges, histograms.
 //!
 //! Metrics are created through a [`Telemetry`] handle and recorded through
 //! cheap cloneable handles ([`Counter`], [`Gauge`], [`Histogram`]). All
 //! recording is lock-free atomics; the registry mutex is taken only when a
 //! metric is first registered or a [`Snapshot`] is taken.
+//!
+//! Histograms keep two stores per cell: the caller-chosen fixed buckets
+//! (exporter-visible, layout pinned by first registration) and an
+//! HDR-style log-linear array ([`crate::hdr`]) that quantile queries read,
+//! so [`HistogramSnapshot::quantile`] is accurate to <1% instead of
+//! rounding up to a bucket bound. Histograms may also carry labels
+//! ([`Telemetry::histogram_labeled`]), e.g.
+//! `decide.latency_seconds{method="cma2c",region_group="3"}`; each label
+//! combination is its own cell, keyed by the canonical rendering of the
+//! sorted label set.
 
+use crate::hdr::{HdrCell, HdrSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,10 +58,14 @@ struct HistogramCell {
     /// Sum of observed values, `f64` bits (updated by CAS).
     sum_bits: AtomicU64,
     total: AtomicU64,
+    /// Sorted `(key, value)` label pairs; empty for plain histograms.
+    labels: Vec<(String, String)>,
+    /// Log-linear storage backing accurate quantile queries.
+    hdr: HdrCell,
 }
 
 impl HistogramCell {
-    fn new(bounds: &[f64]) -> Self {
+    fn new(bounds: &[f64], labels: Vec<(String, String)>) -> Self {
         debug_assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -60,6 +75,8 @@ impl HistogramCell {
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_bits: AtomicU64::new(0.0_f64.to_bits()),
             total: AtomicU64::new(0),
+            labels,
+            hdr: HdrCell::new(),
         }
     }
 
@@ -73,6 +90,7 @@ impl HistogramCell {
             idx
         };
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.hdr.record(value);
         self.total.fetch_add(1, Ordering::Relaxed);
         let mut current = self.sum_bits.load(Ordering::Relaxed);
         loop {
@@ -183,7 +201,38 @@ impl Histogram {
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<CounterCell>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<GaugeCell>>>,
-    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+    /// Keyed by the full metric identity: the base name for plain
+    /// histograms, `name{k="v",…}` (sorted labels) for labeled ones.
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+/// The canonical registry key for `name` + sorted `labels`:
+/// `name{k="v",…}`, label values escaped like Prometheus label values.
+fn metric_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => key.push_str("\\\\"),
+                '"' => key.push_str("\\\""),
+                '\n' => key.push_str("\\n"),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
 }
 
 /// The telemetry context threaded through the stack. Cloning is cheap (an
@@ -249,14 +298,35 @@ impl Telemetry {
     /// inclusive upper `bounds` (strictly increasing; an overflow bucket is
     /// implicit). If the name already exists, the existing bucket layout
     /// wins — first registration fixes it.
-    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> Histogram {
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_labeled(name, &[], bounds)
+    }
+
+    /// Registers (or retrieves) a labeled histogram: each distinct label
+    /// combination is an independent cell. Labels are sorted by key, so
+    /// registration order does not matter; the full identity renders as
+    /// `name{k="v",…}` everywhere (snapshots, exporters). The base `name`
+    /// should still end in `_seconds` for wall-time metrics so canonical
+    /// diffs strip it.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
         Histogram(self.0.as_ref().map(|r| {
+            let mut labels: Vec<(String, String)> = labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            labels.sort();
+            let key = metric_key(name, &labels);
             Arc::clone(
                 r.histograms
                     .lock()
                     .expect("telemetry registry poisoned")
-                    .entry(name)
-                    .or_insert_with(|| Arc::new(HistogramCell::new(bounds))),
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(HistogramCell::new(bounds, labels))),
             )
         }))
     }
@@ -298,8 +368,9 @@ impl Telemetry {
             .lock()
             .expect("telemetry registry poisoned")
             .iter()
-            .map(|(&name, cell)| HistogramSnapshot {
-                name: name.to_string(),
+            .map(|(name, cell)| HistogramSnapshot {
+                name: name.clone(),
+                labels: cell.labels.clone(),
                 bounds: cell.bounds.clone(),
                 counts: cell
                     .counts
@@ -308,6 +379,7 @@ impl Telemetry {
                     .collect(),
                 sum: f64::from_bits(cell.sum_bits.load(Ordering::Relaxed)),
                 count: cell.total.load(Ordering::Relaxed),
+                hdr: cell.hdr.snapshot(),
             })
             .collect();
         Snapshot {
@@ -325,8 +397,10 @@ impl Telemetry {
 /// A point-in-time copy of one histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
-    /// Metric name.
+    /// Full metric identity: the base name, plus `{k="v",…}` when labeled.
     pub name: String,
+    /// Sorted label pairs (empty for plain histograms).
+    pub labels: Vec<(String, String)>,
     /// Inclusive upper bounds.
     pub bounds: Vec<f64>,
     /// Per-bucket counts; one entry per bound plus the trailing overflow
@@ -336,9 +410,17 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Number of observations.
     pub count: u64,
+    /// Log-linear storage for accurate quantiles (empty in hand-built
+    /// fixtures; [`Self::quantile`] then falls back to bucket bounds).
+    pub hdr: HdrSnapshot,
 }
 
 impl HistogramSnapshot {
+    /// The metric name without the label suffix.
+    pub fn base_name(&self) -> &str {
+        self.name.split('{').next().unwrap_or(&self.name)
+    }
+
     /// Mean observation (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -348,12 +430,18 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper-bound estimate of the `q`-quantile: the bound of the first
-    /// bucket whose cumulative count reaches `q · count`
-    /// (`+Inf` if it lands in the overflow bucket, 0.0 when empty).
+    /// The `q`-quantile by the nearest-rank definition, read from the
+    /// log-linear storage: accurate to <1% relative error for any value in
+    /// `[2^-31, 2^13)` regardless of the fixed-bucket layout. Snapshots
+    /// without log-linear data (hand-built fixtures) fall back to the
+    /// historical estimate — the upper bound of the bucket holding the
+    /// rank, `+Inf` in the overflow bucket. 0.0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if let Some(v) = self.hdr.value_at_quantile(q) {
+            return v;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
@@ -403,9 +491,11 @@ impl Snapshot {
     }
 
     /// The snapshot minus wall-clock timing histograms (span names end in
-    /// `_seconds` by convention). Elapsed time legitimately varies between
-    /// runs and thread counts; everything else must be bit-identical, so
-    /// determinism diffs compare this canonical form.
+    /// `_seconds` by convention; labels are ignored, so
+    /// `sim.match_seconds{region_group="0"}` is stripped too). Elapsed time
+    /// legitimately varies between runs and thread counts; everything else
+    /// must be bit-identical, so determinism diffs compare this canonical
+    /// form.
     pub fn without_timings(&self) -> Snapshot {
         Snapshot {
             counters: self.counters.clone(),
@@ -413,7 +503,7 @@ impl Snapshot {
             histograms: self
                 .histograms
                 .iter()
-                .filter(|h| !h.name.ends_with("_seconds"))
+                .filter(|h| !h.base_name().ends_with("_seconds"))
                 .cloned()
                 .collect(),
         }
@@ -457,6 +547,7 @@ impl Snapshot {
                     }
                     s.sum += h.sum;
                     s.count += h.count;
+                    s.hdr.merge(&h.hdr);
                 }
                 Err(i) => self.histograms.insert(i, h.clone()),
             }
@@ -549,17 +640,128 @@ mod tests {
         let snap = tel.snapshot();
         let hs = snap.histogram("h").unwrap();
         assert!((hs.mean() - 1.375).abs() < 1e-12);
-        assert_eq!(hs.quantile(0.5), 1.0); // 2 of 4 fall in the first bucket
-        assert_eq!(hs.quantile(1.0), 4.0);
+        // Quantiles come from the log-linear storage, not the bucket
+        // bounds: p50 of [0.5, 0.5, 1.5, 3.0] is 0.5 (nearest-rank), within
+        // 1/128 relative error — not the old "1.0" bound estimate.
+        assert!((hs.quantile(0.5) - 0.5).abs() / 0.5 <= 0.01);
+        assert!((hs.quantile(1.0) - 3.0).abs() / 3.0 <= 0.01);
         let empty = HistogramSnapshot {
             name: "e".into(),
+            labels: vec![],
             bounds: vec![1.0],
             counts: vec![0, 0],
             sum: 0.0,
             count: 0,
+            hdr: Default::default(),
         };
         assert_eq!(empty.quantile(0.5), 0.0);
         assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn legacy_snapshots_without_hdr_data_fall_back_to_bucket_bounds() {
+        // A hand-built snapshot (old baselines, fixtures) has no log-linear
+        // buckets; quantile() must keep the historical bound-walk estimate.
+        let hs = HistogramSnapshot {
+            name: "h".into(),
+            labels: vec![],
+            bounds: vec![1.0, 2.0],
+            counts: vec![2, 1, 1],
+            sum: 5.0,
+            count: 4,
+            hdr: Default::default(),
+        };
+        assert_eq!(hs.quantile(0.5), 1.0);
+        assert_eq!(hs.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn fixed_bucket_quantile_bias_is_fixed_by_log_linear_storage() {
+        // Regression for the >2x percentile bias: all observations land in
+        // one wide fixed bucket (upper bound 1.0), but cluster near 0.012.
+        // The old estimator returned the bound (1.0) — off by ~80x. The
+        // log-linear path recovers the actual order statistics within 1%.
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("skewed", &[1.0, 10.0]);
+        let mut values: Vec<f64> = (0..1000)
+            .map(|i| 0.01 + 0.00001 * (i as f64 % 997.0))
+            .collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let snap = tel.snapshot();
+        let hs = snap.histogram("skewed").unwrap();
+        assert_eq!(hs.counts, vec![1000, 0, 0]); // all in one fixed bucket
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let got = hs.quantile(q);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= 0.01, "q={q}: exact {exact}, got {got}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn labeled_histograms_get_distinct_cells_and_accurate_percentiles() {
+        // The acceptance distribution: decide latency labeled by method and
+        // region group, pinned synthetic samples, p50/p90/p99/p999 within
+        // 1% relative error of the exact order statistics.
+        let tel = Telemetry::enabled();
+        let h = tel.histogram_labeled(
+            "decide.latency",
+            &[("method", "cma2c"), ("region_group", "3")],
+            buckets::LATENCY_SECONDS,
+        );
+        let other = tel.histogram_labeled(
+            "decide.latency",
+            &[("method", "greedy"), ("region_group", "3")],
+            buckets::LATENCY_SECONDS,
+        );
+        other.observe(1.0e6); // must not leak into the cma2c cell
+        let mut values: Vec<f64> = (0..5000)
+            .map(|i| {
+                let x = (i as f64 * 0.7261) % 1.0;
+                1e-4 * (x * 9.2).exp()
+            })
+            .collect();
+        for &v in &values {
+            h.observe(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let snap = tel.snapshot();
+        let hs = snap
+            .histogram("decide.latency{method=\"cma2c\",region_group=\"3\"}")
+            .unwrap();
+        assert_eq!(hs.base_name(), "decide.latency");
+        assert_eq!(
+            hs.labels,
+            vec![
+                ("method".to_string(), "cma2c".to_string()),
+                ("region_group".to_string(), "3".to_string())
+            ]
+        );
+        assert_eq!(hs.count, 5000);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let got = hs.quantile(q);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel <= 0.01, "q={q}: exact {exact}, got {got}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn label_order_in_registration_does_not_matter() {
+        let tel = Telemetry::enabled();
+        tel.histogram_labeled("m", &[("b", "2"), ("a", "1")], &[1.0])
+            .observe(0.5);
+        tel.histogram_labeled("m", &[("a", "1"), ("b", "2")], &[1.0])
+            .observe(0.5);
+        let snap = tel.snapshot();
+        let hs = snap.histogram("m{a=\"1\",b=\"2\"}").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(snap.histograms.len(), 1);
     }
 
     #[test]
@@ -629,10 +831,16 @@ mod tests {
         tel.gauge("dqn.epsilon").set(0.5);
         tel.histogram("sim.step_slot_seconds", &[1.0]).observe(0.2);
         tel.histogram("sim.queue_depth", &[1.0]).observe(3.0);
+        tel.histogram_labeled("sim.match_seconds", &[("region_group", "0")], &[1.0])
+            .observe(0.1);
         let canon = tel.snapshot().without_timings();
         assert_eq!(canon.counter("sim.trips"), Some(1));
         assert_eq!(canon.gauge("dqn.epsilon"), Some(0.5));
         assert!(canon.histogram("sim.step_slot_seconds").is_none());
+        // Labeled timing histograms are stripped by base name too.
+        assert!(canon
+            .histogram("sim.match_seconds{region_group=\"0\"}")
+            .is_none());
         assert!(canon.histogram("sim.queue_depth").is_some());
     }
 
@@ -661,6 +869,9 @@ mod tests {
         assert_eq!(h.counts, vec![1, 1, 0]);
         assert_eq!(h.count, 2);
         assert!((h.sum - 2.0).abs() < 1e-12);
+        // Log-linear buckets merged too: both observations are queryable.
+        assert_eq!(h.hdr.count(), 2);
+        assert!((h.quantile(1.0) - 1.5).abs() / 1.5 <= 0.01);
         assert!(merged.histogram("b_only").is_some());
         // Sections stay name-sorted after inserts, matching what one shared
         // registry would have snapshotted.

@@ -1,0 +1,214 @@
+//! A live `/metrics` endpoint: a minimal, dependency-free HTTP server that
+//! renders the current [`Telemetry`] snapshot in Prometheus text-exposition
+//! format, with accurate percentile gauges appended
+//! ([`crate::export::render_prometheus_percentiles`]).
+//!
+//! The server is one `std::net::TcpListener` accept loop on its own thread;
+//! each request takes a fresh snapshot, so scraping never blocks recording
+//! (snapshots only take the registry mutex briefly). Just enough HTTP/1.1
+//! is spoken for `curl` and a Prometheus scraper: the request line is read,
+//! `GET /metrics` gets a `200` with the payload, anything else a `404`.
+//!
+//! ```no_run
+//! use fairmove_telemetry::{server::serve_metrics, Telemetry};
+//!
+//! let tel = Telemetry::enabled();
+//! let server = serve_metrics(tel.clone(), "127.0.0.1:9184").unwrap();
+//! println!("scrape http://{}/metrics", server.addr());
+//! // … run the workload …
+//! server.shutdown();
+//! ```
+
+use crate::export::{render_prometheus, render_prometheus_percentiles};
+use crate::Telemetry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running metrics server; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks a free port) and
+/// serves the registry of `telemetry` at `/metrics` until shutdown.
+pub fn serve_metrics(telemetry: Telemetry, addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("fairmove-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Serve inline: scrapes are rare and the payload is small,
+                // so a worker pool would be complexity for nothing.
+                let _ = handle_request(stream, &telemetry);
+            }
+        })
+        .expect("spawn metrics server thread");
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_request(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or timeout); only the request
+    // line matters.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        let snapshot = telemetry.snapshot();
+        let mut body = render_prometheus(&snapshot);
+        body.push_str(&render_prometheus_percentiles(&snapshot));
+        ("200 OK", body)
+    } else {
+        ("404 Not Found", "try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+impl MetricsServer {
+    /// The bound address (with the actual port when bound with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop blocks in `incoming()`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn request(addr: SocketAddr, path: &str) -> (String, String) {
+        // A plain TCP client, deliberately not an HTTP library: the
+        // acceptance criterion is that raw-socket scrapers work.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_prometheus_text_with_percentiles_over_plain_tcp() {
+        let tel = Telemetry::enabled();
+        tel.counter("sim.trips").add(7);
+        let h = tel.histogram_labeled(
+            "decide.latency_seconds",
+            &[("method", "cma2c"), ("region_group", "3")],
+            crate::buckets::LATENCY_SECONDS,
+        );
+        for i in 0..100 {
+            h.observe(0.001 * (i + 1) as f64);
+        }
+        let server = serve_metrics(tel.clone(), "127.0.0.1:0").unwrap();
+        let (status, body) = request(server.addr(), "/metrics");
+        assert!(status.starts_with("HTTP/1.1 200"), "status: {status}");
+        assert!(body.contains("# TYPE sim_trips counter"));
+        assert!(body.contains("sim_trips 7"));
+        assert!(
+            body.contains("decide_latency_seconds_count{method=\"cma2c\",region_group=\"3\"} 100")
+        );
+        // Percentile gauges ride along, with labels and accurate values.
+        assert!(body.contains(
+            "decide_latency_seconds_quantile{method=\"cma2c\",region_group=\"3\",quantile=\"0.99\"}"
+        ));
+        // A second scrape sees newly recorded data (live, not cached).
+        tel.counter("sim.trips").add(1);
+        let (_, body2) = request(server.addr(), "/metrics");
+        assert!(body2.contains("sim_trips 8"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let tel = Telemetry::enabled();
+        let server = serve_metrics(tel, "127.0.0.1:0").unwrap();
+        let (status, body) = request(server.addr(), "/nope");
+        assert!(status.starts_with("HTTP/1.1 404"), "status: {status}");
+        assert!(body.contains("/metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_frees_the_port() {
+        let tel = Telemetry::enabled();
+        let server = serve_metrics(tel, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // The port is released: rebinding succeeds.
+        let _rebound = TcpListener::bind(addr).unwrap();
+    }
+}

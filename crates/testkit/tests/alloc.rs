@@ -5,7 +5,9 @@
 //! window has grown every reusable buffer to its high-water mark, stepping a
 //! slot — including the invariant audit that debug builds run every slot —
 //! performs **zero** heap allocations, for both the trivial [`StayPolicy`]
-//! and a frozen batched [`Cma2cPolicy`].
+//! and a frozen batched [`Cma2cPolicy`] — with span tracing enabled
+//! throughout, and (in one test) a live telemetry context recording
+//! per-slot counters and HDR latency histograms.
 //!
 //! The CMA2C configuration pins `max_wave: 16` so the stacked actor forward
 //! stays below the parallel matmul threshold (`PAR_MIN_FLOPS`) at any
@@ -20,11 +22,22 @@
 //! export, and waves large enough to cross the parallel threshold.
 
 use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
-use fairmove_sim::{DisplacementPolicy, Environment, SimConfig, StayPolicy};
+use fairmove_sim::{DisplacementPolicy, Environment, SimConfig, StayPolicy, Telemetry};
+use fairmove_telemetry::trace;
 use fairmove_testkit::counting_alloc::{allocs_in, CountingAlloc};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Every test in this binary runs with span tracing ON: the zero-alloc
+/// envelope must hold for the *instrumented* hot path ("tracing you can
+/// leave on"). The flag is process-global and tests run concurrently, so
+/// it is enabled everywhere and never turned off mid-binary; per-thread
+/// ring/stack registration (the only tracing allocation) happens on each
+/// test thread's first span — inside its warmup window.
+fn enable_tracing() {
+    trace::set_enabled(true);
+}
 
 /// Slots stepped before measurement starts. Long enough for trips, charges,
 /// station queues, and the decision scratch to reach their high-water marks
@@ -39,6 +52,7 @@ const MEASURED_SLOTS: usize = 8;
 const SERIAL_SAFE_WAVE: usize = 16;
 
 fn assert_steady_state_is_alloc_free(policy: &mut dyn DisplacementPolicy, label: &str) {
+    enable_tracing();
     let mut env = Environment::new(SimConfig::test_scale());
     env.prepare_steady_state();
     for _ in 0..WARMUP_SLOTS {
@@ -76,11 +90,49 @@ fn step_slot_is_alloc_free_with_frozen_batched_cma2c() {
     assert_steady_state_is_alloc_free(&mut policy, "frozen cma2c");
 }
 
+/// With telemetry attached *and* tracing on, the steady state must still be
+/// alloc-free: every metric handle (including the lazily registered
+/// `decide.latency_seconds{method=...}` histogram and the per-region-group
+/// match timers) is created during warmup, and from then on recording is
+/// pure atomics — HDR cells included.
+#[test]
+fn step_slot_is_alloc_free_with_telemetry_and_tracing() {
+    enable_tracing();
+    let telemetry = Telemetry::enabled();
+    let mut env = Environment::new(SimConfig::test_scale());
+    env.prepare_steady_state();
+    env.set_telemetry(&telemetry);
+    let city = env.city().clone();
+    let mut policy = Cma2cPolicy::new(
+        &city,
+        Cma2cConfig {
+            max_wave: SERIAL_SAFE_WAVE,
+            ..Cma2cConfig::default()
+        },
+    );
+    policy.freeze();
+    for _ in 0..WARMUP_SLOTS {
+        let feedback = env.step_slot(&mut policy);
+        policy.observe(feedback);
+    }
+    for slot in 0..MEASURED_SLOTS {
+        let (allocs, ()) = allocs_in(|| {
+            let feedback = env.step_slot(&mut policy);
+            policy.observe(feedback);
+        });
+        assert_eq!(
+            allocs, 0,
+            "telemetry+tracing: measured slot {slot} performed {allocs} heap allocations"
+        );
+    }
+}
+
 /// The batched dispatcher itself — outside the environment loop — must also
 /// be alloc-free once its scratch (feature cache, row matrix, forward
 /// workspace) has warmed up.
 #[test]
 fn batched_decide_into_is_alloc_free_when_frozen() {
+    enable_tracing();
     let mut env = Environment::new(SimConfig::test_scale());
     let city = env.city().clone();
     let mut policy = Cma2cPolicy::new(

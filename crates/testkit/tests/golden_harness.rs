@@ -2,7 +2,7 @@
 
 use fairmove_sim::{Environment, InvariantAuditor, SimConfig, StayPolicy, Telemetry};
 use fairmove_testkit::{canon, golden};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn tmp_golden(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -75,6 +75,44 @@ fn golden_check_bless_and_diff_cycle() {
     assert!(err.actual.is_none());
 
     let _ = std::fs::remove_file(&path);
+}
+
+/// Labeled-histogram Prometheus output is pinned as a checked-in golden:
+/// escaping of `"`, `\`, and newline in label values, stable label
+/// ordering, the `_bucket`/`_sum`/`_count` label forms, and the HDR
+/// percentile gauges must not drift. Observations are fixed constants, so
+/// the rendered text is byte-deterministic across machines.
+#[test]
+fn labeled_histogram_prometheus_golden() {
+    use fairmove_telemetry::buckets;
+
+    let telemetry = fairmove_telemetry::Telemetry::enabled();
+    let decide = telemetry.histogram_labeled(
+        "decide.latency_seconds",
+        &[("region_group", "3"), ("method", "cma2c")],
+        buckets::LATENCY_SECONDS,
+    );
+    for i in 0..100u32 {
+        decide.observe(0.001 + 0.0001 * f64::from(i));
+    }
+    // A second cell of the same family, registered with labels in the
+    // opposite order and carrying every escape-worthy byte class.
+    let tricky = telemetry.histogram_labeled(
+        "decide.latency_seconds",
+        &[("method", "a\"b\\c\nd"), ("region_group", "0")],
+        buckets::LATENCY_SECONDS,
+    );
+    tricky.observe(0.25);
+    tricky.observe(0.5);
+
+    let snapshot = telemetry.snapshot();
+    let mut text = fairmove_telemetry::export::render_prometheus(&snapshot);
+    text.push_str(&fairmove_telemetry::export::render_prometheus_percentiles(
+        &snapshot,
+    ));
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens/labeled_histogram_prometheus.golden");
+    golden::assert_golden(&path, &text);
 }
 
 /// Telemetry canon strips wall-clock timings so snapshots compare across

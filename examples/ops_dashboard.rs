@@ -16,7 +16,7 @@
 use fairmove_core::agents::{Cma2cConfig, Cma2cPolicy};
 use fairmove_core::city::SimTime;
 use fairmove_core::sim::{DisplacementPolicy, Environment, SimConfig, TraceLog};
-use fairmove_core::telemetry::{export, Telemetry};
+use fairmove_core::telemetry::{export, trace, Telemetry};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -32,7 +32,10 @@ fn main() {
     }
 
     // One registry for the whole run: the environment records slot-level
-    // operational metrics, the policy its training diagnostics.
+    // operational metrics, the policy its training diagnostics. Span tracing
+    // stays on too — the per-thread rings retain the newest spans, from
+    // which the dashboard surfaces the slowest ones.
+    trace::set_enabled(true);
     let telemetry = Telemetry::enabled();
     let mut env = Environment::new(config.clone());
     env.set_telemetry(&telemetry);
@@ -66,6 +69,43 @@ fn main() {
             h.count,
         );
     }
+    // --- Latency percentile columns, from the HDR histograms. ---
+    println!("\nlatency percentiles:");
+    println!(
+        "  {:<44} {:>9} {:>9} {:>9} {:>8}",
+        "histogram", "p50 ms", "p99 ms", "p999 ms", "count"
+    );
+    for h in &snapshot.histograms {
+        if h.base_name().ends_with("_seconds") && h.count > 0 {
+            println!(
+                "  {:<44} {:>9.3} {:>9.3} {:>9.3} {:>8}",
+                h.name,
+                h.quantile(0.5) * 1e3,
+                h.quantile(0.99) * 1e3,
+                h.quantile(0.999) * 1e3,
+                h.count,
+            );
+        }
+    }
+
+    // --- The slowest spans still retained in the trace ring buffers. ---
+    let mut spans = trace::collect_events();
+    spans.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.id.cmp(&b.id)));
+    println!(
+        "\nslowest spans ({} retained in ring buffers):",
+        spans.len()
+    );
+    for e in spans.iter().take(5) {
+        println!(
+            "  {:<10} {:>10.3} ms  depth {}  tid {}  arg {}",
+            e.name,
+            e.dur_ns as f64 / 1e6,
+            e.depth,
+            e.tid,
+            e.arg,
+        );
+    }
+
     if let Some(steps) = snapshot.counter("cma2c.train_steps") {
         println!(
             "learner: {} gradient steps, critic loss {:.3}, actor grad norm {:.3}",
