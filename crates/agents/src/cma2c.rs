@@ -429,6 +429,19 @@ impl Cma2cPolicy {
         self.tracker.clear();
     }
 
+    /// The exploration RNG's restorable state. A frozen policy still
+    /// *samples* from π, so bit-identical warm restart of a dispatch server
+    /// needs this alongside [`Self::save`]'s parameters.
+    pub fn rng_state(&self) -> ([u32; 8], u64, u32) {
+        self.rng.state()
+    }
+
+    /// Restores the exploration RNG captured by [`Self::rng_state`]; the
+    /// action stream continues exactly where the capture left off.
+    pub fn restore_rng_state(&mut self, key: [u32; 8], counter: u64, index: u32) {
+        self.rng = StdRng::from_state(key, counter, index);
+    }
+
     /// Training steps taken so far.
     pub fn train_steps(&self) -> u64 {
         self.train_steps

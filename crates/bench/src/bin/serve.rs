@@ -1,0 +1,199 @@
+//! Dispatch-server bench: concurrent deadline-carrying load against a live
+//! [`fairmove_serve::DispatchServer`], then a forced kill and a timed warm
+//! restart. Written to `BENCH_serve.json`.
+//!
+//! The load phase runs `--clients` threads, each issuing `DECIDE <budget>`
+//! requests (advisory displacement decisions — they journal and mutate the
+//! policy RNG like production traffic, but don't burn the 1-day horizon the
+//! way `STEP` would, so any request count is valid). Per-request wall time
+//! feeds p50/p99; `ERR 429`/`ERR 503` responses count as shed.
+//!
+//! The recovery phase snapshots the state digest, crashes the worker with
+//! `KILL` (no final checkpoint, no queue drain), restarts on the same data
+//! directory, and times checkpoint-restore + journal-replay + bind until the
+//! first `OK digest` answer. The bench exits nonzero if the revived digest
+//! differs from the pre-kill digest — CI runs `--smoke` on every push, so
+//! warm-restart bit-fidelity is gated, not just reported.
+//!
+//! Flags:
+//! - `--smoke`: 2 clients x 40 requests (CI-sized).
+//! - `--clients <n>` / `--requests <n>`: load shape (default 4 x 200).
+//! - `--deadline-ms <n>`: per-request budget (default 1000).
+//! - `--out <path>`: report path (default `BENCH_serve.json`).
+
+use fairmove_bench::ServeReport;
+use fairmove_serve::{Client, DispatchServer, ServeConfig};
+use std::time::{Duration, Instant};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct ClientTally {
+    ok: u64,
+    shed: u64,
+    decisions: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (default_clients, default_requests) = if smoke { (2, 40) } else { (4, 200) };
+    let clients: usize = arg_value(&args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_clients)
+        .max(1);
+    let requests: usize = arg_value(&args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_requests)
+        .max(1);
+    let deadline_ms: u64 = arg_value(&args, "--deadline-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+
+    let data_dir =
+        std::env::temp_dir().join(format!("fairmove-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut config = ServeConfig::test_scale(data_dir.clone());
+    config.queue_depth = (clients * 2).max(8);
+    let sim = config.sim.clone();
+    let server = DispatchServer::start(config).expect("start dispatch server");
+    let addr = server.addr();
+    eprintln!(
+        "serving on {addr}; {clients} clients x {requests} requests, {deadline_ms}ms budgets"
+    );
+
+    // -- load phase ------------------------------------------------------
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr).expect("connect load client");
+                    let mut tally = ClientTally {
+                        ok: 0,
+                        shed: 0,
+                        decisions: 0,
+                        latencies_us: Vec::with_capacity(requests),
+                    };
+                    let line = format!("DECIDE {deadline_ms}");
+                    for _ in 0..requests {
+                        let t0 = Instant::now();
+                        let response = client.request(&line).expect("request");
+                        tally
+                            .latencies_us
+                            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        if let Some(rest) = response.strip_prefix("OK decide ") {
+                            tally.ok += 1;
+                            if let Some(n) = rest.split_whitespace().next() {
+                                tally.decisions += n.parse::<u64>().unwrap_or(0);
+                            }
+                        } else if response.starts_with("ERR 429") || response.starts_with("ERR 503")
+                        {
+                            tally.shed += 1;
+                        } else {
+                            panic!("unexpected response {response:?}");
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let load_secs = started.elapsed().as_secs_f64().max(1e-9);
+
+    let ok: u64 = tallies.iter().map(|t| t.ok).sum();
+    let shed: u64 = tallies.iter().map(|t| t.shed).sum();
+    let decisions: u64 = tallies.iter().map(|t| t.decisions).sum();
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+
+    // -- forced kill + timed warm restart --------------------------------
+    let mut probe = Client::connect(addr).expect("connect digest probe");
+    let digest_before = probe.request("DIGEST").expect("pre-kill digest");
+    probe.fire_and_forget("KILL").expect("send KILL");
+    let mut server = server;
+    assert!(
+        server.wait_worker_exit(Duration::from_secs(30)),
+        "worker must die on KILL"
+    );
+    drop(server);
+
+    let t0 = Instant::now();
+    let mut config = ServeConfig::test_scale(data_dir.clone());
+    config.sim = sim;
+    config.queue_depth = (clients * 2).max(8);
+    let revived = DispatchServer::start(config).expect("warm restart");
+    let mut probe = Client::connect(revived.addr()).expect("connect revived probe");
+    let digest_after = probe.request("DIGEST").expect("post-restart digest");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let recovery = revived.recovery();
+    let digest_match = digest_before == digest_after;
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let attempted = (clients * requests) as u64;
+    let report = ServeReport {
+        clients,
+        requests_per_client: requests,
+        ok,
+        shed,
+        decisions,
+        decisions_per_sec: decisions as f64 / load_secs,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        shed_rate: shed as f64 / attempted as f64,
+        recovery_ms,
+        replayed: recovery.replayed,
+        digest_match,
+    };
+
+    println!(
+        "{} ok / {} shed of {} requests ({:.1}% shed)",
+        report.ok,
+        report.shed,
+        attempted,
+        report.shed_rate * 100.0
+    );
+    println!(
+        "{:.0} decisions/s, p50 {:.2} ms, p99 {:.2} ms",
+        report.decisions_per_sec, report.p50_ms, report.p99_ms
+    );
+    println!(
+        "recovery after kill: {:.1} ms (warm start {:?}, {} records replayed), digest match: {}",
+        report.recovery_ms, recovery.warm_start_seq, report.replayed, report.digest_match
+    );
+
+    let json = report.to_json();
+    assert!(
+        ServeReport::from_json(&json).as_ref() == Some(&report),
+        "report must round-trip through its own parser"
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if !digest_match {
+        eprintln!("FATAL: warm restart diverged: {digest_before} != {digest_after}");
+        std::process::exit(1);
+    }
+}

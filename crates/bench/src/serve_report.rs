@@ -1,0 +1,179 @@
+//! The `BENCH_serve.json` schema: serialization and parsing, dependency-free.
+//!
+//! The `serve` binary drives a live [`fairmove_serve::DispatchServer`] with
+//! concurrent deadline-carrying clients, then force-kills the worker and
+//! measures warm restart. One flat [`ServeReport`] captures the service-side
+//! numbers the ISSUE cares about: decision throughput, tail latency, shed
+//! rate, recovery time, and whether the revived server's state digest
+//! matched the pre-kill digest bit for bit. Same hand-rolled JSON idiom as
+//! [`crate::scale_report`] — this workspace carries no JSON dependency.
+
+use std::fmt::Write as _;
+
+/// A full `BENCH_serve.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Concurrent load-generator clients.
+    pub clients: usize,
+    /// Requests attempted per client.
+    pub requests_per_client: usize,
+    /// Requests answered `OK`.
+    pub ok: u64,
+    /// Requests shed (`ERR 429` queue-full or `ERR 503` deadline).
+    pub shed: u64,
+    /// Displacement decisions returned across all `OK decide` responses.
+    pub decisions: u64,
+    /// Decision throughput over the load window, decisions per second.
+    pub decisions_per_sec: f64,
+    /// Median request latency over answered requests, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Shed fraction of all attempted requests, `0.0..=1.0`.
+    pub shed_rate: f64,
+    /// Wall time from starting the revived server to its first `OK digest`
+    /// response (checkpoint restore + journal replay + bind), milliseconds.
+    pub recovery_ms: f64,
+    /// Journal records replayed during that recovery.
+    pub replayed: u64,
+    /// Whether the revived digest matched the pre-kill digest exactly.
+    pub digest_match: bool,
+}
+
+impl ServeReport {
+    /// Serializes the report as one line of JSON (plus trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"version\":1,\"clients\":{},\"requests_per_client\":{},\
+             \"ok\":{},\"shed\":{},\"decisions\":{},\
+             \"decisions_per_sec\":{},\"p50_ms\":{},\"p99_ms\":{},\
+             \"shed_rate\":{},\"recovery_ms\":{},\"replayed\":{},\
+             \"digest_match\":{}}}",
+            self.clients,
+            self.requests_per_client,
+            self.ok,
+            self.shed,
+            self.decisions,
+            json_f64(self.decisions_per_sec),
+            json_f64(self.p50_ms),
+            json_f64(self.p99_ms),
+            json_f64(self.shed_rate),
+            json_f64(self.recovery_ms),
+            self.replayed,
+            self.digest_match,
+        );
+        out.push('\n');
+        out
+    }
+
+    /// Parses a report produced by [`Self::to_json`]. Returns `None` on any
+    /// structural mismatch rather than guessing; unknown fields are ignored.
+    pub fn from_json(text: &str) -> Option<ServeReport> {
+        Some(ServeReport {
+            clients: field_f64(text, "clients")? as usize,
+            requests_per_client: field_f64(text, "requests_per_client")? as usize,
+            ok: field_f64(text, "ok")? as u64,
+            shed: field_f64(text, "shed")? as u64,
+            decisions: field_f64(text, "decisions")? as u64,
+            decisions_per_sec: field_f64(text, "decisions_per_sec")?,
+            p50_ms: field_f64(text, "p50_ms")?,
+            p99_ms: field_f64(text, "p99_ms")?,
+            shed_rate: field_f64(text, "shed_rate")?,
+            recovery_ms: field_f64(text, "recovery_ms")?,
+            replayed: field_f64(text, "replayed")? as u64,
+            digest_match: field_bool(text, "digest_match")?,
+        })
+    }
+}
+
+/// Finite floats print as shortest-round-trip Rust `{}`, which is valid
+/// JSON; non-finite values have no JSON form and become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Extracts `"key":<number>` from a flat JSON document.
+fn field_f64(obj: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key":true|false`.
+fn field_bool(obj: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let at = obj.find(&needle)? + needle.len();
+    let rest = obj[at..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            clients: 4,
+            requests_per_client: 200,
+            ok: 760,
+            shed: 40,
+            decisions: 45_600,
+            decisions_per_sec: 1520.5,
+            p50_ms: 2.25,
+            p99_ms: 18.75,
+            shed_rate: 0.05,
+            recovery_ms: 41.5,
+            replayed: 17,
+            digest_match: true,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample();
+        let parsed = ServeReport::from_json(&report.to_json()).expect("own output must parse");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn json_is_machine_readable_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"digest_match\":true"));
+    }
+
+    #[test]
+    fn a_failed_digest_survives_the_round_trip() {
+        let mut report = sample();
+        report.digest_match = false;
+        let parsed = ServeReport::from_json(&report.to_json()).expect("parses");
+        assert!(!parsed.digest_match);
+    }
+
+    #[test]
+    fn malformed_documents_parse_to_none() {
+        assert!(ServeReport::from_json("").is_none());
+        assert!(ServeReport::from_json("{\"clients\":4}").is_none());
+        assert!(ServeReport::from_json(
+            &sample()
+                .to_json()
+                .replace("\"digest_match\":true", "\"digest_match\":7")
+        )
+        .is_none());
+    }
+}

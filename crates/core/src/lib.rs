@@ -48,7 +48,7 @@ pub use experiments::{ComparisonConfig, ComparisonResults};
 pub use method::{Method, MethodKind};
 pub use runner::{RunOutcome, Runner};
 pub use system::{EvaluationResult, FairMove, FairMoveConfig, TrainingStats};
-pub use watchdog::{GuardedTrainee, WatchdogConfig, WatchdogReport};
+pub use watchdog::{CheckpointVault, GuardedTrainee, WatchdogConfig, WatchdogReport};
 
 // Re-export the layer crates so downstream users need a single dependency.
 pub use fairmove_agents as agents;

@@ -119,6 +119,22 @@ impl TripGenerator {
         &self.fare
     }
 
+    /// Snapshot of the generator's mutable state: the RNG state (see
+    /// [`StdRng::state`]) and the next request id. The demand/fare tables
+    /// are pure functions of the construction inputs, so a generator rebuilt
+    /// with [`TripGenerator::new`] and restored with
+    /// [`TripGenerator::restore_state`] continues the request stream
+    /// bit-identically.
+    pub fn state(&self) -> (([u32; 8], u64, u32), u64) {
+        (self.rng.state(), self.next_id)
+    }
+
+    /// Restores the mutable state captured by [`TripGenerator::state`].
+    pub fn restore_state(&mut self, rng: ([u32; 8], u64, u32), next_id: u64) {
+        self.rng = StdRng::from_state(rng.0, rng.1, rng.2);
+        self.next_id = next_id;
+    }
+
     /// Generates all requests arriving during the slot that starts at
     /// `slot_start` (an absolute time aligned or unaligned to slot
     /// boundaries; arrival minutes are uniform in

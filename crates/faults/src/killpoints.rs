@@ -1,0 +1,189 @@
+//! Kill-point registry for crash-injection tests.
+//!
+//! Crash-safety claims ("a crash mid-checkpoint never corrupts state") are
+//! only testable if the test can *cause* the crash at a precise point.
+//! Production code threads a [`KillPoints`] handle through its write paths
+//! and calls [`KillPoints::fire`] at each named crash site; the call is a
+//! no-op until a test arms that site, after which the Nth visit aborts the
+//! process (or, in-process, reports that it would have).
+//!
+//! The registry is instance-based on purpose: each test builds its own
+//! `KillPoints`, so parallel tests never see each other's armed sites the
+//! way a global static registry would allow. Handles are cheaply cloneable
+//! (`Arc` inside) so one registry can be shared across the threads of a
+//! server under test.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Site {
+    /// Remaining visits before the site triggers; `None` when unarmed.
+    fuse: Option<u64>,
+    hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    sites: Mutex<HashMap<String, Site>>,
+    /// Total triggers across all sites (survives in `abort` mode only until
+    /// the process dies, but is observable in `report` mode).
+    triggered: AtomicU64,
+}
+
+/// What [`KillPoints::fire`] does when an armed site's fuse runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// `std::process::abort()` — a real crash, for subprocess-based tests.
+    /// No destructors run, no buffers flush: the closest in-process
+    /// approximation of power loss.
+    Abort,
+    /// Record the trigger and return `true` from `fire` — for in-process
+    /// tests that simulate the crash themselves (e.g. by dropping a
+    /// connection or abandoning a write).
+    Report,
+}
+
+/// A shareable registry of named crash sites. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct KillPoints {
+    inner: Arc<Registry>,
+    mode: Option<KillMode>,
+}
+
+impl KillPoints {
+    /// A registry with every site unarmed; `fire` is a no-op until
+    /// [`KillPoints::arm`] is called.
+    pub fn new(mode: KillMode) -> Self {
+        KillPoints {
+            inner: Arc::new(Registry::default()),
+            mode: Some(mode),
+        }
+    }
+
+    /// The production default: no registry allocated beyond this handle,
+    /// every `fire` call returns `false` immediately.
+    pub fn disarmed() -> Self {
+        KillPoints::default()
+    }
+
+    /// Arms `site` to trigger on its `nth` visit (1 = the very next one).
+    /// Re-arming a site resets its fuse but keeps its hit count.
+    pub fn arm(&self, site: &str, nth: u64) {
+        let mut sites = self.inner.sites.lock().unwrap();
+        sites.entry(site.to_string()).or_default().fuse = Some(nth.max(1));
+    }
+
+    /// Visits a crash site. Returns `true` when the site just triggered in
+    /// [`KillMode::Report`]; in [`KillMode::Abort`] a trigger never returns.
+    pub fn fire(&self, site: &str) -> bool {
+        let Some(mode) = self.mode else {
+            return false;
+        };
+        let mut sites = self.inner.sites.lock().unwrap();
+        let Some(entry) = sites.get_mut(site) else {
+            return false;
+        };
+        entry.hits += 1;
+        let Some(fuse) = entry.fuse.as_mut() else {
+            return false;
+        };
+        *fuse -= 1;
+        if *fuse > 0 {
+            return false;
+        }
+        entry.fuse = None;
+        drop(sites);
+        self.inner.triggered.fetch_add(1, Ordering::SeqCst);
+        match mode {
+            KillMode::Abort => std::process::abort(),
+            KillMode::Report => true,
+        }
+    }
+
+    /// How many times `site` has been visited while the registry was live
+    /// (armed or not — disarmed *handles* count nothing, disarmed *sites*
+    /// on a live registry still count visits).
+    pub fn hits(&self, site: &str) -> u64 {
+        if self.mode.is_none() {
+            return 0;
+        }
+        self.inner
+            .sites
+            .lock()
+            .unwrap()
+            .get(site)
+            .map_or(0, |s| s.hits)
+    }
+
+    /// Total triggers across all sites (only observable in `Report` mode).
+    pub fn triggered(&self) -> u64 {
+        self.inner.triggered.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_handle_is_inert() {
+        let kp = KillPoints::disarmed();
+        kp.arm("ckpt.pre_rename", 1);
+        assert!(!kp.fire("ckpt.pre_rename"));
+        assert_eq!(kp.hits("ckpt.pre_rename"), 0);
+        assert_eq!(kp.triggered(), 0);
+    }
+
+    #[test]
+    fn fires_on_exactly_the_nth_visit() {
+        let kp = KillPoints::new(KillMode::Report);
+        kp.arm("journal.post_append", 3);
+        assert!(!kp.fire("journal.post_append"));
+        assert!(!kp.fire("journal.post_append"));
+        assert!(kp.fire("journal.post_append"));
+        // Fuse consumed: further visits are counted but do not trigger.
+        assert!(!kp.fire("journal.post_append"));
+        assert_eq!(kp.hits("journal.post_append"), 4);
+        assert_eq!(kp.triggered(), 1);
+    }
+
+    #[test]
+    fn unarmed_sites_count_visits_without_triggering() {
+        let kp = KillPoints::new(KillMode::Report);
+        kp.arm("a", 1);
+        assert!(!kp.fire("b"), "never-armed site must not trigger");
+        assert_eq!(kp.hits("b"), 0, "never-armed site allocates no entry");
+        assert!(kp.fire("a"));
+        assert!(!kp.fire("a"));
+        assert_eq!(kp.hits("a"), 2);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let kp = KillPoints::new(KillMode::Report);
+        kp.arm("shared", 8);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let kp = kp.clone();
+                std::thread::spawn(move || (0..2).filter(|_| kp.fire("shared")).count())
+            })
+            .collect();
+        let triggers: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(triggers, 1, "exactly one thread observes the trigger");
+        assert_eq!(kp.hits("shared"), 8);
+    }
+
+    #[test]
+    fn rearming_resets_the_fuse() {
+        let kp = KillPoints::new(KillMode::Report);
+        kp.arm("x", 1);
+        assert!(kp.fire("x"));
+        kp.arm("x", 2);
+        assert!(!kp.fire("x"));
+        assert!(kp.fire("x"));
+        assert_eq!(kp.hits("x"), 3);
+        assert_eq!(kp.triggered(), 2);
+    }
+}

@@ -24,8 +24,10 @@
 //! (`u16` region/station indices, `u32` taxi indices, absolute slot
 //! numbers), and the simulator layer owns the mapping to its typed ids.
 
+mod killpoints;
 mod plan;
 mod scenarios;
 
+pub use killpoints::{KillMode, KillPoints};
 pub use plan::{splitmix64, FaultPlan, FaultSet, FaultSpec, SlotWindow};
 pub use scenarios::{scenario, scenario_battery, FleetShape, SCENARIO_NAMES};

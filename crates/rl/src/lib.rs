@@ -26,6 +26,7 @@ pub mod optimizer;
 pub mod replay;
 pub mod schedule;
 pub mod serialize;
+pub mod store;
 pub mod tabular;
 
 pub use loss::{huber_loss, log_softmax, mse_loss, policy_gradient_logits, softmax};
@@ -34,5 +35,6 @@ pub use mlp::{Activation, Gradients, Mlp, MlpWorkspace};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use replay::ReplayBuffer;
 pub use schedule::EpsilonSchedule;
-pub use serialize::{load_mlp, save_mlp, LoadError};
+pub use serialize::{load_mlp, load_mlp_from_path, save_mlp, save_mlp_to_path, LoadError};
+pub use store::{read_verified, write_atomic, StoreError};
 pub use tabular::QTable;

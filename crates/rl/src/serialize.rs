@@ -163,6 +163,31 @@ pub fn load_mlp(r: &mut impl BufRead) -> Result<Mlp, LoadError> {
     Ok(net)
 }
 
+/// Persists `net` to `path` crash-safely: the text image is written through
+/// [`crate::store::write_atomic`], so the file on disk is always a complete
+/// snapshot (old or new, never torn) and carries the CRC/length footer
+/// [`load_mlp_from_path`] validates before parsing a byte.
+pub fn save_mlp_to_path(
+    net: &Mlp,
+    hidden: Activation,
+    output: Activation,
+    path: &std::path::Path,
+) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_mlp(net, hidden, output, &mut buf)?;
+    crate::store::write_atomic(path, &buf)
+}
+
+/// Loads a network persisted by [`save_mlp_to_path`]. The integrity footer
+/// is checked first (torn or bit-flipped files fail cleanly), then the
+/// payload goes through the [`load_mlp`] parser and its own structural and
+/// finiteness validation.
+pub fn load_mlp_from_path(path: &std::path::Path) -> Result<Mlp, LoadError> {
+    let payload = crate::store::read_verified(path)
+        .map_err(|e| fmt_err(format!("checkpoint rejected: {e}")))?;
+    load_mlp(&mut payload.as_slice())
+}
+
 /// Exact `f64` encoding via the IEEE-754 bit pattern in hex.
 fn hex_f64(v: f64) -> String {
     format!("{:016x}", v.to_bits())

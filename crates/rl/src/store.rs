@@ -1,0 +1,247 @@
+//! Crash-safe checkpoint storage: atomic writes with an integrity footer.
+//!
+//! Every checkpoint the workspace persists (policy snapshots, watchdog
+//! checkpoints, the dispatch server's state images) goes through
+//! [`write_atomic`] / [`read_verified`]. The write discipline is the
+//! classic tmp + fsync + rename + fsync-dir sequence, so a crash at any
+//! instant leaves either the previous file or the new one — never a blend.
+//! The footer (payload length + CRC-32 + trailing magic) makes the
+//! *contents* self-validating on top of that: a file torn at any byte
+//! boundary, or bit-flipped anywhere, is rejected by [`read_verified`]
+//! instead of being half-trusted (pinned by a truncate-at-every-byte test).
+//!
+//! Layout: `payload ‖ len:u64-LE ‖ crc32(payload):u32-LE ‖ "FMCKPTEN"`.
+//! The magic sits at the *end* because torn writes truncate tails: a
+//! partial file fails the cheapest check first.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Trailing magic; its absence is the fast-path rejection for torn files.
+pub const FOOTER_MAGIC: &[u8; 8] = b"FMCKPTEN";
+/// Total footer bytes appended to the payload.
+pub const FOOTER_LEN: usize = 8 + 4 + 8;
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// File shorter than the footer — a torn write or not a checkpoint.
+    TooShort,
+    /// Trailing magic missing — torn write or foreign file.
+    BadMagic,
+    /// Footer length disagrees with the file size.
+    LengthMismatch {
+        /// Payload length the footer declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// Payload checksum mismatch — corruption within the payload bytes.
+    CrcMismatch,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            StoreError::TooShort => write!(f, "checkpoint file shorter than its footer"),
+            StoreError::BadMagic => write!(f, "checkpoint footer magic missing (torn write?)"),
+            StoreError::LengthMismatch { declared, actual } => write!(
+                f,
+                "checkpoint length mismatch: footer declares {declared} bytes, file holds {actual}"
+            ),
+            StoreError::CrcMismatch => write!(f, "checkpoint payload failed CRC validation"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), the polynomial every `cksum`-adjacent
+/// tool speaks. Bitwise, table-free: checkpoint volumes are far too small
+/// for the table variant to matter.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The footer for `payload`, ready to append.
+pub fn footer_for(payload: &[u8]) -> [u8; FOOTER_LEN] {
+    let mut footer = [0u8; FOOTER_LEN];
+    footer[..8].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    footer[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    footer[12..].copy_from_slice(FOOTER_MAGIC);
+    footer
+}
+
+/// Writes `payload` + integrity footer to `path` atomically: the bytes land
+/// in a same-directory temp file first, are fsynced, and the temp file is
+/// renamed over `path` (itself fsync-barriered via the directory). Readers
+/// concurrently opening `path` see the old complete file or the new
+/// complete file, never a partial one.
+pub fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(payload)?;
+        f.write_all(&footer_for(payload))?;
+        f.sync_all()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => {}
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    }
+    // Persist the rename itself. Directory fsync is not supported on every
+    // platform; failure here cannot un-rename, so it is best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The sibling temp path `write_atomic` stages into.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Reads `path` and returns the payload iff the footer validates: trailing
+/// magic present, declared length consistent, CRC-32 exact. Any torn or
+/// corrupted file is an error, never a short payload.
+pub fn read_verified(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let bytes = fs::read(path)?;
+    verify(&bytes).map(|payload| payload.to_vec())
+}
+
+/// Footer validation over an in-memory image (what [`read_verified`] runs
+/// on the file contents). Returns the payload slice.
+pub fn verify(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(StoreError::TooShort);
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if &footer[12..] != FOOTER_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let declared = u64::from_le_bytes(footer[..8].try_into().unwrap());
+    if declared != body.len() as u64 {
+        return Err(StoreError::LengthMismatch {
+            declared,
+            actual: body.len() as u64,
+        });
+    }
+    let crc = u32::from_le_bytes(footer[8..12].try_into().unwrap());
+    if crc != crc32(body) {
+        return Err(StoreError::CrcMismatch);
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fairmove-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("ckpt.bin");
+        let payload: Vec<u8> = (0..=255).collect();
+        write_atomic(&path, &payload).unwrap();
+        assert_eq!(read_verified(&path).unwrap(), payload);
+        // The temp staging file never survives a successful write.
+        assert!(!tmp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_contents_atomically() {
+        let dir = tempdir("rewrite");
+        let path = dir.join("ckpt.bin");
+        write_atomic(&path, b"generation one").unwrap();
+        write_atomic(&path, b"generation two, longer than one").unwrap();
+        assert_eq!(
+            read_verified(&path).unwrap(),
+            b"generation two, longer than one"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_rejected() {
+        let payload = b"watchdog checkpoint payload";
+        let mut file = payload.to_vec();
+        file.extend_from_slice(&footer_for(payload));
+        // Every proper prefix must fail verification — a torn write can
+        // stop after any byte.
+        for cut in 0..file.len() {
+            assert!(
+                verify(&file[..cut]).is_err(),
+                "truncated checkpoint of {cut}/{} bytes was accepted",
+                file.len()
+            );
+        }
+        assert_eq!(verify(&file).unwrap(), payload);
+    }
+
+    #[test]
+    fn bitflip_anywhere_is_rejected() {
+        let payload = b"bitflip target";
+        let mut file = payload.to_vec();
+        file.extend_from_slice(&footer_for(payload));
+        for i in 0..file.len() {
+            let mut flipped = file.clone();
+            flipped[i] ^= 0x01;
+            assert!(
+                verify(&flipped).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_valid_but_empty_file_is_not() {
+        let dir = tempdir("empty");
+        let path = dir.join("ckpt.bin");
+        write_atomic(&path, b"").unwrap();
+        assert_eq!(read_verified(&path).unwrap(), Vec::<u8>::new());
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(read_verified(&path), Err(StoreError::TooShort)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

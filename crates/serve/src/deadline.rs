@@ -1,0 +1,109 @@
+//! Request deadlines and the admission cost model.
+//!
+//! Every dispatch request may carry a deadline budget (`STEP 50` = "useless
+//! after 50 ms"). The budget propagates with the request: the connection
+//! handler rejects before even enqueueing when the predicted service cost
+//! already exceeds the remaining budget, and the worker re-checks on
+//! dequeue so a request that aged out in the queue is dropped instead of
+//! executed into uselessness.
+//!
+//! Prediction is an EWMA of observed service times, stored as atomic `f64`
+//! bits so the single-writer worker publishes and many connection handlers
+//! read without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// An absolute request deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// Time left before the deadline, zero once past it.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Duration::ZERO
+    }
+}
+
+/// Lock-free EWMA of request service time, in microseconds.
+#[derive(Debug)]
+pub struct CostModel {
+    ewma_us: AtomicU64,
+    /// Smoothing factor for new observations.
+    alpha: f64,
+}
+
+impl CostModel {
+    /// Starts with no estimate (predicts zero until the first observation),
+    /// smoothing with `alpha` (0 < alpha ≤ 1; higher = more reactive).
+    pub fn new(alpha: f64) -> Self {
+        CostModel {
+            ewma_us: AtomicU64::new(0f64.to_bits()),
+            alpha: alpha.clamp(0.01, 1.0),
+        }
+    }
+
+    /// Folds one observed service time in (single writer: the worker).
+    pub fn record(&self, took: Duration) {
+        let sample = took.as_secs_f64() * 1e6;
+        let old = f64::from_bits(self.ewma_us.load(Ordering::Relaxed));
+        let new = if old == 0.0 {
+            sample
+        } else {
+            old + self.alpha * (sample - old)
+        };
+        self.ewma_us.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current service-time estimate.
+    pub fn predicted(&self) -> Duration {
+        Duration::from_secs_f64(f64::from_bits(self.ewma_us.load(Ordering::Relaxed)) / 1e6)
+    }
+
+    /// Whether a request with `remaining` budget is worth admitting: the
+    /// predicted cost must fit in the budget. No estimate yet = admit.
+    pub fn admits(&self, remaining: Duration) -> bool {
+        self.predicted() <= remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expires_and_remaining_saturates() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(60));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(59));
+    }
+
+    #[test]
+    fn cost_model_tracks_observations() {
+        let m = CostModel::new(0.5);
+        assert!(m.admits(Duration::ZERO), "no estimate admits everything");
+        m.record(Duration::from_millis(10));
+        assert_eq!(m.predicted(), Duration::from_millis(10));
+        m.record(Duration::from_millis(20));
+        assert_eq!(m.predicted(), Duration::from_millis(15));
+        assert!(m.admits(Duration::from_millis(16)));
+        assert!(!m.admits(Duration::from_millis(14)));
+    }
+}

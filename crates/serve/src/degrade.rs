@@ -1,0 +1,237 @@
+//! The service-level ladder.
+//!
+//! Under sustained overload or an unhealthy learned policy, the server
+//! degrades *how much work each decision costs* rather than failing
+//! requests: full CMA2C inference (wrapped in the simulator's
+//! [`fairmove_sim::ResilientPolicy`] sanitizer) steps down to the resilient
+//! fallback (stay-put, the same safe default the sanitizer itself uses),
+//! and finally to the stateless greedy oracle. Recovery climbs back one
+//! rung at a time after a sustained calm streak — hysteresis, so a noisy
+//! boundary doesn't flap the ladder every slot.
+//!
+//! The ladder decides *future* requests only. Replay determinism is owned
+//! by the journal: each executed request records the level it actually ran
+//! at, and warm restart replays that recorded level, never re-running the
+//! (timing-dependent) ladder.
+
+use fairmove_telemetry::{Counter, Gauge, Telemetry};
+
+/// The rungs, best first. Journal encoding: `F`/`S`/`G`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServiceLevel {
+    /// Full CMA2C inference behind the resilient sanitizer.
+    Full,
+    /// The resilient fallback itself (stay-put), skipping inference.
+    Fallback,
+    /// Stateless greedy oracle: cheapest defensible decision.
+    Greedy,
+}
+
+impl ServiceLevel {
+    /// One-letter journal encoding.
+    pub fn code(self) -> char {
+        match self {
+            ServiceLevel::Full => 'F',
+            ServiceLevel::Fallback => 'S',
+            ServiceLevel::Greedy => 'G',
+        }
+    }
+
+    /// Parses [`ServiceLevel::code`].
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'F' => Some(ServiceLevel::Full),
+            'S' => Some(ServiceLevel::Fallback),
+            'G' => Some(ServiceLevel::Greedy),
+            _ => None,
+        }
+    }
+
+    fn worse(self) -> Self {
+        match self {
+            ServiceLevel::Full => ServiceLevel::Fallback,
+            _ => ServiceLevel::Greedy,
+        }
+    }
+
+    fn better(self) -> Self {
+        match self {
+            ServiceLevel::Greedy => ServiceLevel::Fallback,
+            _ => ServiceLevel::Full,
+        }
+    }
+
+    fn gauge_value(self) -> f64 {
+        match self {
+            ServiceLevel::Full => 0.0,
+            ServiceLevel::Fallback => 1.0,
+            ServiceLevel::Greedy => 2.0,
+        }
+    }
+}
+
+/// Hysteretic ladder controller. See the module docs.
+pub struct Degrader {
+    level: ServiceLevel,
+    strikes: u32,
+    calm: u32,
+    demote_after: u32,
+    promote_after: u32,
+    demotions: Counter,
+    promotions: Counter,
+    level_gauge: Gauge,
+}
+
+impl Degrader {
+    /// A ladder starting at [`ServiceLevel::Full`], demoting after
+    /// `demote_after` consecutive overload ticks and promoting after
+    /// `promote_after` consecutive calm ticks (both min 1).
+    pub fn new(telemetry: &Telemetry, demote_after: u32, promote_after: u32) -> Self {
+        let level_gauge = telemetry.gauge("serve.ladder_level");
+        level_gauge.set(ServiceLevel::Full.gauge_value());
+        Degrader {
+            level: ServiceLevel::Full,
+            strikes: 0,
+            calm: 0,
+            demote_after: demote_after.max(1),
+            promote_after: promote_after.max(1),
+            demotions: telemetry.counter("serve.demotions"),
+            promotions: telemetry.counter("serve.promotions"),
+            level_gauge,
+        }
+    }
+
+    /// The level future requests should run at.
+    pub fn level(&self) -> ServiceLevel {
+        self.level
+    }
+
+    /// Feeds one tick of evidence. `overloaded` = queue near capacity or
+    /// the last request blew its budget; `healthy` = the learned policy's
+    /// parameters are finite. An unhealthy policy forces the ladder off
+    /// [`ServiceLevel::Full`] immediately — no amount of calm makes running
+    /// a diverged network acceptable.
+    pub fn observe(&mut self, overloaded: bool, healthy: bool) -> ServiceLevel {
+        if !healthy && self.level == ServiceLevel::Full {
+            self.set_level(self.level.worse());
+            self.strikes = 0;
+            self.calm = 0;
+            return self.level;
+        }
+        if overloaded {
+            self.calm = 0;
+            self.strikes += 1;
+            if self.strikes >= self.demote_after && self.level != ServiceLevel::Greedy {
+                self.set_level(self.level.worse());
+                self.strikes = 0;
+            }
+        } else {
+            self.strikes = 0;
+            self.calm += 1;
+            let promotable = self.level.better() != ServiceLevel::Full || healthy;
+            if self.calm >= self.promote_after && self.level != ServiceLevel::Full && promotable {
+                let up = self.level.better();
+                self.set_level(up);
+                self.calm = 0;
+            }
+        }
+        self.level
+    }
+
+    fn set_level(&mut self, to: ServiceLevel) {
+        if to > self.level {
+            self.demotions.inc();
+        } else {
+            self.promotions.inc();
+        }
+        self.level = to;
+        self.level_gauge.set(to.gauge_value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degrader(tel: &Telemetry) -> Degrader {
+        Degrader::new(tel, 3, 4)
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for l in [
+            ServiceLevel::Full,
+            ServiceLevel::Fallback,
+            ServiceLevel::Greedy,
+        ] {
+            assert_eq!(ServiceLevel::from_code(l.code()), Some(l));
+        }
+        assert_eq!(ServiceLevel::from_code('x'), None);
+    }
+
+    #[test]
+    fn demotes_only_after_sustained_overload() {
+        let tel = Telemetry::enabled();
+        let mut d = degrader(&tel);
+        assert_eq!(d.observe(true, true), ServiceLevel::Full);
+        assert_eq!(d.observe(true, true), ServiceLevel::Full);
+        // A calm tick resets the strike count: no demotion from flapping.
+        assert_eq!(d.observe(false, true), ServiceLevel::Full);
+        assert_eq!(d.observe(true, true), ServiceLevel::Full);
+        assert_eq!(d.observe(true, true), ServiceLevel::Full);
+        assert_eq!(d.observe(true, true), ServiceLevel::Fallback);
+        // Sustained overload keeps walking down.
+        for _ in 0..3 {
+            d.observe(true, true);
+        }
+        assert_eq!(d.level(), ServiceLevel::Greedy);
+        // The bottom rung holds.
+        for _ in 0..10 {
+            assert_eq!(d.observe(true, true), ServiceLevel::Greedy);
+        }
+        assert_eq!(tel.snapshot().counter("serve.demotions"), Some(2));
+    }
+
+    #[test]
+    fn promotes_one_rung_per_calm_streak() {
+        let tel = Telemetry::enabled();
+        let mut d = degrader(&tel);
+        for _ in 0..6 {
+            d.observe(true, true);
+        }
+        assert_eq!(d.level(), ServiceLevel::Greedy);
+        for i in 0..4 {
+            assert_eq!(
+                d.observe(false, true),
+                if i < 3 {
+                    ServiceLevel::Greedy
+                } else {
+                    ServiceLevel::Fallback
+                },
+                "tick {i}"
+            );
+        }
+        for _ in 0..4 {
+            d.observe(false, true);
+        }
+        assert_eq!(d.level(), ServiceLevel::Full);
+        assert_eq!(tel.snapshot().counter("serve.promotions"), Some(2));
+        assert_eq!(tel.snapshot().gauge("serve.ladder_level"), Some(0.0));
+    }
+
+    #[test]
+    fn unhealthy_policy_leaves_full_immediately_and_blocks_reentry() {
+        let tel = Telemetry::enabled();
+        let mut d = degrader(&tel);
+        assert_eq!(d.observe(false, false), ServiceLevel::Fallback);
+        // Calm but still unhealthy: never climbs back to Full.
+        for _ in 0..20 {
+            assert_eq!(d.observe(false, false), ServiceLevel::Fallback);
+        }
+        // Health restored: the calm streak promotes again.
+        for _ in 0..4 {
+            d.observe(false, true);
+        }
+        assert_eq!(d.level(), ServiceLevel::Full);
+    }
+}

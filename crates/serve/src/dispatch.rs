@@ -1,0 +1,465 @@
+//! The dispatch core: simulator + policy ladder + crash-safe snapshots.
+//!
+//! A [`DispatchCore`] owns everything the worker thread mutates: the
+//! environment, the frozen CMA2C policy (still stochastic — Algorithm 1
+//! samples from π at execution time), and the fault specs injected so far.
+//! Every mutation goes through [`DispatchCore::apply_payload`] with the
+//! *journal text* of the command, so live execution and warm-restart replay
+//! run literally the same code path — the foundation of the bit-identical
+//! recovery guarantee.
+//!
+//! Checkpoints capture the full mutable state: environment image
+//! ([`Environment::save_state`]), policy parameters, policy RNG state (a
+//! frozen policy still consumes randomness when sampling actions), and the
+//! event list (the *plan* of future fault windows is an input, not
+//! environment state). The payload is versioned and fingerprinted against
+//! the [`SimConfig`], so a server restarted with a different world politely
+//! refuses the snapshot instead of replaying nonsense.
+
+use crate::degrade::ServiceLevel;
+use crate::proto::parse_event;
+use fairmove_agents::{Cma2cConfig, Cma2cPolicy, OraclePolicy};
+use fairmove_faults::{FaultPlan, FaultSpec};
+use fairmove_sim::{
+    config_fingerprint, Action, DisplacementPolicy, Environment, ResilientPolicy, SimConfig,
+    StayPolicy,
+};
+
+const MAGIC: &[u8; 8] = b"FMSRVCK1";
+const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit, the digest clients use to compare two servers' states.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Result of one applied `STEP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Simulation clock after the step, in minutes.
+    pub now_minutes: u32,
+    /// Completed trips so far (whole run).
+    pub trips: u64,
+}
+
+/// Result of one applied `DECIDE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecideOutcome {
+    /// Vacant taxis consulted.
+    pub decisions: u64,
+    /// Decisions that displace (anything but stay-put).
+    pub moved: u64,
+}
+
+/// See the module docs.
+pub struct DispatchCore {
+    config: SimConfig,
+    alpha: f64,
+    env: Environment,
+    policy: Cma2cPolicy,
+    greedy: OraclePolicy,
+    /// Canonical `EVENT` payload texts applied so far, in order.
+    events: Vec<String>,
+    /// Journal records applied (= the next sequence number expected).
+    applied_seq: u64,
+}
+
+impl DispatchCore {
+    /// A fresh core at slot zero with a frozen (randomly initialized unless
+    /// later restored) CMA2C policy.
+    pub fn new(config: SimConfig, alpha: f64) -> Self {
+        let env = Environment::new(config.clone());
+        let mut policy = Cma2cPolicy::new(
+            env.city(),
+            Cma2cConfig {
+                alpha,
+                seed: config.seed,
+                ..Cma2cConfig::default()
+            },
+        );
+        policy.freeze();
+        DispatchCore {
+            config,
+            alpha,
+            env,
+            policy,
+            greedy: OraclePolicy::new(),
+            events: Vec::new(),
+            applied_seq: 0,
+        }
+    }
+
+    /// Journal records applied so far.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Simulation clock, in minutes.
+    pub fn now_minutes(&self) -> u32 {
+        self.env.now().0
+    }
+
+    /// Whether the simulation horizon is exhausted.
+    pub fn done(&self) -> bool {
+        self.env.done()
+    }
+
+    /// Whether the learned policy's parameters are finite.
+    pub fn healthy(&self) -> bool {
+        self.policy.is_healthy()
+    }
+
+    /// Digest over the *entire* replayable state: environment image plus
+    /// policy RNG. Two cores with equal digests will answer every future
+    /// request identically (given identical inputs).
+    pub fn digest(&self) -> u64 {
+        let mut bytes = self.env.save_state();
+        let (key, counter, index) = self.policy.rng_state();
+        for k in key {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        bytes.extend_from_slice(&counter.to_le_bytes());
+        bytes.extend_from_slice(&index.to_le_bytes());
+        fnv64(&bytes)
+    }
+
+    /// The fleet ledger (for tests asserting bitwise recovery).
+    pub fn ledger(&self) -> &fairmove_sim::FleetLedger {
+        self.env.ledger()
+    }
+
+    /// Applies one journal payload — `STEP <level>`, `DECIDE <level>`, or
+    /// `EVENT <spec...>` — advancing the applied-sequence counter. Replay
+    /// calls this with recorded payloads; live execution journals first and
+    /// then calls this, so both paths are the same code.
+    pub fn apply_payload(&mut self, payload: &str) -> Result<Applied, String> {
+        // The record is consumed whether or not it executes (a horizon-
+        // refused STEP refuses identically on live and replay paths), so
+        // the applied-sequence counter always stays in lockstep with the
+        // journal position.
+        self.applied_seq += 1;
+        let parts: Vec<&str> = payload.split_whitespace().collect();
+        match parts.as_slice() {
+            ["STEP", level] => Ok(Applied::Step(self.step(parse_level(level)?)?)),
+            ["DECIDE", level] => Ok(Applied::Decide(self.decide(parse_level(level)?))),
+            ["EVENT", rest @ ..] => {
+                let (spec, text) = parse_event(rest)?;
+                self.inject(spec, text);
+                Ok(Applied::Event)
+            }
+            _ => Err(format!("unreplayable journal payload {payload:?}")),
+        }
+    }
+
+    fn step(&mut self, level: ServiceLevel) -> Result<StepOutcome, String> {
+        if self.env.done() {
+            return Err("simulation horizon reached".into());
+        }
+        match level {
+            ServiceLevel::Full => {
+                let mut p = ResilientPolicy::new(&mut self.policy);
+                self.env.step_slot(&mut p);
+            }
+            ServiceLevel::Fallback => {
+                self.env.step_slot(&mut StayPolicy);
+            }
+            ServiceLevel::Greedy => {
+                self.env.step_slot(&mut self.greedy);
+            }
+        }
+        Ok(StepOutcome {
+            now_minutes: self.env.now().0,
+            trips: self.env.ledger().trips().len() as u64,
+        })
+    }
+
+    fn decide(&mut self, level: ServiceLevel) -> DecideOutcome {
+        let obs = self.env.observation();
+        let ctxs = self.env.decision_contexts();
+        let mut actions = Vec::with_capacity(ctxs.len());
+        match level {
+            ServiceLevel::Full => {
+                let mut p = ResilientPolicy::new(&mut self.policy);
+                p.decide_into(&obs, &ctxs, &mut actions);
+            }
+            ServiceLevel::Fallback => StayPolicy.decide_into(&obs, &ctxs, &mut actions),
+            ServiceLevel::Greedy => self.greedy.decide_into(&obs, &ctxs, &mut actions),
+        }
+        let moved = actions
+            .iter()
+            .filter(|a| !matches!(a, Action::Stay))
+            .count() as u64;
+        DecideOutcome {
+            decisions: ctxs.len() as u64,
+            moved,
+        }
+    }
+
+    fn inject(&mut self, spec: FaultSpec, text: String) {
+        let _ = spec;
+        self.events.push(text);
+        self.reattach_plan();
+    }
+
+    /// Rebuilds the fault plan from the accumulated event list. The plan is
+    /// an *input* (future windows), re-derived from journaled events, while
+    /// currently-active fault effects live inside the environment image.
+    fn reattach_plan(&mut self) {
+        let mut plan = FaultPlan::new(self.config.seed ^ 0x5345_5256); // "SERV"
+        for text in &self.events {
+            let args: Vec<&str> = text.split_whitespace().collect();
+            if let Ok((spec, _)) = parse_event(&args) {
+                plan.push(spec);
+            }
+        }
+        self.env.set_fault_plan(plan);
+    }
+
+    // -- checkpointing -----------------------------------------------------
+
+    /// Serializes the full restorable state (see the module docs).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&config_fingerprint(&self.config).to_le_bytes());
+        out.extend_from_slice(&self.applied_seq.to_le_bytes());
+        out.extend_from_slice(&self.alpha.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for e in &self.events {
+            out.extend_from_slice(&(e.len() as u32).to_le_bytes());
+            out.extend_from_slice(e.as_bytes());
+        }
+        let mut policy_blob = Vec::new();
+        self.policy
+            .save(&mut policy_blob)
+            .expect("writing to a Vec cannot fail");
+        out.extend_from_slice(&(policy_blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&policy_blob);
+        let (key, counter, index) = self.policy.rng_state();
+        for k in key {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        out.extend_from_slice(&counter.to_le_bytes());
+        out.extend_from_slice(&index.to_le_bytes());
+        let env_blob = self.env.save_state();
+        out.extend_from_slice(&(env_blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&env_blob);
+        out
+    }
+
+    /// Rebuilds a core from [`DispatchCore::checkpoint`] bytes. Rejects
+    /// snapshots from a different config or a different format version.
+    pub fn from_checkpoint(config: SimConfig, payload: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { buf: payload };
+        if r.take(8)? != MAGIC.as_slice() {
+            return Err("bad checkpoint magic".into());
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        if r.u64()? != config_fingerprint(&config) {
+            return Err("checkpoint is for a different configuration".into());
+        }
+        let applied_seq = r.u64()?;
+        let alpha = f64::from_bits(r.u64()?);
+        let n_events = r.u32()? as usize;
+        let mut events = Vec::with_capacity(n_events.min(payload.len()));
+        for _ in 0..n_events {
+            let len = r.u32()? as usize;
+            let text = std::str::from_utf8(r.take(len)?)
+                .map_err(|_| "non-utf8 event payload")?
+                .to_string();
+            events.push(text);
+        }
+        let policy_len = r.u64()? as usize;
+        let policy_blob = r.take(policy_len)?.to_vec();
+        let mut key = [0u32; 8];
+        for k in &mut key {
+            *k = r.u32()?;
+        }
+        let counter = r.u64()?;
+        let index = r.u32()?;
+        let env_len = r.u64()? as usize;
+        let env_blob = r.take(env_len)?;
+        if !r.buf.is_empty() {
+            return Err("trailing bytes after checkpoint".into());
+        }
+
+        let env = Environment::restore_state(config.clone(), env_blob)
+            .map_err(|e| format!("environment image rejected: {e}"))?;
+        let mut policy = Cma2cPolicy::new(
+            env.city(),
+            Cma2cConfig {
+                alpha,
+                seed: config.seed,
+                ..Cma2cConfig::default()
+            },
+        );
+        policy
+            .load(&mut policy_blob.as_slice())
+            .map_err(|e| format!("policy snapshot rejected: {e}"))?;
+        policy.restore_rng_state(key, counter, index);
+        policy.freeze();
+        let mut core = DispatchCore {
+            config,
+            alpha,
+            env,
+            policy,
+            greedy: OraclePolicy::new(),
+            events,
+            applied_seq,
+        };
+        core.reattach_plan();
+        Ok(core)
+    }
+}
+
+/// What an applied payload did (for response formatting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    Step(StepOutcome),
+    Decide(DecideOutcome),
+    Event,
+}
+
+fn parse_level(s: &str) -> Result<ServiceLevel, String> {
+    let mut chars = s.chars();
+    match (chars.next().and_then(ServiceLevel::from_code), chars.next()) {
+        (Some(level), None) => Ok(level),
+        _ => Err(format!("bad service level {s:?}")),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() < n {
+            return Err("truncated checkpoint".into());
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SimConfig {
+        SimConfig::test_scale()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_the_digest_and_future() {
+        let mut a = DispatchCore::new(config(), 0.6);
+        for payload in [
+            "STEP F",
+            "EVENT surge 3 1.5 2 6",
+            "STEP S",
+            "DECIDE F",
+            "STEP G",
+        ] {
+            a.apply_payload(payload).unwrap();
+        }
+        let snapshot = a.checkpoint();
+        let mut b = DispatchCore::from_checkpoint(config(), &snapshot).unwrap();
+        assert_eq!(a.applied_seq(), b.applied_seq());
+        assert_eq!(a.digest(), b.digest());
+        // The restored core's *future* matches too — including CMA2C action
+        // sampling, which consumes the restored RNG stream.
+        for payload in ["STEP F", "DECIDE F", "STEP F"] {
+            a.apply_payload(payload).unwrap();
+            b.apply_payload(payload).unwrap();
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.ledger(), b.ledger());
+    }
+
+    #[test]
+    fn checkpoints_reject_other_configs_and_corruption() {
+        let mut core = DispatchCore::new(config(), 0.6);
+        core.apply_payload("STEP F").unwrap();
+        let snapshot = core.checkpoint();
+        let mut other = config();
+        other.fleet_size += 1;
+        let err = DispatchCore::from_checkpoint(other, &snapshot)
+            .err()
+            .expect("foreign config must be rejected");
+        assert!(err.contains("different configuration"), "{err}");
+        for cut in (0..snapshot.len()).step_by(211) {
+            assert!(
+                DispatchCore::from_checkpoint(config(), &snapshot[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_an_uninterrupted_run_bitwise() {
+        let script = [
+            "STEP F",
+            "STEP F",
+            "EVENT outage 1 2 8",
+            "STEP S",
+            "DECIDE G",
+            "STEP F",
+            "STEP G",
+        ];
+        let mut straight = DispatchCore::new(config(), 0.6);
+        for p in script {
+            straight.apply_payload(p).unwrap();
+        }
+        // Interrupted twin: checkpoint after 3 records, "crash", restore,
+        // replay the rest from the (simulated) journal.
+        let mut first = DispatchCore::new(config(), 0.6);
+        for p in &script[..3] {
+            first.apply_payload(p).unwrap();
+        }
+        let snapshot = first.checkpoint();
+        drop(first);
+        let mut revived = DispatchCore::from_checkpoint(config(), &snapshot).unwrap();
+        for p in &script[3..] {
+            revived.apply_payload(p).unwrap();
+        }
+        assert_eq!(straight.digest(), revived.digest());
+        assert_eq!(straight.ledger(), revived.ledger());
+    }
+
+    #[test]
+    fn service_levels_differ_in_work_not_in_replayability() {
+        let mut core = DispatchCore::new(config(), 0.6);
+        // Fallback/greedy steps don't consume the CMA2C RNG: the stream is
+        // reserved for Full-level inference, so a ladder change mid-run
+        // can't desynchronize replay.
+        let before = core.digest();
+        core.apply_payload("DECIDE S").unwrap();
+        core.apply_payload("DECIDE G").unwrap();
+        let rng_after = core.policy.rng_state();
+        assert_eq!(
+            DispatchCore::new(config(), 0.6).policy.rng_state(),
+            rng_after
+        );
+        let _ = before;
+        core.apply_payload("DECIDE F").unwrap();
+        assert_ne!(core.policy.rng_state(), rng_after, "Full consumes RNG");
+    }
+}

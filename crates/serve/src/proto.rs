@@ -1,0 +1,208 @@
+//! The line-oriented dispatch protocol.
+//!
+//! One request per line, one response line back (except `QUIT`/`KILL`).
+//!
+//! ```text
+//! STEP [deadline_ms]        advance one slot           -> OK step <slot> <matches>
+//! DECIDE [deadline_ms]      advisory decisions         -> OK decide <n> <moved>
+//! EVENT surge <region> <factor> <from> <to>
+//! EVENT blackout <region> <from> <to>
+//! EVENT outage <station> <from> <to>
+//! EVENT breakdown <taxi> <from> <to>   inject a fault  -> OK event <seq>
+//! DIGEST                    state digest               -> OK digest <hex> <slot>
+//! HEALTH                    liveness + ladder          -> OK health <level> <seq> <depth>
+//! CKPT                      force a checkpoint         -> OK ckpt <seq>
+//! QUIT                      close this connection
+//! KILL                      crash the server (chaos)
+//! ```
+//!
+//! Errors: `ERR 400 <why>` (malformed), `ERR 429 shed <why>` (queue full),
+//! `ERR 503 deadline <why>` (budget can't be met), `ERR 500 <why>`.
+
+use fairmove_faults::{FaultSpec, SlotWindow};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Advance the simulation one slot. Optional deadline budget in ms.
+    Step { deadline_ms: Option<u64> },
+    /// Compute (but don't apply) displacement decisions for the current
+    /// slot. Optional deadline budget in ms.
+    Decide { deadline_ms: Option<u64> },
+    /// Inject a fault. Carries the parsed spec and its canonical journal
+    /// payload text.
+    Event { spec: FaultSpec, text: String },
+    /// Request the state digest.
+    Digest,
+    /// Liveness, ladder level, journal position, queue depth.
+    Health,
+    /// Force a checkpoint now.
+    Ckpt,
+    /// Close the connection gracefully.
+    Quit,
+    /// Hard-crash the worker without checkpointing (chaos testing).
+    Kill,
+}
+
+impl Request {
+    /// Whether the request mutates dispatch state (and thus is journaled).
+    pub fn mutates(&self) -> bool {
+        matches!(
+            self,
+            Request::Step { .. } | Request::Decide { .. } | Request::Event { .. }
+        )
+    }
+}
+
+/// Parses one request line. Errors are human-readable `ERR 400` reasons.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut it = line.split_whitespace();
+    let verb = it.next().ok_or("empty request")?;
+    let req = match verb {
+        "STEP" | "DECIDE" => {
+            let deadline_ms = match it.next() {
+                None => None,
+                Some(ms) => Some(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("bad deadline {ms:?}"))?,
+                ),
+            };
+            if verb == "STEP" {
+                Request::Step { deadline_ms }
+            } else {
+                Request::Decide { deadline_ms }
+            }
+        }
+        "EVENT" => {
+            let rest: Vec<&str> = it.by_ref().collect();
+            let (spec, text) = parse_event(&rest)?;
+            return finish(Request::Event { spec, text }, it);
+        }
+        "DIGEST" => Request::Digest,
+        "HEALTH" => Request::Health,
+        "CKPT" => Request::Ckpt,
+        "QUIT" => Request::Quit,
+        "KILL" => Request::Kill,
+        other => return Err(format!("unknown verb {other:?}")),
+    };
+    finish(req, it)
+}
+
+fn finish<'a>(req: Request, mut rest: impl Iterator<Item = &'a str>) -> Result<Request, String> {
+    match rest.next() {
+        None => Ok(req),
+        Some(extra) => Err(format!("unexpected trailing {extra:?}")),
+    }
+}
+
+/// Parses the `EVENT` argument vector into a fault spec; also reused to
+/// replay journaled `EVENT` payloads.
+pub fn parse_event(args: &[&str]) -> Result<(FaultSpec, String), String> {
+    fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+        s.parse().map_err(|_| format!("bad {what} {s:?}"))
+    }
+    let window = |from: &str, to: &str| -> Result<SlotWindow, String> {
+        let start: u32 = num(from, "window start")?;
+        let end: u32 = num(to, "window end")?;
+        if start > end {
+            return Err(format!("inverted window [{start}, {end})"));
+        }
+        Ok(SlotWindow::new(start, end))
+    };
+    let spec = match args {
+        ["surge", region, factor, from, to] => FaultSpec::DemandSurge {
+            region: num(region, "region")?,
+            factor: num::<f64>(factor, "factor")?,
+            window: window(from, to)?,
+        },
+        ["blackout", region, from, to] => FaultSpec::DemandBlackout {
+            region: num(region, "region")?,
+            window: window(from, to)?,
+        },
+        ["outage", station, from, to] => FaultSpec::StationOutage {
+            station: num(station, "station")?,
+            window: window(from, to)?,
+        },
+        ["breakdown", taxi, from, to] => FaultSpec::TaxiBreakdown {
+            taxi: num(taxi, "taxi")?,
+            window: window(from, to)?,
+        },
+        _ => return Err(format!("bad event {args:?}")),
+    };
+    Ok((spec, args.join(" ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_core_verbs() {
+        assert_eq!(
+            parse_request("STEP"),
+            Ok(Request::Step { deadline_ms: None })
+        );
+        assert_eq!(
+            parse_request("STEP 50"),
+            Ok(Request::Step {
+                deadline_ms: Some(50)
+            })
+        );
+        assert_eq!(
+            parse_request("DECIDE 10"),
+            Ok(Request::Decide {
+                deadline_ms: Some(10)
+            })
+        );
+        assert_eq!(parse_request("DIGEST"), Ok(Request::Digest));
+        assert_eq!(parse_request("HEALTH"), Ok(Request::Health));
+        assert_eq!(parse_request("CKPT"), Ok(Request::Ckpt));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        assert_eq!(parse_request("KILL"), Ok(Request::Kill));
+    }
+
+    #[test]
+    fn parses_events_with_canonical_payloads() {
+        let Ok(Request::Event { spec, text }) = parse_request("EVENT surge 3 1.5 10 20") else {
+            panic!("surge must parse");
+        };
+        assert_eq!(text, "surge 3 1.5 10 20");
+        assert_eq!(
+            spec,
+            FaultSpec::DemandSurge {
+                region: 3,
+                factor: 1.5,
+                window: SlotWindow::new(10, 20)
+            }
+        );
+        assert!(parse_request("EVENT outage 2 5 9").is_ok());
+        assert!(parse_request("EVENT blackout 1 5 9").is_ok());
+        assert!(parse_request("EVENT breakdown 17 0 3").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "FROB",
+            "STEP fast",
+            "STEP 10 20",
+            "EVENT surge 3 1.5 10",
+            "EVENT surge 3 1.5 20 10",
+            "EVENT quake 3 0 1",
+            "DIGEST now",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn mutation_classification_drives_journaling() {
+        assert!(parse_request("STEP").unwrap().mutates());
+        assert!(parse_request("DECIDE").unwrap().mutates());
+        assert!(parse_request("EVENT outage 0 1 2").unwrap().mutates());
+        assert!(!parse_request("DIGEST").unwrap().mutates());
+        assert!(!parse_request("HEALTH").unwrap().mutates());
+        assert!(!parse_request("CKPT").unwrap().mutates());
+    }
+}

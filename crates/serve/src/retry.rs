@@ -1,0 +1,166 @@
+//! Deterministic retry backoff.
+//!
+//! Load generators and chaos tests retry against a server that sheds load
+//! or is mid-restart. Retrying *well* means exponential backoff with
+//! jitter (so a fleet of clients doesn't re-dogpile in lockstep), a bounded
+//! attempt count, and — because every request here carries a deadline —
+//! giving up early rather than sleeping past the point where a success
+//! could still be useful.
+//!
+//! The jitter is seeded: schedule is a pure function of `(seed, attempt)`,
+//! via [`fairmove_faults::splitmix64`], so tests can assert the exact
+//! delays and replays don't wander.
+
+use fairmove_faults::splitmix64;
+use std::time::Duration;
+
+/// A seeded, bounded, jittered exponential-backoff schedule.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    max_attempts: u32,
+    /// Fraction of each delay randomized away, in `[0, 1]`: the delay for
+    /// attempt *k* is `exp_k * (1 - jitter * u)` with `u ∈ [0, 1)`.
+    jitter: f64,
+    seed: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling per attempt, capped at
+    /// `cap`, with at most `max_attempts` retries and 50% jitter.
+    pub fn new(seed: u64, base: Duration, cap: Duration, max_attempts: u32) -> Self {
+        Backoff {
+            base,
+            cap,
+            max_attempts,
+            jitter: 0.5,
+            seed,
+            attempt: 0,
+        }
+    }
+
+    /// Overrides the jitter fraction (clamped to `[0, 1]`; 0 = pure
+    /// exponential).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Retries consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The delay to sleep before the next retry, or `None` once the attempt
+    /// budget is exhausted. Deterministic in `(seed, attempt)`.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        // base · 2^attempt, saturating well before u64 overflow, then cap.
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let u = splitmix64(self.seed ^ u64::from(self.attempt).wrapping_mul(0x9E37)) as f64
+            / (u64::MAX as f64);
+        let scaled = exp.as_secs_f64() * (1.0 - self.jitter * u);
+        self.attempt += 1;
+        Some(Duration::from_secs_f64(scaled))
+    }
+
+    /// Deadline-aware variant: additionally gives up (`None`) when the next
+    /// delay would sleep past `remaining` — the retry could only complete
+    /// after the caller's deadline, so it is never taken.
+    pub fn next_delay_within(&mut self, remaining: Duration) -> Option<Duration> {
+        let before = self.attempt;
+        let delay = self.next_delay()?;
+        if delay >= remaining {
+            // Un-consume: the caller may retry later with a fresh deadline.
+            self.attempt = before;
+            return None;
+        }
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64) -> Vec<Duration> {
+        let mut b = Backoff::new(
+            seed,
+            Duration::from_millis(10),
+            Duration::from_millis(500),
+            6,
+        );
+        std::iter::from_fn(|| b.next_delay()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_different_jitter() {
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43));
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_the_cap() {
+        // Without jitter the schedule is exactly base · 2^k, capped.
+        let mut b = Backoff::new(7, Duration::from_millis(10), Duration::from_millis(100), 8)
+            .with_jitter(0.0);
+        let delays: Vec<u64> = std::iter::from_fn(|| b.next_delay())
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![10, 20, 40, 80, 100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn jitter_never_exceeds_the_undithered_delay() {
+        let mut b = Backoff::new(99, Duration::from_millis(10), Duration::from_secs(1), 20);
+        let mut exp = Duration::from_millis(10);
+        while let Some(d) = b.next_delay() {
+            assert!(d <= exp, "jittered {d:?} above expected {exp:?}");
+            assert!(
+                d >= exp.mul_f64(0.5),
+                "jittered {d:?} below half of {exp:?}"
+            );
+            exp = (exp * 2).min(Duration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn attempt_budget_is_exact() {
+        let mut b = Backoff::new(1, Duration::from_millis(1), Duration::from_secs(1), 3);
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_none());
+        assert_eq!(b.attempts(), 3);
+    }
+
+    #[test]
+    fn deadline_awareness_refuses_sleeps_past_the_deadline() {
+        let mut b = Backoff::new(5, Duration::from_millis(100), Duration::from_secs(10), 32)
+            .with_jitter(0.0);
+        // Plenty of budget: the first delays are taken.
+        assert_eq!(
+            b.next_delay_within(Duration::from_secs(1)),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(
+            b.next_delay_within(Duration::from_secs(1)),
+            Some(Duration::from_millis(200))
+        );
+        // The next delay (400 ms) would overshoot a 300 ms budget: give up
+        // without consuming the attempt.
+        let before = b.attempts();
+        assert_eq!(b.next_delay_within(Duration::from_millis(300)), None);
+        assert_eq!(b.attempts(), before);
+        // A zero budget can never admit a retry.
+        assert_eq!(b.next_delay_within(Duration::ZERO), None);
+    }
+}

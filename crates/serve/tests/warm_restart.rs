@@ -1,0 +1,146 @@
+//! Warm-restart determinism, as a property over generated scenarios.
+//!
+//! For each seed: derive a scenario-shaped world (via the testkit scenario
+//! driver), script a random request sequence, and run it twice —
+//! uninterrupted, and killed at a random record `k` then restarted on the
+//! same data directory. The journal replay must bring the revived server
+//! to a state digest (environment image + policy RNG) identical to the
+//! uninterrupted run's, and every subsequent response must match.
+//!
+//! Thread counts: the simulator honors `FAIRMOVE_THREADS`; CI runs this
+//! suite at 1 and 4 workers, and the digest must be identical at both.
+
+use fairmove_serve::{Client, DispatchServer, ServeConfig};
+use fairmove_testkit::{Scenario, TestRng};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fairmove-warm-restart-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Scripts a deterministic request sequence for a scenario: mostly steps,
+/// some advisory decides, occasional fault injections.
+fn script(scenario: &Scenario, rng: &mut TestRng, len: usize) -> Vec<String> {
+    (0..len)
+        .map(|_| match rng.below(10) {
+            0..=5 => "STEP".to_string(),
+            6 | 7 => "DECIDE".to_string(),
+            8 => {
+                let region = rng.below(scenario.n_regions as u64);
+                let start = rng.below(u64::from(scenario.slots));
+                let end = start + rng.range(1, 8);
+                format!("EVENT surge {region} 1.5 {start} {end}")
+            }
+            _ => {
+                let station = rng.below(scenario.n_stations as u64);
+                let start = rng.below(u64::from(scenario.slots));
+                let end = start + rng.range(1, 8);
+                format!("EVENT outage {station} {start} {end}")
+            }
+        })
+        .collect()
+}
+
+fn serve_config(scenario: &Scenario, dir: PathBuf) -> ServeConfig {
+    let mut config = ServeConfig::test_scale(dir);
+    config.sim = scenario.sim_config();
+    config.alpha = scenario.alpha;
+    // A small interval so the killed run usually has both a checkpoint to
+    // warm-start from and a journal tail to replay over it.
+    config.checkpoint_every = 5;
+    config
+}
+
+fn digest_of(client: &mut Client) -> String {
+    let response = client.request("DIGEST").expect("digest");
+    assert!(response.starts_with("OK digest "), "{response}");
+    response
+}
+
+#[test]
+fn killed_and_restarted_run_matches_uninterrupted_run_bitwise() {
+    for seed in [11u64, 29, 47, 83] {
+        let scenario = Scenario::generate(seed);
+        let mut rng = TestRng::new(seed ^ 0xD15_7A7C4);
+        let n = 12 + rng.below(8) as usize;
+        let commands = script(&scenario, &mut rng, n);
+        let k = 1 + rng.below(commands.len() as u64 - 1) as usize;
+
+        // Uninterrupted reference run.
+        let dir_a = fresh_dir(&format!("a{seed}"));
+        let server_a = DispatchServer::start(serve_config(&scenario, dir_a.clone())).unwrap();
+        let mut client_a = Client::connect(server_a.addr()).unwrap();
+        for cmd in &commands {
+            client_a.request(cmd).unwrap();
+        }
+        let reference = digest_of(&mut client_a);
+
+        // Killed-at-k twin on its own data directory.
+        let dir_b = fresh_dir(&format!("b{seed}"));
+        let mut server_b = DispatchServer::start(serve_config(&scenario, dir_b.clone())).unwrap();
+        let mut client_b = Client::connect(server_b.addr()).unwrap();
+        for cmd in &commands[..k] {
+            client_b.request(cmd).unwrap();
+        }
+        client_b.fire_and_forget("KILL").unwrap();
+        assert!(
+            server_b.wait_worker_exit(Duration::from_secs(10)),
+            "seed {seed}: worker must die on KILL"
+        );
+        drop(server_b);
+
+        // Restart on the same directory: checkpoint + journal replay.
+        let revived = DispatchServer::start(serve_config(&scenario, dir_b.clone())).unwrap();
+        let recovery = revived.recovery();
+        assert_eq!(
+            recovery.warm_start_seq.is_some() || recovery.replayed > 0,
+            k > 0,
+            "seed {seed}: recovery must have something to recover ({recovery:?})"
+        );
+        let mut client_r = Client::connect(revived.addr()).unwrap();
+        for cmd in &commands[k..] {
+            client_r.request(cmd).unwrap();
+        }
+        let recovered = digest_of(&mut client_r);
+        assert_eq!(
+            reference,
+            recovered,
+            "seed {seed}, kill at {k}/{}: digests diverged (recovery {recovery:?})",
+            commands.len()
+        );
+
+        server_a.shutdown();
+        revived.shutdown();
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
+
+#[test]
+fn restart_after_graceful_shutdown_resumes_from_the_final_checkpoint() {
+    let scenario = Scenario::generate(5);
+    let dir = fresh_dir("graceful");
+    let server = DispatchServer::start(serve_config(&scenario, dir.clone())).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..7 {
+        client.request("STEP").unwrap();
+    }
+    let before = digest_of(&mut client);
+    drop(client);
+    server.shutdown(); // writes a final checkpoint
+
+    let revived = DispatchServer::start(serve_config(&scenario, dir.clone())).unwrap();
+    // Everything is inside the final checkpoint; no replay needed.
+    assert_eq!(revived.recovery().replayed, 0);
+    assert!(revived.recovery().warm_start_seq.is_some());
+    let mut client = Client::connect(revived.addr()).unwrap();
+    assert_eq!(digest_of(&mut client), before);
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,6 +16,8 @@
 
 #[path = "audit.rs"]
 pub mod audit;
+#[path = "state.rs"]
+pub mod state;
 
 use crate::action::Action;
 use crate::action::ActionSet;

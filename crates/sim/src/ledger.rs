@@ -145,9 +145,9 @@ impl TaxiLedger {
 /// and uninstrumented runs are bit-identical.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetLedger {
-    taxis: Vec<TaxiLedger>,
-    trips: Vec<TripEvent>,
-    charges: Vec<ChargeEvent>,
+    pub(crate) taxis: Vec<TaxiLedger>,
+    pub(crate) trips: Vec<TripEvent>,
+    pub(crate) charges: Vec<ChargeEvent>,
     /// Requests that expired unserved.
     pub expired_requests: u64,
 }

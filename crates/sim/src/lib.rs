@@ -40,6 +40,7 @@ pub mod trace;
 pub use action::{Action, ActionSet};
 pub use config::SimConfig;
 pub use env::audit::{AuditViolation, InvariantAuditor};
+pub use env::state::{config_fingerprint, StateError};
 pub use env::{Environment, FaultCounters, SlotFeedback};
 pub use error::SimError;
 pub use ledger::{ChargeEvent, FleetLedger, TaxiLedger, TripEvent};

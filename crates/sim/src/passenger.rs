@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 /// Waiting passengers, bucketed by origin region.
 #[derive(Debug, Clone)]
 pub struct PassengerPool {
-    queues: Vec<VecDeque<PassengerRequest>>,
+    pub(crate) queues: Vec<VecDeque<PassengerRequest>>,
     /// Requests that expired unserved, cumulative.
     pub expired: u64,
 }

@@ -21,7 +21,7 @@ pub struct StationState {
     /// Points currently in use.
     pub occupied: u32,
     /// Taxis waiting for a point, FIFO.
-    queue: VecDeque<TaxiId>,
+    pub(crate) queue: VecDeque<TaxiId>,
     /// Taxis en route to this station (affects expected congestion but not
     /// occupancy yet).
     pub inbound: u32,

@@ -25,7 +25,16 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Per-read timeout: a client that sends *nothing* for this long is cut off.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+/// Overall deadline for receiving the request head. A slow-loris client that
+/// drips one byte per read resets the per-read timeout forever; this bounds
+/// the total time the (single-threaded) accept loop spends on one client.
+const HEAD_DEADLINE: Duration = Duration::from_secs(2);
+/// Maximum request-head size accepted before answering 431.
+const MAX_HEAD_BYTES: usize = 8192;
 
 /// A running metrics server; dropping it (or calling
 /// [`MetricsServer::shutdown`]) stops the accept loop.
@@ -63,38 +72,86 @@ pub fn serve_metrics(telemetry: Telemetry, addr: &str) -> std::io::Result<Metric
     })
 }
 
-fn handle_request(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    // Read until the end of the request head (or timeout); only the request
-    // line matters.
+/// How reading the request head ended.
+enum HeadRead {
+    /// A complete head (`\r\n\r\n` seen).
+    Complete(Vec<u8>),
+    /// The client half-closed (or the connection dropped) before a complete
+    /// head arrived.
+    Closed,
+    /// The head deadline elapsed first (slow-loris drip or silent client).
+    TimedOut,
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    TooLarge,
+}
+
+/// Reads the request head under both the per-read timeout and the overall
+/// deadline, with a bounded buffer. Shared with the dispatch-server crate's
+/// expectations: slow or abusive clients get a definite answer and the
+/// connection back within [`HEAD_DEADLINE`], never a hung accept loop.
+fn read_head(stream: &mut TcpStream) -> std::io::Result<HeadRead> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let started = Instant::now();
     let mut buf = [0u8; 1024];
     let mut head = Vec::new();
     loop {
         match stream.read(&mut buf) {
-            Ok(0) => break,
+            Ok(0) => return Ok(HeadRead::Closed),
             Ok(n) => {
+                if head.len() + n > MAX_HEAD_BYTES {
+                    return Ok(HeadRead::TooLarge);
+                }
                 head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
-                    break;
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return Ok(HeadRead::Complete(head));
                 }
             }
-            Err(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Per-read timeout: keep waiting only while the overall
+                // deadline allows.
+            }
+            Err(_) => return Ok(HeadRead::Closed),
+        }
+        if started.elapsed() >= HEAD_DEADLINE {
+            return Ok(HeadRead::TimedOut);
         }
     }
+}
+
+fn handle_request(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    let head = match read_head(&mut stream)? {
+        HeadRead::Complete(head) => head,
+        // Nobody left to answer; just release the connection.
+        HeadRead::Closed => return Ok(()),
+        HeadRead::TimedOut => return respond(&mut stream, "408 Request Timeout", "too slow\n"),
+        HeadRead::TooLarge => {
+            return respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "head too large\n",
+            )
+        }
+    };
     let request_line = std::str::from_utf8(&head)
         .unwrap_or("")
         .lines()
         .next()
         .unwrap_or("");
     let path = request_line.split_whitespace().nth(1).unwrap_or("");
-    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+    if path == "/metrics" || path.starts_with("/metrics?") {
         let snapshot = telemetry.snapshot();
         let mut body = render_prometheus(&snapshot);
         body.push_str(&render_prometheus_percentiles(&snapshot));
-        ("200 OK", body)
+        respond(&mut stream, "200 OK", &body)
     } else {
-        ("404 Not Found", "try /metrics\n".to_string())
-    };
+        respond(&mut stream, "404 Not Found", "try /metrics\n")
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
     let response = format!(
         "HTTP/1.1 {status}\r\n\
          Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
@@ -199,6 +256,83 @@ mod tests {
         let (status, body) = request(server.addr(), "/nope");
         assert!(status.starts_with("HTTP/1.1 404"), "status: {status}");
         assert!(body.contains("/metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_drip_is_answered_408_within_the_deadline() {
+        let tel = Telemetry::enabled();
+        let server = serve_metrics(tel, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let started = Instant::now();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Drip the request one byte at a time from a background thread —
+        // each byte lands well inside the per-read timeout, so only the
+        // overall head deadline can stop this.
+        let writer = {
+            let mut drip = stream.try_clone().unwrap();
+            std::thread::spawn(move || {
+                for b in b"GET /metrics HTTP/1.1\r\nHost: t\r\n".iter().cycle() {
+                    if drip.write_all(&[*b]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            })
+        };
+        stream
+            .set_read_timeout(Some(HEAD_DEADLINE + Duration::from_secs(3)))
+            .unwrap();
+        let mut response = String::new();
+        let _ = BufReader::new(&mut stream).read_line(&mut response);
+        assert!(
+            response.starts_with("HTTP/1.1 408"),
+            "expected 408, got {response:?}"
+        );
+        assert!(
+            started.elapsed() < HEAD_DEADLINE + Duration::from_secs(2),
+            "slow-loris held the server for {:?}",
+            started.elapsed()
+        );
+        drop(stream);
+        writer.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_close_before_a_complete_head_releases_the_connection() {
+        let tel = Telemetry::enabled();
+        let server = serve_metrics(tel.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metr").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        // The server sees EOF mid-head and drops the connection without a
+        // response — and, crucially, without stalling later clients.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut leftover = String::new();
+        let n = stream.read_to_string(&mut leftover).unwrap_or(0);
+        assert_eq!(n, 0, "half-closed request must get no response");
+        let (status, _) = request(addr, "/metrics");
+        assert!(status.starts_with("HTTP/1.1 200"), "status: {status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_heads_get_431() {
+        let tel = Telemetry::enabled();
+        let server = serve_metrics(tel, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A never-terminated head larger than the server's buffer bound.
+        let junk = vec![b'x'; MAX_HEAD_BYTES + 1024];
+        stream.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        stream.write_all(&junk).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.starts_with("HTTP/1.1 431"), "status: {status}");
         server.shutdown();
     }
 
