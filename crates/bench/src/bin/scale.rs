@@ -14,6 +14,14 @@
 //!   exercised on every push.
 //! - `--full`: additionally run the paper-scale preset (20,130 taxis, 491
 //!   regions — minutes per round). Off by default.
+//! - `--paper`: run the paper preset on the region-sharded engine (the full
+//!   20,130-taxi deployment over one day; `--smoke` shrinks the window).
+//! - `--check-baseline [path]`: after writing the report, compare it against
+//!   the checked-in baseline (default
+//!   `crates/bench/baselines/BENCH_scale_baseline.json`): every report row
+//!   with a baseline row at the same `(scale, policy, slots)` must have an
+//!   *exactly equal* decision count — a cross-machine determinism gate.
+//!   Exits non-zero on mismatch or when a `--paper` row has no baseline.
 //! - `--out <path>`: where to write the report (default `BENCH_scale.json`).
 //!
 //! Policies: `stay` (environment-dominated floor) and `cma2c-frozen` (the
@@ -22,7 +30,8 @@
 //! default-scale `cma2c-frozen` row against the checked-in baseline.
 
 use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
-use fairmove_bench::{measure, Scale, ScaleReport, ScaleResult};
+use fairmove_bench::scale_bench::{PAPER_FULL_WINDOW, PAPER_SHARDS, PAPER_SMOKE_WINDOW};
+use fairmove_bench::{measure, measure_sharded, Scale, ScaleReport, ScaleResult};
 use fairmove_city::City;
 use fairmove_sim::StayPolicy;
 use fairmove_testkit::CountingAlloc;
@@ -71,10 +80,66 @@ fn run_scale(scale: Scale, rounds: usize, warmup: usize) -> Vec<ScaleResult> {
     results
 }
 
+/// Compares `report` to the checked-in baseline: rows matching on
+/// `(scale, policy, slots)` must agree exactly on `decisions` (the engines
+/// are deterministic, so any drift is a real behaviour change, not noise).
+/// Returns the number of mismatches; `require_paper` additionally demands
+/// that the report's paper rows all found a baseline row.
+fn check_baseline(report: &ScaleReport, baseline: &ScaleReport, require_paper: bool) -> usize {
+    let mut failures = 0;
+    for row in &report.results {
+        let matched = baseline
+            .results
+            .iter()
+            .find(|b| b.scale == row.scale && b.policy == row.policy && b.slots == row.slots);
+        match matched {
+            Some(b) if b.decisions != row.decisions => {
+                eprintln!(
+                    "BASELINE MISMATCH {}/{} ({} slots): {} decisions, baseline {}",
+                    row.scale, row.policy, row.slots, row.decisions, b.decisions
+                );
+                failures += 1;
+            }
+            Some(b) => {
+                println!(
+                    "baseline ok {}/{} ({} slots): {} decisions, {:.2}x baseline throughput",
+                    row.scale,
+                    row.policy,
+                    row.slots,
+                    row.decisions,
+                    row.slots_per_sec / b.slots_per_sec,
+                );
+            }
+            None if require_paper && row.scale == "paper" => {
+                eprintln!(
+                    "BASELINE MISSING {}/{} ({} slots): no baseline row at this window",
+                    row.scale, row.policy, row.slots
+                );
+                failures += 1;
+            }
+            None => {
+                println!(
+                    "baseline skip {}/{} ({} slots): no row at this window",
+                    row.scale, row.policy, row.slots
+                );
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let full = args.iter().any(|a| a == "--full");
+    let paper = args.iter().any(|a| a == "--paper");
+    let baseline_check = args.iter().position(|a| a == "--check-baseline").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("crates/bench/baselines/BENCH_scale_baseline.json")
+            .to_string()
+    });
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -82,7 +147,9 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_scale.json");
 
-    let (scales, rounds, warmup): (&[Scale], usize, usize) = if smoke {
+    let (scales, rounds, warmup): (&[Scale], usize, usize) = if paper {
+        (&[], 1, 0) // paper runs through the sharded path below
+    } else if smoke {
         (&[Scale::Test], 1, 6)
     } else if full {
         (
@@ -107,6 +174,25 @@ fn main() {
         report
             .results
             .extend(run_scale(scale, scale_rounds, warmup));
+    }
+    if paper {
+        let (warmup, rounds, slots) = if smoke {
+            PAPER_SMOKE_WINDOW
+        } else {
+            PAPER_FULL_WINDOW
+        };
+        eprintln!(
+            "measuring paper/sharded ({PAPER_SHARDS} shards, {} threads, {rounds}x{slots} slots) ...",
+            report.threads
+        );
+        report.results.push(measure_sharded(
+            Scale::Paper,
+            PAPER_SHARDS,
+            report.threads,
+            warmup,
+            rounds,
+            slots,
+        ));
     }
 
     for r in &report.results {
@@ -133,4 +219,27 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = baseline_check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = match ScaleReport::from_json(&baseline) {
+            Some(b) => b,
+            None => {
+                eprintln!("baseline {baseline_path} does not parse as a scale report");
+                std::process::exit(1);
+            }
+        };
+        let failures = check_baseline(&report, &baseline, paper);
+        if failures > 0 {
+            eprintln!("{failures} baseline check(s) failed");
+            std::process::exit(1);
+        }
+        println!("baseline checks passed against {baseline_path}");
+    }
 }

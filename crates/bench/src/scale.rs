@@ -17,6 +17,11 @@ pub enum Scale {
     Default,
     /// Paper scale: 20,130 taxis, 491 regions, 123 stations, 31 days.
     Full,
+    /// Paper-scale single day for the sharded engine: the full deployment
+    /// (20,130 taxis, 491 regions, 123 stations) over one simulated day,
+    /// driven by [`fairmove_sim::ShardedEnv`] instead of the minute-stepped
+    /// [`fairmove_sim::Environment`].
+    Paper,
 }
 
 impl Scale {
@@ -36,6 +41,10 @@ impl Scale {
             }
             Scale::Default => SimConfig::default(),
             Scale::Full => SimConfig::shenzhen_scale(),
+            Scale::Paper => SimConfig {
+                days: 1,
+                ..SimConfig::shenzhen_scale()
+            },
         }
     }
 
@@ -46,6 +55,7 @@ impl Scale {
             Scale::Small => 10,
             Scale::Default => 10,
             Scale::Full => 10,
+            Scale::Paper => 1,
         }
     }
 
@@ -56,6 +66,7 @@ impl Scale {
             Scale::Small => 3,
             Scale::Default => 3,
             Scale::Full => 1,
+            Scale::Paper => 1,
         }
     }
 
@@ -66,6 +77,7 @@ impl Scale {
             Scale::Small => "small",
             Scale::Default => "default",
             Scale::Full => "full",
+            Scale::Paper => "paper",
         }
     }
 }
@@ -80,6 +92,7 @@ pub fn parse_scale(args: &[String]) -> Scale {
                 Some("small") => Scale::Small,
                 Some("default") => Scale::Default,
                 Some("full") => Scale::Full,
+                Some("paper") => Scale::Paper,
                 other => {
                     eprintln!("unknown scale {other:?}; using small");
                     Scale::Small
@@ -103,6 +116,7 @@ mod tests {
         assert_eq!(parse_scale(&args(&["--scale", "test"])), Scale::Test);
         assert_eq!(parse_scale(&args(&["--scale", "default"])), Scale::Default);
         assert_eq!(parse_scale(&args(&["--scale", "full"])), Scale::Full);
+        assert_eq!(parse_scale(&args(&["--scale", "paper"])), Scale::Paper);
     }
 
     #[test]
@@ -116,6 +130,11 @@ mod tests {
     fn scales_map_to_configs() {
         assert_eq!(Scale::Test.sim().fleet_size, 60);
         assert_eq!(Scale::Full.sim().fleet_size, 20_130);
+        let paper = Scale::Paper.sim();
+        assert_eq!(paper.fleet_size, 20_130);
+        assert_eq!(paper.city.n_regions, 491);
+        assert_eq!(paper.city.n_stations, 123);
+        assert_eq!(paper.days, 1, "paper preset is a single full day");
         assert!(Scale::Full.train_episodes() > Scale::Test.train_episodes());
     }
 }

@@ -195,6 +195,80 @@ pub fn measure(
     }
 }
 
+/// Shard count used for every recorded paper-scale measurement. The digest
+/// is layout-invariant, but wall-clock numbers are not; pinning the layout
+/// keeps baseline comparisons apples-to-apples.
+pub const PAPER_SHARDS: usize = 4;
+/// Paper-preset smoke window `(warmup, rounds, slots_per_round)` — run by
+/// the CI scale-bench-smoke job, small enough for a debug-cache-miss runner.
+pub const PAPER_SMOKE_WINDOW: (usize, usize, usize) = (2, 1, 6);
+/// Paper-preset full window `(warmup, rounds, slots_per_round)` — exactly
+/// one simulated day (12 + 3·44 = 144 slots), used to record the baseline
+/// and by the throughput-regression gate.
+pub const PAPER_FULL_WINDOW: (usize, usize, usize) = (12, 3, 44);
+
+/// Steps the region-sharded engine ([`fairmove_sim::ShardedEnv`]) at `scale`
+/// and measures steady-state throughput with the same window protocol as
+/// [`measure`]: `warmup` unmeasured slots, then `rounds` timed blocks of
+/// `slots_per_round` slots, reporting the median round.
+///
+/// The result's `policy` is `"sharded"` and `decisions` counts the engine's
+/// layout-invariant decision total (charge + displacement + match), so the
+/// baseline gate can require exact equality across machines and layouts.
+/// The sharded engine has no span instrumentation, so the per-phase
+/// `*_ns_per_slot` fields read 0.0.
+pub fn measure_sharded(
+    scale: Scale,
+    shards: usize,
+    threads: usize,
+    warmup: usize,
+    rounds: usize,
+    slots_per_round: usize,
+) -> ScaleResult {
+    let config = scale.sim();
+    let horizon = config.days as usize * 144;
+    assert!(
+        warmup + rounds * slots_per_round <= horizon,
+        "measurement window exceeds the {}-slot horizon at scale {}",
+        horizon,
+        scale.name()
+    );
+
+    let mut env = fairmove_sim::ShardedEnv::new(config, shards);
+    env.run(warmup as u32, threads);
+
+    let mut slots_per_sec = Vec::with_capacity(rounds);
+    let mut decisions_per_sec = Vec::with_capacity(rounds);
+    let decisions_before = env.decisions();
+    let mut total_allocs = 0u64;
+    for _ in 0..rounds {
+        let before = env.decisions();
+        let start = Instant::now();
+        let (allocs, ()) = fairmove_testkit::allocs_in(|| {
+            env.run(slots_per_round as u32, threads);
+        });
+        let secs = start.elapsed().as_secs_f64();
+        total_allocs += allocs;
+        slots_per_sec.push(slots_per_round as f64 / secs);
+        decisions_per_sec.push((env.decisions() - before) as f64 / secs);
+    }
+
+    let total_slots = (rounds * slots_per_round) as u64;
+    ScaleResult {
+        scale: scale.name().to_string(),
+        policy: "sharded".to_string(),
+        slots: total_slots,
+        decisions: env.decisions() - decisions_before,
+        slots_per_sec: median(&mut slots_per_sec),
+        decisions_per_sec: median(&mut decisions_per_sec),
+        allocs_per_slot: total_allocs as f64 / total_slots as f64,
+        peak_rss_bytes: peak_rss_bytes(),
+        observe_ns_per_slot: 0.0,
+        decide_ns_per_slot: 0.0,
+        commit_ns_per_slot: 0.0,
+    }
+}
+
 fn median(xs: &mut [f64]) -> f64 {
     assert!(!xs.is_empty(), "median of no rounds");
     xs.sort_by(f64::total_cmp);
@@ -255,6 +329,22 @@ mod tests {
     fn measure_rejects_windows_past_the_horizon() {
         let mut stay = StayPolicy;
         let _ = measure(Scale::Test, &mut stay, "stay", 100, 3, 20);
+    }
+
+    #[test]
+    fn measure_sharded_is_deterministic_across_layouts() {
+        let a = measure_sharded(Scale::Test, 1, 1, 4, 2, 8);
+        let b = measure_sharded(Scale::Test, 4, 2, 4, 2, 8);
+        assert_eq!(a.scale, "test");
+        assert_eq!(a.policy, "sharded");
+        assert_eq!(a.slots, 16);
+        assert!(a.decisions > 0);
+        assert_eq!(
+            a.decisions, b.decisions,
+            "sharded decision count must be layout-invariant"
+        );
+        assert!(a.slots_per_sec > 0.0);
+        assert_eq!(a.observe_ns_per_slot, 0.0, "sharded engine has no spans");
     }
 
     #[test]

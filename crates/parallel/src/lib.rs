@@ -31,19 +31,49 @@ use std::sync::{Mutex, OnceLock};
 /// Effective worker count: `FAIRMOVE_THREADS` if set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`]. Cached for the process
 /// lifetime; `FAIRMOVE_THREADS=1` forces the serial path everywhere.
+///
+/// A set-but-invalid value (`0`, garbage, overflow) is *rejected with a
+/// single warning* on stderr and the default is used — silently running
+/// serial (or worse, misparsing) would defeat the whole point of pinning
+/// the thread count in CI.
 pub fn thread_count() -> usize {
     static COUNT: OnceLock<usize> = OnceLock::new();
     *COUNT.get_or_init(|| {
-        match std::env::var("FAIRMOVE_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let raw = std::env::var("FAIRMOVE_THREADS").ok();
+        match parse_thread_count(raw.as_deref(), default) {
+            Ok(n) => n,
+            Err(why) => {
+                // The OnceLock initializer runs at most once per process,
+                // so this warning cannot repeat.
+                eprintln!("fairmove-parallel: {why}; using {default} thread(s)");
+                default
+            }
         }
     })
+}
+
+/// Parses a `FAIRMOVE_THREADS` value. `None` (unset) and `Some("")` mean
+/// "use the default"; anything else must be a positive integer that fits in
+/// `usize`. Invalid input returns the warning text to emit — callers decide
+/// where it goes, which is what makes the matrix unit-testable.
+pub fn parse_thread_count(raw: Option<&str>, default: usize) -> Result<usize, String> {
+    let Some(raw) = raw else {
+        return Ok(default);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(default);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("FAIRMOVE_THREADS=0 is invalid (need at least one worker)".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "FAIRMOVE_THREADS={trimmed:?} is not a positive integer"
+        )),
+    }
 }
 
 /// [`ordered_map_threads`] with the process-wide [`thread_count`].
@@ -284,5 +314,50 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn parse_thread_count_accepts_valid_values() {
+        // Unset and blank fall back to the default without complaint.
+        assert_eq!(parse_thread_count(None, 8), Ok(8));
+        assert_eq!(parse_thread_count(Some(""), 8), Ok(8));
+        assert_eq!(parse_thread_count(Some("   "), 8), Ok(8));
+        // Positive integers are taken verbatim, whitespace-trimmed.
+        assert_eq!(parse_thread_count(Some("1"), 8), Ok(1));
+        assert_eq!(parse_thread_count(Some("4"), 8), Ok(4));
+        assert_eq!(parse_thread_count(Some(" 16 "), 8), Ok(16));
+        assert_eq!(
+            parse_thread_count(Some(&usize::MAX.to_string()), 8),
+            Ok(usize::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_thread_count_rejects_invalid_values() {
+        // Zero workers is meaningless.
+        assert!(parse_thread_count(Some("0"), 8).is_err());
+        // Negative, fractional, garbage, hex, and overflowing values are
+        // all rejected rather than silently misbehaving.
+        for bad in ["-1", "1.5", "fast", "0x4", "4threads", "+-2", "١٢"] {
+            assert!(
+                parse_thread_count(Some(bad), 8).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+        // One past usize::MAX overflows the parse.
+        let overflow = format!("{}0", usize::MAX);
+        assert!(parse_thread_count(Some(&overflow), 8).is_err());
+    }
+
+    #[test]
+    fn parse_thread_count_errors_name_the_variable() {
+        // The warning must tell the operator which knob was wrong.
+        let err = parse_thread_count(Some("0"), 8).unwrap_err();
+        assert!(err.contains("FAIRMOVE_THREADS"), "{err}");
+        let err = parse_thread_count(Some("junk"), 8).unwrap_err();
+        assert!(
+            err.contains("FAIRMOVE_THREADS") && err.contains("junk"),
+            "{err}"
+        );
     }
 }

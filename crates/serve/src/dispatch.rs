@@ -149,6 +149,7 @@ impl DispatchCore {
             ["DECIDE", level] => Ok(Applied::Decide(self.decide(parse_level(level)?))),
             ["EVENT", rest @ ..] => {
                 let (spec, text) = parse_event(rest)?;
+                self.validate_spec(&spec)?;
                 self.inject(spec, text);
                 Ok(Applied::Event)
             }
@@ -197,6 +198,36 @@ impl DispatchCore {
         DecideOutcome {
             decisions: ctxs.len() as u64,
             moved,
+        }
+    }
+
+    /// Rejects fault specs whose ids don't exist in this world. A malformed
+    /// client must get an `ERR 400` back, not crash the worker slots later
+    /// when the environment indexes the phantom station/region/taxi.
+    /// Rejection happens identically on the live and replay paths (the
+    /// record is journaled before it executes), so a bad event in an old
+    /// journal replays to the same refusal.
+    fn validate_spec(&self, spec: &FaultSpec) -> Result<(), String> {
+        let regions = self.config.city.n_regions;
+        let stations = self.config.city.n_stations;
+        let fleet = self.config.fleet_size;
+        match *spec {
+            FaultSpec::StationOutage { station, .. } if usize::from(station) >= stations => Err(
+                format!("station {station} out of range (world has {stations})"),
+            ),
+            FaultSpec::DemandSurge { region, .. }
+            | FaultSpec::DemandBlackout { region, .. }
+            | FaultSpec::ObservationDropout { region, .. }
+                if usize::from(region) >= regions =>
+            {
+                Err(format!(
+                    "region {region} out of range (world has {regions})"
+                ))
+            }
+            FaultSpec::TaxiBreakdown { taxi, .. } if taxi as usize >= fleet => {
+                Err(format!("taxi {taxi} out of range (fleet has {fleet})"))
+            }
+            _ => Ok(()),
         }
     }
 
@@ -352,11 +383,19 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let arr: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| "truncated checkpoint".to_string())?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let arr: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| "truncated checkpoint".to_string())?;
+        Ok(u64::from_le_bytes(arr))
     }
 }
 
@@ -442,6 +481,47 @@ mod tests {
         }
         assert_eq!(straight.digest(), revived.digest());
         assert_eq!(straight.ledger(), revived.ledger());
+    }
+
+    #[test]
+    fn out_of_range_event_ids_are_rejected_not_crashing() {
+        // test_scale: 40 regions, 8 stations, 60 taxis. Before validation,
+        // an outage on a phantom station was accepted and killed the worker
+        // with an index panic when the outage window ended.
+        let mut core = DispatchCore::new(config(), 0.6);
+        for (payload, needle) in [
+            ("EVENT outage 999 0 2", "station 999 out of range"),
+            ("EVENT surge 40 1.5 0 2", "region 40 out of range"),
+            ("EVENT blackout 65535 0 2", "region 65535 out of range"),
+            ("EVENT breakdown 60 0 2", "taxi 60 out of range"),
+        ] {
+            let err = core.apply_payload(payload).err().expect(payload);
+            assert!(err.contains(needle), "{payload}: {err}");
+        }
+        // The worker survives and keeps serving: valid ids at the world's
+        // edge are accepted and subsequent steps run through the windows
+        // where the phantom faults would have expired.
+        core.apply_payload("EVENT outage 7 0 2").unwrap();
+        core.apply_payload("EVENT breakdown 59 0 2").unwrap();
+        for _ in 0..4 {
+            core.apply_payload("STEP F").unwrap();
+        }
+    }
+
+    #[test]
+    fn rejected_events_replay_identically() {
+        // A bad EVENT is journaled before it executes, so replay must hit
+        // the same refusal and land on the same digest + sequence number.
+        let script = ["STEP F", "EVENT outage 999 0 2", "STEP F"];
+        let mut straight = DispatchCore::new(config(), 0.6);
+        let mut replayed = DispatchCore::new(config(), 0.6);
+        for p in script {
+            let a = straight.apply_payload(p);
+            let b = replayed.apply_payload(p);
+            assert_eq!(a.is_err(), b.is_err(), "{p}");
+        }
+        assert_eq!(straight.applied_seq(), replayed.applied_seq());
+        assert_eq!(straight.digest(), replayed.digest());
     }
 
     #[test]

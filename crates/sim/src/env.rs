@@ -684,7 +684,7 @@ impl Environment {
         let mut ids = Vec::new();
         let mut out = Vec::new();
         let mut spares = Vec::new();
-        self.build_decision_contexts(&mut ids, &mut out, &mut spares);
+        let _ = self.build_decision_contexts(&mut ids, &mut out, &mut spares);
         out
     }
 
@@ -694,24 +694,35 @@ impl Environment {
     /// without allocating. `ids` is the sorted-vacant-ids scratch; `spares`
     /// parks surplus contexts when the vacancy count shrinks and hands them
     /// back before anything fresh is allocated.
+    ///
+    /// Returns the number of indexed taxis that were *not* actually vacant
+    /// (an index desync); callers on the `&mut self` step path feed that
+    /// into the invariant counter.
     fn build_decision_contexts(
         &self,
         ids: &mut Vec<TaxiId>,
         out: &mut Vec<DecisionContext>,
         spares: &mut Vec<DecisionContext>,
-    ) {
+    ) -> u64 {
         ids.clear();
         for list in &self.vacant_by_region {
             ids.extend_from_slice(list);
         }
         ids.sort_unstable();
+        let mut desynced = 0u64;
         let mut n = 0usize;
         for &id in ids.iter() {
             if self.active_faults.taxi_out(id.0) {
                 continue;
             }
             let taxi = &self.taxis[id.index()];
-            let region = taxi.state.region().expect("vacant taxi has a region");
+            // A vacant-index entry whose taxi has no region is a desync;
+            // skipping it keeps the slot alive (recover-and-count, per the
+            // invariant convention) instead of panicking mid-dispatch.
+            let Some(region) = taxi.state.region() else {
+                desynced += 1;
+                continue;
+            };
             let must_charge = self.config.energy.must_charge(taxi.soc);
             let all_stations = self.city.nearest_stations().nearest(region);
             let in_service: Vec<StationId>;
@@ -774,6 +785,7 @@ impl Environment {
         // Surplus pooled contexts are parked, not dropped: a low-vacancy
         // slot must not forfeit buffers the fleet will need again.
         spares.extend(out.drain(n..));
+        desynced
     }
 
     /// Advances one slot under `policy` and returns the realized feedback.
@@ -814,7 +826,11 @@ impl Environment {
         let mut decisions = std::mem::take(&mut self.scratch.decisions);
         let mut ids = std::mem::take(&mut self.scratch.ids);
         let mut spares = std::mem::take(&mut self.scratch.spares);
-        self.build_decision_contexts(&mut ids, &mut decisions, &mut spares);
+        let desynced = self.build_decision_contexts(&mut ids, &mut decisions, &mut spares);
+        if desynced > 0 {
+            self.report_invariant(SimError::VacantIndexDesync { at: slot_start });
+            self.invariant_violations += desynced - 1;
+        }
         drop(trace_observe);
         let mut actions = std::mem::take(&mut self.scratch.actions);
         {
@@ -845,7 +861,13 @@ impl Environment {
                     .is_some_and(|p| p.command_lost(slot_idx, ctx.taxi.0, loss_prob))
             {
                 action = if ctx.must_charge {
-                    ctx.actions.charge_actions()[0]
+                    // Empty only in a station-less world; Stay is the safe
+                    // degenerate default rather than an index panic.
+                    ctx.actions
+                        .charge_actions()
+                        .first()
+                        .copied()
+                        .unwrap_or(Action::Stay)
                 } else {
                     Action::Stay
                 };
@@ -1053,6 +1075,13 @@ impl Environment {
     /// Plugs queued taxis into free points at a station that just regained
     /// power.
     fn recover_station(&mut self, station: StationId, now: SimTime) {
+        // Fault specs carry raw ids; one injected against a different world
+        // (or corrupted in a journal) must not index out of bounds and take
+        // the whole dispatcher down with it.
+        if station.index() >= self.stations.len() {
+            self.report_invariant(SimError::UnknownStation { station, at: now });
+            return;
+        }
         while let Some(next) = self.stations[station.index()].plug_from_queue() {
             self.plug_in(next, station, now);
         }
@@ -1126,7 +1155,14 @@ impl Environment {
         if ctx.actions.contains(action) {
             action
         } else if ctx.must_charge {
-            ctx.actions.charge_actions()[0]
+            // A must-charge context always carries charge actions unless the
+            // world has no stations at all; degrade to Stay rather than
+            // index out of bounds.
+            ctx.actions
+                .charge_actions()
+                .first()
+                .copied()
+                .unwrap_or(Action::Stay)
         } else {
             Action::Stay
         }

@@ -10,7 +10,7 @@
 //! `sim.invariant_violations` telemetry counter.
 
 use crate::taxi::TaxiId;
-use fairmove_city::SimTime;
+use fairmove_city::{SimTime, StationId};
 
 /// An internal invariant violation, carrying enough context to localize the
 /// corruption in a trace.
@@ -31,6 +31,14 @@ pub enum SimError {
     NeverPlugged { taxi: TaxiId, at: SimTime },
     /// A displacement action targeted a taxi that is not vacant.
     NotVacant { taxi: TaxiId, at: SimTime },
+    /// A station id (typically from an injected fault spec) does not exist
+    /// in this world.
+    UnknownStation { station: StationId, at: SimTime },
+    /// A taxi that must charge had no charge action available (a world
+    /// with no reachable stations).
+    NoChargeAction { taxi: TaxiId, at: SimTime },
+    /// The vacant-taxi index named a taxi that is not actually vacant.
+    VacantIndexDesync { at: SimTime },
 }
 
 impl std::fmt::Display for SimError {
@@ -56,6 +64,21 @@ impl std::fmt::Display for SimError {
                     f,
                     "taxi {taxi}: displacement action at {at} while not vacant"
                 )
+            }
+            SimError::UnknownStation { station, at } => {
+                write!(
+                    f,
+                    "station {station}: referenced at {at} but does not exist"
+                )
+            }
+            SimError::NoChargeAction { taxi, at } => {
+                write!(
+                    f,
+                    "taxi {taxi}: must charge at {at} but no charge action exists"
+                )
+            }
+            SimError::VacantIndexDesync { at } => {
+                write!(f, "vacant-taxi index out of sync with taxi states at {at}")
             }
         }
     }

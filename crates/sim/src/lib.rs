@@ -32,6 +32,7 @@ pub mod observation;
 pub mod passenger;
 pub mod policy;
 pub mod resilient;
+pub mod shard;
 pub mod snapshot;
 pub mod station;
 pub mod taxi;
@@ -47,6 +48,7 @@ pub use ledger::{ChargeEvent, FleetLedger, TaxiLedger, TripEvent};
 pub use observation::{DecisionContext, ObservationView, SlotObservation, WorkingObservation};
 pub use policy::{DisplacementPolicy, StayPolicy};
 pub use resilient::{ResilienceStats, ResilientPolicy};
+pub use shard::{FleetTotals, ShardMap, ShardedEnv};
 pub use snapshot::FleetSnapshot;
 pub use taxi::{Taxi, TaxiId, TaxiState};
 pub use trace::{TraceEvent, TraceLog};

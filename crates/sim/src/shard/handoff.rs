@@ -1,0 +1,141 @@
+//! Deterministic cross-shard handoff of travelling taxis.
+//!
+//! A taxi that departs on a trip, a displacement move, or a charge excursion
+//! leaves its shard's store entirely and becomes an [`InFlight`] record
+//! carrying the taxi's full payload. Records wait in the central
+//! [`DeliverySchedule`], keyed by arrival slot, and are delivered to the
+//! destination's owning shard at that slot's boundary.
+//!
+//! Determinism contract: the schedule's contents are independent of the
+//! shard layout because
+//!
+//! 1. departures are committed in canonical order — shard outboxes are
+//!    concatenated in shard-id order, and since shards own *contiguous,
+//!    ascending* region ranges and emit departures region-by-region, that
+//!    concatenation equals the global region-id order for every shard count;
+//! 2. deliveries are handed to each shard sorted by `(arrival kind, taxi
+//!    id)`, so the order in which a station queue or a vacant list absorbs
+//!    same-slot arrivals never depends on which shard the taxi came from.
+
+use super::store::TaxiRow;
+use std::collections::BTreeMap;
+
+/// What the taxi does on arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArrivalKind {
+    /// Drop off / finish the move and go vacant in `region` (global id).
+    BecomeVacant { region: u16 },
+    /// Join `station` (global id): plug in if a point is free, else queue.
+    JoinStation { station: u16 },
+}
+
+/// A taxi in transit between slot boundaries, carrying its full payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InFlight {
+    /// The taxi's complete ledger payload.
+    pub row: TaxiRow,
+    /// What happens at the destination.
+    pub arrival: ArrivalKind,
+    /// Shard that emitted the departure (for the handoff counter only —
+    /// never consulted for ordering, which must stay layout-independent).
+    pub from_shard: u32,
+}
+
+/// Central calendar of in-flight taxis, keyed by absolute arrival slot.
+///
+/// The schedule is engine-global (not per shard): commit appends to it
+/// serially in canonical order, and slot start drains one key. A taxi is
+/// therefore owned by exactly one place at any time — a shard store or this
+/// schedule — and rebalancing the shard map between runs cannot reorder it.
+#[derive(Debug, Default, Clone)]
+pub struct DeliverySchedule {
+    by_slot: BTreeMap<u32, Vec<InFlight>>,
+    in_flight: usize,
+}
+
+impl DeliverySchedule {
+    /// Schedules `flight` to arrive at absolute slot `arrival_slot`.
+    pub fn push(&mut self, arrival_slot: u32, flight: InFlight) {
+        self.by_slot.entry(arrival_slot).or_default().push(flight);
+        self.in_flight += 1;
+    }
+
+    /// Removes and returns every record due at `slot` (arrivals scheduled
+    /// for earlier slots are returned too, defensively — with slot-by-slot
+    /// stepping the earliest key always equals `slot`).
+    pub fn drain_due(&mut self, slot: u32) -> Vec<InFlight> {
+        let mut due = Vec::new();
+        while let Some((&first, _)) = self.by_slot.iter().next() {
+            if first > slot {
+                break;
+            }
+            let batch = self.by_slot.remove(&first).expect("key just observed");
+            self.in_flight -= batch.len();
+            due.extend(batch);
+        }
+        due
+    }
+
+    /// Number of taxis currently in transit.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Visits every in-flight record (ascending slot, then insertion order)
+    /// — used by the engine digest, where insertion order is already
+    /// canonical.
+    pub fn for_each(&self, mut f: impl FnMut(u32, &InFlight)) {
+        for (&slot, batch) in &self.by_slot {
+            for flight in batch {
+                f(slot, flight);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight(id: u32) -> InFlight {
+        InFlight {
+            row: TaxiRow {
+                id,
+                soc: 0.7,
+                revenue: 0.0,
+                cost: 0.0,
+                trips: 0,
+                moves: 0,
+                charges: 0,
+            },
+            arrival: ArrivalKind::BecomeVacant { region: 0 },
+            from_shard: 0,
+        }
+    }
+
+    #[test]
+    fn drain_returns_only_due_slots_in_order() {
+        let mut sched = DeliverySchedule::default();
+        sched.push(5, flight(1));
+        sched.push(3, flight(2));
+        sched.push(3, flight(3));
+        sched.push(9, flight(4));
+        assert_eq!(sched.in_flight(), 4);
+
+        let due = sched.drain_due(4);
+        assert_eq!(due.iter().map(|f| f.row.id).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(sched.in_flight(), 2);
+
+        let due = sched.drain_due(5);
+        assert_eq!(due.iter().map(|f| f.row.id).collect::<Vec<_>>(), [1]);
+        assert_eq!(sched.drain_due(8).len(), 0);
+        assert_eq!(sched.drain_due(9).len(), 1);
+        assert_eq!(sched.in_flight(), 0);
+    }
+
+    #[test]
+    fn arrival_kind_orders_vacant_before_station() {
+        // The per-shard inbox sort key relies on this ordering being stable.
+        assert!(ArrivalKind::BecomeVacant { region: 9 } < ArrivalKind::JoinStation { station: 0 });
+    }
+}

@@ -1,0 +1,928 @@
+//! Region-sharded slot-granularity fleet engine for paper-scale runs.
+//!
+//! The minute-stepped [`Environment`](crate::Environment) is the reference
+//! simulator, but its single global RNG stream and whole-fleet minute loop
+//! make it both unshardable (any regrouping of work reorders draws) and too
+//! slow for the paper's full deployment (491 regions, 123 stations, 20,130
+//! taxis, Section IV-A). This module is the scale path: fleet state is
+//! sharded by contiguous region groups, every shard steps one *slot* at a
+//! time in parallel, and taxis crossing region groups are handed off through
+//! a central [`DeliverySchedule`] committed serially at slot boundaries.
+//!
+//! # Determinism contract
+//!
+//! `ShardedEnv` output is **bit-identical for every `(shard count, thread
+//! count)` pair**. The single-shard serial run is the oracle; the testkit
+//! property compares shards × threads ∈ {1,2,4}² against it. Three design
+//! rules carry the contract:
+//!
+//! 1. **Per-region RNG streams** ([`rng::region_stream`]): every random draw
+//!    belongs to exactly one region's stream, derived from the master seed
+//!    and the region id alone, so regrouping regions into shards cannot
+//!    reorder or reassign draws.
+//! 2. **Region-local steps**: within a slot, a shard reads only (a) its own
+//!    state, (b) immutable world models, and (c) the previous slot's global
+//!    snapshot — never another shard's current-slot state.
+//! 3. **Canonical handoff order**: departures are committed to the schedule
+//!    by concatenating shard outboxes in shard-id order. Shards own
+//!    contiguous ascending region ranges and emit departures region-by-
+//!    region, so that concatenation equals global region order at any shard
+//!    count; deliveries are applied sorted by `(arrival kind, taxi id)`.
+//!
+//! Thread-count invariance is inherited from
+//! [`ordered_map_threads`](fairmove_parallel::ordered_map_threads), which
+//! returns results in submission order regardless of which worker ran what.
+
+pub mod handoff;
+pub mod rng;
+pub mod store;
+
+use fairmove_city::{City, RegionId, SimTime, StationId, TimeSlot, SLOTS_PER_DAY, SLOT_MINUTES};
+use fairmove_data::{ChargingPricing, DemandModel, EnergyModel, FareModel};
+use fairmove_parallel::ordered_map_threads;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::SimConfig;
+use handoff::{ArrivalKind, DeliverySchedule, InFlight};
+use store::{ChargeSession, StationStore, TaxiRow, TaxiStore};
+
+/// Charge-target draw: drivers unplug at `BASE + SPREAD · u`, `u ∈ [0,1)` —
+/// reproducing the paper's observed unplug spread (most sessions end between
+/// 62 % and 92 % rather than at a hard cap).
+const CHARGE_TARGET_BASE: f64 = 0.62;
+const CHARGE_TARGET_SPREAD: f64 = 0.30;
+/// Fixed pickup overhead folded into every served trip, minutes.
+const PICKUP_MINUTES: u32 = 5;
+/// Ceiling on displacement departures per region per slot; bounds empty-
+/// cruise mileage the way the paper's per-slot dispatch quota does.
+const MAX_MOVES_PER_REGION_SLOT: usize = 4;
+/// Knuth Poisson sampling degenerates (exp underflow) for large λ; draw in
+/// chunks of this mean instead. Expected uniforms ≈ λ + λ/CHUNK.
+const POISSON_CHUNK: f64 = 30.0;
+
+/// Assignment of regions (and, through host regions, stations and taxis) to
+/// shards: contiguous ascending region-id ranges, balanced to within one.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// `starts[s]..starts[s+1]` is shard `s`'s region range; `len + 1` entries.
+    starts: Vec<u16>,
+}
+
+impl ShardMap {
+    /// Splits `n_regions` into `n_shards` contiguous ranges. The shard count
+    /// is clamped to `1..=n_regions`.
+    pub fn contiguous(n_regions: usize, n_shards: usize) -> Self {
+        let n_shards = n_shards.clamp(1, n_regions.max(1));
+        let base = n_regions / n_shards;
+        let rem = n_regions % n_shards;
+        let mut starts = Vec::with_capacity(n_shards + 1);
+        let mut at = 0usize;
+        starts.push(0);
+        for s in 0..n_shards {
+            at += base + usize::from(s < rem);
+            starts.push(at as u16);
+        }
+        ShardMap { starts }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Always false — a map covers at least one shard.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shard owning global region `region`.
+    pub fn shard_of_region(&self, region: u16) -> usize {
+        // partition_point: first start strictly greater than `region`, minus
+        // the leading 0 entry.
+        self.starts.partition_point(|&s| s <= region) - 1
+    }
+
+    /// Owned region range of shard `s` as `(lo, hi)` (half-open).
+    pub fn range(&self, s: usize) -> (u16, u16) {
+        (self.starts[s], self.starts[s + 1])
+    }
+}
+
+/// Immutable world context shared by every shard during one slot step.
+struct StepCtx<'a> {
+    city: &'a City,
+    demand: &'a DemandModel,
+    energy: &'a EnergyModel,
+    fare: &'a FareModel,
+    pricing: &'a ChargingPricing,
+    snapshot: &'a GlobalSnapshot,
+    /// Absolute slot being stepped.
+    slot: u32,
+    /// Slot start time.
+    now: SimTime,
+    /// Slot-of-day for demand lookups.
+    slot_of_day: TimeSlot,
+    /// Battery fraction drained by one slot of vacant cruising.
+    idle_soc_drop: f64,
+}
+
+/// End-of-slot fleet distribution, rebuilt serially after every commit.
+/// Displacement decisions in slot `t+1` read slot `t`'s snapshot, so the
+/// decision inputs are identical under every shard layout.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalSnapshot {
+    /// Vacant taxis per region at the end of the previous slot.
+    pub vacant: Vec<u32>,
+    /// Requests that found no taxi per region during the previous slot.
+    pub waiting: Vec<u32>,
+}
+
+/// Everything a shard hands back from one parallel slot step.
+#[derive(Debug, Default)]
+struct StepOutput {
+    /// `(arrival slot, flight)` in canonical emission order.
+    departures: Vec<(u32, InFlight)>,
+    decisions: u64,
+    trips_served: u64,
+    trips_unserved: u64,
+}
+
+/// One shard: the taxis and stations of a contiguous region range, plus the
+/// range's RNG streams.
+#[derive(Debug)]
+struct Shard {
+    id: u32,
+    region_lo: u16,
+    region_hi: u16,
+    taxis: TaxiStore,
+    stations: StationStore,
+    /// Vacant taxi ids per owned region (local index `region - region_lo`);
+    /// sorted ascending at the start of each region's decision pass.
+    vacant: Vec<Vec<u32>>,
+    /// Per-region RNG streams (same local indexing).
+    streams: Vec<StdRng>,
+    /// Unserved-request scratch per owned region, refreshed each slot.
+    waiting: Vec<u32>,
+}
+
+impl Shard {
+    fn local(&self, region: u16) -> usize {
+        debug_assert!(region >= self.region_lo && region < self.region_hi);
+        usize::from(region - self.region_lo)
+    }
+
+    /// Plugs `taxi` into local station slot `st`, drawing the unplug target
+    /// from the host region's stream and pricing the session at plug time.
+    fn plug(&mut self, ctx: &StepCtx<'_>, st: usize, taxi: u32) {
+        let host = ctx
+            .city
+            .station(StationId(self.stations.station_ids[st]))
+            .region;
+        let soc = self.taxis.soc(taxi);
+        let stream = self.local(host.0);
+        let u: f64 = self.streams[stream].gen();
+        let target = (CHARGE_TARGET_BASE + CHARGE_TARGET_SPREAD * u).max(soc);
+        let minutes = ctx.energy.charge_minutes(soc, target).max(1);
+        let end = SimTime(ctx.now.0 + minutes);
+        let cost = ctx
+            .pricing
+            .charging_cost(ctx.now, end, ctx.energy.charge_power_kw);
+        self.stations.charging[st].push(ChargeSession {
+            taxi,
+            finish_minute: end.0,
+            target_soc: target,
+            cost,
+        });
+    }
+
+    /// Applies one slot: deliveries, station maintenance, then per-region
+    /// decisions. Reads only `ctx` (immutable, previous-slot snapshot) and
+    /// its own state, so the result depends solely on `(shard state, ctx)`.
+    fn step(&mut self, ctx: &StepCtx<'_>, inbox: Vec<InFlight>) -> StepOutput {
+        let mut out = StepOutput::default();
+        self.waiting.iter_mut().for_each(|w| *w = 0);
+
+        // Phase A — deliveries, pre-sorted by (arrival kind, taxi id).
+        for flight in inbox {
+            let id = flight.row.id;
+            self.taxis.insert(flight.row);
+            match flight.arrival {
+                ArrivalKind::BecomeVacant { region } => {
+                    let l = self.local(region);
+                    self.vacant[l].push(id);
+                }
+                ArrivalKind::JoinStation { station } => {
+                    let st = self
+                        .stations
+                        .slot_of(station)
+                        .expect("delivery routed to non-owning shard");
+                    if self.stations.free_points(st) > 0 {
+                        self.plug(ctx, st, id);
+                    } else {
+                        self.stations.queue[st].push_back(id);
+                    }
+                }
+            }
+        }
+
+        // Phase B — station maintenance in station-id order: finish sessions
+        // whose end time has passed, then admit queued taxis to freed points.
+        for st in 0..self.stations.len() {
+            let mut finished = Vec::new();
+            self.stations.charging[st].retain(|s| {
+                if s.finish_minute <= ctx.now.0 {
+                    finished.push(*s);
+                    false
+                } else {
+                    true
+                }
+            });
+            if !finished.is_empty() {
+                let host = ctx
+                    .city
+                    .station(StationId(self.stations.station_ids[st]))
+                    .region;
+                let l = self.local(host.0);
+                for s in finished {
+                    self.taxis.set_soc(s.taxi, s.target_soc);
+                    self.taxis.credit_charge(s.taxi, s.cost);
+                    self.vacant[l].push(s.taxi);
+                }
+            }
+            while self.stations.free_points(st) > 0 {
+                let Some(taxi) = self.stations.queue[st].pop_front() else {
+                    break;
+                };
+                self.plug(ctx, st, taxi);
+            }
+        }
+
+        // Phase C — owned regions in ascending region-id order.
+        for l in 0..self.vacant.len() {
+            let region = self.region_lo + l as u16;
+            self.step_region(ctx, region, l, &mut out);
+        }
+        out
+    }
+
+    /// One region's slot: idle drain, forced charging, displacement (reading
+    /// the previous slot's global snapshot), then demand draw + matching.
+    fn step_region(&mut self, ctx: &StepCtx<'_>, region: u16, l: usize, out: &mut StepOutput) {
+        let mut vac = std::mem::take(&mut self.vacant[l]);
+        vac.sort_unstable();
+
+        // Idle cruising drains every vacant taxi one slot's worth of energy.
+        for &id in &vac {
+            self.taxis.drain_soc(id, ctx.idle_soc_drop);
+        }
+
+        // Forced charging: below the paper's η threshold, head to the
+        // nearest station (lowest-id taxis decided first).
+        let station = ctx.city.nearest_stations().nearest_one(RegionId(region));
+        let mut keep = Vec::with_capacity(vac.len());
+        for id in vac {
+            if ctx.energy.must_charge(self.taxis.soc(id)) {
+                out.decisions += 1;
+                let km = ctx
+                    .city
+                    .region_to_station_distance(RegionId(region), station);
+                self.depart(
+                    ctx,
+                    id,
+                    km,
+                    ArrivalKind::JoinStation { station: station.0 },
+                    false,
+                    out,
+                );
+            } else {
+                keep.push(id);
+            }
+        }
+        let mut vac = keep;
+
+        // Displacement: greedy deficit rule over the previous slot's global
+        // snapshot. Keep cover for this slot's expected local demand; send
+        // the surplus (highest ids first) toward the neighbouring region
+        // with the largest unmet demand, ties to the lowest region id.
+        let lambda = ctx.demand.intensity(RegionId(region), ctx.slot_of_day);
+        let cover = lambda.ceil() as usize;
+        let surplus = vac
+            .len()
+            .saturating_sub(cover)
+            .min(MAX_MOVES_PER_REGION_SLOT);
+        if surplus > 0 {
+            let neighbors = &ctx.city.region(RegionId(region)).neighbors;
+            let mut deficits: Vec<(u16, u32)> = neighbors
+                .iter()
+                .map(|&n| {
+                    let idx = n.index();
+                    let d = ctx.snapshot.waiting[idx].saturating_sub(ctx.snapshot.vacant[idx]);
+                    (n.0, d)
+                })
+                .collect();
+            for _ in 0..surplus {
+                // Lowest-id neighbour among those tied for max deficit.
+                let Some(best) = deficits
+                    .iter_mut()
+                    .filter(|(_, d)| *d > 0)
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                else {
+                    break;
+                };
+                best.1 -= 1;
+                let dest = best.0;
+                let id = vac.pop().expect("surplus bounded by vac.len()");
+                out.decisions += 1;
+                let km = ctx
+                    .city
+                    .region_driving_distance(RegionId(region), RegionId(dest));
+                self.depart(
+                    ctx,
+                    id,
+                    km,
+                    ArrivalKind::BecomeVacant { region: dest },
+                    true,
+                    out,
+                );
+            }
+        }
+
+        // Demand: Poisson(λ) requests, each sampling a gravity destination
+        // from this region's stream, matched FIFO to the lowest vacant id.
+        let requests = poisson(&mut self.streams[l], lambda);
+        let mut cursor = 0usize;
+        for _ in 0..requests {
+            let dest = sample_destination(&mut self.streams[l], ctx, region);
+            if cursor < vac.len() {
+                let id = vac[cursor];
+                cursor += 1;
+                out.decisions += 1;
+                out.trips_served += 1;
+                let km = trip_distance(ctx, region, dest);
+                let fare = ctx.fare.fare(km, ctx.now.hour_of_day());
+                self.serve(ctx, id, km, fare, dest, out);
+            } else {
+                out.trips_unserved += 1;
+                self.waiting[l] += 1;
+            }
+        }
+        self.vacant[l] = vac.split_off(cursor);
+    }
+
+    /// Removes `id` from the store and emits a fare-free departure covering
+    /// `km` of driving: charge excursions and displacement moves
+    /// (`is_move`). Revenue-earning passenger trips go through
+    /// [`Self::serve`] instead.
+    fn depart(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        id: u32,
+        km: f64,
+        arrival: ArrivalKind,
+        is_move: bool,
+        out: &mut StepOutput,
+    ) {
+        let mut row = self.taxis.remove(id).expect("departing taxi present");
+        row.soc = (row.soc - ctx.energy.soc_drop(km)).max(0.0);
+        if is_move {
+            row.moves += 1;
+        }
+        let minutes = ctx.city.travel().minutes_for_distance(km, ctx.now).max(1);
+        let arrival_slot = ctx.slot + minutes.div_ceil(SLOT_MINUTES).max(1);
+        out.departures.push((
+            arrival_slot,
+            InFlight {
+                row,
+                arrival,
+                from_shard: self.id,
+            },
+        ));
+    }
+
+    /// Serves one passenger trip from `region` to `dest`.
+    fn serve(
+        &mut self,
+        ctx: &StepCtx<'_>,
+        id: u32,
+        km: f64,
+        fare: f64,
+        dest: u16,
+        out: &mut StepOutput,
+    ) {
+        let mut row = self.taxis.remove(id).expect("matched taxi present");
+        row.soc = (row.soc - ctx.energy.soc_drop(km)).max(0.0);
+        row.revenue += fare;
+        row.trips += 1;
+        let minutes = ctx.city.travel().minutes_for_distance(km, ctx.now).max(1) + PICKUP_MINUTES;
+        let arrival_slot = ctx.slot + minutes.div_ceil(SLOT_MINUTES).max(1);
+        out.departures.push((
+            arrival_slot,
+            InFlight {
+                row,
+                arrival: ArrivalKind::BecomeVacant { region: dest },
+                from_shard: self.id,
+            },
+        ));
+    }
+
+    /// Adds this shard's end-of-slot vacant and waiting counts to the global
+    /// snapshot.
+    fn snapshot_into(&self, snap: &mut GlobalSnapshot) {
+        for l in 0..self.vacant.len() {
+            let r = usize::from(self.region_lo) + l;
+            snap.vacant[r] = self.vacant[l].len() as u32;
+            snap.waiting[r] = self.waiting[l];
+        }
+    }
+}
+
+/// Chunked Knuth Poisson sampler over a region stream. Deterministic given
+/// the stream state; chunking keeps `exp(-λ)` away from underflow.
+fn poisson(rng: &mut StdRng, mut lambda: f64) -> u32 {
+    let mut k = 0u32;
+    while lambda > POISSON_CHUNK {
+        k += poisson_knuth(rng, POISSON_CHUNK);
+        lambda -= POISSON_CHUNK;
+    }
+    k + poisson_knuth(rng, lambda)
+}
+
+fn poisson_knuth(rng: &mut StdRng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let floor = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= floor {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Gravity destination sampling over `{region} ∪ neighbors(region)`,
+/// weighted by the demand model's archetype destination weights.
+fn sample_destination(rng: &mut StdRng, ctx: &StepCtx<'_>, region: u16) -> u16 {
+    let own = ctx.demand.destination_weight(RegionId(region));
+    let neighbors = &ctx.city.region(RegionId(region)).neighbors;
+    let total: f64 = own
+        + neighbors
+            .iter()
+            .map(|&n| ctx.demand.destination_weight(n))
+            .sum::<f64>();
+    let mut u = rng.gen::<f64>() * total;
+    if u < own {
+        return region;
+    }
+    u -= own;
+    for &n in neighbors {
+        let w = ctx.demand.destination_weight(n);
+        if u < w {
+            return n.0;
+        }
+        u -= w;
+    }
+    neighbors.last().map_or(region, |n| n.0)
+}
+
+/// Driving distance of a trip: centroid distance between regions, or half
+/// the region's side length for an intra-region hop.
+fn trip_distance(ctx: &StepCtx<'_>, origin: u16, dest: u16) -> f64 {
+    if origin == dest {
+        ctx.city.region(RegionId(origin)).area_km2.sqrt() * 0.5
+    } else {
+        ctx.city
+            .region_driving_distance(RegionId(origin), RegionId(dest))
+    }
+}
+
+/// End-of-run aggregate over every taxi payload, wherever it currently is.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetTotals {
+    /// Fare revenue, yuan.
+    pub revenue: f64,
+    /// Charging cost, yuan.
+    pub cost: f64,
+    /// Completed passenger trips.
+    pub trips: u64,
+    /// Completed displacement moves.
+    pub moves: u64,
+    /// Completed charge sessions.
+    pub charges: u64,
+}
+
+/// The sharded paper-scale engine. See the module docs for the determinism
+/// contract; [`Self::digest`] is the canonical state fingerprint the testkit
+/// property compares across `(shards, threads)` grids.
+#[derive(Debug)]
+pub struct ShardedEnv {
+    config: SimConfig,
+    city: City,
+    demand: DemandModel,
+    map: ShardMap,
+    shards: Vec<Shard>,
+    schedule: DeliverySchedule,
+    snapshot: GlobalSnapshot,
+    slot: u32,
+    decisions: u64,
+    cross_shard_handoffs: u64,
+    trips_served: u64,
+    trips_unserved: u64,
+}
+
+impl ShardedEnv {
+    /// Builds the world and distributes the fleet over `n_shards` contiguous
+    /// region groups. Taxi `i` starts vacant in region `i mod n_regions`
+    /// with a deterministic hash-spread state of charge — no RNG draws at
+    /// construction, so streams start aligned under every layout.
+    pub fn new(config: SimConfig, n_shards: usize) -> Self {
+        let city = City::generate(config.city.clone());
+        let demand = DemandModel::new(&city, config.daily_trips(), config.seed);
+        let n_regions = city.n_regions();
+        let map = ShardMap::contiguous(n_regions, n_shards);
+
+        let mut shards: Vec<Shard> = (0..map.len())
+            .map(|s| {
+                let (lo, hi) = map.range(s);
+                let owned = usize::from(hi - lo);
+                Shard {
+                    id: s as u32,
+                    region_lo: lo,
+                    region_hi: hi,
+                    taxis: TaxiStore::default(),
+                    stations: StationStore::default(),
+                    vacant: vec![Vec::new(); owned],
+                    streams: (lo..hi)
+                        .map(|r| rng::region_stream(config.seed, RegionId(r)))
+                        .collect(),
+                    waiting: vec![0; owned],
+                }
+            })
+            .collect();
+
+        for st in city.stations() {
+            let s = map.shard_of_region(st.region.0);
+            shards[s].stations.push_station(st.id.0, st.charging_points);
+        }
+
+        let mut snapshot = GlobalSnapshot {
+            vacant: vec![0; n_regions],
+            waiting: vec![0; n_regions],
+        };
+        for i in 0..config.fleet_size as u32 {
+            let region = (i as usize % n_regions) as u16;
+            let s = map.shard_of_region(region);
+            // Golden-ratio spread over [0.50, 0.95): deterministic, seedless.
+            let frac = (f64::from(i) * 0.618_033_988_749_895).fract();
+            let row = TaxiRow {
+                id: i,
+                soc: 0.5 + 0.45 * frac,
+                revenue: 0.0,
+                cost: 0.0,
+                trips: 0,
+                moves: 0,
+                charges: 0,
+            };
+            let shard = &mut shards[s];
+            let l = usize::from(region - shard.region_lo);
+            shard.taxis.insert(row);
+            shard.vacant[l].push(i);
+            snapshot.vacant[usize::from(region)] += 1;
+        }
+
+        ShardedEnv {
+            config,
+            city,
+            demand,
+            map,
+            shards,
+            schedule: DeliverySchedule::default(),
+            snapshot,
+            slot: 0,
+            decisions: 0,
+            cross_shard_handoffs: 0,
+            trips_served: 0,
+            trips_unserved: 0,
+        }
+    }
+
+    /// Steps one slot with up to `threads` worker threads. Output is
+    /// bit-identical for every `(shard count, thread count)` pair.
+    pub fn step_slot(&mut self, threads: usize) {
+        let slot = self.slot;
+        let n_shards = self.map.len();
+
+        // Route due arrivals to owning shards and sort each inbox into the
+        // canonical application order.
+        let mut inboxes: Vec<Vec<InFlight>> = vec![Vec::new(); n_shards];
+        for flight in self.schedule.drain_due(slot) {
+            let s = match flight.arrival {
+                ArrivalKind::BecomeVacant { region } => self.map.shard_of_region(region),
+                ArrivalKind::JoinStation { station } => self
+                    .map
+                    .shard_of_region(self.city.station(StationId(station)).region.0),
+            };
+            if flight.from_shard as usize != s {
+                self.cross_shard_handoffs += 1;
+            }
+            inboxes[s].push(flight);
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_unstable_by_key(|f| (f.arrival, f.row.id));
+        }
+
+        let shards = std::mem::take(&mut self.shards);
+        let work: Vec<(Shard, Vec<InFlight>)> = shards.into_iter().zip(inboxes).collect();
+        let now = SimTime(slot * SLOT_MINUTES);
+        let ctx = StepCtx {
+            city: &self.city,
+            demand: &self.demand,
+            energy: &self.config.energy,
+            fare: &self.config.fare,
+            pricing: &self.config.pricing,
+            snapshot: &self.snapshot,
+            slot,
+            now,
+            slot_of_day: TimeSlot((slot % SLOTS_PER_DAY) as u16),
+            idle_soc_drop: self.config.vacant_cruise_kwh_per_minute * f64::from(SLOT_MINUTES)
+                / self.config.energy.battery_kwh,
+        };
+        let results = ordered_map_threads(threads, work, |(mut shard, inbox)| {
+            let out = shard.step(&ctx, inbox);
+            (shard, out)
+        });
+
+        // Serial commit in shard-id order: since shards own contiguous
+        // ascending region ranges and only phase C emits departures, this
+        // concatenation equals global region order for every shard count.
+        let mut shards = Vec::with_capacity(n_shards);
+        for (shard, out) in results {
+            for (arrival_slot, flight) in out.departures {
+                self.schedule.push(arrival_slot, flight);
+            }
+            self.decisions += out.decisions;
+            self.trips_served += out.trips_served;
+            self.trips_unserved += out.trips_unserved;
+            shards.push(shard);
+        }
+        self.shards = shards;
+
+        for shard in &self.shards {
+            shard.snapshot_into(&mut self.snapshot);
+        }
+        self.slot += 1;
+    }
+
+    /// Runs `slots` consecutive slots.
+    pub fn run(&mut self, slots: u32, threads: usize) {
+        for _ in 0..slots {
+            self.step_slot(threads);
+        }
+    }
+
+    /// Absolute slot the engine will step next.
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Number of shards in the active layout.
+    pub fn n_shards(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Displacement + charge + match decisions taken so far (layout-
+    /// invariant, gated exactly by the throughput baseline).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Deliveries that crossed a shard boundary. Layout-*dependent* by
+    /// definition (always 0 with one shard) — excluded from [`Self::digest`].
+    pub fn cross_shard_handoffs(&self) -> u64 {
+        self.cross_shard_handoffs
+    }
+
+    /// Passenger trips dispatched so far.
+    pub fn trips_served(&self) -> u64 {
+        self.trips_served
+    }
+
+    /// Requests that found no vacant taxi in their origin region.
+    pub fn trips_unserved(&self) -> u64 {
+        self.trips_unserved
+    }
+
+    /// Taxis currently travelling between slot boundaries.
+    pub fn in_flight(&self) -> usize {
+        self.schedule.in_flight()
+    }
+
+    /// Every taxi's payload in ascending taxi-id order, wherever the taxi
+    /// currently is (shard store or in flight). This is the "ledger" the
+    /// testkit equality property compares across layouts.
+    pub fn taxi_rows(&self) -> Vec<TaxiRow> {
+        let mut rows: Vec<TaxiRow> = Vec::with_capacity(self.config.fleet_size);
+        for shard in &self.shards {
+            shard.taxis.rows_into(&mut rows);
+        }
+        self.schedule.for_each(|_, flight| rows.push(flight.row));
+        rows.sort_unstable_by_key(|r| r.id);
+        rows
+    }
+
+    /// Fleet-wide ledger totals.
+    pub fn totals(&self) -> FleetTotals {
+        let mut t = FleetTotals::default();
+        for row in self.taxi_rows() {
+            t.revenue += row.revenue;
+            t.cost += row.cost;
+            t.trips += u64::from(row.trips);
+            t.moves += u64::from(row.moves);
+            t.charges += u64::from(row.charges);
+        }
+        t
+    }
+
+    /// Canonical state fingerprint: every taxi's location and payload in
+    /// taxi-id order, plus slot and layout-invariant counters, FNV-1a
+    /// hashed. Two runs with equal digests at equal slots have bit-identical
+    /// fleet state regardless of shard or thread count.
+    pub fn digest(&self) -> u64 {
+        // Location tag + two location words per taxi, filled from stores
+        // (vacant lists, queues, sessions) and the delivery schedule.
+        const VACANT: u8 = 1;
+        const QUEUED: u8 = 2;
+        const CHARGING: u8 = 3;
+        const FLYING: u8 = 4;
+        let fleet = self.config.fleet_size;
+        let mut locs: Vec<(u8, u32, u32, u64)> = vec![(0, 0, 0, 0); fleet];
+        for shard in &self.shards {
+            for l in 0..shard.vacant.len() {
+                let region = u32::from(shard.region_lo) + l as u32;
+                for &id in &shard.vacant[l] {
+                    locs[id as usize] = (VACANT, region, 0, 0);
+                }
+            }
+            for st in 0..shard.stations.len() {
+                let sid = u32::from(shard.stations.station_ids[st]);
+                for (pos, &id) in shard.stations.queue[st].iter().enumerate() {
+                    locs[id as usize] = (QUEUED, sid, pos as u32, 0);
+                }
+                for s in &shard.stations.charging[st] {
+                    locs[s.taxi as usize] =
+                        (CHARGING, sid, s.finish_minute, s.target_soc.to_bits());
+                }
+            }
+        }
+        self.schedule.for_each(|slot, flight| {
+            let (kind, at) = match flight.arrival {
+                ArrivalKind::BecomeVacant { region } => (0u32, u32::from(region)),
+                ArrivalKind::JoinStation { station } => (1u32, u32::from(station)),
+            };
+            locs[flight.row.id as usize] = (FLYING, slot, (kind << 16) | at, 0);
+        });
+
+        let rows = self.taxi_rows();
+        let mut bytes = Vec::with_capacity(fleet * 64 + 32);
+        bytes.extend_from_slice(&self.slot.to_le_bytes());
+        bytes.extend_from_slice(&self.decisions.to_le_bytes());
+        bytes.extend_from_slice(&self.trips_served.to_le_bytes());
+        bytes.extend_from_slice(&self.trips_unserved.to_le_bytes());
+        for row in rows {
+            let (tag, a, b, extra) = locs[row.id as usize];
+            debug_assert!(tag != 0, "taxi {} not located anywhere", row.id);
+            bytes.push(tag);
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+            bytes.extend_from_slice(&extra.to_le_bytes());
+            bytes.extend_from_slice(&row.id.to_le_bytes());
+            bytes.extend_from_slice(&row.soc.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&row.revenue.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&row.cost.to_bits().to_le_bytes());
+            bytes.extend_from_slice(&row.trips.to_le_bytes());
+            bytes.extend_from_slice(&row.moves.to_le_bytes());
+            bytes.extend_from_slice(&row.charges.to_le_bytes());
+        }
+        fnv64(&bytes)
+    }
+}
+
+/// FNV-1a, kept local so `fairmove-sim` does not depend on the testkit.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shard_map_partitions_contiguously_and_balanced() {
+        let map = ShardMap::contiguous(491, 4);
+        assert_eq!(map.len(), 4);
+        let sizes: Vec<usize> = (0..4)
+            .map(|s| {
+                let (lo, hi) = map.range(s);
+                usize::from(hi - lo)
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 491);
+        assert!(sizes.iter().all(|&s| s == 122 || s == 123));
+        for r in 0..491u16 {
+            let s = map.shard_of_region(r);
+            let (lo, hi) = map.range(s);
+            assert!(r >= lo && r < hi, "region {r} outside shard {s} range");
+        }
+    }
+
+    #[test]
+    fn shard_map_clamps_excess_shards() {
+        let map = ShardMap::contiguous(3, 16);
+        assert_eq!(map.len(), 3);
+        let map = ShardMap::contiguous(40, 0);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.range(0), (0, 40));
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &lambda in &[0.5f64, 4.0, 25.0, 90.0] {
+            let n = 3000;
+            let total: u64 = (0..n).map(|_| u64::from(poisson(&mut rng, lambda))).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_draws_nothing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn single_shard_serial_run_conserves_the_fleet() {
+        let config = SimConfig::test_scale();
+        let fleet = config.fleet_size;
+        let mut env = ShardedEnv::new(config, 1);
+        env.run(24, 1);
+        let rows = env.taxi_rows();
+        assert_eq!(rows.len(), fleet, "taxis lost or duplicated");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.id, i as u32);
+            assert!(row.soc >= 0.0 && row.soc <= 1.0, "taxi {i} soc {}", row.soc);
+        }
+        assert!(env.trips_served() > 0, "no trips served in a day quarter");
+        assert!(env.decisions() > 0);
+        assert_eq!(env.cross_shard_handoffs(), 0, "one shard cannot hand off");
+    }
+
+    #[test]
+    fn sharded_run_matches_the_serial_oracle() {
+        let config = SimConfig::test_scale();
+        let mut oracle = ShardedEnv::new(config.clone(), 1);
+        oracle.run(36, 1);
+        let want = oracle.digest();
+        for shards in [2usize, 4] {
+            let mut env = ShardedEnv::new(config.clone(), shards);
+            env.run(36, 2);
+            assert_eq!(env.digest(), want, "{shards} shards diverged from oracle");
+            assert!(
+                env.cross_shard_handoffs() > 0,
+                "{shards} shards: no boundary-straddling trips exercised"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_state() {
+        let config = SimConfig::test_scale();
+        let mut a = ShardedEnv::new(config.clone(), 2);
+        let d0 = a.digest();
+        a.run(6, 1);
+        assert_ne!(a.digest(), d0, "digest ignored six slots of evolution");
+        let mut other_seed = config;
+        other_seed.seed ^= 1;
+        let b = ShardedEnv::new(other_seed, 2);
+        // Construction is seed-independent (no draws), but one slot diverges.
+        let mut a2 = ShardedEnv::new(SimConfig::test_scale(), 2);
+        let mut b2 = b;
+        a2.run(12, 1);
+        b2.run(12, 1);
+        assert_ne!(a2.digest(), b2.digest(), "seed change did not reach digest");
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-region RNG streams for the sharded engine.
+//!
+//! The sharded engine's determinism contract ("bit-identical at any shard
+//! count and any `FAIRMOVE_THREADS`") hinges on one design rule: **no random
+//! stream is ever shared between two units that different shardings could
+//! assign to different shards**. The finest ownership unit is a region, so
+//! every region gets its own [`StdRng`] stream, derived from the master seed
+//! and the region id alone. Regrouping regions into 1, 2, or 4 shards cannot
+//! change which draws a region sees, because the stream travels with the
+//! region and the engine only touches a region's stream from deterministic,
+//! region-local code paths (demand draws, destination sampling, charge-target
+//! draws at the region's host station).
+//!
+//! Stations draw from their *host region's* stream. Station placement puts at
+//! most one station per region (`place_stations` chooses distinct host
+//! regions), and within a shard step stations are serviced before regions, so
+//! the interleaving of station draws and region draws on a single stream is
+//! fixed: host-station plug-ins first, then the region's own demand draws.
+
+use fairmove_city::RegionId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Golden-ratio increment used to spread region ids across the seed space
+/// (same constant as splitmix64's stream increment).
+const STREAM_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives region `r`'s dedicated stream from the master seed.
+///
+/// The derivation depends only on `(master_seed, region id)` — never on the
+/// shard layout — so any grouping of regions into shards observes identical
+/// streams. `seed_from_u64` runs the mixed value through splitmix64
+/// internally, so consecutive region ids do not yield correlated streams.
+pub fn region_stream(master_seed: u64, region: RegionId) -> StdRng {
+    let lane = STREAM_GAMMA.wrapping_mul(u64::from(region.0) + 1);
+    StdRng::seed_from_u64(master_seed ^ lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_depend_only_on_seed_and_region() {
+        let mut a = region_stream(42, RegionId(7));
+        let mut b = region_stream(42, RegionId(7));
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_regions_get_distinct_streams() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in 0..491u16 {
+            let mut s = region_stream(20130, RegionId(r));
+            assert!(
+                seen.insert(s.gen::<u64>()),
+                "stream collision at region {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_get_distinct_streams() {
+        let mut a = region_stream(1, RegionId(0));
+        let mut b = region_stream(2, RegionId(0));
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

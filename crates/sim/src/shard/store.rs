@@ -1,0 +1,316 @@
+//! Struct-of-arrays taxi and station stores for one shard.
+//!
+//! A shard's [`TaxiStore`] holds only the taxis *present* in the shard —
+//! vacant in an owned region, queued at an owned station, or plugged into
+//! one. Taxis travelling between regions live in the central
+//! [`DeliverySchedule`](super::handoff::DeliverySchedule) as payload-carrying
+//! [`InFlight`](super::handoff::InFlight) records, so a taxi is never aliased
+//! by two shards.
+//!
+//! Layout is struct-of-arrays: each logical column (`soc`, `revenue`, …) is
+//! its own `Vec`, indexed by a dense row number. Rows are removed by
+//! swap-remove across every column; `row_of` maps taxi id → row. Columns stay
+//! cache-friendly for the hot per-slot scans (idle drain, digesting) without
+//! paying per-taxi pointer chasing.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One taxi's portable payload: everything that must travel with the vehicle
+/// when it crosses a shard boundary. Field order here is the canonical
+/// serialization order used by the engine digest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxiRow {
+    /// Fleet-wide taxi id (dense, `0..fleet_size`).
+    pub id: u32,
+    /// State of charge, fraction of battery capacity.
+    pub soc: f64,
+    /// Cumulative fare revenue, yuan.
+    pub revenue: f64,
+    /// Cumulative charging cost, yuan.
+    pub cost: f64,
+    /// Completed passenger trips.
+    pub trips: u32,
+    /// Completed displacement moves.
+    pub moves: u32,
+    /// Completed charge sessions.
+    pub charges: u32,
+}
+
+/// Struct-of-arrays store over the taxis currently present in one shard.
+#[derive(Debug, Default, Clone)]
+pub struct TaxiStore {
+    ids: Vec<u32>,
+    soc: Vec<f64>,
+    revenue: Vec<f64>,
+    cost: Vec<f64>,
+    trips: Vec<u32>,
+    moves: Vec<u32>,
+    charges: Vec<u32>,
+    row_of: HashMap<u32, usize>,
+}
+
+impl TaxiStore {
+    /// Number of taxis present.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no taxis are present.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Inserts a taxi's payload, returning its row.
+    ///
+    /// # Panics
+    /// Panics (via `debug_assert`) if the taxi is already present; in release
+    /// builds the old row is left in place and a fresh row is appended, which
+    /// the engine's invariant auditor will flag through the digest.
+    pub fn insert(&mut self, row: TaxiRow) -> usize {
+        debug_assert!(
+            !self.row_of.contains_key(&row.id),
+            "taxi {} inserted twice",
+            row.id
+        );
+        let idx = self.ids.len();
+        self.ids.push(row.id);
+        self.soc.push(row.soc);
+        self.revenue.push(row.revenue);
+        self.cost.push(row.cost);
+        self.trips.push(row.trips);
+        self.moves.push(row.moves);
+        self.charges.push(row.charges);
+        self.row_of.insert(row.id, idx);
+        idx
+    }
+
+    /// Removes a taxi by id, returning its payload (swap-remove on every
+    /// column). Returns `None` if the taxi is not present.
+    pub fn remove(&mut self, id: u32) -> Option<TaxiRow> {
+        let idx = self.row_of.remove(&id)?;
+        let row = TaxiRow {
+            id: self.ids.swap_remove(idx),
+            soc: self.soc.swap_remove(idx),
+            revenue: self.revenue.swap_remove(idx),
+            cost: self.cost.swap_remove(idx),
+            trips: self.trips.swap_remove(idx),
+            moves: self.moves.swap_remove(idx),
+            charges: self.charges.swap_remove(idx),
+        };
+        if idx < self.ids.len() {
+            // The former last row moved into `idx`; repoint its id.
+            self.row_of.insert(self.ids[idx], idx);
+        }
+        Some(row)
+    }
+
+    /// Copies out a taxi's payload without removing it.
+    pub fn get(&self, id: u32) -> Option<TaxiRow> {
+        let idx = *self.row_of.get(&id)?;
+        Some(TaxiRow {
+            id: self.ids[idx],
+            soc: self.soc[idx],
+            revenue: self.revenue[idx],
+            cost: self.cost[idx],
+            trips: self.trips[idx],
+            moves: self.moves[idx],
+            charges: self.charges[idx],
+        })
+    }
+
+    /// State of charge of taxi `id`.
+    ///
+    /// # Panics
+    /// Panics if the taxi is not present (engine-internal misuse).
+    pub fn soc(&self, id: u32) -> f64 {
+        self.soc[self.row_of[&id]]
+    }
+
+    /// Drains `kwh_fraction` (already normalized by battery capacity) from
+    /// taxi `id`'s charge, clamping at zero.
+    pub fn drain_soc(&mut self, id: u32, soc_drop: f64) {
+        let idx = self.row_of[&id];
+        self.soc[idx] = (self.soc[idx] - soc_drop).max(0.0);
+    }
+
+    /// Sets taxi `id`'s state of charge (after a charge session completes).
+    pub fn set_soc(&mut self, id: u32, soc: f64) {
+        let idx = self.row_of[&id];
+        self.soc[idx] = soc;
+    }
+
+    /// Credits a completed charge session: charging cost plus session count.
+    pub fn credit_charge(&mut self, id: u32, session_cost: f64) {
+        let idx = self.row_of[&id];
+        self.cost[idx] += session_cost;
+        self.charges[idx] += 1;
+    }
+
+    /// Per-taxi ids in row order (unsorted; used for whole-store sweeps).
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Copies every resident payload into `out` (row order, unsorted).
+    pub fn rows_into(&self, out: &mut Vec<TaxiRow>) {
+        out.reserve(self.ids.len());
+        for idx in 0..self.ids.len() {
+            out.push(TaxiRow {
+                id: self.ids[idx],
+                soc: self.soc[idx],
+                revenue: self.revenue[idx],
+                cost: self.cost[idx],
+                trips: self.trips[idx],
+                moves: self.moves[idx],
+                charges: self.charges[idx],
+            });
+        }
+    }
+}
+
+/// Struct-of-arrays store over the charging stations owned by one shard.
+///
+/// Columns are indexed by a shard-local station slot; `station_ids` maps the
+/// slot back to the global [`StationId`](fairmove_city::StationId) index.
+#[derive(Debug, Default, Clone)]
+pub struct StationStore {
+    /// Global station index per local slot, ascending.
+    pub station_ids: Vec<u16>,
+    /// Fast-charging points per station.
+    pub points: Vec<u32>,
+    /// FIFO queue of taxi ids waiting for a free point.
+    pub queue: Vec<VecDeque<u32>>,
+    /// Active sessions: `(taxi id, finish minute, target soc, session cost)`,
+    /// in plug-in order.
+    pub charging: Vec<Vec<ChargeSession>>,
+}
+
+/// One active charge session at a station point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeSession {
+    /// Taxi occupying the point.
+    pub taxi: u32,
+    /// Absolute minute at which the session completes.
+    pub finish_minute: u32,
+    /// State of charge when the session completes.
+    pub target_soc: f64,
+    /// Total session cost (time-of-use priced at plug-in time), yuan.
+    pub cost: f64,
+}
+
+impl StationStore {
+    /// Registers an owned station, keeping `station_ids` ascending.
+    ///
+    /// # Panics
+    /// Panics if stations are pushed out of ascending global order — the
+    /// shard map builds stores in station-id order, and slot order doubles as
+    /// the canonical maintenance order.
+    pub fn push_station(&mut self, station_id: u16, points: u32) {
+        if let Some(&last) = self.station_ids.last() {
+            assert!(last < station_id, "stations must be added in id order");
+        }
+        self.station_ids.push(station_id);
+        self.points.push(points);
+        self.queue.push(VecDeque::new());
+        self.charging.push(Vec::new());
+    }
+
+    /// Shard-local slot of global station `station_id`, if owned here.
+    pub fn slot_of(&self, station_id: u16) -> Option<usize> {
+        self.station_ids.binary_search(&station_id).ok()
+    }
+
+    /// Number of stations owned.
+    pub fn len(&self) -> usize {
+        self.station_ids.len()
+    }
+
+    /// True when the shard owns no stations.
+    pub fn is_empty(&self) -> bool {
+        self.station_ids.is_empty()
+    }
+
+    /// Free charging points at local slot `slot`.
+    pub fn free_points(&self, slot: usize) -> u32 {
+        self.points[slot].saturating_sub(self.charging[slot].len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u32) -> TaxiRow {
+        TaxiRow {
+            id,
+            soc: 0.5 + id as f64 * 0.01,
+            revenue: 0.0,
+            cost: 0.0,
+            trips: 0,
+            moves: 0,
+            charges: 0,
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrips_through_swap_remove() {
+        let mut store = TaxiStore::default();
+        for id in 0..10 {
+            store.insert(row(id));
+        }
+        // Remove from the middle: row 3 is backfilled by row 9.
+        let r = store.remove(3).unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(store.len(), 9);
+        // Every remaining taxi is still addressable with its own payload.
+        for id in (0..10).filter(|&i| i != 3) {
+            assert_eq!(store.get(id).unwrap().id, id);
+            assert!((store.soc(id) - (0.5 + id as f64 * 0.01)).abs() < 1e-12);
+        }
+        assert!(store.remove(3).is_none());
+    }
+
+    #[test]
+    fn soc_updates_land_on_the_right_row_after_churn() {
+        let mut store = TaxiStore::default();
+        for id in 0..6 {
+            store.insert(row(id));
+        }
+        store.remove(0);
+        store.remove(2);
+        store.drain_soc(5, 0.1);
+        store.set_soc(4, 0.9);
+        store.credit_charge(4, 12.5);
+        assert!((store.soc(5) - 0.45).abs() < 1e-12);
+        let r4 = store.get(4).unwrap();
+        assert_eq!(r4.soc, 0.9);
+        assert_eq!(r4.cost, 12.5);
+        assert_eq!(r4.charges, 1);
+    }
+
+    #[test]
+    fn drain_clamps_at_zero() {
+        let mut store = TaxiStore::default();
+        store.insert(row(0));
+        store.drain_soc(0, 2.0);
+        assert_eq!(store.soc(0), 0.0);
+    }
+
+    #[test]
+    fn station_slots_resolve_by_global_id() {
+        let mut st = StationStore::default();
+        st.push_station(3, 4);
+        st.push_station(17, 2);
+        assert_eq!(st.slot_of(3), Some(0));
+        assert_eq!(st.slot_of(17), Some(1));
+        assert_eq!(st.slot_of(5), None);
+        assert_eq!(st.free_points(1), 2);
+        st.charging[1].push(ChargeSession {
+            taxi: 9,
+            finish_minute: 60,
+            target_soc: 0.9,
+            cost: 1.0,
+        });
+        assert_eq!(st.free_points(1), 1);
+    }
+}

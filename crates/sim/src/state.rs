@@ -147,27 +147,35 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, StateError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        let arr: [u8; 2] = b.try_into().map_err(|_| StateError::Truncated)?;
+        Ok(u16::from_le_bytes(arr))
     }
     fn u32(&mut self) -> Result<u32, StateError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| StateError::Truncated)?;
+        Ok(u32::from_le_bytes(arr))
     }
     fn u64(&mut self) -> Result<u64, StateError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| StateError::Truncated)?;
+        Ok(u64::from_le_bytes(arr))
     }
     fn f64(&mut self) -> Result<f64, StateError> {
         Ok(f64::from_bits(self.u64()?))
     }
     /// Reads a sequence length, bounding it by the bytes actually left
-    /// (`min_elem_bytes` per element) so corrupt lengths fail cleanly
-    /// instead of attempting a huge allocation.
+    /// (`min_elem_bytes` per element) so a corrupt or hostile length field
+    /// fails cleanly instead of attempting a multi-GB allocation. The bound
+    /// is checked in `u64` space *before* the narrowing cast, so a length
+    /// that only overflows `usize` (32-bit targets) is also rejected.
     fn len(&mut self, min_elem_bytes: usize) -> Result<usize, StateError> {
         let n = self.u64()?;
         let remaining = (self.bytes.len() - self.pos) as u64;
         if n.saturating_mul(min_elem_bytes.max(1) as u64) > remaining {
             return Err(StateError::Truncated);
         }
-        Ok(n as usize)
+        usize::try_from(n).map_err(|_| StateError::Truncated)
     }
     fn opt_u16(&mut self) -> Result<Option<u16>, StateError> {
         match self.u8()? {
@@ -918,6 +926,116 @@ mod tests {
             Environment::restore_state(config(), &trailing).err(),
             Some(StateError::TrailingBytes)
         );
+    }
+
+    /// xorshift64*: a tiny deterministic byte source for the fuzz sweeps
+    /// below (no dependency on the simulator's own RNG stack, so a codec
+    /// bug cannot hide behind the generator under test).
+    struct FuzzRng(u64);
+
+    impl FuzzRng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn garbage_images_are_rejected_without_panic_or_huge_alloc() {
+        // Pure-noise images of assorted sizes: every one must come back as
+        // a clean `Err`, never a panic or an attempted multi-GB allocation.
+        // (An allocation proportional to a bogus length field would abort
+        // the process, which this test would surface as a crash.)
+        let mut rng = FuzzRng(0x5eed_f00d);
+        for size in [0usize, 1, 7, 8, 24, 100, 1_000, 10_000] {
+            for round in 0..8 {
+                let bytes: Vec<u8> = (0..size).map(|_| rng.next() as u8).collect();
+                let result = Environment::restore_state(config(), &bytes);
+                assert!(
+                    result.is_err(),
+                    "garbage image (size {size}, round {round}) was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_after_valid_header_is_rejected() {
+        // Noise behind a valid magic + version + fingerprint exercises the
+        // body decoders (length fields, tags) rather than the header check.
+        let env = Environment::new(config());
+        let header: Vec<u8> = env.save_state()[..20].to_vec();
+        let mut rng = FuzzRng(0xbad_c0de);
+        for size in [0usize, 8, 64, 512, 4_096] {
+            let mut bytes = header.clone();
+            bytes.extend((0..size).map(|_| rng.next() as u8));
+            assert!(
+                Environment::restore_state(config(), &bytes).is_err(),
+                "garbage body of {size} bytes was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_field_errors_cleanly() {
+        // Overwrite bytes right after the header — where the first sequence
+        // lengths live — with huge little-endian values. The decoder must
+        // reject them via the remaining-bytes bound instead of trying to
+        // reserve petabytes.
+        let mut env = Environment::new(config());
+        let mut policy = StayPolicy;
+        step_n(&mut env, &mut policy, 4);
+        let image = env.save_state();
+        for &evil in &[u64::MAX, u64::MAX / 2, 1 << 40, (1 << 32) + 1] {
+            let mut bytes = image.clone();
+            // now (u32) sits at offset 20; the taxi-count u64 follows it.
+            bytes[24..32].copy_from_slice(&evil.to_le_bytes());
+            let err = Environment::restore_state(config(), &bytes);
+            assert!(err.is_err(), "length {evil:#x} was accepted");
+        }
+    }
+
+    #[test]
+    fn random_single_byte_corruption_never_panics() {
+        // Fuzz-style sweep: flip one pseudo-random byte of a valid image at
+        // a time. Restore must either succeed (the byte was slack, e.g. an
+        // f64 mantissa bit) or fail cleanly — it must never panic. The
+        // sweep count is bounded for test-suite speed; the stride-97
+        // truncation sweep above covers the torn-image axis.
+        let mut env = Environment::new(config());
+        let mut policy = StayPolicy;
+        step_n(&mut env, &mut policy, 4);
+        let image = env.save_state();
+        let mut rng = FuzzRng(0x0ddb_a115);
+        for _ in 0..256 {
+            let pos = (rng.next() as usize) % image.len();
+            let flip = (rng.next() as u8) | 1; // never a zero XOR
+            let mut bytes = image.clone();
+            bytes[pos] ^= flip;
+            // Success or clean error are both acceptable; what this pins is
+            // the absence of panics and runaway allocations.
+            let _ = Environment::restore_state(config(), &bytes);
+        }
+    }
+
+    #[test]
+    fn torn_and_doubled_images_are_rejected() {
+        let mut env = Environment::new(config());
+        let mut policy = StayPolicy;
+        step_n(&mut env, &mut policy, 4);
+        let image = env.save_state();
+        // A torn tail spliced onto a valid prefix (the classic partial
+        // rewrite) and a doubled image both fail structurally.
+        let mut torn = image[..image.len() / 2].to_vec();
+        torn.extend_from_slice(&image[..image.len() / 4]);
+        assert!(Environment::restore_state(config(), &torn).is_err());
+        let mut doubled = image.clone();
+        doubled.extend_from_slice(&image);
+        assert!(Environment::restore_state(config(), &doubled).is_err());
     }
 
     #[test]
