@@ -237,7 +237,7 @@ pub(crate) fn stack<R: AsRef<[f64]>>(rows: &[R]) -> Matrix {
 /// The counts-only version of [`apply_assignment`] for the scratch-backed
 /// dispatcher: commits only ever touch regional vacancy and station inbound,
 /// so the working view reduces to those two owned vectors.
-fn apply_assignment_counts(
+pub(crate) fn apply_assignment_counts(
     vacant: &mut [u32],
     inbound: &mut [u32],
     ctx: &DecisionContext,
@@ -264,7 +264,7 @@ fn apply_assignment_counts(
 /// max-subtraction, the same left-to-right summation of `exp(l − max)`, one
 /// `rng.gen::<f64>()`, and the same `x < acc` comparison per index — so it
 /// consumes the RNG identically to the Vec-allocating original it replaced.
-fn sample_from_logits(rng: &mut StdRng, logits: &[f64]) -> usize {
+pub(crate) fn sample_from_logits(rng: &mut StdRng, logits: &[f64]) -> usize {
     assert!(!logits.is_empty(), "sampling from empty logits");
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let sum: f64 = logits.iter().map(|&l| (l - max).exp()).sum();
@@ -284,25 +284,25 @@ fn sample_from_logits(rng: &mut StdRng, logits: &[f64]) -> usize {
 /// stacked actor forward, and the inference workspace. Everything is resized
 /// in place, so a frozen policy's decide loop stops allocating once the
 /// buffers have grown to the largest wave seen.
-struct DecideScratch {
+pub(crate) struct DecideScratch {
     /// Working vacancy counts (base observation + committed assignments).
-    vacant: Vec<u32>,
+    pub(crate) vacant: Vec<u32>,
     /// Working station-inbound counts.
-    inbound: Vec<u32>,
-    dirty_region: Vec<bool>,
-    cache: RegionFeatureCache,
+    pub(crate) inbound: Vec<u32>,
+    pub(crate) dirty_region: Vec<bool>,
+    pub(crate) cache: RegionFeatureCache,
     /// One row per candidate action across the whole wave, `SA_DIM` wide.
-    rows: Matrix,
+    pub(crate) rows: Matrix,
     /// Per queued decision: `(first row, candidate count)` into `rows`.
-    spans: Vec<(usize, usize)>,
+    pub(crate) spans: Vec<(usize, usize)>,
     /// Raw actor logits of every wave row scored so far, indexed by the
     /// wave-global row offsets in `spans` (the commit loop reads scores
     /// from here, not from the forward workspace, so `rows`/`ws` are free
     /// to be reused chunk by chunk on the frozen path).
-    wave_logits: Vec<f64>,
+    pub(crate) wave_logits: Vec<f64>,
     /// Prior-adjusted logits of the decision currently being committed.
-    logits: Vec<f64>,
-    ws: MlpWorkspace,
+    pub(crate) logits: Vec<f64>,
+    pub(crate) ws: MlpWorkspace,
 }
 
 impl Default for DecideScratch {
@@ -324,10 +324,10 @@ impl Default for DecideScratch {
 /// [`ObservationView`] over the base observation with the dispatcher's
 /// scratch-owned vacancy/inbound counts overlaid — the borrowed-buffer
 /// replacement for [`WorkingObservation`]'s copy-on-write vectors.
-struct ScratchView<'a> {
-    base: &'a SlotObservation,
-    vacant: &'a [u32],
-    inbound: &'a [u32],
+pub(crate) struct ScratchView<'a> {
+    pub(crate) base: &'a SlotObservation,
+    pub(crate) vacant: &'a [u32],
+    pub(crate) inbound: &'a [u32],
 }
 
 impl ObservationView for ScratchView<'_> {

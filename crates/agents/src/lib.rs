@@ -33,6 +33,7 @@ pub mod features;
 pub mod gt;
 pub mod oracle;
 pub mod sd2;
+pub mod shard;
 pub mod tba;
 pub mod tql;
 pub mod transition;
@@ -42,5 +43,6 @@ pub use dqn::{DqnConfig, DqnPolicy};
 pub use gt::GroundTruthPolicy;
 pub use oracle::OraclePolicy;
 pub use sd2::Sd2Policy;
+pub use shard::Cma2cShardPolicy;
 pub use tba::{TbaConfig, TbaPolicy};
 pub use tql::{TqlConfig, TqlPolicy};

@@ -1,0 +1,366 @@
+//! Frozen CMA2C inference inside sharded slot steps.
+//!
+//! [`Cma2cShardPolicy`] adapts the paper's actor to the sharded engine's
+//! [`ShardPolicy`] contract: per-region wave-batched scoring against the
+//! *previous slot's* frozen global observation, sampling from π with the
+//! region's own RNG stream at commit time. The actor network, feature
+//! extractor, charge-logit prior, and wave/commit semantics are the ones the
+//! minute engine's dispatcher uses ([`crate::cma2c`]) — only the working
+//! view is scoped differently:
+//!
+//! * the minute engine's centralized dispatcher threads one working view
+//!   through *every* region's decisions in a slot, so a commit in region 3
+//!   is visible to a later taxi in region 40;
+//! * a shard can only see its own state plus the frozen observation, so the
+//!   working view here is **region-local**: taxis see the commits of
+//!   earlier taxis in their own region (the anti-herding feedback that
+//!   matters — co-located taxis share candidate stations), while
+//!   cross-region commits land in the next slot's observation instead.
+//!
+//! That scoping is exactly what keeps the policy layout-invariant: every
+//! input to a decision is either the frozen observation (identical under
+//! every layout) or the same region's earlier commits this slot (computed
+//! from the region's own context list and RNG stream, also identical).
+//! DESIGN.md's "Fidelity contract" bounds the behavioural delta this
+//! introduces versus the centralized dispatcher.
+//!
+//! Training stays on the minute engine; this type is inference-only and
+//! deliberately has no learning path. Weights arrive either from
+//! construction (same seed ⇒ same init as an untrained [`Cma2cPolicy`]) or
+//! via [`Cma2cShardPolicy::load_actor`].
+
+use crate::cma2c::{
+    apply_assignment_counts, sample_from_logits, Cma2cConfig, DecideScratch, ScratchView,
+};
+use crate::features::{FeatureExtractor, SA_DIM, STATE_DIM};
+use fairmove_city::{City, RegionId};
+use fairmove_rl::{Activation, Mlp};
+use fairmove_sim::{Action, DecisionContext, ShardPolicy, SlotObservation};
+use rand::rngs::StdRng;
+
+/// Frozen CMA2C actor callable from sharded slot steps.
+pub struct Cma2cShardPolicy {
+    fx: FeatureExtractor,
+    actor: Mlp,
+    charge_logit_prior: f64,
+    ablate_global_view: bool,
+    ablate_fairness_features: bool,
+    scratch: DecideScratch,
+}
+
+impl Cma2cShardPolicy {
+    /// A shard-callable actor over `city`. With the same `config` (seed,
+    /// hidden widths) this builds bit-identical initial weights to
+    /// [`Cma2cPolicy::new`](crate::cma2c::Cma2cPolicy::new), so an untrained
+    /// sharded run is comparable to an untrained minute-engine run.
+    pub fn new(city: &City, config: &Cma2cConfig) -> Self {
+        let mut actor_sizes = vec![SA_DIM];
+        actor_sizes.extend(&config.actor_hidden);
+        actor_sizes.push(1);
+        Cma2cShardPolicy {
+            fx: FeatureExtractor::new(city),
+            actor: Mlp::new(
+                &actor_sizes,
+                Activation::Relu,
+                Activation::Linear,
+                config.seed,
+            ),
+            charge_logit_prior: config.charge_logit_prior,
+            ablate_global_view: config.ablate_global_view,
+            ablate_fairness_features: config.ablate_fairness_features,
+            scratch: DecideScratch::default(),
+        }
+    }
+
+    /// Replaces the actor with one saved by
+    /// [`Cma2cPolicy::save`](crate::cma2c::Cma2cPolicy::save) (the critic
+    /// that follows it in the stream, if any, is left unread — inference
+    /// needs only the actor).
+    pub fn load_actor(
+        &mut self,
+        r: &mut impl std::io::BufRead,
+    ) -> Result<(), fairmove_rl::LoadError> {
+        let actor = fairmove_rl::load_mlp(r)?;
+        if actor.layer_shapes() != self.actor.layer_shapes() {
+            return Err(fairmove_rl::LoadError::Format(
+                "actor architecture mismatch with configured shard policy".into(),
+            ));
+        }
+        self.actor = actor;
+        Ok(())
+    }
+
+    /// Zeroes the ablated feature groups of one state prefix (same index
+    /// map as the minute-engine policy).
+    fn apply_state_ablations(&self, state: &mut [f64]) {
+        if self.ablate_global_view {
+            for &i in &[4usize, 5, 6, 7, 10] {
+                state[i] = 0.0;
+            }
+        }
+        if self.ablate_fairness_features {
+            for &i in &[11usize, 12] {
+                state[i] = 0.0;
+            }
+        }
+    }
+}
+
+impl ShardPolicy for Cma2cShardPolicy {
+    fn name(&self) -> &'static str {
+        "cma2c"
+    }
+
+    fn decide_region(
+        &mut self,
+        _city: &City,
+        obs: &SlotObservation,
+        _region: RegionId,
+        ctxs: &[DecisionContext],
+        rng: &mut StdRng,
+        out: &mut Vec<Action>,
+    ) {
+        out.clear();
+        if ctxs.is_empty() {
+            return;
+        }
+        // Region-local working view over the frozen observation: later
+        // taxis in this region see earlier commits (wave semantics of the
+        // centralized dispatcher, scoped to one region).
+        let mut s = std::mem::take(&mut self.scratch);
+        s.vacant.clear();
+        s.vacant.extend_from_slice(&obs.vacant_per_region);
+        s.inbound.clear();
+        s.inbound.extend_from_slice(&obs.inbound_per_station);
+        s.dirty_region.clear();
+        s.dirty_region.resize(obs.vacant_per_region.len(), false);
+
+        let mut i = 0usize;
+        while i < ctxs.len() {
+            // Featurize the remaining wave against the current working view
+            // (the per-wave cache computes the shared aggregates once).
+            {
+                let view = ScratchView {
+                    base: obs,
+                    vacant: &s.vacant,
+                    inbound: &s.inbound,
+                };
+                s.cache.refresh(self.fx.city(), &view);
+            }
+            let wave = &ctxs[i..];
+            s.spans.clear();
+            let mut total_rows = 0usize;
+            for ctx in wave {
+                s.spans.push((total_rows, ctx.actions.len()));
+                total_rows += ctx.actions.len();
+            }
+            s.rows.resize_in_place(total_rows, SA_DIM);
+            for (k, ctx) in wave.iter().enumerate() {
+                let row0 = s.spans[k].0;
+                let mut state = [0.0f64; STATE_DIM];
+                self.fx.write_state_cached(&s.cache, ctx, &mut state);
+                self.apply_state_ablations(&mut state);
+                for (j, &a) in ctx.actions.actions().iter().enumerate() {
+                    let row = s.rows.row_mut(row0 + j);
+                    row[..STATE_DIM].copy_from_slice(&state);
+                    self.fx
+                        .write_action_cached(&s.cache, ctx, a, &mut row[STATE_DIM..]);
+                }
+            }
+            s.wave_logits.clear();
+            let logits_m = self.actor.forward_scratch(&s.rows, &mut s.ws);
+            s.wave_logits
+                .extend((0..total_rows).map(|r| logits_m.get(r, 0)));
+
+            // Commit sequentially, breaking the wave at the first decision
+            // whose features an earlier commit touched (every per-row actor
+            // output is independent, so re-scoring the remainder against
+            // the refreshed view is bit-identical to a serial dispatcher).
+            for d in s.dirty_region.iter_mut() {
+                *d = false;
+            }
+            let mut global_dirty = false;
+            let mut committed = 0usize;
+            for (w, ctx) in wave.iter().enumerate() {
+                if w > 0 {
+                    let stale =
+                        global_dirty
+                            || s.dirty_region[ctx.region.index()]
+                            || ctx.actions.actions().iter().any(
+                                |a| matches!(a, Action::MoveTo(d) if s.dirty_region[d.index()]),
+                            );
+                    if stale {
+                        break;
+                    }
+                }
+                let (row0, n_candidates) = s.spans[w];
+                let n_movement = n_candidates - ctx.actions.charge_actions().len();
+                s.logits.clear();
+                s.logits.extend((0..n_candidates).map(|j| {
+                    // "Charging is the exception" prior, fully overridable
+                    // by the learned logits — same constant as the minute
+                    // engine, dropped when charging is forced.
+                    let prior = if j >= n_movement && !ctx.actions.charge_forced() {
+                        self.charge_logit_prior
+                    } else {
+                        0.0
+                    };
+                    s.wave_logits[row0 + j] - prior
+                }));
+                // One sample from π per context, drawn from the *region's*
+                // stream at commit time: the draw count per region is the
+                // context count, which is layout-invariant.
+                let idx = sample_from_logits(rng, &s.logits);
+                let action = ctx.actions.action(idx);
+                match action {
+                    Action::Stay => {}
+                    Action::MoveTo(dest) => {
+                        if s.vacant[ctx.region.index()] == 0 {
+                            global_dirty = true;
+                        }
+                        s.dirty_region[ctx.region.index()] = true;
+                        s.dirty_region[dest.index()] = true;
+                    }
+                    Action::Charge(_) => global_dirty = true,
+                }
+                apply_assignment_counts(&mut s.vacant, &mut s.inbound, ctx, action);
+                out.push(action);
+                committed += 1;
+            }
+            i += committed;
+        }
+        self.scratch = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairmove_city::CityConfig;
+    use fairmove_sim::{ShardPolicyFactory, ShardedEnv, SimConfig};
+    use rand::SeedableRng;
+
+    fn small_city() -> City {
+        City::generate(CityConfig {
+            n_regions: 20,
+            n_stations: 4,
+            total_charging_points: 40,
+            ..CityConfig::default()
+        })
+    }
+
+    fn obs(city: &City) -> SlotObservation {
+        SlotObservation {
+            now: fairmove_city::SimTime::from_dhm(0, 9, 0),
+            slot: fairmove_city::TimeSlot(54),
+            vacant_per_region: vec![1; city.n_regions()],
+            free_points_per_station: vec![5; city.n_stations()],
+            queue_per_station: vec![0; city.n_stations()],
+            inbound_per_station: vec![0; city.n_stations()],
+            predicted_demand: vec![1.0; city.n_regions()],
+            waiting_per_region: vec![0; city.n_regions()],
+            price_now: 1.2,
+            price_next_hour: 1.2,
+            mean_pe: 40.0,
+            pf: 0.0,
+        }
+    }
+
+    fn ctx(city: &City, taxi: u32) -> DecisionContext {
+        let region = RegionId(0);
+        DecisionContext {
+            taxi: fairmove_sim::TaxiId(taxi),
+            region,
+            soc: 0.7,
+            must_charge: false,
+            pe_standing: 40.0,
+            actions: fairmove_sim::ActionSet::full(
+                &city.region(region).neighbors,
+                city.nearest_stations().nearest(region),
+            ),
+        }
+    }
+
+    #[test]
+    fn decisions_are_admissible_and_cover_every_context() {
+        let city = small_city();
+        let mut p = Cma2cShardPolicy::new(&city, &Cma2cConfig::default());
+        let o = obs(&city);
+        let cs: Vec<DecisionContext> = (0..9).map(|i| ctx(&city, i)).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        p.decide_region(&city, &o, RegionId(0), &cs, &mut rng, &mut out);
+        assert_eq!(out.len(), cs.len());
+        for (a, c) in out.iter().zip(&cs) {
+            assert!(c.actions.contains(*a), "inadmissible action {a:?}");
+        }
+    }
+
+    #[test]
+    fn same_stream_state_reproduces_the_same_decisions() {
+        let city = small_city();
+        let config = Cma2cConfig::default();
+        let o = obs(&city);
+        let cs: Vec<DecisionContext> = (0..12).map(|i| ctx(&city, i)).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        // Two independently constructed policies with the same seed and the
+        // same stream state must agree action for action.
+        let mut p = Cma2cShardPolicy::new(&city, &config);
+        let mut rng = StdRng::seed_from_u64(77);
+        p.decide_region(&city, &o, RegionId(0), &cs, &mut rng, &mut a);
+        let mut q = Cma2cShardPolicy::new(&city, &config);
+        let mut rng = StdRng::seed_from_u64(77);
+        q.decide_region(&city, &o, RegionId(0), &cs, &mut rng, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_cma2c_runs_are_layout_invariant() {
+        // The end-to-end determinism claim for the CMA2C shard path: same
+        // digest for 1 shard × 1 thread and 4 shards × 2 threads.
+        let sim = SimConfig::test_scale();
+        let factory: &ShardPolicyFactory =
+            &|city: &City| Box::new(Cma2cShardPolicy::new(city, &Cma2cConfig::default()));
+        let mut oracle = ShardedEnv::with_policy(sim.clone(), 1, factory);
+        oracle.run(18, 1);
+        assert_eq!(oracle.policy_name(), "cma2c");
+        let mut env = ShardedEnv::with_policy(sim, 4, factory);
+        env.run(18, 2);
+        assert_eq!(
+            env.digest(),
+            oracle.digest(),
+            "cma2c diverged across layouts"
+        );
+        assert_eq!(env.taxi_rows().len(), oracle.taxi_rows().len());
+    }
+
+    #[test]
+    fn load_actor_round_trips_through_the_minute_policy() {
+        let city = small_city();
+        let mut trained = crate::cma2c::Cma2cPolicy::new(&city, Cma2cConfig::default());
+        trained.freeze();
+        let mut buf = Vec::new();
+        trained.save(&mut buf).unwrap();
+        let mut p = Cma2cShardPolicy::new(
+            &city,
+            &Cma2cConfig {
+                seed: 12345, // different init — must be overwritten
+                ..Cma2cConfig::default()
+            },
+        );
+        p.load_actor(&mut buf.as_slice()).unwrap();
+        // Same weights + same stream state ⇒ same decisions as a policy
+        // built directly from the saving config.
+        let q_cfg = Cma2cConfig::default();
+        let mut q = Cma2cShardPolicy::new(&city, &q_cfg);
+        let o = obs(&city);
+        let cs: Vec<DecisionContext> = (0..6).map(|i| ctx(&city, i)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut rng = StdRng::seed_from_u64(5);
+        p.decide_region(&city, &o, RegionId(0), &cs, &mut rng, &mut a);
+        let mut rng = StdRng::seed_from_u64(5);
+        q.decide_region(&city, &o, RegionId(0), &cs, &mut rng, &mut b);
+        assert_eq!(a, b);
+    }
+}

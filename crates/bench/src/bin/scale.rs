@@ -16,6 +16,9 @@
 //!   regions — minutes per round). Off by default.
 //! - `--paper`: run the paper preset on the region-sharded engine (the full
 //!   20,130-taxi deployment over one day; `--smoke` shrinks the window).
+//! - `--policy greedy|cma2c`: which slot-granularity policy drives the
+//!   `--paper` run (default `greedy`; `cma2c` is the frozen wave-batched
+//!   actor on the sharded engine).
 //! - `--check-baseline [path]`: after writing the report, compare it against
 //!   the checked-in baseline (default
 //!   `crates/bench/baselines/BENCH_scale_baseline.json`): every report row
@@ -30,7 +33,9 @@
 //! default-scale `cma2c-frozen` row against the checked-in baseline.
 
 use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
-use fairmove_bench::scale_bench::{PAPER_FULL_WINDOW, PAPER_SHARDS, PAPER_SMOKE_WINDOW};
+use fairmove_bench::scale_bench::{
+    ShardBenchPolicy, PAPER_FULL_WINDOW, PAPER_SHARDS, PAPER_SMOKE_WINDOW,
+};
 use fairmove_bench::{measure, measure_sharded, Scale, ScaleReport, ScaleResult};
 use fairmove_city::City;
 use fairmove_sim::StayPolicy;
@@ -146,6 +151,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("BENCH_scale.json");
+    let shard_policy = match args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("greedy") => ShardBenchPolicy::Greedy,
+        Some("cma2c") => ShardBenchPolicy::Cma2c,
+        Some(other) => {
+            eprintln!("unknown --policy {other} (expected greedy|cma2c)");
+            std::process::exit(2);
+        }
+    };
 
     let (scales, rounds, warmup): (&[Scale], usize, usize) = if paper {
         (&[], 1, 0) // paper runs through the sharded path below
@@ -182,11 +200,13 @@ fn main() {
             PAPER_FULL_WINDOW
         };
         eprintln!(
-            "measuring paper/sharded ({PAPER_SHARDS} shards, {} threads, {rounds}x{slots} slots) ...",
+            "measuring paper/{} ({PAPER_SHARDS} shards, {} threads, {rounds}x{slots} slots) ...",
+            shard_policy.name(),
             report.threads
         );
         report.results.push(measure_sharded(
             Scale::Paper,
+            shard_policy,
             PAPER_SHARDS,
             report.threads,
             warmup,

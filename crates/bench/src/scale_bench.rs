@@ -11,8 +11,11 @@
 
 use crate::scale::Scale;
 use crate::scale_report::ScaleResult;
+use fairmove_agents::{Cma2cConfig, Cma2cShardPolicy};
+use fairmove_city::City;
 use fairmove_sim::{
-    Action, DecisionContext, DisplacementPolicy, Environment, SlotFeedback, SlotObservation,
+    Action, DecisionContext, DisplacementPolicy, Environment, GreedyDeficitPolicy, ShardPolicy,
+    SlotFeedback, SlotObservation,
 };
 use fairmove_telemetry::{trace, Telemetry};
 use std::time::Instant;
@@ -207,18 +210,41 @@ pub const PAPER_SMOKE_WINDOW: (usize, usize, usize) = (2, 1, 6);
 /// and by the throughput-regression gate.
 pub const PAPER_FULL_WINDOW: (usize, usize, usize) = (12, 3, 44);
 
+/// Which slot-granularity policy drives a [`measure_sharded`] run. The
+/// report row's `policy` field carries the matching name, so greedy and
+/// CMA2C paper rows coexist in one baseline file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBenchPolicy {
+    /// Deficit-greedy dispatch (environment-dominated throughput).
+    Greedy,
+    /// Frozen CMA2C actor, wave-batched per region (the deployed
+    /// inference path on the sharded engine).
+    Cma2c,
+}
+
+impl ShardBenchPolicy {
+    /// Report-row policy name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardBenchPolicy::Greedy => "sharded-greedy",
+            ShardBenchPolicy::Cma2c => "sharded-cma2c",
+        }
+    }
+}
+
 /// Steps the region-sharded engine ([`fairmove_sim::ShardedEnv`]) at `scale`
 /// and measures steady-state throughput with the same window protocol as
 /// [`measure`]: `warmup` unmeasured slots, then `rounds` timed blocks of
 /// `slots_per_round` slots, reporting the median round.
 ///
-/// The result's `policy` is `"sharded"` and `decisions` counts the engine's
-/// layout-invariant decision total (charge + displacement + match), so the
-/// baseline gate can require exact equality across machines and layouts.
-/// The sharded engine has no span instrumentation, so the per-phase
-/// `*_ns_per_slot` fields read 0.0.
+/// The result's `policy` is `policy.name()` and `decisions` counts the
+/// engine's layout-invariant decision total (charge + displacement +
+/// match), so the baseline gate can require exact equality across machines
+/// and layouts. The sharded engine has no span instrumentation, so the
+/// per-phase `*_ns_per_slot` fields read 0.0.
 pub fn measure_sharded(
     scale: Scale,
+    policy: ShardBenchPolicy,
     shards: usize,
     threads: usize,
     warmup: usize,
@@ -234,7 +260,14 @@ pub fn measure_sharded(
         scale.name()
     );
 
-    let mut env = fairmove_sim::ShardedEnv::new(config, shards);
+    let cma2c_config = Cma2cConfig::default();
+    let factory = |city: &City| -> Box<dyn ShardPolicy> {
+        match policy {
+            ShardBenchPolicy::Greedy => Box::new(GreedyDeficitPolicy::default()),
+            ShardBenchPolicy::Cma2c => Box::new(Cma2cShardPolicy::new(city, &cma2c_config)),
+        }
+    };
+    let mut env = fairmove_sim::ShardedEnv::with_policy(config, shards, &factory);
     env.run(warmup as u32, threads);
 
     let mut slots_per_sec = Vec::with_capacity(rounds);
@@ -256,7 +289,7 @@ pub fn measure_sharded(
     let total_slots = (rounds * slots_per_round) as u64;
     ScaleResult {
         scale: scale.name().to_string(),
-        policy: "sharded".to_string(),
+        policy: policy.name().to_string(),
         slots: total_slots,
         decisions: env.decisions() - decisions_before,
         slots_per_sec: median(&mut slots_per_sec),
@@ -333,10 +366,10 @@ mod tests {
 
     #[test]
     fn measure_sharded_is_deterministic_across_layouts() {
-        let a = measure_sharded(Scale::Test, 1, 1, 4, 2, 8);
-        let b = measure_sharded(Scale::Test, 4, 2, 4, 2, 8);
+        let a = measure_sharded(Scale::Test, ShardBenchPolicy::Greedy, 1, 1, 4, 2, 8);
+        let b = measure_sharded(Scale::Test, ShardBenchPolicy::Greedy, 4, 2, 4, 2, 8);
         assert_eq!(a.scale, "test");
-        assert_eq!(a.policy, "sharded");
+        assert_eq!(a.policy, "sharded-greedy");
         assert_eq!(a.slots, 16);
         assert!(a.decisions > 0);
         assert_eq!(
@@ -345,6 +378,18 @@ mod tests {
         );
         assert!(a.slots_per_sec > 0.0);
         assert_eq!(a.observe_ns_per_slot, 0.0, "sharded engine has no spans");
+    }
+
+    #[test]
+    fn measure_sharded_cma2c_is_deterministic_across_layouts() {
+        let a = measure_sharded(Scale::Test, ShardBenchPolicy::Cma2c, 1, 1, 2, 1, 6);
+        let b = measure_sharded(Scale::Test, ShardBenchPolicy::Cma2c, 4, 2, 2, 1, 6);
+        assert_eq!(a.policy, "sharded-cma2c");
+        assert!(a.decisions > 0);
+        assert_eq!(
+            a.decisions, b.decisions,
+            "sharded CMA2C decision count must be layout-invariant"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! per-decision allocations back on the hot path costs far more than 20%.
 
 use fairmove_agents::{Cma2cConfig, Cma2cPolicy};
-use fairmove_bench::scale_bench::{PAPER_FULL_WINDOW, PAPER_SHARDS};
+use fairmove_bench::scale_bench::{ShardBenchPolicy, PAPER_FULL_WINDOW, PAPER_SHARDS};
 use fairmove_bench::{measure, measure_sharded, Scale, ScaleReport};
 use fairmove_city::City;
 
@@ -33,10 +33,11 @@ fn baseline_file_parses_and_carries_the_gated_rows() {
         ("default", "cma2c-frozen", 144u64),
         (
             "paper",
-            "sharded",
+            "sharded-greedy",
             (PAPER_FULL_WINDOW.1 * PAPER_FULL_WINDOW.2) as u64,
         ),
-        ("paper", "sharded", 6), // CI smoke window
+        ("paper", "sharded-greedy", 6), // CI smoke window
+        ("paper", "sharded-cma2c", 6),  // CI smoke window, frozen actor
     ] {
         let row = baseline
             .results
@@ -65,11 +66,12 @@ fn paper_scale_sharded_day_stays_within_20_percent_of_baseline() {
     let reference = baseline
         .results
         .iter()
-        .find(|r| r.scale == "paper" && r.policy == "sharded" && r.slots == want_slots)
-        .expect("baseline must carry the full-window paper/sharded row");
+        .find(|r| r.scale == "paper" && r.policy == "sharded-greedy" && r.slots == want_slots)
+        .expect("baseline must carry the full-window paper/sharded-greedy row");
 
     let result = measure_sharded(
         Scale::Paper,
+        ShardBenchPolicy::Greedy,
         PAPER_SHARDS,
         fairmove_parallel::thread_count(),
         warmup,

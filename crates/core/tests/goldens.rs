@@ -14,7 +14,7 @@
 use fairmove_core::experiments::{ComparisonConfig, ComparisonResults};
 use fairmove_core::method::MethodKind;
 use fairmove_sim::SimConfig;
-use fairmove_testkit::{canon, golden, PolicyKind, Scenario};
+use fairmove_testkit::{canon, golden, PolicyKind, Scenario, ShardPolicyKind};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -37,6 +37,9 @@ fn gt_ledger_golden() {
         daily_trips_per_taxi: 36.0,
         alpha: 0.6,
         policy: PolicyKind::GroundTruth,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     let artifacts = scenario.run();

@@ -21,7 +21,7 @@
 //! `FAIRMOVE_REPRO_DIR`) and keep the oracle comment.
 
 use fairmove_faults::{FaultPlan, FaultSpec, SlotWindow};
-use fairmove_testkit::{PolicyKind, Scenario};
+use fairmove_testkit::{PolicyKind, Scenario, ShardPolicyKind};
 
 /// Caught by oracle `invariant-audit` (money-conservation): T0 booked
 /// 0 CNY over 1 trip while its trip log summed to 20.52 CNY. Stay policy
@@ -38,6 +38,9 @@ fn repro_invariant_audit_seed_7799e2946dd8a097() {
         daily_trips_per_taxi: 54.10458543946552,
         alpha: 0.0,
         policy: PolicyKind::Stay,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: Some(
             FaultPlan::new(0x4b28ce8060eafc82).with(FaultSpec::DemandSurge {
                 region: 1,
@@ -63,6 +66,9 @@ fn repro_invariant_audit_seed_3e70a2ed0827d343() {
         daily_trips_per_taxi: 45.050664135274246,
         alpha: 0.25,
         policy: PolicyKind::GroundTruth,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     fairmove_testkit::check_all(&scenario).expect("oracle must pass");
@@ -83,6 +89,9 @@ fn repro_invariant_audit_seed_407c8e37987101cb() {
         daily_trips_per_taxi: 11.343465416387309,
         alpha: 0.6,
         policy: PolicyKind::Stay,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     fairmove_testkit::check_all(&scenario).expect("oracle must pass");
@@ -103,6 +112,9 @@ fn repro_invariant_audit_seed_ab406d16a6cc460c() {
         daily_trips_per_taxi: 10.271429053890452,
         alpha: 0.0,
         policy: PolicyKind::Stay,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     fairmove_testkit::check_all(&scenario).expect("oracle must pass");
@@ -123,6 +135,9 @@ fn repro_invariant_audit_seed_f4773ad8901060df() {
         daily_trips_per_taxi: 20.094577438905215,
         alpha: 0.6,
         policy: PolicyKind::GroundTruth,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     fairmove_testkit::check_all(&scenario).expect("oracle must pass");
@@ -146,6 +161,9 @@ fn repro_batched_inference_herded_fleet_seed_5ecb91d104a77e20() {
         daily_trips_per_taxi: 48.0,
         alpha: 0.6,
         policy: PolicyKind::Stay,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     fairmove_testkit::check_all(&scenario).expect("oracle must pass");
@@ -168,6 +186,9 @@ fn repro_batched_inference_command_loss_seed_9d30a41be2c655f7() {
         daily_trips_per_taxi: 36.0,
         alpha: 0.25,
         policy: PolicyKind::GroundTruth,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: Some(
             FaultPlan::new(0x71c3a9de44b08f12).with(FaultSpec::CommandLoss {
                 probability: 0.35,
@@ -194,6 +215,9 @@ fn repro_batched_inference_stale_observation_seed_c4f0b6291ad3578e() {
         daily_trips_per_taxi: 30.0,
         alpha: 1.0,
         policy: PolicyKind::Stay,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: Some(FaultPlan::new(0x2b85f6c09e1d4a73).with(
             FaultSpec::ObservationStaleness {
                 lag_slots: 2,

@@ -11,7 +11,7 @@ use fairmove_metrics::{
     bootstrap_mean_ci, gini, jain_index, pipe, pipf, prct, prit, profit_fairness, MethodReport,
 };
 use fairmove_sim::FleetLedger;
-use fairmove_testkit::{canon, golden, PolicyKind, Scenario};
+use fairmove_testkit::{canon, golden, PolicyKind, Scenario, ShardPolicyKind};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -102,6 +102,9 @@ fn ledger_pair() -> (FleetLedger, FleetLedger) {
         daily_trips_per_taxi: 36.0,
         alpha: 0.6,
         policy: PolicyKind::GroundTruth,
+        shards: 1,
+        threads: 1,
+        shard_policy: ShardPolicyKind::Greedy,
         fault_plan: None,
     };
     let gt = scenario.run();

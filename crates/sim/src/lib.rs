@@ -48,7 +48,8 @@ pub use ledger::{ChargeEvent, FleetLedger, TaxiLedger, TripEvent};
 pub use observation::{DecisionContext, ObservationView, SlotObservation, WorkingObservation};
 pub use policy::{DisplacementPolicy, StayPolicy};
 pub use resilient::{ResilienceStats, ResilientPolicy};
-pub use shard::{FleetTotals, ShardMap, ShardedEnv};
+pub use shard::policy::{GreedyDeficitPolicy, ShardPolicy, ShardPolicyFactory, StayShardPolicy};
+pub use shard::{FleetTotals, ShardMap, ShardedEnv, QUEUE_PATIENCE_MINUTES};
 pub use snapshot::FleetSnapshot;
 pub use taxi::{Taxi, TaxiId, TaxiState};
 pub use trace::{TraceEvent, TraceLog};

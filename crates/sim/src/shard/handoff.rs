@@ -6,16 +6,20 @@
 //! [`DeliverySchedule`], keyed by arrival slot, and are delivered to the
 //! destination's owning shard at that slot's boundary.
 //!
-//! Determinism contract: the schedule's contents are independent of the
-//! shard layout because
+//! Determinism contract: each arrival slot's batch is independent of the
+//! shard layout **as a multiset**, and every consumer is insensitive to the
+//! batch's insertion order:
 //!
-//! 1. departures are committed in canonical order — shard outboxes are
-//!    concatenated in shard-id order, and since shards own *contiguous,
-//!    ascending* region ranges and emit departures region-by-region, that
-//!    concatenation equals the global region-id order for every shard count;
+//! 1. departures are committed serially by concatenating shard outboxes in
+//!    shard-id order, so the *content* of each batch — which flights exist,
+//!    with which payloads — depends only on region- and station-local state
+//!    that is itself layout-invariant. The insertion order *within* a batch
+//!    may differ across layouts (a shard's outbox interleaves phase-A balk
+//!    redirects with phase-C departures for all its regions), which is fine
+//!    because
 //! 2. deliveries are handed to each shard sorted by `(arrival kind, taxi
-//!    id)`, so the order in which a station queue or a vacant list absorbs
-//!    same-slot arrivals never depends on which shard the taxi came from.
+//!    id)` — the canonical application order — and the digest/ledger paths
+//!    index flights by taxi id, never by batch position.
 
 use super::store::TaxiRow;
 use std::collections::BTreeMap;
@@ -39,6 +43,10 @@ pub struct InFlight {
     /// Shard that emitted the departure (for the handoff counter only —
     /// never consulted for ordering, which must stay layout-independent).
     pub from_shard: u32,
+    /// Station-to-station balk redirects already taken on this excursion
+    /// (bounded by the engine's `MAX_REDIRECTS`; always 0 for non-charging
+    /// flights). Not part of the inbox sort key.
+    pub redirects: u8,
 }
 
 /// Central calendar of in-flight taxis, keyed by absolute arrival slot.
@@ -81,9 +89,10 @@ impl DeliverySchedule {
         self.in_flight
     }
 
-    /// Visits every in-flight record (ascending slot, then insertion order)
-    /// — used by the engine digest, where insertion order is already
-    /// canonical.
+    /// Visits every in-flight record (ascending slot, then insertion order).
+    /// Insertion order within a slot is *not* layout-canonical — callers
+    /// must key whatever they accumulate by taxi id (as the engine digest
+    /// and ledger do), never by visit position.
     pub fn for_each(&self, mut f: impl FnMut(u32, &InFlight)) {
         for (&slot, batch) in &self.by_slot {
             for flight in batch {
@@ -110,6 +119,7 @@ mod tests {
             },
             arrival: ArrivalKind::BecomeVacant { region: 0 },
             from_shard: 0,
+            redirects: 0,
         }
     }
 

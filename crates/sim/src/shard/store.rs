@@ -151,6 +151,16 @@ impl TaxiStore {
         &self.ids
     }
 
+    /// Writes each resident taxi's profit efficiency — `(revenue − cost) /
+    /// hours`, the paper's per-driver Eq. 3 term — into the fleet-indexed
+    /// buffer `out[id]`. Indexing by id makes the fill order irrelevant, so
+    /// the caller's canonical-order reduction is layout-invariant.
+    pub fn profit_efficiencies_into(&self, hours: f64, out: &mut [f64]) {
+        for idx in 0..self.ids.len() {
+            out[self.ids[idx] as usize] = (self.revenue[idx] - self.cost[idx]) / hours;
+        }
+    }
+
     /// Copies every resident payload into `out` (row order, unsorted).
     pub fn rows_into(&self, out: &mut Vec<TaxiRow>) {
         out.reserve(self.ids.len());
@@ -178,11 +188,21 @@ pub struct StationStore {
     pub station_ids: Vec<u16>,
     /// Fast-charging points per station.
     pub points: Vec<u32>,
-    /// FIFO queue of taxi ids waiting for a free point.
-    pub queue: Vec<VecDeque<u32>>,
+    /// FIFO queue of taxis waiting for a free point, with join minutes.
+    pub queue: Vec<VecDeque<QueueEntry>>,
     /// Active sessions: `(taxi id, finish minute, target soc, session cost)`,
     /// in plug-in order.
     pub charging: Vec<Vec<ChargeSession>>,
+}
+
+/// One queued taxi: the id plus the absolute minute it joined, so the
+/// patience sweep can age the queue without a side table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Queued taxi id.
+    pub taxi: u32,
+    /// Absolute minute the taxi joined the queue.
+    pub joined_minute: u32,
 }
 
 /// One active charge session at a station point.
@@ -233,6 +253,47 @@ impl StationStore {
     /// Free charging points at local slot `slot`.
     pub fn free_points(&self, slot: usize) -> u32 {
         self.points[slot].saturating_sub(self.charging[slot].len() as u32)
+    }
+
+    /// Appends `taxi` to local station `slot`'s FIFO queue at `minute`.
+    ///
+    /// Join minutes are non-decreasing along the queue because the engine
+    /// only enqueues at the current slot's time — the patience sweep relies
+    /// on this to stop at the first fresh entry.
+    pub fn join_queue(&mut self, slot: usize, taxi: u32, minute: u32) {
+        debug_assert!(
+            self.queue[slot]
+                .back()
+                .is_none_or(|e| e.joined_minute <= minute),
+            "queue join minutes must be non-decreasing"
+        );
+        self.queue[slot].push_back(QueueEntry {
+            taxi,
+            joined_minute: minute,
+        });
+    }
+
+    /// Pops every queue entry at local station `slot` that has waited at
+    /// least `patience` minutes as of `now_minute`, appending the abandoning
+    /// taxi ids to `out` in FIFO order.
+    ///
+    /// Because join minutes are non-decreasing, expired entries form a
+    /// prefix: the sweep is exact, not heuristic, and an empty (or freshly
+    /// drained) queue is a no-op.
+    pub fn abandon_expired(
+        &mut self,
+        slot: usize,
+        now_minute: u32,
+        patience: u32,
+        out: &mut Vec<u32>,
+    ) {
+        while let Some(front) = self.queue[slot].front() {
+            if now_minute.saturating_sub(front.joined_minute) < patience {
+                break;
+            }
+            let e = self.queue[slot].pop_front().expect("front just observed");
+            out.push(e.taxi);
+        }
     }
 }
 
@@ -294,6 +355,78 @@ mod tests {
         store.insert(row(0));
         store.drain_soc(0, 2.0);
         assert_eq!(store.soc(0), 0.0);
+    }
+
+    #[test]
+    fn abandonment_pops_exactly_the_expired_prefix() {
+        let mut st = StationStore::default();
+        st.push_station(0, 1);
+        st.join_queue(0, 7, 100);
+        st.join_queue(0, 8, 110);
+        st.join_queue(0, 9, 150);
+        let mut gone = Vec::new();
+        // At minute 160 with patience 50: entries joined at 100 and 110 have
+        // waited 60 and 50 minutes; the one from 150 has waited only 10.
+        st.abandon_expired(0, 160, 50, &mut gone);
+        assert_eq!(gone, vec![7, 8]);
+        assert_eq!(st.queue[0].len(), 1);
+        assert_eq!(st.queue[0].front().unwrap().taxi, 9);
+    }
+
+    #[test]
+    fn abandonment_from_a_queue_emptied_mid_slot_is_a_noop() {
+        let mut st = StationStore::default();
+        st.push_station(0, 1);
+        st.join_queue(0, 3, 0);
+        // Mid-slot the engine admits the whole queue to freed points …
+        let admitted = st.queue[0].pop_front().unwrap();
+        assert_eq!(admitted.taxi, 3);
+        // … so the patience sweep later in the same slot must not underflow
+        // or invent abandonments.
+        let mut gone = Vec::new();
+        st.abandon_expired(0, 10_000, 1, &mut gone);
+        assert!(gone.is_empty());
+        assert!(st.queue[0].is_empty());
+    }
+
+    #[test]
+    fn abandonment_with_clock_before_join_never_fires() {
+        // A taxi that joined "in the future" relative to the probe minute
+        // (only possible through saturating arithmetic at minute 0) must not
+        // be evicted.
+        let mut st = StationStore::default();
+        st.push_station(0, 1);
+        st.join_queue(0, 1, 30);
+        let mut gone = Vec::new();
+        st.abandon_expired(0, 0, 10, &mut gone);
+        assert!(gone.is_empty());
+        assert_eq!(st.queue[0].len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_a_same_slot_delivery_target_addressable() {
+        // Phase A delivers taxi 42 into the store; later in the same slot a
+        // departure swap-removes an unrelated taxi and 42's row is the one
+        // that backfills the hole. Every subsequent mutation must still land
+        // on 42's payload.
+        let mut store = TaxiStore::default();
+        for id in 0..4 {
+            store.insert(row(id));
+        }
+        store.insert(row(42)); // delivery target, last row
+        store.remove(1); // swap-remove: row 42 backfills index 1
+        assert_eq!(store.get(42).unwrap().id, 42);
+        store.set_soc(42, 0.33);
+        store.credit_charge(42, 5.0);
+        let r = store.get(42).unwrap();
+        assert!((r.soc - 0.33).abs() < 1e-12);
+        assert_eq!(r.charges, 1);
+        assert_eq!(r.cost, 5.0);
+        // And removing the delivery target itself round-trips its payload.
+        let gone = store.remove(42).unwrap();
+        assert_eq!(gone.id, 42);
+        assert!((gone.soc - 0.33).abs() < 1e-12);
+        assert!(store.get(42).is_none());
     }
 
     #[test]

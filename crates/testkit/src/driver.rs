@@ -11,7 +11,7 @@
 //! CI can upload it as an artifact.
 
 use crate::oracle::{check_all, OracleFailure};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ShardPolicyKind};
 use fairmove_faults::{splitmix64, FaultPlan};
 use std::fmt;
 
@@ -168,24 +168,27 @@ fn shrink(original: Scenario, first: OracleFailure, max_steps: u32) -> Failure {
 /// Reduction candidates, most aggressive first.
 fn candidates(s: &Scenario) -> Vec<Scenario> {
     let mut out = Vec::new();
-    // Halve the horizon, then nibble one slot at a time (halving alone can
-    // overshoot and strand the shrink at a local minimum).
+    // Halve the horizon, then take smaller and smaller bites (halving alone
+    // can overshoot and strand the shrink at a local minimum; single-step
+    // nibbles alone stall when adjacent scenarios happen to pass).
     if s.slots > 1 {
-        let mut c = s.clone();
-        c.slots = (s.slots / 2).max(1);
-        out.push(c);
-        let mut c = s.clone();
-        c.slots = s.slots - 1;
-        out.push(c);
+        for bite in [s.slots / 2, 4, 2, 1] {
+            if bite > 0 && bite < s.slots {
+                let mut c = s.clone();
+                c.slots = s.slots - bite;
+                out.push(c);
+            }
+        }
     }
-    // Halve the fleet, then nibble one taxi at a time.
+    // Halve the fleet, then nibble with decreasing bites.
     if s.fleet_size > 1 {
-        let mut c = s.clone();
-        c.fleet_size = (s.fleet_size / 2).max(1);
-        out.push(c);
-        let mut c = s.clone();
-        c.fleet_size = s.fleet_size - 1;
-        out.push(c);
+        for bite in [s.fleet_size / 2, 3, 2, 1] {
+            if bite > 0 && bite < s.fleet_size {
+                let mut c = s.clone();
+                c.fleet_size = s.fleet_size - bite;
+                out.push(c);
+            }
+        }
     }
     // Drop the fault plan entirely, then halve its specs from either end.
     if let Some(plan) = &s.fault_plan {
@@ -217,10 +220,36 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         c.charging_points = (s.charging_points / 2).max(c.n_stations as u32);
         out.push(c);
     }
+    // Collapse charging to a single one-point station. Besides being the
+    // simplest infrastructure, scarcity moves queue-driven failures earlier
+    // in the run, which unlocks further slot shrinks.
+    if s.n_stations > 1 || s.charging_points > 1 {
+        let mut c = s.clone();
+        c.n_stations = 1;
+        c.charging_points = 1;
+        out.push(c);
+    }
     // Tame the demand.
     if s.daily_trips_per_taxi > 5.0 {
         let mut c = s.clone();
         c.daily_trips_per_taxi = (s.daily_trips_per_taxi / 2.0).max(4.0);
+        out.push(c);
+    }
+    // Collapse the sharded layout toward the serial oracle and the cheap
+    // policy — a failure that survives at 1x1/greedy is a far better repro.
+    if s.shards > 1 {
+        let mut c = s.clone();
+        c.shards = 1;
+        out.push(c);
+    }
+    if s.threads > 1 {
+        let mut c = s.clone();
+        c.threads = 1;
+        out.push(c);
+    }
+    if s.shard_policy != ShardPolicyKind::Greedy {
+        let mut c = s.clone();
+        c.shard_policy = ShardPolicyKind::Greedy;
         out.push(c);
     }
     out

@@ -32,6 +32,7 @@
 
 pub mod canon;
 pub mod counting_alloc;
+pub mod differential;
 pub mod driver;
 pub mod golden;
 pub mod oracle;
@@ -39,7 +40,8 @@ pub mod scenario;
 
 pub use canon::{canon_comparison, canon_ledger, canon_snapshot};
 pub use counting_alloc::{allocs_in, CountingAlloc};
+pub use differential::{shard_differential_fidelity, FidelityReport};
 pub use driver::{DriverConfig, DriverReport, Failure};
 pub use golden::{assert_golden, GoldenMismatch};
 pub use oracle::{check_all, OracleFailure};
-pub use scenario::{PolicyKind, RunArtifacts, Scenario, TestRng};
+pub use scenario::{PolicyKind, RunArtifacts, Scenario, ShardPolicyKind, TestRng};

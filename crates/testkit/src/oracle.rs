@@ -13,6 +13,7 @@
 //! | `permutation-invariance` | fleet metrics are taxi-id-order invariant |
 //! | `alpha-objective` | Eq. 4 reward is affine in α; α = 1 ignores fairness, α = 0 ignores profit |
 //! | `batched-vs-serial-inference` | wave-batched CMA2C dispatch (`max_wave` > 1) ≡ the fully serial dispatcher, bit-identical ledgers; stacked actor forward ≡ per-row forwards at 1/2/4 matmul workers |
+//! | `shard-differential-fidelity` | sharded engine bit-identical across the scenario's (shards, threads) grid; fleet conserved; SoC bounded; queue waits within patience; demand totals within sampling noise of the minute engine (see [`crate::differential`]) |
 
 use crate::canon::fnv64;
 use crate::scenario::{PlanMode, RunArtifacts, Scenario, TestRng};
@@ -45,7 +46,7 @@ fn fail(oracle: &'static str, message: String) -> Result<(), OracleFailure> {
 }
 
 /// Names of every oracle in catalog order.
-pub const ORACLE_NAMES: [&str; 7] = [
+pub const ORACLE_NAMES: [&str; 8] = [
     "invariant-audit",
     "telemetry-inert",
     "empty-plan-identity",
@@ -53,6 +54,7 @@ pub const ORACLE_NAMES: [&str; 7] = [
     "permutation-invariance",
     "alpha-objective",
     "batched-vs-serial-inference",
+    "shard-differential-fidelity",
 ];
 
 /// Runs the full oracle catalog against one scenario. Returns the first
@@ -66,6 +68,7 @@ pub fn check_all(scenario: &Scenario) -> Result<(), OracleFailure> {
     permutation_invariance(scenario, &base)?;
     alpha_objective(scenario, &base)?;
     batched_vs_serial_inference(scenario)?;
+    crate::differential::shard_differential_fidelity(scenario, &base)?;
     Ok(())
 }
 

@@ -67,6 +67,16 @@ pub enum PolicyKind {
     GroundTruth,
 }
 
+/// Displacement policy driving the *sharded* engine in differential checks
+/// (the minute engine's policy is [`PolicyKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicyKind {
+    /// Deterministic greedy deficit-chasing (the sharded engine's default).
+    Greedy,
+    /// Frozen CMA2C actor inference inside shard steps.
+    Cma2c,
+}
+
 /// One reproducible randomized simulation run, as plain data.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -90,6 +100,12 @@ pub struct Scenario {
     pub policy: PolicyKind,
     /// Faults to inject, if any.
     pub fault_plan: Option<FaultPlan>,
+    /// Shard count for the sharded-engine differential checks.
+    pub shards: usize,
+    /// Worker threads for the sharded-engine differential checks.
+    pub threads: usize,
+    /// Policy driving the sharded engine.
+    pub shard_policy: ShardPolicyKind,
 }
 
 /// Everything one scenario run produces that an oracle may want.
@@ -150,11 +166,23 @@ impl Scenario {
             alpha,
             policy,
             fault_plan: None,
+            shards: 1,
+            threads: 1,
+            shard_policy: ShardPolicyKind::Greedy,
         };
         if rng.chance(0.5) {
             let plan_seed = rng.next_u64();
             scenario.fault_plan = Some(FaultPlan::randomized(plan_seed, &scenario.fleet_shape()));
         }
+        // Sharded-engine draws are appended after every pre-existing draw so
+        // the scenarios older seeds reproduce stay byte-identical.
+        scenario.shards = [1, 2, 4][rng.below(3) as usize];
+        scenario.threads = [1, 2, 4][rng.below(3) as usize];
+        scenario.shard_policy = if rng.chance(0.25) {
+            ShardPolicyKind::Cma2c
+        } else {
+            ShardPolicyKind::Greedy
+        };
         scenario
     }
 
@@ -257,8 +285,12 @@ impl Scenario {
                 code
             }
         };
+        let shard_policy = match self.shard_policy {
+            ShardPolicyKind::Greedy => "ShardPolicyKind::Greedy",
+            ShardPolicyKind::Cma2c => "ShardPolicyKind::Cma2c",
+        };
         format!(
-            "Scenario {{\n        seed: 0x{:x},\n        n_regions: {},\n        n_stations: {},\n        charging_points: {},\n        fleet_size: {},\n        slots: {},\n        daily_trips_per_taxi: {:?},\n        alpha: {:?},\n        policy: {},\n        fault_plan: {},\n    }}",
+            "Scenario {{\n        seed: 0x{:x},\n        n_regions: {},\n        n_stations: {},\n        charging_points: {},\n        fleet_size: {},\n        slots: {},\n        daily_trips_per_taxi: {:?},\n        alpha: {:?},\n        policy: {},\n        fault_plan: {},\n        shards: {},\n        threads: {},\n        shard_policy: {},\n    }}",
             self.seed,
             self.n_regions,
             self.n_stations,
@@ -269,6 +301,9 @@ impl Scenario {
             self.alpha,
             policy,
             plan,
+            self.shards,
+            self.threads,
+            shard_policy,
         )
     }
 }
@@ -277,7 +312,7 @@ impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed=0x{:x} regions={} stations={} points={} fleet={} slots={} trips/taxi={:.1} alpha={} policy={:?} faults={}",
+            "seed=0x{:x} regions={} stations={} points={} fleet={} slots={} trips/taxi={:.1} alpha={} policy={:?} faults={} shards={} threads={} shard_policy={:?}",
             self.seed,
             self.n_regions,
             self.n_stations,
@@ -288,6 +323,9 @@ impl fmt::Display for Scenario {
             self.alpha,
             self.policy,
             self.fault_plan.as_ref().map_or(0, |p| p.specs().len()),
+            self.shards,
+            self.threads,
+            self.shard_policy,
         )
     }
 }

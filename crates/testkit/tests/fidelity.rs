@@ -1,0 +1,82 @@
+//! Golden-pinned fidelity reports: the legitimate engine deltas (service
+//! split, Eq. 3 fairness) that the differential oracle deliberately does
+//! not bound are pinned here at fixed seeds, so any drift is a reviewed
+//! `FAIRMOVE_BLESS=1` re-bless instead of silent divergence. The
+//! paper-scale CMA2C sharded run is pinned the same way (release only).
+
+use fairmove_agents::{Cma2cConfig, Cma2cShardPolicy};
+use fairmove_city::City;
+use fairmove_sim::{ShardPolicy, ShardedEnv, SimConfig};
+use fairmove_testkit::{golden, FidelityReport, Scenario, ShardPolicyKind};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// The cross-engine deltas at fixed seeds, one report per policy. The
+/// oracle proves the bounded properties on every generated scenario; this
+/// golden pins the exact numbers (including the fairness split) on two.
+#[test]
+#[cfg_attr(
+    feature = "seeded-bug",
+    ignore = "seeded ledger bug shifts the env side"
+)]
+#[cfg_attr(
+    feature = "seeded-bug-shard",
+    ignore = "seeded shard bug shifts the shard side"
+)]
+fn fidelity_report_golden() {
+    let mut out = String::new();
+    for (seed, policy) in [
+        (11u64, ShardPolicyKind::Greedy),
+        (11u64, ShardPolicyKind::Cma2c),
+    ] {
+        let mut scenario = Scenario::generate(seed);
+        scenario.fault_plan = None; // deltas are only contractual fault-free
+        scenario.shard_policy = policy;
+        let base = scenario.run();
+        let report = FidelityReport::build(&scenario, &base);
+        let _ = write!(out, "{}", report.canon());
+    }
+    golden::assert_golden(&golden_path("fidelity_report.golden"), &out);
+}
+
+/// Paper-scale pin: 6 slots of the Shenzhen-scale city under the sharded
+/// CMA2C policy (4 shards, 4 worker threads). Pins the digest — so the
+/// run is bit-reproducible, not just plausible — plus the decision count
+/// and the service counters. Release only: debug builds take minutes.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper scale is release-only")]
+#[cfg_attr(
+    feature = "seeded-bug-shard",
+    ignore = "seeded shard bug shifts the digest"
+)]
+fn paper_scale_cma2c_sharded_golden() {
+    let config = SimConfig::shenzhen_scale();
+    let cma2c = Cma2cConfig::default();
+    let factory =
+        |city: &City| -> Box<dyn ShardPolicy> { Box::new(Cma2cShardPolicy::new(city, &cma2c)) };
+    let mut env = ShardedEnv::with_policy(config, 4, &factory);
+    env.run(6, 4);
+    let totals = env.totals();
+    let mut out = String::from("paper-scale cma2c sharded v1\n");
+    let _ = writeln!(out, "slots=6 shards=4 digest={:016x}", env.digest());
+    let _ = writeln!(
+        out,
+        "decisions={} served={} unserved={} handoffs={}",
+        env.decisions(),
+        env.trips_served(),
+        env.trips_unserved(),
+        env.cross_shard_handoffs(),
+    );
+    let _ = writeln!(
+        out,
+        "fleet_trips={} revenue={:.2} cost={:.2}",
+        totals.trips, totals.revenue, totals.cost,
+    );
+    golden::assert_golden(&golden_path("paper_scale_cma2c_sharded.golden"), &out);
+}

@@ -11,6 +11,10 @@ use fairmove_testkit::{driver, DriverConfig, Scenario};
     feature = "seeded-bug",
     ignore = "seeded bug makes every scenario fail"
 )]
+#[cfg_attr(
+    feature = "seeded-bug-shard",
+    ignore = "seeded shard bug makes scenarios with queue abandonment fail"
+)]
 fn driver_passes_clean() {
     let config = DriverConfig::from_env();
     let report = driver::run(&config).unwrap_or_else(|f| panic!("{f}"));
@@ -69,6 +73,47 @@ fn seeded_bug_is_caught_and_shrunk() {
         failure.shrunk.fleet_size
     );
     // The repro must be ready to paste: it names the scenario literal.
+    let repro = failure.repro();
+    assert!(repro.contains("#[test]"), "{repro}");
+    assert!(repro.contains("Scenario {"), "{repro}");
+}
+
+/// Mutation smoke check for the sharded engine: with the planted
+/// dropped-abandonment bug compiled in (a queue-expired taxi with
+/// `id % 5 == 0` vanishes from the fleet), the driver must catch it via the
+/// differential fidelity oracle's fleet-conservation check and shrink the
+/// repro to ≤ 32 slots and ≤ 8 taxis. The bug only fires on scenarios that
+/// actually starve a charging queue past the patience window, so this scans
+/// more iterations than the ledger-bug smoke, and the base seed is pinned
+/// to a value whose *first* caught failure greedily shrinks within the
+/// asserted bounds (any seed catches the bug; not every trajectory shrinks
+/// equally well — abandonment can't happen before queues saturate, so the
+/// horizon floor is seed-dependent).
+#[cfg(feature = "seeded-bug-shard")]
+#[test]
+fn shard_seeded_bug_is_caught_and_shrunk() {
+    let config = DriverConfig {
+        iterations: 60,
+        seed: 0xde04_97cf_9fd9_bf37,
+        ..DriverConfig::default()
+    };
+    let failure = driver::run(&config).expect_err("seeded shard bug must be caught");
+    assert_eq!(failure.oracle, "shard-differential-fidelity", "{failure}");
+    assert!(
+        failure.message.contains("fleet not conserved"),
+        "wrong check caught the bug: {}",
+        failure.message
+    );
+    assert!(
+        failure.shrunk.slots <= 32,
+        "shrunk repro still has {} slots:\n{failure}",
+        failure.shrunk.slots
+    );
+    assert!(
+        failure.shrunk.fleet_size <= 8,
+        "shrunk repro still has {} taxis:\n{failure}",
+        failure.shrunk.fleet_size
+    );
     let repro = failure.repro();
     assert!(repro.contains("#[test]"), "{repro}");
     assert!(repro.contains("Scenario {"), "{repro}");
