@@ -25,7 +25,10 @@ use crate::features::{FeatureExtractor, RegionFeatureCache, SA_DIM, STATE_DIM};
 use crate::transition::TransitionTracker;
 use fairmove_city::{SimTime, TimeSlot};
 use fairmove_rl::loss::{policy_gradient_logits, softmax};
-use fairmove_rl::{Activation, Adam, Matrix, Mlp, MlpWorkspace, Optimizer, ReplayBuffer};
+use fairmove_rl::{
+    Activation, Adam, Matrix, Mlp, MlpWorkspace, Optimizer, QuantWorkspace, QuantizedMlp,
+    ReplayBuffer,
+};
 use fairmove_sim::{
     Action, DecisionContext, DisplacementPolicy, ObservationView, SlotFeedback, SlotObservation,
     WorkingObservation,
@@ -198,6 +201,10 @@ pub struct Cma2cPolicy {
     metrics: Option<Cma2cMetrics>,
     /// Whether learning (and stochastic exploration) is active.
     pub learning: bool,
+    /// Int8 snapshot of the frozen actor, installed by
+    /// [`Self::set_quantized_serving`]. Serving-only: training always runs
+    /// against the exact weights, and every weight mutation drops it.
+    serving_quant: Option<QuantizedMlp>,
 }
 
 /// Reflects an assignment in the working observation so subsequent
@@ -303,6 +310,12 @@ pub(crate) struct DecideScratch {
     /// Prior-adjusted logits of the decision currently being committed.
     pub(crate) logits: Vec<f64>,
     pub(crate) ws: MlpWorkspace,
+    /// f32 ping-pong buffers for the int8 serving path (empty unless a
+    /// quantized actor is installed).
+    pub(crate) qws: QuantWorkspace,
+    /// Per-chunk logit landing pad for the quantized forward (whose output
+    /// buffer is overwritten per call, while `wave_logits` accumulates).
+    pub(crate) qlogits: Vec<f64>,
 }
 
 impl Default for DecideScratch {
@@ -317,6 +330,8 @@ impl Default for DecideScratch {
             wave_logits: Vec::new(),
             logits: Vec::new(),
             ws: MlpWorkspace::new(),
+            qws: QuantWorkspace::new(),
+            qlogits: Vec::new(),
         }
     }
 }
@@ -411,6 +426,7 @@ impl Cma2cPolicy {
             train_steps: 0,
             metrics: None,
             learning: true,
+            serving_quant: None,
             config,
         }
     }
@@ -427,6 +443,29 @@ impl Cma2cPolicy {
     pub fn freeze(&mut self) {
         self.learning = false;
         self.tracker.clear();
+    }
+
+    /// Installs (or removes) the int8 serving path for the frozen actor.
+    /// Quantization is deterministic in the exact parameters, so calling
+    /// this after a checkpoint restore rebuilds byte-identical codes — the
+    /// warm-restart guarantee needs no new persisted state. The decide loop
+    /// consumes one RNG draw per context either way, so switching backends
+    /// never desynchronizes the sampling stream layout.
+    ///
+    /// # Panics
+    /// Panics if the policy is still learning: training must only ever see
+    /// the exact weights.
+    pub fn set_quantized_serving(&mut self, on: bool) {
+        assert!(
+            !self.learning,
+            "quantized serving requires a frozen policy (call freeze() first)"
+        );
+        self.serving_quant = on.then(|| QuantizedMlp::from_mlp(&self.actor));
+    }
+
+    /// Whether the int8 serving path is active.
+    pub fn quantized_serving(&self) -> bool {
+        self.serving_quant.is_some()
     }
 
     /// The exploration RNG's restorable state. A frozen policy still
@@ -490,6 +529,11 @@ impl Cma2cPolicy {
         self.actor = actor;
         self.target_critic.copy_params_from(&critic);
         self.critic = critic;
+        // The codes were derived from the replaced weights; re-quantize so
+        // the serving path keeps tracking the actor that is actually loaded.
+        if self.serving_quant.is_some() {
+            self.serving_quant = Some(QuantizedMlp::from_mlp(&self.actor));
+        }
         Ok(())
     }
 
@@ -546,9 +590,19 @@ impl Cma2cPolicy {
             }
         }
         let _trace_matmul = fairmove_telemetry::trace_span!("matmul", chunk_rows as u64);
-        let logits_m = self.actor.forward_scratch(&s.rows, &mut s.ws);
-        s.wave_logits
-            .extend((0..chunk_rows).map(|r| logits_m.get(r, 0)));
+        match &self.serving_quant {
+            // The actor head is one logit wide, so the quantized forward's
+            // flat `rows × 1` output is exactly this chunk's logits.
+            Some(q) => {
+                q.forward_into(&s.rows, &mut s.qws, &mut s.qlogits);
+                s.wave_logits.extend_from_slice(&s.qlogits);
+            }
+            None => {
+                let logits_m = self.actor.forward_scratch(&s.rows, &mut s.ws);
+                s.wave_logits
+                    .extend((0..chunk_rows).map(|r| logits_m.get(r, 0)));
+            }
+        }
     }
 
     /// Zeroes the ablated feature groups in place (state prefix is shared

@@ -34,7 +34,7 @@ use crate::cma2c::{
 };
 use crate::features::{FeatureExtractor, SA_DIM, STATE_DIM};
 use fairmove_city::{City, RegionId};
-use fairmove_rl::{Activation, Mlp};
+use fairmove_rl::{Activation, Mlp, QuantizedMlp};
 use fairmove_sim::{Action, DecisionContext, ShardPolicy, SlotObservation};
 use rand::rngs::StdRng;
 
@@ -42,6 +42,9 @@ use rand::rngs::StdRng;
 pub struct Cma2cShardPolicy {
     fx: FeatureExtractor,
     actor: Mlp,
+    /// Int8 snapshot of `actor` when serving quantized
+    /// ([`Cma2cShardPolicy::new_quantized`]); rebuilt on `load_actor`.
+    quant: Option<QuantizedMlp>,
     charge_logit_prior: f64,
     ablate_global_view: bool,
     ablate_fairness_features: bool,
@@ -65,11 +68,34 @@ impl Cma2cShardPolicy {
                 Activation::Linear,
                 config.seed,
             ),
+            quant: None,
             charge_logit_prior: config.charge_logit_prior,
             ablate_global_view: config.ablate_global_view,
             ablate_fairness_features: config.ablate_fairness_features,
             scratch: DecideScratch::default(),
         }
+    }
+
+    /// [`Self::new`] with the int8 serving path enabled: wave scoring runs
+    /// through the per-row-quantized actor instead of the f64 kernels. The
+    /// sampling contract is unchanged (one RNG draw per context), so runs
+    /// stay layout-invariant — only the logits move, within the budget the
+    /// testkit's kernel-differential oracle gates.
+    pub fn new_quantized(city: &City, config: &Cma2cConfig) -> Self {
+        let mut policy = Self::new(city, config);
+        policy.quant = Some(QuantizedMlp::from_mlp(&policy.actor));
+        policy
+    }
+
+    /// The frozen actor (the kernel-differential oracle scores it directly
+    /// against [`Self::quantized_actor`]).
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// The int8 actor snapshot, when serving quantized.
+    pub fn quantized_actor(&self) -> Option<&QuantizedMlp> {
+        self.quant.as_ref()
     }
 
     /// Replaces the actor with one saved by
@@ -87,6 +113,9 @@ impl Cma2cShardPolicy {
             ));
         }
         self.actor = actor;
+        if self.quant.is_some() {
+            self.quant = Some(QuantizedMlp::from_mlp(&self.actor));
+        }
         Ok(())
     }
 
@@ -108,7 +137,11 @@ impl Cma2cShardPolicy {
 
 impl ShardPolicy for Cma2cShardPolicy {
     fn name(&self) -> &'static str {
-        "cma2c"
+        if self.quant.is_some() {
+            "cma2c-quant"
+        } else {
+            "cma2c"
+        }
     }
 
     fn decide_region(
@@ -168,9 +201,16 @@ impl ShardPolicy for Cma2cShardPolicy {
                 }
             }
             s.wave_logits.clear();
-            let logits_m = self.actor.forward_scratch(&s.rows, &mut s.ws);
-            s.wave_logits
-                .extend((0..total_rows).map(|r| logits_m.get(r, 0)));
+            match &self.quant {
+                // The actor head is one logit wide, so the quantized
+                // forward's flat `rows × 1` output is the wave logits.
+                Some(q) => q.forward_into(&s.rows, &mut s.qws, &mut s.wave_logits),
+                None => {
+                    let logits_m = self.actor.forward_scratch(&s.rows, &mut s.ws);
+                    s.wave_logits
+                        .extend((0..total_rows).map(|r| logits_m.get(r, 0)));
+                }
+            }
 
             // Commit sequentially, breaking the wave at the first decision
             // whose features an earlier commit touched (every per-row actor
@@ -333,6 +373,59 @@ mod tests {
             "cma2c diverged across layouts"
         );
         assert_eq!(env.taxi_rows().len(), oracle.taxi_rows().len());
+    }
+
+    #[test]
+    fn quantized_sharded_runs_are_layout_invariant() {
+        // Same digest guarantee for the int8 serving path: the quantized
+        // forward is serial and ascending-index, so layout can't move it.
+        let sim = SimConfig::test_scale();
+        let factory: &ShardPolicyFactory = &|city: &City| {
+            Box::new(Cma2cShardPolicy::new_quantized(
+                city,
+                &Cma2cConfig::default(),
+            ))
+        };
+        let mut oracle = ShardedEnv::with_policy(sim.clone(), 1, factory);
+        oracle.run(12, 1);
+        assert_eq!(oracle.policy_name(), "cma2c-quant");
+        let mut env = ShardedEnv::with_policy(sim, 4, factory);
+        env.run(12, 2);
+        assert_eq!(
+            env.digest(),
+            oracle.digest(),
+            "quantized cma2c diverged across layouts"
+        );
+    }
+
+    #[test]
+    fn quantized_policy_tracks_exact_logits() {
+        // The int8 path must stay a perturbation, not a different policy:
+        // score one batch of contexts through both actors and compare.
+        let city = small_city();
+        let config = Cma2cConfig::default();
+        let p = Cma2cShardPolicy::new_quantized(&city, &config);
+        let exact = Cma2cShardPolicy::new(&city, &config);
+        let q = p.quantized_actor().expect("quantized");
+        let x = fairmove_rl::Matrix::from_vec(
+            4,
+            SA_DIM,
+            (0..4 * SA_DIM)
+                .map(|i| ((i * 13 % 29) as f64) / 14.5 - 1.0)
+                .collect(),
+        );
+        let e = exact.actor().forward(&x);
+        let mut ws = fairmove_rl::QuantWorkspace::new();
+        let mut got = Vec::new();
+        q.forward_into(&x, &mut ws, &mut got);
+        for r in 0..4 {
+            assert!(
+                (e.get(r, 0) - got[r]).abs() < 0.2,
+                "row {r}: exact {} vs quant {}",
+                e.get(r, 0),
+                got[r]
+            );
+        }
     }
 
     #[test]

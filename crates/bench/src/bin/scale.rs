@@ -19,6 +19,11 @@
 //! - `--policy greedy|cma2c`: which slot-granularity policy drives the
 //!   `--paper` run (default `greedy`; `cma2c` is the frozen wave-batched
 //!   actor on the sharded engine).
+//! - `--backend scalar|vectorized|quantized`: numeric serving backend.
+//!   `scalar`/`vectorized` select the matrix-kernel backend process-wide
+//!   (bitwise-equal by contract — decision counts must not move, only
+//!   throughput). `quantized` serves the `--paper` run through the int8
+//!   actor (`sharded-cma2c-quant` row, implies `--policy cma2c`).
 //! - `--check-baseline [path]`: after writing the report, compare it against
 //!   the checked-in baseline (default
 //!   `crates/bench/baselines/BENCH_scale_baseline.json`): every report row
@@ -151,7 +156,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
         .unwrap_or("BENCH_scale.json");
-    let shard_policy = match args
+    let mut shard_policy = match args
         .iter()
         .position(|a| a == "--policy")
         .and_then(|i| args.get(i + 1))
@@ -164,6 +169,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None => {}
+        Some("scalar") => fairmove_rl::set_kernel_backend(fairmove_rl::KernelBackend::Scalar),
+        Some("vectorized") => {
+            fairmove_rl::set_kernel_backend(fairmove_rl::KernelBackend::Vectorized)
+        }
+        Some("quantized") => shard_policy = ShardBenchPolicy::Cma2cQuantized,
+        Some(other) => {
+            eprintln!("unknown --backend {other} (expected scalar|vectorized|quantized)");
+            std::process::exit(2);
+        }
+    }
 
     let (scales, rounds, warmup): (&[Scale], usize, usize) = if paper {
         (&[], 1, 0) // paper runs through the sharded path below

@@ -99,6 +99,21 @@ impl DispatchCore {
         self.applied_seq
     }
 
+    /// Switches the frozen policy between exact-f64 and int8-quantized
+    /// serving. Quantization is a *serving mode*, not replayable state: it is
+    /// derived deterministically from the frozen parameters, so checkpoints
+    /// stay at format [`VERSION`] and a restored core reproduces the original
+    /// decision stream bit-for-bit once the embedding server re-applies its
+    /// configured mode (before journal replay).
+    pub fn set_quantized_serving(&mut self, on: bool) {
+        self.policy.set_quantized_serving(on);
+    }
+
+    /// Whether decisions currently run through the int8 serving path.
+    pub fn quantized_serving(&self) -> bool {
+        self.policy.quantized_serving()
+    }
+
     /// Simulation clock, in minutes.
     pub fn now_minutes(&self) -> u32 {
         self.env.now().0
@@ -426,6 +441,30 @@ mod tests {
         // The restored core's *future* matches too — including CMA2C action
         // sampling, which consumes the restored RNG stream.
         for payload in ["STEP F", "DECIDE F", "STEP F"] {
+            a.apply_payload(payload).unwrap();
+            b.apply_payload(payload).unwrap();
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.ledger(), b.ledger());
+    }
+
+    #[test]
+    fn quantized_serving_survives_warm_restart_bitwise() {
+        // Quantization is derived from the frozen parameters, so it is NOT
+        // checkpointed: the embedding server re-applies its configured mode
+        // after restore and the int8 codes rebuild byte-identically.
+        let mut a = DispatchCore::new(config(), 0.6);
+        a.set_quantized_serving(true);
+        assert!(a.quantized_serving());
+        for payload in ["STEP F", "DECIDE F", "STEP F"] {
+            a.apply_payload(payload).unwrap();
+        }
+        let snapshot = a.checkpoint();
+        let mut b = DispatchCore::from_checkpoint(config(), &snapshot).unwrap();
+        assert!(!b.quantized_serving(), "mode is not replayable state");
+        b.set_quantized_serving(true);
+        assert_eq!(a.digest(), b.digest());
+        for payload in ["DECIDE F", "STEP F", "DECIDE F"] {
             a.apply_payload(payload).unwrap();
             b.apply_payload(payload).unwrap();
         }

@@ -14,6 +14,7 @@
 //! | `alpha-objective` | Eq. 4 reward is affine in α; α = 1 ignores fairness, α = 0 ignores profit |
 //! | `batched-vs-serial-inference` | wave-batched CMA2C dispatch (`max_wave` > 1) ≡ the fully serial dispatcher, bit-identical ledgers; stacked actor forward ≡ per-row forwards at 1/2/4 matmul workers |
 //! | `shard-differential-fidelity` | sharded engine bit-identical across the scenario's (shards, threads) grid; fleet conserved; SoC bounded; queue waits within patience; demand totals within sampling noise of the minute engine (see [`crate::differential`]) |
+//! | `kernel-differential` | scalar ≡ vectorized matmul backends bitwise across the sharded grid; int8-quantized actor tracks the exact actor within logit and TV budgets; quantized serving leaves the demand process inside sampling noise (see [`crate::kernel_diff`]) |
 
 use crate::canon::fnv64;
 use crate::scenario::{PlanMode, RunArtifacts, Scenario, TestRng};
@@ -46,7 +47,7 @@ fn fail(oracle: &'static str, message: String) -> Result<(), OracleFailure> {
 }
 
 /// Names of every oracle in catalog order.
-pub const ORACLE_NAMES: [&str; 8] = [
+pub const ORACLE_NAMES: [&str; 9] = [
     "invariant-audit",
     "telemetry-inert",
     "empty-plan-identity",
@@ -55,6 +56,7 @@ pub const ORACLE_NAMES: [&str; 8] = [
     "alpha-objective",
     "batched-vs-serial-inference",
     "shard-differential-fidelity",
+    "kernel-differential",
 ];
 
 /// Runs the full oracle catalog against one scenario. Returns the first
@@ -69,6 +71,7 @@ pub fn check_all(scenario: &Scenario) -> Result<(), OracleFailure> {
     alpha_objective(scenario, &base)?;
     batched_vs_serial_inference(scenario)?;
     crate::differential::shard_differential_fidelity(scenario, &base)?;
+    crate::kernel_diff::kernel_differential(scenario)?;
     Ok(())
 }
 

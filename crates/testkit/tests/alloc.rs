@@ -71,12 +71,20 @@ fn assert_steady_state_is_alloc_free(policy: &mut dyn DisplacementPolicy, label:
     }
 }
 
+// The four stepping tests below run the debug-build invariant auditor every
+// slot, so the `seeded-bug` planted ledger bug (deliberately tripping money
+// conservation) panics them before any allocation is measured — they are
+// meaningless under that feature and are ignored there, like the property
+// driver's clean-pass test.
+
 #[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded ledger bug trips the auditor")]
 fn step_slot_is_alloc_free_with_stay_policy() {
     assert_steady_state_is_alloc_free(&mut StayPolicy, "stay");
 }
 
 #[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded ledger bug trips the auditor")]
 fn step_slot_is_alloc_free_with_frozen_batched_cma2c() {
     let city = Environment::new(SimConfig::test_scale()).city().clone();
     let mut policy = Cma2cPolicy::new(
@@ -96,6 +104,7 @@ fn step_slot_is_alloc_free_with_frozen_batched_cma2c() {
 /// match timers) is created during warmup, and from then on recording is
 /// pure atomics — HDR cells included.
 #[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded ledger bug trips the auditor")]
 fn step_slot_is_alloc_free_with_telemetry_and_tracing() {
     enable_tracing();
     let telemetry = Telemetry::enabled();
@@ -131,6 +140,7 @@ fn step_slot_is_alloc_free_with_telemetry_and_tracing() {
 /// be alloc-free once its scratch (feature cache, row matrix, forward
 /// workspace) has warmed up.
 #[test]
+#[cfg_attr(feature = "seeded-bug", ignore = "seeded ledger bug trips the auditor")]
 fn batched_decide_into_is_alloc_free_when_frozen() {
     enable_tracing();
     let mut env = Environment::new(SimConfig::test_scale());
